@@ -1,0 +1,94 @@
+"""A3 — ablation: path explosion vs. rule-condition filters.
+
+Section V: "the number of paths is growing exponentially with every
+additional data processing step or stage [...] Basically, rule
+conditions need to be included as filter criteria when navigating the
+graph. Consequently, the number of potential data paths [...] will stay
+small even with a significant number of steps and stages."
+
+The benchmark sweeps pipeline depth and reports path counts unfiltered
+vs. under a rule-condition filter.
+"""
+
+import pytest
+
+from repro.synth import generate_pipeline
+
+DEPTHS = [2, 4, 6, 8, 10]
+
+
+def test_a3_exponential_growth_and_filtering(benchmark, record):
+    rows = []
+    unfiltered_counts = []
+    filtered_counts = []
+
+    def sweep():
+        unfiltered_counts.clear()
+        filtered_counts.clear()
+        for depth in DEPTHS:
+            pipeline = generate_pipeline(
+                stages=depth,
+                items_per_stage=3,
+                fan=2,
+                condition_fraction=0.5,
+                seed=13,
+            )
+            lineage = pipeline.warehouse.lineage
+            keep = pipeline.conditions_used[0]
+            unfiltered_counts.append(lineage.count_paths(pipeline.source))
+            filtered_counts.append(
+                lineage.count_paths(
+                    pipeline.source,
+                    condition_filter=lambda e: e.condition is None or e.condition == keep,
+                )
+            )
+        return unfiltered_counts, filtered_counts
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # unfiltered growth is exponential in depth (fan=2 -> x4 per 2 stages)
+    for i in range(1, len(DEPTHS)):
+        assert unfiltered_counts[i] >= 2 * unfiltered_counts[i - 1]
+    # filters keep the counts strictly smaller at depth, and the gap widens
+    assert filtered_counts[-1] < unfiltered_counts[-1]
+    early_gap = unfiltered_counts[0] - filtered_counts[0]
+    late_gap = unfiltered_counts[-1] - filtered_counts[-1]
+    assert late_gap > early_gap
+
+    for depth, unfiltered, filtered in zip(DEPTHS, unfiltered_counts, filtered_counts):
+        rows.append(
+            (f"depth {depth}: paths unfiltered / filtered", f"{unfiltered:,} / {filtered:,}")
+        )
+    rows.append(("expected shape", "exponential vs bounded (Section V)"))
+    record("A3", "Path explosion vs rule-condition filters", rows)
+
+
+@pytest.mark.parametrize("depth", [4, 8])
+def test_a3_count_paths_cost(benchmark, depth):
+    """DAG counting stays cheap even where enumeration would explode."""
+    pipeline = generate_pipeline(
+        stages=depth, items_per_stage=4, fan=3, condition_fraction=0.0
+    )
+    lineage = pipeline.warehouse.lineage
+    count = benchmark(lineage.count_paths, pipeline.source)
+    assert count == 3 ** depth
+
+
+def test_a3_enumeration_budget_guard(benchmark):
+    """Enumeration raises PathExplosionError instead of hanging."""
+    from repro.services import PathExplosionError
+
+    pipeline = generate_pipeline(
+        stages=12, items_per_stage=4, fan=3, condition_fraction=0.0
+    )
+    lineage = pipeline.warehouse.lineage
+    sink = pipeline.stages[-1][0]
+
+    def guarded():
+        try:
+            lineage.paths(pipeline.source, sink, max_paths=100)
+            return False
+        except PathExplosionError:
+            return True
+
+    assert benchmark(guarded)

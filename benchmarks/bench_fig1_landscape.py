@@ -1,0 +1,58 @@
+"""F1 — Figure 1: the IT-landscape subject areas.
+
+Figure 1 shows the subject areas the warehouse covers: applications in
+the center, with databases, schemas/data definitions, interfaces, data
+flows, and roles around them. The benchmark generates the landscape and
+verifies every subject area is populated in proportion.
+"""
+
+import pytest
+
+from repro.synth import LandscapeConfig, generate_landscape
+
+FIGURE_1_SUBJECT_AREAS = [
+    "applications",
+    "databases",
+    "schemas",
+    "interfaces",
+    "data flows",
+    "roles",
+]
+
+
+def test_fig1_subject_areas(benchmark, record):
+    landscape = benchmark.pedantic(
+        generate_landscape,
+        args=(LandscapeConfig.small(seed=2009),),
+        rounds=1,
+        iterations=1,
+    )
+    counts = landscape.subject_area_counts
+
+    for area in FIGURE_1_SUBJECT_AREAS:
+        assert counts.get(area, 0) > 0, f"subject area {area!r} empty"
+    # applications are the center of Figure 1: every app has a database,
+    # every database a schema
+    assert counts["databases"] <= counts["applications"]
+    assert counts["schemas"] >= counts["databases"]
+    # columns dominate (the long tail of technical meta-data)
+    assert counts["columns"] > counts["tables"] > 0
+
+    rows = [(area, str(counts.get(area, 0))) for area in FIGURE_1_SUBJECT_AREAS]
+    rows += [
+        ("tables", str(counts.get("tables", 0))),
+        ("columns", str(counts.get("columns", 0))),
+        ("users", str(counts.get("users", 0))),
+    ]
+    record("F1", "Figure 1 IT-landscape subject areas", rows)
+
+
+def test_fig1_every_application_reachable(benchmark, small_landscape):
+    """Every generated application is discoverable through search."""
+    mdw = small_landscape.warehouse
+
+    def search_all():
+        return mdw.search.search("core")
+
+    results = benchmark(search_all)
+    assert len(results) > 0

@@ -1,0 +1,60 @@
+"""F5 — Figure 5: the search algorithm walk-through.
+
+The paper walks its three-step search over the Figure 3 snippet:
+narrowing to {Application1 Item, Interface Item} intersects to exactly
+``Application1_View_Column``; the instance scan then finds
+``customer_id``, which inherits membership in all parent classes.
+"""
+
+from repro.services import SearchFilters
+from repro.synth.figures import build_figure3_snippet
+
+
+def test_fig5_walkthrough(benchmark, record):
+    snippet = build_figure3_snippet()
+    mdw = snippet.warehouse
+    filters = SearchFilters(classes=["Application1 Item", "Interface Item"])
+
+    results = benchmark(mdw.search.search, "customer", filters)
+
+    # steps 1+2: the narrowed class set is exactly Application1_View_Column
+    valid = mdw.search._valid_classes(filters)
+    assert valid == {snippet.classes["Application1 View Column"]}
+
+    # step 3: customer_id found, and only customer_id
+    assert [h.instance for h in results.hits] == [snippet.customer_id]
+
+    # inherited memberships: the hit groups under every parent class
+    labels = {label for _, label, _ in results.groups()}
+    assert {"Column", "Attribute", "Item", "Application1 Item", "Interface Item"} <= labels
+
+    record(
+        "F5",
+        "Figure 5 search-algorithm walk-through",
+        [
+            ("narrowed class set (paper: exactly 1)", str(len(valid))),
+            ("narrowed to", "Application1_View_Column"),
+            ("instances found (paper: customer_id)", results.hits[0].name),
+            ("inherited result groups", str(len(results.groups()))),
+        ],
+    )
+
+
+def test_fig5_no_match_without_interface_filter(benchmark):
+    """Dropping one filter widens the intersection: partner_id and
+    client_information_id (Source File Columns) still do not match since
+    they are not Application1 items."""
+    snippet = build_figure3_snippet()
+    results = benchmark(
+        snippet.warehouse.search.search, "id", SearchFilters(classes=["Application1 Item"])
+    )
+    assert [h.instance for h in results.hits] == [snippet.customer_id]
+
+
+def test_fig5_empty_intersection_is_empty_result(benchmark):
+    snippet = build_figure3_snippet()
+    mdw = snippet.warehouse
+    # Source File Column ∩ Interface Item = ∅ in the snippet
+    filters = SearchFilters(classes=["Source File Column", "Interface Item"])
+    results = benchmark(mdw.search.search, "id", filters)
+    assert len(results) == 0

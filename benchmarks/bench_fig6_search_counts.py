@@ -1,0 +1,55 @@
+"""F6 — Figure 6: the search frontend's grouped result counts.
+
+The screenshot lists, for the term "customer", result groups like
+Application (21), Attribute (22), Column (33), Source Column (33) —
+several classes, tens of hits each, with superclass groups at least as
+big as their subclasses. The benchmark reproduces that shape over the
+synthetic landscape and times the grouped search.
+"""
+
+from repro.ui import render_search_results
+
+
+def test_fig6_grouped_counts(benchmark, medium_landscape, record):
+    mdw = medium_landscape.warehouse
+
+    results = benchmark(mdw.search.search, "customer")
+    groups = results.groups()
+
+    assert len(results) > 0
+    # shape of the screenshot: several distinct group classes
+    assert len(groups) >= 5
+    # group counts are consistent with membership
+    for cls, label, count in groups:
+        assert count == len(results.group_members(cls))
+        assert count <= len(results)
+    # the superclass group is at least as big as any subclass group
+    by_label = {label: count for _, label, count in groups}
+    if "Attribute" in by_label and "Column" in by_label:
+        assert by_label["Attribute"] >= by_label["Column"]
+
+    top = sorted(groups, key=lambda g: -g[2])[:8]
+    record(
+        "F6",
+        'Figure 6 grouped search counts for "customer"',
+        [("distinct hits", str(len(results)))]
+        + [(f"group: {label}", f"({count})") for _, label, count in top],
+    )
+
+
+def test_fig6_rendering(benchmark, medium_landscape):
+    results = medium_landscape.warehouse.search.search("customer")
+    pane = benchmark(render_search_results, results)
+    assert 'Search Results for "customer"' in pane
+    assert "(" in pane and ")" in pane
+
+
+def test_fig6_search_latency_by_term(benchmark, medium_landscape):
+    """A broad term over the full landscape stays interactive."""
+    mdw = medium_landscape.warehouse
+
+    def broad_search():
+        return mdw.search.search("id")
+
+    results = benchmark(broad_search)
+    assert len(results) > 50

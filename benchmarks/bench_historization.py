@@ -1,0 +1,103 @@
+"""S2 — Section III.A historization: versions and growth.
+
+"up to eight versions in one year [...] We estimate the current growth
+rate due to additional sets of meta-data to be about 20 to 30% every
+year." The benchmark replays three years of release cycles, snapshotting
+the complete graph per release, and reports versions per year and annual
+growth against the published band.
+"""
+
+from repro.history import GrowthProfile, Historizer, ReleaseCycleSimulator
+from repro.synth import LandscapeConfig, generate_landscape
+from repro.synth.names import NamePool
+
+
+def make_simulator():
+    landscape = generate_landscape(LandscapeConfig.tiny(seed=2009))
+    mdw = landscape.warehouse
+    historizer = Historizer(mdw.store)
+    names = NamePool(77)
+    table_cls = landscape.classes["Table"]
+    column_cls = landscape.classes["Column"]
+    belongs_to = mdw.namespaces.expand("dm:belongsTo")
+    counter = [0]
+
+    def grow(fraction: float) -> None:
+        target = max(4, int(len(mdw.graph) * fraction))
+        added = 0
+        while added < target:
+            counter[0] += 1
+            table = mdw.facts.add_instance(f"rel_table_{counter[0]}", table_cls)
+            added += 2
+            for _ in range(names.randint(2, 5)):
+                if added >= target:
+                    break
+                counter[0] += 1
+                column = mdw.facts.add_instance(
+                    f"rel_col_{counter[0]}",
+                    column_cls,
+                    display_name=names.column_name(names.entity()),
+                )
+                mdw.graph.add((column, belongs_to, table))
+                added += 3
+
+    return ReleaseCycleSimulator(historizer, grow, GrowthProfile(), seed=2009), historizer
+
+
+def test_s2_three_years_of_releases(benchmark, record):
+    def run():
+        simulator, historizer = make_simulator()
+        simulator.run(years=3)
+        return simulator, historizer
+
+    simulator, historizer = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # 8 versions per year, 24 total
+    assert len(historizer) == 24
+    per_year = simulator.annual_growth()
+    assert all(entry["releases"] == 8 for entry in per_year)
+
+    # annual growth lands in (a tolerant neighbourhood of) the 20-30% band
+    growths = [entry["growth"] for entry in per_year if "growth" in entry]
+    assert growths
+    for growth in growths:
+        assert 0.10 <= growth <= 0.45
+
+    # monotone size growth, full snapshots retained
+    sizes = [v.edge_count for v in historizer.versions()]
+    assert sizes == sorted(sizes)
+
+    rows = [("versions per year (paper: up to 8)", "8")]
+    for entry in per_year:
+        suffix = f"{entry['growth']:+.1%}" if "growth" in entry else "baseline"
+        rows.append((f"{entry['year']}: end size {entry['end_edges']:,} edges", suffix))
+    rows.append(("paper growth band", "+20% .. +30% per year"))
+    rows.append(
+        ("full-historization storage (sum of versions)", f"{historizer.storage_cost():,} triples")
+    )
+    record("S2", "Section III.A historization and growth", rows)
+
+
+def test_s2_snapshot_cost(benchmark):
+    """The cost of one full snapshot (the per-release historization)."""
+    landscape = generate_landscape(LandscapeConfig.small(seed=1))
+    historizer = Historizer(landscape.warehouse.store)
+    counter = [0]
+
+    def snapshot():
+        counter[0] += 1
+        return historizer.snapshot(f"v{counter[0]}")
+
+    version = benchmark(snapshot)
+    assert version.edge_count == len(landscape.graph)
+
+
+def test_s2_diff_between_versions(benchmark):
+    simulator, historizer = make_simulator()
+    simulator.run_year()
+    names = historizer.version_names()
+
+    diff = benchmark(historizer.diff, names[0], names[-1])
+    assert len(diff.added) > 0
+    assert len(diff.removed) == 0  # growth only
+    assert diff.apply(historizer.get(names[0]).graph) == historizer.get(names[-1]).graph

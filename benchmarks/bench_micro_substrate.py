@@ -1,0 +1,127 @@
+"""Micro-benchmarks of the storage substrate.
+
+Not tied to a specific paper artifact — these keep the substrate honest
+(the S1 load and query times are explained by these constants) and guard
+against performance regressions in the triple indexes, the bulk-load
+path, and the serializers.
+"""
+
+import pytest
+
+from repro.rdf import (
+    BulkLoader,
+    Graph,
+    IRI,
+    Literal,
+    StagingTable,
+    Triple,
+    TripleStore,
+    parse_ntriples,
+    serialize_ntriples,
+)
+
+N = 10_000
+
+
+def make_triples(n=N):
+    p = [IRI(f"http://x/p{i}") for i in range(10)]
+    # 997 is coprime with 10, so every subject sees several predicates
+    return [
+        Triple(IRI(f"http://x/s{i % 997}"), p[i % 10], Literal(f"value {i}"))
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def triples():
+    return make_triples()
+
+
+@pytest.fixture(scope="module")
+def graph(triples):
+    return Graph(triples)
+
+
+def test_micro_graph_add(benchmark, triples):
+    def build():
+        g = Graph()
+        g.add_all(triples)
+        return g
+
+    g = benchmark(build)
+    assert len(g) == N
+
+
+def test_micro_pattern_sp(benchmark, graph):
+    s = IRI("http://x/s1")
+    p = IRI("http://x/p1")
+
+    def match():
+        return list(graph.triples(s, p, None))
+
+    rows = benchmark(match)
+    assert rows
+
+
+def test_micro_pattern_p(benchmark, graph):
+    p = IRI("http://x/p3")
+    rows = benchmark(lambda: sum(1 for _ in graph.triples(None, p, None)))
+    assert rows == N // 10
+
+
+def test_micro_contains(benchmark, graph, triples):
+    probe = triples[N // 2]
+    assert benchmark(lambda: probe in graph)
+
+
+def test_micro_bulk_load(benchmark, triples):
+    def load():
+        staging = StagingTable()
+        staging.insert_triples(triples[:2000])
+        store = TripleStore()
+        return BulkLoader(store).load(staging, "M")
+
+    report = benchmark(load)
+    assert report.inserted == 2000
+
+
+def test_micro_ntriples_roundtrip(benchmark, triples):
+    subset = Graph(triples[:2000])
+
+    def roundtrip():
+        return Graph(parse_ntriples(serialize_ntriples(subset)))
+
+    out = benchmark(roundtrip)
+    assert out == subset
+
+
+def test_micro_sparql_two_pattern_join(benchmark, graph):
+    from repro.sparql import execute
+
+    def query():
+        return execute(
+            graph,
+            'SELECT ?s ?v WHERE { ?s <http://x/p1> ?v . ?s <http://x/p2> ?w }',
+        )
+
+    rows = benchmark(query)
+    assert len(rows) > 0
+
+
+def test_micro_reasoner_type_inheritance(benchmark):
+    from repro.rdf import OWL, RDF, RDFS
+    from repro.reasoning import RDFS_RULEBASE, closure
+
+    g = Graph()
+    classes = [IRI(f"http://x/C{i}") for i in range(20)]
+    for i in range(len(classes) - 1):
+        g.add(Triple(classes[i], RDFS.subClassOf, classes[i + 1]))
+    for i in range(1000):
+        g.add(Triple(IRI(f"http://x/i{i}"), RDF.type, classes[i % 5]))
+
+    def run():
+        derived, _ = closure(g, RDFS_RULEBASE)
+        return derived
+
+    derived = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(derived) > 10_000

@@ -1,0 +1,80 @@
+"""S3 — scale sweep: how the services behave as the landscape grows.
+
+Section V, lesson 1: the design "scales to a reasonable number of graph
+nodes [...] no known limitations to use the very same approach [...] by
+any other company of a similar size." The sweep measures search and
+lineage latency across three landscape sizes and checks both grow
+sublinearly relative to graph size (thanks to the term/type indexes).
+"""
+
+import time
+
+import pytest
+
+from repro.synth import LandscapeConfig, generate_landscape, make_search_workload
+
+CONFIGS = [
+    ("tiny", LandscapeConfig.tiny),
+    ("small", LandscapeConfig.small),
+    ("medium", LandscapeConfig.medium),
+]
+
+
+def test_s3_scale_sweep(benchmark, record):
+    rows = []
+    measurements = []
+
+    def sweep():
+        measurements.clear()
+        for label, factory in CONFIGS:
+            landscape = generate_landscape(factory(seed=2009))
+            mdw = landscape.warehouse
+            edges = len(mdw.graph)
+
+            t0 = time.perf_counter()
+            hits = len(mdw.search.search("customer"))
+            search_seconds = time.perf_counter() - t0
+
+            workload = make_search_workload(landscape, n_lineage=5, seed=1)
+            t0 = time.perf_counter()
+            for target in workload.lineage_targets:
+                mdw.lineage.upstream(target)
+            lineage_seconds = (time.perf_counter() - t0) / max(
+                1, len(workload.lineage_targets)
+            )
+            measurements.append(
+                dict(
+                    label=label,
+                    edges=edges,
+                    hits=hits,
+                    search=search_seconds,
+                    lineage=lineage_seconds,
+                )
+            )
+        return measurements
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    for m in measurements:
+        rows.append(
+            (
+                f"{m['label']}: {m['edges']:,} edges",
+                f"search {m['search'] * 1000:.1f} ms ({m['hits']} hits), "
+                f"lineage {m['lineage'] * 1000:.2f} ms/audit",
+            )
+        )
+    # lineage latency must NOT scale with graph size (it walks only the
+    # local mapping neighbourhood): allow generous constant-factor noise
+    lineage_times = [m["lineage"] for m in measurements]
+    edges = [m["edges"] for m in measurements]
+    size_ratio = edges[-1] / edges[0]
+    lineage_ratio = lineage_times[-1] / max(lineage_times[0], 1e-9)
+    assert lineage_ratio < size_ratio, "lineage latency scaled with graph size"
+
+    rows.append(
+        (
+            "graph grew / lineage slowed",
+            f"{size_ratio:.0f}x / {lineage_ratio:.1f}x (sublinear)",
+        )
+    )
+    record("S3", "Scale sweep: service latency vs landscape size", rows)

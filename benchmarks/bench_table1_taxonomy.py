@@ -1,0 +1,59 @@
+"""T1 — Table I: the meta-data graph object taxonomy.
+
+Regenerates the paper's Table I over a synthetic landscape: every node
+classifies into one of the four kinds, every edge into one of the three
+categories (and a named cell), with zero violations. The benchmark times
+the full-graph classification pass.
+"""
+
+from repro.core import EdgeCategory, NodeKind, collect_statistics, validate_graph
+
+
+def test_table1_composition(benchmark, medium_landscape, record):
+    graph = medium_landscape.graph
+    stats = benchmark(collect_statistics, graph)
+
+    # Table I shape: all four node kinds and all three categories populated
+    for kind in NodeKind:
+        assert stats.nodes_by_kind.get(kind, 0) > 0, f"no {kind.value} nodes"
+    for category in EdgeCategory:
+        assert stats.edges_by_category.get(category, 0) > 0
+    # every edge classified, none outside the table
+    assert stats.violations == 0
+    assert sum(stats.edges_by_category.values()) == stats.edges
+    # facts dominate, hierarchies are the smallest layer — the paper's
+    # "one big graph of facts organized by a thin schema and hierarchy"
+    facts = stats.edges_by_category[EdgeCategory.FACTS]
+    schema = stats.edges_by_category[EdgeCategory.SCHEMA]
+    hierarchy = stats.edges_by_category[EdgeCategory.HIERARCHY]
+    assert facts > schema > hierarchy
+
+    rows = [("nodes / edges", f"{stats.nodes} / {stats.edges}")]
+    for kind in NodeKind:
+        rows.append((f"node kind: {kind.value}", str(stats.nodes_by_kind.get(kind, 0))))
+    for category in EdgeCategory:
+        rows.append(
+            (f"edge category: {category.value}", str(stats.edges_by_category.get(category, 0)))
+        )
+    for cell in sorted(stats.edges_by_cell):
+        rows.append((f"  {cell}", str(stats.edges_by_cell[cell])))
+    rows.append(("violations (paper: all edges fit Table I)", str(stats.violations)))
+    record("T1", "Table I graph-object taxonomy", rows)
+
+
+def test_table1_rendering(benchmark, small_landscape):
+    stats = collect_statistics(small_landscape.graph)
+    text = benchmark(stats.render_table_i)
+    assert "FACTS" in text and "META-DATA SCHEMA" in text
+
+
+def test_table1_validation_detects_violations(benchmark, small_landscape):
+    from repro.rdf import Graph, IRI, Namespace, RDF, Triple
+
+    ex = Namespace("http://x/")
+    graph = small_landscape.graph.copy()
+    prop = ex.someProp
+    graph.add(Triple(prop, RDF.type, RDF.Property))
+    graph.add(Triple(ex.badInstance, ex.weird, prop))
+    report = benchmark(validate_graph, graph, 10)
+    assert report.violation_count == 1

@@ -1,0 +1,71 @@
+"""Shared fixtures and the experiment report for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table, figure, listing,
+or published number — see DESIGN.md §4). Besides the pytest-benchmark
+timing table, each records a small "paper vs. measured" summary which is
+printed at the end of the run, so ``pytest benchmarks/ --benchmark-only``
+produces the full reproduction report in one pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.synth import LandscapeConfig, generate_landscape
+
+# ---------------------------------------------------------------------------
+# experiment recording
+# ---------------------------------------------------------------------------
+
+_EXPERIMENTS: Dict[str, List[Tuple[str, str]]] = {}
+_ORDER: List[str] = []
+
+
+def record_experiment(exp_id: str, title: str, rows: List[Tuple[str, str]]) -> None:
+    """Record one experiment's outcome for the terminal summary."""
+    key = f"{exp_id} — {title}"
+    if key not in _EXPERIMENTS:
+        _ORDER.append(key)
+    _EXPERIMENTS[key] = list(rows)
+
+
+@pytest.fixture
+def record():
+    return record_experiment
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _EXPERIMENTS:
+        return
+    tr = terminalreporter
+    tr.section("paper reproduction report")
+    for key in _ORDER:
+        tr.write_line("")
+        tr.write_line(key)
+        tr.write_line("-" * min(76, max(len(key), 20)))
+        for label, value in _EXPERIMENTS[key]:
+            tr.write_line(f"  {label:<46} {value}")
+
+
+# ---------------------------------------------------------------------------
+# shared landscapes (expensive to build; session scoped)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def small_landscape():
+    return generate_landscape(LandscapeConfig.small(seed=2009))
+
+
+@pytest.fixture(scope="session")
+def medium_landscape():
+    return generate_landscape(LandscapeConfig.medium(seed=2009))
+
+
+@pytest.fixture(scope="session")
+def medium_landscape_with_index(medium_landscape):
+    if medium_landscape.warehouse.store.index("DWH_CURR", "OWLPRIME") is None:
+        medium_landscape.warehouse.build_entailment_index()
+    return medium_landscape

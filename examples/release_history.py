@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Full historization over simulated release cycles (Section III.A).
+
+The productive system snapshots the complete meta-data graph per release
+— up to eight versions a year, growing 20–30 % annually. This example
+replays two years of that schedule on a synthetic landscape, then uses
+the history: per-version sizes, growth rates, version diffs, and an
+as-of query against a historized version.
+
+Run:  python examples/release_history.py
+"""
+
+from repro.history import GrowthProfile, Historizer, ReleaseCycleSimulator
+from repro.synth import LandscapeConfig, generate_landscape
+from repro.synth.names import NamePool
+
+
+def main() -> None:
+    landscape = generate_landscape(LandscapeConfig.tiny(seed=2009))
+    mdw = landscape.warehouse
+    historizer = Historizer(mdw.store)
+
+    # grower: integrate "additional sets of meta-data" per release
+    names = NamePool(99)
+    table_cls = landscape.classes["Table"]
+    column_cls = landscape.classes["Column"]
+    counter = [0]
+
+    def grow(fraction: float) -> None:
+        target_triples = max(4, int(len(mdw.graph) * fraction))
+        added = 0
+        while added < target_triples:
+            counter[0] += 1
+            table = mdw.facts.add_instance(f"new_table_{counter[0]}", table_cls)
+            added += 2
+            for _ in range(names.randint(2, 5)):
+                counter[0] += 1
+                column = mdw.facts.add_instance(
+                    f"new_col_{counter[0]}",
+                    column_cls,
+                    display_name=names.column_name(names.entity()),
+                )
+                mdw.graph.add((column, mdw.namespaces.expand("dm:belongsTo"), table))
+                added += 3
+
+    simulator = ReleaseCycleSimulator(
+        historizer, grow, GrowthProfile(releases_per_year=8), seed=2009
+    )
+    simulator.run(years=2)
+
+    print(f"{'version':<10} {'nodes':>8} {'edges':>8} {'growth vs prev':>15}")
+    print("-" * 45)
+    for entry in historizer.growth_series():
+        growth = "" if entry["edge_growth"] is None else f"{entry['edge_growth']:+.1%}"
+        print(f"{entry['name']:<10} {entry['nodes']:>8} {entry['edges']:>8} {growth:>15}")
+
+    print("\nannual growth (paper claims 20-30%):")
+    for entry in simulator.annual_growth():
+        if "growth" in entry:
+            print(f"  {entry['year']}: {entry['growth']:+.1%} over {entry['releases']} releases")
+
+    # version diff between the first and last release of 2009
+    diff = historizer.diff("2009.R1", "2009.R8")
+    print(f"\n2009.R1 -> 2009.R8 delta: {diff.summary()}")
+
+    # as-of query: the historized graph is just another queryable model
+    first = historizer.get("2009.R1")
+    view = mdw.store.view(["HIST_2009.R1"])
+    print(f"as-of 2009.R1 the warehouse had {len(view)} triples "
+          f"(today: {len(mdw.graph)})")
+    print(f"full-historization storage cost: {historizer.storage_cost()} triples "
+          f"across {len(historizer)} versions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The paper's central argument, measured: graph vs. fixed schema.
+
+Credit Suisse rejected the textbook relational meta-data schema because
+"this approach is too rigid". Here the same stream of *new kinds* of
+meta-data (the Figure 9 extended scope: log files, technical components,
+governance links) is absorbed by both designs:
+
+* the graph warehouse just adds nodes and edges — zero DDL;
+* the relational catalog needs a migration for every novelty.
+
+Run:  python examples/schema_evolution.py
+"""
+
+from repro.core import MetadataWarehouse, World
+from repro.relstore import EvolvableCatalog
+from repro.synth.names import PROGRAMMING_LANGUAGES, THIRD_PARTY_SOFTWARE
+
+# the stream of meta-data kinds arriving over successive releases:
+# (kind, instances as (name, attributes))
+RELEASES = [
+    ("2009.R1", "Application", [("payments_core", {}), ("custody_hub", {})]),
+    ("2009.R2", "Log File", [("payments.log", {"retention": "30d"})]),
+    ("2010.R1", "Log File", [("custody.log", {"retention": "90d", "format": "json"})]),
+    ("2010.R2", "Programming Language", [(lang, {}) for lang in PROGRAMMING_LANGUAGES[:3]]),
+    ("2010.R3", "Third Party Software", [(s, {"vendor": "various"}) for s in THIRD_PARTY_SOFTWARE[:3]]),
+    ("2011.R1", "Data Owner Assignment", [("customer_domain_owner", {"user": "anna.ackermann"})]),
+    ("2011.R2", "Regulatory Report", [("mifid_report", {"regulation": "MiFID", "frequency": "daily"})]),
+]
+
+
+def main() -> None:
+    mdw = MetadataWarehouse()
+    relational = EvolvableCatalog()
+
+    print(f"{'release':<10} {'new kind':<24} {'graph DDL':>10} {'relational DDL':>15}")
+    print("-" * 64)
+    for release, kind, instances in RELEASES:
+        # graph side: declare the class if new, add instances — no DDL ever
+        cls = mdw.schema.class_by_label(kind) or mdw.schema.declare_class(
+            kind, world=World.TECHNICAL
+        )
+        for name, attributes in instances:
+            instance = mdw.facts.add_instance(f"{kind}_{name}", cls, display_name=name)
+            for attribute, value in attributes.items():
+                prop = mdw.schema.declare_property(attribute)
+                mdw.facts.set_value(instance, prop, value)
+
+        # relational side: same data, but the schema must evolve
+        before = len(relational.log)
+        for name, attributes in instances:
+            relational.store(kind, name, **attributes)
+        migrations = len(relational.log) - before
+        print(f"{release:<10} {kind:<24} {0:>10} {migrations:>15}")
+
+    print("-" * 64)
+    print(f"{'TOTAL':<35} {0:>10} {len(relational.log):>15}")
+    print("\nthe relational catalog's accumulated DDL:")
+    print(relational.log.script())
+
+    report = mdw.validate()
+    print(f"\ngraph warehouse stayed conformant throughout: {report.conformant}")
+    print(f"({report.summary().splitlines()[0]})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so editable installs work without the ``wheel`` package.
+
+Metadata lives in ``pyproject.toml``; this file only exists to enable
+``pip install -e .`` through setuptools' legacy develop path in offline
+environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""repro — a reproduction of "The Credit Suisse Meta-data Warehouse"
+(Jossen, Blunschi, Mori, Kossmann, Stockinger — ICDE 2012).
+
+A graph-based meta-data warehouse: RDF storage with named models and
+bulk loading, a SPARQL subset with an Oracle ``SEM_MATCH`` facade,
+OWLPRIME-style entailment indexes, the Table I meta-data type system,
+full historization, and the paper's two productive services — search
+and data lineage — plus the synthetic bank IT landscape they run on.
+
+Start with :class:`repro.core.MetadataWarehouse`, or generate a full
+landscape with :func:`repro.synth.generate_landscape`.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.warehouse import MetadataWarehouse
+
+__all__ = ["MetadataWarehouse", "__version__"]

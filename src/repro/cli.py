@@ -1,0 +1,411 @@
+"""``repro-mdw`` — the meta-data warehouse command line.
+
+A thin operational frontend over the library, working against a store
+directory (see :mod:`repro.rdf.persist`)::
+
+    repro-mdw generate ./wh --scale small --seed 2009
+    repro-mdw stats ./wh
+    repro-mdw validate ./wh
+    repro-mdw search ./wh customer --area mart --synonyms
+    repro-mdw lineage ./wh customer_id --direction upstream
+    repro-mdw flows ./wh --granularity 2
+    repro-mdw index ./wh
+    repro-mdw snapshot ./wh 2026.R1
+    repro-mdw versions ./wh
+    repro-mdw sql ./wh query.sql
+
+Every command exits 0 on success and 2 on a user error (bad arguments,
+unknown item, non-conformant graph for ``validate``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core import MetadataWarehouse, TERMS
+from repro.core.vocabulary import MDW
+from repro.rdf.persist import PersistenceError
+from repro.services import SearchFilters
+
+_AREAS = {
+    "inbound": TERMS.area_inbound,
+    "staging": TERMS.area_inbound,
+    "integration": TERMS.area_integration,
+    "mart": TERMS.area_mart,
+}
+
+
+class CliError(Exception):
+    """A user-facing CLI error (exit code 2)."""
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mdw",
+        description="Meta-data warehouse operations (Credit Suisse MDW reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic landscape into a store directory")
+    generate.add_argument("store", help="store directory to create/overwrite")
+    generate.add_argument("--scale", choices=["tiny", "small", "medium", "paper"], default="small")
+    generate.add_argument("--seed", type=int, default=2009)
+    generate.add_argument("--extended", action="store_true", help="include the Figure 9 extended scope")
+    generate.add_argument("--with-index", action="store_true", help="build the OWLPRIME entailment index")
+
+    stats = sub.add_parser("stats", help="node/edge composition (Table I)")
+    stats.add_argument("store")
+
+    validate = sub.add_parser("validate", help="audit the graph against Table I")
+    validate.add_argument("store")
+
+    search = sub.add_parser("search", help="the search facility (use case IV.A)")
+    search.add_argument("store")
+    search.add_argument("term")
+    search.add_argument("--class", dest="classes", action="append", default=[], help="hierarchy class filter (repeatable)")
+    search.add_argument("--area", choices=sorted(_AREAS), default=None)
+    search.add_argument("--synonyms", action="store_true", help="expand the term with synonyms")
+    search.add_argument("--expand", metavar="LABEL", default=None, help="expand one result group")
+    search.add_argument("--regex", action="store_true", help="treat TERM as a regular expression")
+    search.add_argument(
+        "--freshness", action="append", default=[],
+        help="keep only items with this freshness guarantee (repeatable)",
+    )
+    search.add_argument(
+        "--min-quality", type=float, default=None,
+        help="drop items with a quality score below this value",
+    )
+
+    lineage = sub.add_parser("lineage", help="the provenance tool (use case IV.B)")
+    lineage.add_argument("store")
+    lineage.add_argument("item", help="item display name (dm:hasName)")
+    lineage.add_argument("--direction", choices=["upstream", "downstream"], default="upstream")
+    lineage.add_argument("--depth", type=int, default=None)
+    lineage.add_argument("--condition", default=None, help="keep only mapping edges whose rule condition contains this text (unconditional edges always pass)")
+
+    flows = sub.add_parser("flows", help="the Figure 7 data-flow panes")
+    flows.add_argument("store")
+    flows.add_argument("--granularity", type=int, default=0, help="containment levels to lift both sides")
+    flows.add_argument("--rows", type=int, default=20)
+
+    index = sub.add_parser("index", help="build/refresh an entailment index")
+    index.add_argument("store")
+    index.add_argument("--rulebase", default="OWLPRIME")
+
+    snapshot = sub.add_parser("snapshot", help="historize the current model")
+    snapshot.add_argument("store")
+    snapshot.add_argument("version", help="version name, e.g. 2026.R1")
+
+    versions = sub.add_parser("versions", help="list historized versions")
+    versions.add_argument("store")
+
+    sql = sub.add_parser("sql", help="run a SEM_MATCH SQL statement (file or '-')")
+    sql.add_argument("store")
+    sql.add_argument("file", help="path to the .sql file, or '-' for stdin")
+    sql.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+
+    update = sub.add_parser("update", help="run SPARQL Update statements (file or '-')")
+    update.add_argument("store")
+    update.add_argument("file", help="path to the .ru file, or '-' for stdin")
+
+    overview = sub.add_parser("overview", help="the Figure 1 subject-area overview")
+    overview.add_argument("store")
+
+    explain = sub.add_parser("explain", help="show a SPARQL query's evaluation plan")
+    explain.add_argument("store")
+    explain.add_argument("query", help="the query text, or a path to a .rq file")
+    explain.add_argument("--rulebase", action="append", default=[], help="include an entailment index")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        handler = _HANDLERS[args.command]
+        handler(args)
+        return 0
+    except (CliError, PersistenceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+# ---------------------------------------------------------------------------
+# command handlers
+# ---------------------------------------------------------------------------
+
+
+def _open(args) -> MetadataWarehouse:
+    path = Path(args.store)
+    if not (path / "manifest.json").exists():
+        raise CliError(f"{path} is not a store directory (run 'generate' first)")
+    return MetadataWarehouse.load(path)
+
+
+def _find_item(mdw: MetadataWarehouse, name: str):
+    from repro.rdf.terms import Literal
+
+    matches = sorted(
+        mdw.graph.subjects(TERMS.has_name, Literal(name)), key=lambda t: t.sort_key()
+    )
+    if not matches:
+        raise CliError(f"no item named {name!r} (names are dm:hasName values)")
+    if len(matches) > 1:
+        print(f"note: {len(matches)} items named {name!r}; using {matches[0].n3()}")
+    return matches[0]
+
+
+def cmd_generate(args) -> None:
+    from repro.synth import LandscapeConfig, generate_landscape
+
+    factory = {
+        "tiny": LandscapeConfig.tiny,
+        "small": LandscapeConfig.small,
+        "medium": LandscapeConfig.medium,
+        "paper": LandscapeConfig.paper_scale,
+    }[args.scale]
+    config = factory(seed=args.seed)
+    if args.extended:
+        config = config.with_extended_scope()
+    landscape = generate_landscape(config)
+    if args.with_index:
+        report = landscape.warehouse.build_entailment_index()
+        print(report.summary())
+    landscape.warehouse.save(args.store)
+    print(f"generated {landscape.summary()}")
+    print(f"saved to {args.store}")
+
+
+def cmd_stats(args) -> None:
+    mdw = _open(args)
+    print(mdw.statistics().render_table_i())
+
+
+def cmd_validate(args) -> None:
+    mdw = _open(args)
+    report = mdw.validate()
+    print(report.summary())
+    for issue in report.issues[:20]:
+        print(f"  {issue.describe()}")
+    if not report.conformant:
+        raise CliError(f"{report.violation_count} edge(s) outside Table I")
+
+
+def cmd_search(args) -> None:
+    from repro.ui import render_search_results
+
+    mdw = _open(args)
+    filters = SearchFilters(
+        classes=list(args.classes),
+        areas=[_AREAS[args.area]] if args.area else (),
+        freshness=list(args.freshness),
+        min_quality=args.min_quality,
+    )
+    try:
+        results = mdw.search.search(
+            args.term, filters, expand_synonyms=args.synonyms, regex=args.regex
+        )
+    except KeyError as exc:
+        raise CliError(str(exc)) from None
+    print(render_search_results(results, expand=args.expand))
+
+
+def cmd_lineage(args) -> None:
+    from repro.ui import render_trace
+
+    mdw = _open(args)
+    item = _find_item(mdw, args.item)
+    condition_filter = None
+    if args.condition is not None:
+        needle = args.condition
+
+        def condition_filter(edge):
+            return edge.condition is None or needle in edge.condition
+
+    trace = mdw.lineage.trace(
+        item, args.direction, max_depth=args.depth, condition_filter=condition_filter
+    )
+    print(render_trace(mdw, trace))
+
+
+def cmd_flows(args) -> None:
+    from repro.ui import render_lineage_panes
+
+    mdw = _open(args)
+    print(
+        render_lineage_panes(
+            mdw,
+            source_granularity=args.granularity,
+            target_granularity=args.granularity,
+            max_rows=args.rows,
+        )
+    )
+
+
+def cmd_index(args) -> None:
+    mdw = _open(args)
+    try:
+        report = mdw.indexes.build(mdw.model_name, args.rulebase)
+    except KeyError as exc:
+        raise CliError(str(exc)) from None
+    print(report.summary())
+    mdw.save(args.store)
+
+
+def cmd_snapshot(args) -> None:
+    from repro.history import HistorizationError, Historizer
+
+    mdw = _open(args)
+    historizer = Historizer(mdw.store)
+    try:
+        version = historizer.snapshot(args.version)
+    except HistorizationError as exc:
+        raise CliError(str(exc)) from None
+    mdw.save(args.store)
+    print(version.summary())
+
+
+def cmd_versions(args) -> None:
+    mdw = _open(args)
+    hist_models = [m for m in mdw.store.model_names() if m.startswith("HIST_")]
+    if not hist_models:
+        print("no historized versions")
+        return
+    for model in hist_models:
+        graph = mdw.store.model(model)
+        print(f"{model[5:]:<16} {graph.node_count():>8} nodes {len(graph):>10} edges")
+
+
+def cmd_sql(args) -> None:
+    mdw = _open(args)
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        path = Path(args.file)
+        if not path.exists():
+            raise CliError(f"no such file: {path}")
+        text = path.read_text(encoding="utf-8")
+    from repro.oracle import SemSqlError
+
+    try:
+        rows = mdw.sem_sql(text)
+    except SemSqlError as exc:
+        raise CliError(str(exc)) from None
+    if args.csv:
+        print(rows.to_csv(), end="")
+    else:
+        print(rows.as_table())
+        print(f"({len(rows)} row(s))")
+
+
+def cmd_update(args) -> None:
+    mdw = _open(args)
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        path = Path(args.file)
+        if not path.exists():
+            raise CliError(f"no such file: {path}")
+        text = path.read_text(encoding="utf-8")
+    from repro.sparql import SparqlParseError
+
+    try:
+        result = mdw.update(text)
+    except SparqlParseError as exc:
+        raise CliError(str(exc)) from None
+    report = mdw.validate(max_issues=5)
+    if not report.conformant:
+        raise CliError(
+            f"update would leave {report.violation_count} edge(s) outside "
+            "Table I; store NOT saved — first offender: "
+            + report.issues[0].describe()
+        )
+    mdw.save(args.store)
+    print(result.summary())
+
+
+def cmd_overview(args) -> None:
+    from repro.core.statistics import collect_statistics
+    from repro.ui import render_landscape_overview
+
+    mdw = _open(args)
+    # recover subject-area counts from the graph itself: class instances
+    # per subject-area keyword are not persisted, so approximate from the
+    # per-class instance counts
+    counts = _subject_area_counts(mdw)
+    print(render_landscape_overview(counts))
+    stats = collect_statistics(mdw.graph)
+    print(f"\ntotal: {stats.nodes} nodes, {stats.edges} edges")
+
+
+def _subject_area_counts(mdw: MetadataWarehouse):
+    """Approximate Figure 1 counts from class labels in a loaded store."""
+    from repro.rdf.namespace import RDF
+
+    label_to_key = {
+        "Application": "applications",
+        "Database": "databases",
+        "Schema": "schemas",
+        "Table": "tables",
+        "Column": "columns",
+        "File": "files",
+        "Interface": "interfaces",
+        "Role": "roles",
+        "User": "users",
+        "Report": "reports",
+        "Report Attribute": "report attributes",
+        "Domain": "domains",
+        "Log File": "log files",
+    }
+    counts = {}
+    for cls in mdw.schema.classes():
+        key = label_to_key.get(mdw.schema.label(cls) or "")
+        if key:
+            n = mdw.graph.count(None, RDF.type, cls)
+            if n:
+                counts[key] = counts.get(key, 0) + n
+    from repro.core import TERMS
+
+    flows = mdw.graph.count(None, TERMS.is_mapped_to, None)
+    if flows:
+        counts["data flows"] = flows
+    return counts
+
+
+def cmd_explain(args) -> None:
+    mdw = _open(args)
+    text = args.query
+    path = Path(text)
+    if path.suffix == ".rq" and path.exists():
+        text = path.read_text(encoding="utf-8")
+    from repro.sparql import SparqlParseError
+
+    try:
+        print(mdw.explain(text, rulebases=args.rulebase))
+    except SparqlParseError as exc:
+        raise CliError(str(exc)) from None
+
+
+_HANDLERS = {
+    "generate": cmd_generate,
+    "stats": cmd_stats,
+    "validate": cmd_validate,
+    "search": cmd_search,
+    "lineage": cmd_lineage,
+    "flows": cmd_flows,
+    "index": cmd_index,
+    "snapshot": cmd_snapshot,
+    "versions": cmd_versions,
+    "sql": cmd_sql,
+    "overview": cmd_overview,
+    "explain": cmd_explain,
+    "update": cmd_update,
+}
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""The meta-data warehouse core: the paper's primary contribution.
+
+The Credit Suisse meta-data warehouse stores all meta-data — business and
+technical — in one labeled graph whose nodes are *Classes*, *Properties*,
+*Instances*, and *Values*, and whose edges fall into three categories:
+*Facts*, *Meta-data schema*, and *Hierarchies* (Table I of the paper).
+
+:class:`MetadataWarehouse` is the facade applications use::
+
+    from repro.core import MetadataWarehouse
+
+    mdw = MetadataWarehouse()
+    customer = mdw.schema.declare_class("Customer", world=World.BUSINESS)
+    has_name = mdw.schema.declare_property("hasName", domain=customer)
+    john = mdw.facts.add_instance("john_doe", customer)
+    mdw.facts.set_value(john, has_name, "John Doe")
+"""
+
+from repro.core.audit import AuditEntry, AuditJournal
+from repro.core.model import (
+    EdgeCategory,
+    EdgeClassification,
+    NodeKind,
+    TABLE_I_CELLS,
+    World,
+    classify_edge,
+    node_kind,
+)
+from repro.core.vocabulary import DM, DT, MDW, TERMS
+from repro.core.schema import MetadataSchema, SchemaError
+from repro.core.hierarchy import HierarchyManager
+from repro.core.facts import FactManager, FactError
+from repro.core.validation import (
+    ValidationIssue,
+    ValidationReport,
+    validate_graph,
+)
+from repro.core.statistics import GraphStatistics, collect_statistics
+from repro.core.warehouse import MetadataWarehouse
+
+__all__ = [
+    "AuditEntry",
+    "AuditJournal",
+    "DM",
+    "DT",
+    "EdgeCategory",
+    "EdgeClassification",
+    "FactError",
+    "FactManager",
+    "GraphStatistics",
+    "HierarchyManager",
+    "MDW",
+    "MetadataSchema",
+    "MetadataWarehouse",
+    "NodeKind",
+    "SchemaError",
+    "TABLE_I_CELLS",
+    "TERMS",
+    "ValidationIssue",
+    "ValidationReport",
+    "World",
+    "classify_edge",
+    "collect_statistics",
+    "node_kind",
+    "validate_graph",
+]

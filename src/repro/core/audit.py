@@ -1,0 +1,137 @@
+"""The warehouse's own audit journal.
+
+Section II: "every application and database maintains a log of events
+which may be subject to inspection by auditors." The meta-data warehouse
+is itself an application of record, so it keeps one too: a bounded,
+sequence-numbered journal of every effective triple change, with enough
+aggregation for an auditor to answer "what changed, where, since when".
+
+The journal subscribes to the model graph's change notifications
+(:meth:`Graph.subscribe`), so it sees changes from *every* write path —
+managers, bulk loads, retirements, restores — without instrumentation
+in each of them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Triple
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One journaled change."""
+
+    sequence: int
+    action: str      # "add" | "remove"
+    triple: Triple
+    epoch: str       # the label active when the change happened
+
+    def describe(self) -> str:
+        sign = "+" if self.action == "add" else "-"
+        return f"#{self.sequence} [{self.epoch}] {sign} {self.triple.n3()}"
+
+
+class AuditJournal:
+    """A bounded journal of graph changes plus running aggregates.
+
+    ``capacity`` bounds the retained entries (oldest evicted first);
+    the aggregate counters are never evicted. Epochs label phases of
+    operation ("release 2026.R2 load", "manual fix") so entries can be
+    attributed — :meth:`begin_epoch` switches the label.
+    """
+
+    def __init__(self, graph: Graph, capacity: int = 10_000):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._graph = graph
+        self._entries: Deque[AuditEntry] = deque(maxlen=capacity)
+        self._sequence = 0
+        self._epoch = "initial"
+        self._adds = 0
+        self._removes = 0
+        self._by_epoch: Dict[str, Dict[str, int]] = {}
+        self._by_predicate: Dict[str, int] = {}
+        graph.subscribe(self._on_change)
+
+    def close(self) -> None:
+        """Stop journaling (detach from the graph)."""
+        self._graph.unsubscribe(self._on_change)
+
+    # -- epochs ------------------------------------------------------------
+
+    def begin_epoch(self, label: str) -> None:
+        """Label subsequent changes (e.g. per release load)."""
+        if not label:
+            raise ValueError("epoch label must be non-empty")
+        self._epoch = label
+
+    @property
+    def current_epoch(self) -> str:
+        return self._epoch
+
+    # -- recording ------------------------------------------------------------
+
+    def _on_change(self, action: str, triple: Triple) -> None:
+        self._sequence += 1
+        entry = AuditEntry(self._sequence, action, triple, self._epoch)
+        self._entries.append(entry)
+        if action == "add":
+            self._adds += 1
+        else:
+            self._removes += 1
+        epoch_counts = self._by_epoch.setdefault(self._epoch, {"add": 0, "remove": 0})
+        epoch_counts[action] += 1
+        predicate = triple.predicate.value
+        self._by_predicate[predicate] = self._by_predicate.get(predicate, 0) + 1
+
+    # -- inspection --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_changes(self) -> int:
+        return self._adds + self._removes
+
+    def entries(
+        self,
+        since: int = 0,
+        action: Optional[str] = None,
+        epoch: Optional[str] = None,
+    ) -> List[AuditEntry]:
+        """Retained entries filtered by sequence / action / epoch."""
+        return [
+            e
+            for e in self._entries
+            if e.sequence > since
+            and (action is None or e.action == action)
+            and (epoch is None or e.epoch == epoch)
+        ]
+
+    def tail(self, n: int = 20) -> List[AuditEntry]:
+        return list(self._entries)[-n:]
+
+    def epoch_summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-epoch add/remove counts (complete, never evicted)."""
+        return {epoch: dict(counts) for epoch, counts in self._by_epoch.items()}
+
+    def hottest_predicates(self, n: int = 10) -> List[Tuple[str, int]]:
+        """The most frequently changed predicates — where the churn is."""
+        return sorted(self._by_predicate.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+
+    def report(self) -> str:
+        lines = [
+            f"audit journal: {self.total_changes} change(s) "
+            f"({self._adds} adds, {self._removes} removes), "
+            f"{len(self._entries)} retained",
+        ]
+        for epoch, counts in self._by_epoch.items():
+            lines.append(
+                f"  epoch {epoch!r}: +{counts['add']} / -{counts['remove']}"
+            )
+        return "\n".join(lines)

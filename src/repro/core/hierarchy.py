@@ -1,0 +1,147 @@
+"""Hierarchy navigation: class and property subsumption.
+
+The hierarchies are the topmost layer of the warehouse graph (Figure 3);
+they exist so business users can search with the terms *they* use and
+still reach the technical meta-data. This manager answers the
+reachability questions the search and lineage algorithms need (ancestors,
+descendants, roots, least common subsumers) directly from the graph —
+independent of whether an entailment index has been built.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.rdf.namespace import RDF, RDFS
+from repro.rdf.terms import IRI, Term
+
+
+class HierarchyManager:
+    """Transitive navigation over ``rdfs:subClassOf`` / ``subPropertyOf``."""
+
+    def __init__(self, graph):
+        self._graph = graph
+
+    # -- class hierarchy ----------------------------------------------------
+
+    def superclasses(self, cls: IRI, include_self: bool = False) -> Set[IRI]:
+        """All transitive superclasses of ``cls``."""
+        return self._reach(cls, RDFS.subClassOf, up=True, include_self=include_self)
+
+    def subclasses(self, cls: IRI, include_self: bool = False) -> Set[IRI]:
+        """All transitive subclasses of ``cls``."""
+        return self._reach(cls, RDFS.subClassOf, up=False, include_self=include_self)
+
+    def direct_superclasses(self, cls: IRI) -> List[IRI]:
+        return sorted(self._graph.objects(cls, RDFS.subClassOf), key=_key)
+
+    def direct_subclasses(self, cls: IRI) -> List[IRI]:
+        return sorted(self._graph.subjects(RDFS.subClassOf, cls), key=_key)
+
+    def is_subclass_of(self, child: IRI, ancestor: IRI) -> bool:
+        """True when ``child`` is ``ancestor`` or below it."""
+        return child == ancestor or ancestor in self.superclasses(child)
+
+    def class_roots(self) -> List[IRI]:
+        """Classes that participate in the hierarchy but have no parent."""
+        children = set(self._graph.subjects(RDFS.subClassOf, None))
+        parents = set(self._graph.objects(None, RDFS.subClassOf))
+        return sorted(
+            (node for node in children | parents if not any(self._graph.objects(node, RDFS.subClassOf))),
+            key=_key,
+        )
+
+    def depth(self, cls: IRI) -> int:
+        """Longest upward path length from ``cls`` to any root (0 = root)."""
+        best = 0
+        stack = [(cls, 0, frozenset([cls]))]
+        while stack:
+            node, d, seen = stack.pop()
+            parents = [p for p in self._graph.objects(node, RDFS.subClassOf) if p not in seen]
+            if not parents:
+                best = max(best, d)
+            for p in parents:
+                stack.append((p, d + 1, seen | {p}))
+        return best
+
+    def least_common_subsumers(self, a: IRI, b: IRI) -> List[IRI]:
+        """Minimal classes subsuming both ``a`` and ``b``."""
+        common = self.superclasses(a, include_self=True) & self.superclasses(
+            b, include_self=True
+        )
+        # a common subsumer is minimal when no other common subsumer lies
+        # strictly below it
+        minimal = [
+            c
+            for c in common
+            if not any(other != c and self.is_subclass_of(other, c) for other in common)
+        ]
+        return sorted(minimal, key=_key)
+
+    # -- property hierarchy ------------------------------------------------------
+
+    def superproperties(self, prop: IRI, include_self: bool = False) -> Set[IRI]:
+        return self._reach(prop, RDFS.subPropertyOf, up=True, include_self=include_self)
+
+    def subproperties(self, prop: IRI, include_self: bool = False) -> Set[IRI]:
+        return self._reach(prop, RDFS.subPropertyOf, up=False, include_self=include_self)
+
+    def is_subproperty_of(self, child: IRI, ancestor: IRI) -> bool:
+        return child == ancestor or ancestor in self.superproperties(child)
+
+    # -- instances through the hierarchy --------------------------------------------
+
+    def instances_of(self, cls: IRI, direct: bool = False) -> Set[Term]:
+        """Instances typed by ``cls`` or (unless ``direct``) any subclass.
+
+        This is the graph-walking equivalent of querying ``rdf:type``
+        with the OWLPRIME entailment index in place.
+        """
+        classes = {cls} if direct else self.subclasses(cls, include_self=True)
+        out: Set[Term] = set()
+        for c in classes:
+            out |= set(self._graph.subjects(RDF.type, c))
+        return out
+
+    def classes_of(self, instance: Term, direct: bool = False) -> Set[IRI]:
+        """The classes of ``instance``, expanded upward unless ``direct``.
+
+        Multiple inheritance is the norm in the warehouse ("most
+        instances are members of several classes", Section IV.A).
+        """
+        direct_classes = set(self._graph.objects(instance, RDF.type))
+        if direct:
+            return direct_classes
+        out: Set[IRI] = set()
+        for c in direct_classes:
+            out |= self.superclasses(c, include_self=True)
+        return out
+
+    # -- internals ----------------------------------------------------------------
+
+    def _reach(self, start: Term, predicate: IRI, up: bool, include_self: bool) -> Set:
+        """Transitive reachability along ``predicate``.
+
+        ``start`` itself is excluded unless ``include_self`` is set or a
+        cycle makes it reachable from itself (then it genuinely is its
+        own ancestor/descendant).
+        """
+        out: Set = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if up:
+                neighbours = self._graph.objects(node, predicate)
+            else:
+                neighbours = self._graph.subjects(predicate, node)
+            for neighbour in neighbours:
+                if neighbour not in out:
+                    out.add(neighbour)
+                    stack.append(neighbour)
+        if include_self:
+            out.add(start)
+        return out
+
+
+def _key(term: Term):
+    return term.sort_key()

@@ -1,0 +1,203 @@
+"""Table I of the paper: node kinds and edge categories.
+
+Nodes of the meta-data graph are of four kinds — Classes, Properties,
+Instances, Values — and every edge classifies into exactly one of three
+categories:
+
+* **Facts** — instance↔instance, instance→value, instance→class
+  (``rdf:type``), value→property relationships;
+* **Meta-data schema** — class↔property relationships (``rdfs:domain``);
+* **Hierarchies** — class↔class (``rdfs:subClassOf``) and
+  property↔property (``rdfs:subPropertyOf``) relationships.
+
+:func:`node_kind` infers a node's kind from the graph (classes are marked
+``rdf:type owl:Class``, properties ``rdf:type rdf:Property``, literals
+are values, everything else is an instance), and :func:`classify_edge`
+assigns the Table I cell — raising on combinations the table forbids,
+which is what keeps the "flexible" graph queryable.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, NamedTuple, Optional, Tuple
+
+from repro.rdf.namespace import OWL, RDF, RDFS
+from repro.rdf.terms import IRI, Literal, Term, Triple
+
+
+class NodeKind(enum.Enum):
+    """The four node kinds of the meta-data graph (Table I x-axis)."""
+
+    CLASS = "class"
+    PROPERTY = "property"
+    INSTANCE = "instance"
+    VALUE = "value"
+
+
+class World(enum.Enum):
+    """Business vs. technical world (Section III.A)."""
+
+    BUSINESS = "business"
+    TECHNICAL = "technical"
+
+
+class EdgeCategory(enum.Enum):
+    """The three edge categories of the meta-data graph (Table I y-axis)."""
+
+    FACTS = "facts"
+    SCHEMA = "meta-data schema"
+    HIERARCHY = "hierarchies"
+
+
+class EdgeClassification(NamedTuple):
+    """The outcome of classifying one edge against Table I."""
+
+    category: EdgeCategory
+    cell: str  # e.g. "Edges (Instance, Value)"
+
+
+#: The legal (subject kind, object kind) -> (category, cell) mapping of
+#: Table I. Cell names follow the paper's "Edges (X, Y)" notation. Two
+#: notes on the RDF realization:
+#:
+#: * the paper's "value and property" facts appear as property→value
+#:   edges, since RDF forbids literal subjects — the cell keeps the
+#:   paper's name "Edges (Value, Property)";
+#: * class→value edges (labels, names) belong to the meta-data schema:
+#:   "basically, this part of the graph describes the classes"
+#:   (Section III.A).
+TABLE_I_CELLS: Dict[Tuple[NodeKind, NodeKind], Tuple[EdgeCategory, str]] = {
+    (NodeKind.INSTANCE, NodeKind.INSTANCE): (
+        EdgeCategory.FACTS,
+        "Edges (Instance, Instance)",
+    ),
+    (NodeKind.INSTANCE, NodeKind.VALUE): (
+        EdgeCategory.FACTS,
+        "Edges (Instance, Value)",
+    ),
+    (NodeKind.INSTANCE, NodeKind.CLASS): (
+        EdgeCategory.FACTS,
+        "Edges (Class, Instance)",
+    ),
+    (NodeKind.PROPERTY, NodeKind.VALUE): (
+        EdgeCategory.FACTS,
+        "Edges (Value, Property)",
+    ),
+    (NodeKind.CLASS, NodeKind.VALUE): (
+        EdgeCategory.SCHEMA,
+        "Edges (Class, Value)",
+    ),
+    (NodeKind.CLASS, NodeKind.PROPERTY): (
+        EdgeCategory.SCHEMA,
+        "Edges (Class, Property)",
+    ),
+    (NodeKind.PROPERTY, NodeKind.CLASS): (
+        EdgeCategory.SCHEMA,
+        "Edges (Class, Property)",
+    ),
+    (NodeKind.CLASS, NodeKind.CLASS): (
+        EdgeCategory.HIERARCHY,
+        "Edges (Class, Class)",
+    ),
+    (NodeKind.PROPERTY, NodeKind.PROPERTY): (
+        EdgeCategory.HIERARCHY,
+        "Edges (Property, Property)",
+    ),
+}
+
+
+class TableIViolation(ValueError):
+    """An edge whose (subject kind, object kind) pair Table I forbids."""
+
+    def __init__(self, triple: Triple, s_kind: NodeKind, o_kind: NodeKind):
+        self.triple = triple
+        self.subject_kind = s_kind
+        self.object_kind = o_kind
+        super().__init__(
+            f"Table I forbids edges from {s_kind.value} to {o_kind.value}: "
+            f"{triple.n3()}"
+        )
+
+
+def node_kind(graph, term: Term) -> NodeKind:
+    """Infer the Table I kind of ``term`` within ``graph``.
+
+    Literals are values. IRIs/BNodes marked ``rdf:type owl:Class`` (or
+    ``rdfs:Class``) are classes; those marked ``rdf:type rdf:Property``
+    (or ``owl:ObjectProperty`` / ``owl:DatatypeProperty``) are
+    properties; anything else is an instance.
+    """
+    if isinstance(term, Literal):
+        return NodeKind.VALUE
+    if term in _VOCABULARY_CLASSES:
+        # the typing vocabulary itself (owl:Class, rdf:Property, ...) is a
+        # set of classes even though no graph asserts their type
+        return NodeKind.CLASS
+    if (term, RDF.type, OWL.Class) in graph or (term, RDF.type, RDFS.Class) in graph:
+        return NodeKind.CLASS
+    for marker in (RDF.Property, OWL.ObjectProperty, OWL.DatatypeProperty):
+        if (term, RDF.type, marker) in graph:
+            return NodeKind.PROPERTY
+    return NodeKind.INSTANCE
+
+
+_VOCABULARY_CLASSES = frozenset(
+    [
+        OWL.Class,
+        RDFS.Class,
+        RDF.Property,
+        OWL.ObjectProperty,
+        OWL.DatatypeProperty,
+        OWL.SymmetricProperty,
+        OWL.TransitiveProperty,
+        OWL.FunctionalProperty,
+    ]
+)
+
+# Predicates that declare what a node *is*; their triples are structural
+# markers, classified by the predicate itself rather than by node kinds.
+_MARKER_CLASSIFICATION: Dict[IRI, EdgeClassification] = {
+    RDFS.subClassOf: EdgeClassification(EdgeCategory.HIERARCHY, "Edges (Class, Class)"),
+    RDFS.subPropertyOf: EdgeClassification(
+        EdgeCategory.HIERARCHY, "Edges (Property, Property)"
+    ),
+    RDFS.domain: EdgeClassification(EdgeCategory.SCHEMA, "Edges (Class, Property)"),
+    RDFS.range: EdgeClassification(EdgeCategory.SCHEMA, "Edges (Class, Property)"),
+}
+
+
+def classify_edge(
+    graph,
+    triple: Triple,
+    subject_kind: Optional[NodeKind] = None,
+    object_kind: Optional[NodeKind] = None,
+) -> EdgeClassification:
+    """Classify one edge into its Table I cell.
+
+    Node kinds are inferred from ``graph`` unless passed explicitly.
+    Raises :class:`TableIViolation` for combinations outside the table.
+
+    Typing markers (``rdf:type owl:Class`` etc.) and the hierarchy/schema
+    predicates classify by predicate; all remaining edges classify by the
+    (subject kind, object kind) pair.
+    """
+    s, p, o = triple
+    marker = _MARKER_CLASSIFICATION.get(p)
+    if marker is not None:
+        return marker
+
+    s_kind = subject_kind or node_kind(graph, s)
+    o_kind = object_kind or node_kind(graph, o)
+
+    if p == RDF.type:
+        # rdf:type of an instance against its class is a fact; the node
+        # kind markers themselves (owl:Class / rdf:Property objects) are
+        # also facts per Table I's "Edges (Class, Instance)" row.
+        return EdgeClassification(EdgeCategory.FACTS, "Edges (Class, Instance)")
+
+    entry = TABLE_I_CELLS.get((s_kind, o_kind))
+    if entry is None:
+        raise TableIViolation(triple, s_kind, o_kind)
+    category, cell = entry
+    return EdgeClassification(category, cell)

@@ -1,0 +1,99 @@
+"""Graph statistics and the Table I rendering.
+
+The paper quantifies the warehouse at ~130,000 nodes and ~1.2 million
+edges per version (Section III.A). :func:`collect_statistics` measures a
+model the same way, and :meth:`GraphStatistics.render_table_i`
+regenerates the paper's Table I — node kinds on the x-axis, edge
+categories on the y-axis, cell populations inside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.rdf.graph import Graph
+
+from repro.core.model import EdgeCategory, NodeKind
+from repro.core.validation import ValidationReport, validate_graph
+
+
+@dataclass
+class GraphStatistics:
+    """Size and composition of one warehouse graph."""
+
+    nodes: int = 0
+    edges: int = 0
+    nodes_by_kind: Dict[NodeKind, int] = field(default_factory=dict)
+    edges_by_category: Dict[EdgeCategory, int] = field(default_factory=dict)
+    edges_by_cell: Dict[str, int] = field(default_factory=dict)
+    violations: int = 0
+
+    @property
+    def density(self) -> float:
+        """Edges per node — the reasoner's derived edges increase it."""
+        return self.edges / self.nodes if self.nodes else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.nodes} nodes, {self.edges} edges "
+            f"(density {self.density:.2f}); "
+            + ", ".join(
+                f"{category.value}: {self.edges_by_category.get(category, 0)}"
+                for category in EdgeCategory
+            )
+        )
+
+    def render_table_i(self) -> str:
+        """Render the cell populations in the layout of the paper's
+        Table I: edge categories as rows, cells with counts inside."""
+        rows: List[str] = []
+        header = "META-DATA WAREHOUSE GRAPH OBJECTS"
+        rows.append(header)
+        rows.append("=" * len(header))
+        rows.append("Node kinds:")
+        for kind in NodeKind:
+            rows.append(f"  {kind.value:<10} {self.nodes_by_kind.get(kind, 0):>10}")
+        rows.append("")
+        rows.append("Edge categories and Table I cells:")
+        for category in EdgeCategory:
+            total = self.edges_by_category.get(category, 0)
+            rows.append(f"  {category.value.upper():<18} {total:>10}")
+            for cell in sorted(self.edges_by_cell):
+                if _cell_category(cell) is category:
+                    rows.append(f"    {cell:<32} {self.edges_by_cell[cell]:>8}")
+        if self.violations:
+            rows.append("")
+            rows.append(f"  NON-CONFORMANT EDGES {self.violations:>10}")
+        return "\n".join(rows)
+
+
+def collect_statistics(graph: Graph) -> GraphStatistics:
+    """Measure ``graph``: node/edge counts and Table I composition."""
+    report: ValidationReport = validate_graph(graph, max_issues=0)
+    return GraphStatistics(
+        nodes=graph.node_count(),
+        edges=len(graph),
+        nodes_by_kind=dict(report.node_kinds),
+        edges_by_category=dict(report.by_category),
+        edges_by_cell=dict(report.by_cell),
+        violations=report.violation_count,
+    )
+
+
+# cells are named "Edges (X, Y)"; recover their category from the
+# canonical mapping used during classification
+_CELL_CATEGORY = {
+    "Edges (Instance, Instance)": EdgeCategory.FACTS,
+    "Edges (Instance, Value)": EdgeCategory.FACTS,
+    "Edges (Class, Instance)": EdgeCategory.FACTS,
+    "Edges (Value, Property)": EdgeCategory.FACTS,
+    "Edges (Class, Value)": EdgeCategory.SCHEMA,
+    "Edges (Class, Property)": EdgeCategory.SCHEMA,
+    "Edges (Class, Class)": EdgeCategory.HIERARCHY,
+    "Edges (Property, Property)": EdgeCategory.HIERARCHY,
+}
+
+
+def _cell_category(cell: str) -> EdgeCategory:
+    return _CELL_CATEGORY.get(cell, EdgeCategory.FACTS)

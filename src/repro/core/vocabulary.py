@@ -1,0 +1,80 @@
+"""The warehouse vocabularies.
+
+``dm:`` (data modeling) and ``dt:`` (data transfer) are the Credit Suisse
+namespaces from the paper's listings. ``mdw:`` is this implementation's
+namespace for warehouse-internal annotations that the paper mentions but
+does not spell out (areas, abstraction levels, worlds, subject areas).
+"""
+
+from __future__ import annotations
+
+from repro.rdf.namespace import DM, DT, Namespace
+
+#: Warehouse-internal annotation namespace.
+MDW = Namespace("http://www.credit-suisse.com/dwh/mdm/warehouse#")
+
+
+class TERMS:
+    """Well-known predicates and classes of the warehouse graph.
+
+    Grouped here so services and the synthetic generator agree on the
+    exact IRIs. All are plain :class:`~repro.rdf.IRI` values.
+    """
+
+    # -- identity and naming (dm:) ------------------------------------
+    has_name = DM.hasName                  # node -> its display name (Literal)
+    label = None                           # rdfs:label is used directly
+
+    # -- data transfer (dt:) -------------------------------------------
+    is_mapped_to = DT.isMappedTo           # source item -> target item
+    mapping_rule = DT.mappingRule          # mapping edge reification: rule text
+    has_mapping = DT.hasMapping            # item -> mapping node (reified)
+    mapping_source = DT.mappingSource      # mapping node -> source item
+    mapping_target = DT.mappingTarget      # mapping node -> target item
+    mapping_condition = DT.mappingCondition  # mapping node -> rule condition
+
+    # -- structural containment (dm:) -----------------------------------
+    belongs_to = DM.belongsTo              # column -> table, table -> schema, ...
+    has_interface = DM.hasInterface        # application -> interface
+    feeds = DM.feeds                       # interface/application -> application
+    stored_in = DM.storedIn                # schema -> database
+    owned_by = DM.ownedBy                  # application -> role/user
+    plays_role = DM.playsRole              # user -> role
+    for_application = DM.forApplication    # role -> application
+    has_privilege = DM.hasPrivilege        # role -> privilege value
+    #   (the paper's "RolePrivileges" technical property, Section III.A)
+
+    # -- warehouse annotations (mdw:) --------------------------------------
+    in_area = MDW.inArea                   # item -> DWH area instance
+    at_level = MDW.atLevel                 # item -> abstraction level
+    in_world = MDW.inWorld                 # class -> business|technical
+    subject_area = MDW.subjectArea         # class -> subject area
+    synonym_of = MDW.synonymOf             # value <-> value (DBpedia import)
+    homonym_of = MDW.homonymOf             # value <-> value (DBpedia import)
+
+    # -- service-level annotations (mdw:) ------------------------------------
+    # "they all provide different freshness, response time, and data
+    # quality guarantees" (Section I) — recorded per item so search and
+    # the reporting assistant can filter/rank on them
+    freshness = MDW.freshness              # item -> "realtime"|"daily"|...
+    quality_score = MDW.qualityScore       # item -> 0.0 .. 1.0
+
+    # -- area / level / world instances --------------------------------------
+    area_inbound = MDW.AreaInbound         # "DWH Inbound Interface" (staging)
+    area_integration = MDW.AreaIntegration
+    area_mart = MDW.AreaDataMart
+    level_conceptual = MDW.LevelConceptual
+    level_logical = MDW.LevelLogical
+    level_physical = MDW.LevelPhysical
+    world_business = MDW.WorldBusiness
+    world_technical = MDW.WorldTechnical
+
+
+#: Every DWH area in pipeline order (Figure 2, top to bottom).
+AREAS = (TERMS.area_inbound, TERMS.area_integration, TERMS.area_mart)
+
+#: Freshness grades, freshest first.
+FRESHNESS_GRADES = ("realtime", "intraday", "daily", "weekly", "monthly")
+
+#: Abstraction levels, most abstract first.
+LEVELS = (TERMS.level_conceptual, TERMS.level_logical, TERMS.level_physical)

@@ -1,0 +1,220 @@
+"""The MetadataWarehouse facade.
+
+One object tying the substrates together the way the productive system
+does: a triple store holding the current model (``DWH_CURR``), the
+schema / hierarchy / fact managers over it, entailment-index lifecycle,
+SPARQL and SEM_MATCH querying, validation, and statistics. The search
+and lineage services (Section IV) are exposed as properties.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import Namespace, NamespaceManager
+from repro.rdf.store import TripleStore
+from repro.reasoning.index import EntailmentIndexManager
+from repro.sparql import execute as sparql_execute
+
+from repro.core.facts import FactManager
+from repro.core.hierarchy import HierarchyManager
+from repro.core.schema import MetadataSchema
+from repro.core.statistics import GraphStatistics, collect_statistics
+from repro.core.validation import ValidationReport, validate_graph
+from repro.core.vocabulary import DM, DT, MDW
+
+#: The default namespace instances are minted in (paper's listing 2 uses
+#: plain http://www.credit-suisse.com/dwh/ IRIs for items).
+INSTANCE_NS = Namespace("http://www.credit-suisse.com/dwh/")
+
+DEFAULT_MODEL = "DWH_CURR"
+
+
+class MetadataWarehouse:
+    """The meta-data warehouse: one logical graph plus services.
+
+    >>> mdw = MetadataWarehouse()
+    >>> cls = mdw.schema.declare_class("Customer")
+    >>> item = mdw.facts.add_instance("customer_id", cls)
+    >>> mdw.statistics().edges > 0
+    True
+    """
+
+    def __init__(
+        self,
+        model: str = DEFAULT_MODEL,
+        store: Optional[TripleStore] = None,
+        schema_ns: Namespace = DM,
+        instance_ns: Namespace = INSTANCE_NS,
+    ):
+        self.store = store if store is not None else TripleStore()
+        self.model_name = model
+        self.graph: Graph = self.store.get_or_create_model(model)
+        self.schema = MetadataSchema(self.graph, namespace=schema_ns)
+        self.hierarchy = HierarchyManager(self.graph)
+        self.facts = FactManager(self.graph, self.schema, instance_ns)
+        self.indexes = EntailmentIndexManager(self.store)
+        self.namespaces = NamespaceManager()
+        self.namespaces.bind("dm", schema_ns)
+        self.namespaces.bind("dt", DT)
+        self.namespaces.bind("mdw", MDW)
+        self.namespaces.bind("cs", instance_ns)
+        self._search = None
+        self._lineage = None
+        self._audit = None
+
+    # -- auditing ------------------------------------------------------------
+
+    def enable_audit(self, capacity: int = 10_000):
+        """Start journaling every change to the current model.
+
+        Returns the :class:`~repro.core.audit.AuditJournal`; idempotent.
+        """
+        if self._audit is None:
+            from repro.core.audit import AuditJournal
+
+            self._audit = AuditJournal(self.graph, capacity=capacity)
+        return self._audit
+
+    @property
+    def audit(self):
+        """The audit journal, or None when auditing is not enabled."""
+        return self._audit
+
+    # -- reasoning ---------------------------------------------------------
+
+    def build_entailment_index(self, rulebase: str = "OWLPRIME"):
+        """(Re)build the entailment index of the current model."""
+        return self.indexes.build(self.model_name, rulebase)
+
+    def refresh_indexes(self) -> Dict[str, object]:
+        """Refresh every entailment index attached to the current model.
+
+        Covers indexes built in this session *and* indexes that arrived
+        with a loaded store (the manager treats unknown ones as stale).
+        """
+        out = {}
+        pairs = set(self.indexes.built_indexes())
+        pairs.update(self.store.index_names(self.model_name))
+        for model, rulebase in sorted(pairs):
+            if model == self.model_name:
+                report = self.indexes.refresh(model, rulebase)
+                if report is not None:
+                    out[rulebase] = report
+        return out
+
+    # -- querying ------------------------------------------------------------
+
+    def query(self, text: str, rulebases: Sequence[str] = (), bindings=None):
+        """Run a SPARQL query against the current model.
+
+        ``rulebases`` adds the matching entailment indexes to the queried
+        view — without them, derived triples stay invisible.
+        """
+        view = self.store.view([self.model_name], rulebases=list(rulebases))
+        return sparql_execute(view, text, nsm=self.namespaces, bindings=bindings)
+
+    def explain(self, text: str, rulebases: Sequence[str] = ()) -> str:
+        """The evaluation plan of a SPARQL query against the current
+        model (join order, cardinality estimates)."""
+        from repro.sparql import explain as sparql_explain
+
+        view = self.store.view([self.model_name], rulebases=list(rulebases))
+        return sparql_explain(view, text, nsm=self.namespaces)
+
+    def sem_sql(self, sql: str):
+        """Run an Oracle-style SEM_MATCH SQL statement (the listings)."""
+        from repro.oracle import execute_sem_sql
+
+        return execute_sem_sql(self.store, sql)
+
+    def update(self, text: str):
+        """Run SPARQL Update statements against the current model.
+
+        The entailment indexes are refreshed afterwards when they were
+        built before (updates can invalidate derived triples).
+        """
+        from repro.sparql import execute_update
+
+        result = execute_update(self.graph, text, nsm=self.namespaces)
+        if result.inserted or result.deleted:
+            self.refresh_indexes()
+        return result
+
+    def view(self, rulebases: Sequence[str] = ()):
+        """The read-only query view (model plus requested indexes)."""
+        return self.store.view([self.model_name], rulebases=list(rulebases))
+
+    # -- services (Section IV) ---------------------------------------------------
+
+    @property
+    def search(self):
+        """The search facility (use case IV.A)."""
+        if self._search is None:
+            from repro.services.search import SearchService
+
+            self._search = SearchService(self)
+        return self._search
+
+    @property
+    def lineage(self):
+        """The lineage / provenance tool (use case IV.B)."""
+        if self._lineage is None:
+            from repro.services.lineage import LineageService
+
+            self._lineage = LineageService(self)
+        return self._lineage
+
+    # -- persistence and history ------------------------------------------------
+
+    def save(self, directory) -> None:
+        """Persist the whole store (current model, historized versions,
+        entailment indexes) to a directory. See :mod:`repro.rdf.persist`."""
+        from repro.rdf.persist import save_store
+
+        save_store(self.store, directory)
+
+    @classmethod
+    def load(cls, directory, model: str = DEFAULT_MODEL) -> "MetadataWarehouse":
+        """Open a warehouse saved with :meth:`save`."""
+        from repro.rdf.persist import load_store
+
+        store = load_store(directory)
+        return cls(model=model, store=store)
+
+    def as_of(self, version_name: str) -> "MetadataWarehouse":
+        """A read-only warehouse over a historized version.
+
+        The returned facade shares this warehouse's store but is bound
+        to the frozen ``HIST_<version>`` model — search, lineage, and
+        queries all answer as of that release.
+        """
+        hist_model = f"HIST_{version_name}"
+        if not self.store.has_model(hist_model):
+            raise KeyError(
+                f"no historized version {version_name!r}; "
+                f"snapshot it with a Historizer first"
+            )
+        return MetadataWarehouse(
+            model=hist_model,
+            store=self.store,
+            schema_ns=self.schema.namespace,
+            instance_ns=self.facts.namespace,
+        )
+
+    # -- governance ----------------------------------------------------------------
+
+    def validate(self, max_issues: Optional[int] = 100) -> ValidationReport:
+        """Audit the current model against Table I."""
+        return validate_graph(self.graph, max_issues=max_issues)
+
+    def statistics(self) -> GraphStatistics:
+        """Node/edge composition of the current model."""
+        return collect_statistics(self.graph)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetadataWarehouse model={self.model_name!r} "
+            f"triples={len(self.graph)}>"
+        )

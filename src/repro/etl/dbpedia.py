@@ -1,0 +1,161 @@
+"""DBpedia-style synonym/homonym integration.
+
+"The Credit Suisse meta-data warehouse incorporates meta-data collections
+from the DBpedia project [...] That additional meta-data is used to
+derive additional edges between synonyms and homonyms in the meta-data
+graph." (Section III.B)
+
+The real system loads DBpedia link dumps; this module accepts the same
+shape — pairs of terms — from N-Triples files or programmatic pairs, and
+materializes them as ``mdw:synonymOf`` / ``mdw:homonymOf`` edges between
+value nodes. The search service consults the thesaurus for query
+expansion (the "semantic search" lesson of Section V).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.ntriples import parse_ntriples
+from repro.rdf.terms import Literal, Triple
+
+from repro.core.vocabulary import TERMS
+
+
+class SynonymThesaurus:
+    """A symmetric synonym (and homonym) relation over terms.
+
+    Terms are case-normalized; synonymy is stored symmetrically but NOT
+    transitively — following the paper's DBpedia usage, where each link
+    is an observed article relationship, not an equivalence class.
+    """
+
+    def __init__(self):
+        self._synonyms: Dict[str, Set[str]] = {}
+        self._homonyms: Dict[str, Set[str]] = {}
+
+    # -- population -----------------------------------------------------
+
+    def add_synonym(self, a: str, b: str) -> None:
+        a, b = a.strip().lower(), b.strip().lower()
+        if not a or not b or a == b:
+            return
+        self._synonyms.setdefault(a, set()).add(b)
+        self._synonyms.setdefault(b, set()).add(a)
+
+    def add_homonym(self, a: str, b: str) -> None:
+        a, b = a.strip().lower(), b.strip().lower()
+        if not a or not b or a == b:
+            return
+        self._homonyms.setdefault(a, set()).add(b)
+        self._homonyms.setdefault(b, set()).add(a)
+
+    def add_synonyms(self, pairs: Iterable[Tuple[str, str]]) -> None:
+        for a, b in pairs:
+            self.add_synonym(a, b)
+
+    # -- lookup -----------------------------------------------------------
+
+    def synonyms(self, term: str) -> Set[str]:
+        return set(self._synonyms.get(term.strip().lower(), ()))
+
+    def homonyms(self, term: str) -> Set[str]:
+        return set(self._homonyms.get(term.strip().lower(), ()))
+
+    def expand(self, term: str) -> List[str]:
+        """The term plus its synonyms, deduplicated, original first."""
+        normalized = term.strip().lower()
+        out = [normalized]
+        out.extend(sorted(self._synonyms.get(normalized, ())))
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._synonyms.values()) // 2
+
+    def __contains__(self, term: str) -> bool:
+        return term.strip().lower() in self._synonyms
+
+    # -- graph materialization ------------------------------------------------
+
+    def materialize(self, graph: Graph) -> int:
+        """Add the thesaurus to ``graph`` as value-level meta-data.
+
+        RDF forbids literal subjects, so each unordered pair is encoded
+        through one relation node carrying both terms::
+
+            _:synonym_client_customer mdw:synonymOf "client", "customer" .
+
+        These are instance→value facts, staying inside Table I. Returns
+        the number of triples added. :meth:`from_graph` reverses the
+        encoding.
+        """
+        from repro.rdf.terms import BNode
+
+        added = 0
+        for kind, relation, predicate in (
+            ("synonym", self._synonyms, TERMS.synonym_of),
+            ("homonym", self._homonyms, TERMS.homonym_of),
+        ):
+            for a in sorted(relation):
+                for b in sorted(relation[a]):
+                    if a > b:
+                        continue  # one node per unordered pair
+                    node = BNode(f"{kind}_{_slug(a)}_{_slug(b)}")
+                    added += graph.add(Triple(node, predicate, Literal(a)))
+                    added += graph.add(Triple(node, predicate, Literal(b)))
+        return added
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "SynonymThesaurus":
+        """Rebuild a thesaurus from materialized graph edges."""
+        thesaurus = cls()
+        for predicate, adder in (
+            (TERMS.synonym_of, thesaurus.add_synonym),
+            (TERMS.homonym_of, thesaurus.add_homonym),
+        ):
+            by_node: Dict = {}
+            for t in graph.triples(None, predicate, None):
+                if isinstance(t.object, Literal):
+                    by_node.setdefault(t.subject, []).append(t.object.lexical)
+            for terms in by_node.values():
+                terms = sorted(set(terms))
+                for i, a in enumerate(terms):
+                    for b in terms[i + 1 :]:
+                        adder(a, b)
+        return thesaurus
+
+
+def _slug(text: str) -> str:
+    return "".join(ch if ch.isalnum() else "_" for ch in text)
+
+
+def load_thesaurus_ntriples(text: str) -> SynonymThesaurus:
+    """Load a DBpedia-shaped N-Triples extract.
+
+    Any triple whose predicate IRI ends in ``synonym``/``wikiPageRedirects``
+    (case-insensitive) contributes a synonym pair; ``homonym``/
+    ``disambiguates`` contributes a homonym pair. Term text comes from
+    literal objects or the IRI local names — matching how DBpedia link
+    dumps encode article relationships.
+    """
+    thesaurus = SynonymThesaurus()
+    for triple in parse_ntriples(text):
+        predicate = triple.predicate.value.lower()
+        a = _term_text(triple.subject)
+        b = _term_text(triple.object)
+        if a is None or b is None:
+            continue
+        if predicate.endswith("synonym") or predicate.endswith("wikipageredirects"):
+            thesaurus.add_synonym(a, b)
+        elif predicate.endswith("homonym") or predicate.endswith("disambiguates"):
+            thesaurus.add_homonym(a, b)
+    return thesaurus
+
+
+def _term_text(term) -> str:
+    if isinstance(term, Literal):
+        return term.lexical
+    if hasattr(term, "local_name"):
+        return term.local_name.replace("_", " ")
+    return None

@@ -1,0 +1,146 @@
+"""The XML meta-data feed format.
+
+Source systems deliver meta-data as XML documents of this shape::
+
+    <metadata source="app-registry">
+      <class name="Application" world="technical"/>
+      <class name="Source Column" parent="Attribute"/>
+      <property name="hasVersion" domain="Application"/>
+      <instance name="payments_app" class="Application" area="integration">
+        <value property="hasVersion">4.2</value>
+        <link property="feeds" target="dwh_core"/>
+        <mapping target="dwh_core.payments" rule="daily full load"/>
+      </instance>
+    </metadata>
+
+:func:`parse_metadata_xml` validates the document and produces a
+:class:`MetadataDocument`; the transformer turns that into RDF staging
+rows (Figure 4).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class XmlSourceError(ValueError):
+    """A malformed meta-data XML document."""
+
+
+@dataclass
+class ClassSpec:
+    name: str
+    world: str = "technical"
+    parents: List[str] = field(default_factory=list)
+    label: Optional[str] = None
+
+
+@dataclass
+class PropertySpec:
+    name: str
+    domain: Optional[str] = None
+    world: str = "technical"
+    parents: List[str] = field(default_factory=list)
+
+
+@dataclass
+class InstanceSpec:
+    name: str
+    classes: List[str]
+    display_name: Optional[str] = None
+    area: Optional[str] = None
+    level: Optional[str] = None
+    values: List[Tuple[str, str]] = field(default_factory=list)   # (property, value)
+    links: List[Tuple[str, str]] = field(default_factory=list)    # (property, target)
+    mappings: List[Tuple[str, Optional[str], Optional[str]]] = field(
+        default_factory=list
+    )  # (target, rule, condition)
+
+
+@dataclass
+class MetadataDocument:
+    """One parsed meta-data feed."""
+
+    source: str
+    classes: List[ClassSpec] = field(default_factory=list)
+    properties: List[PropertySpec] = field(default_factory=list)
+    instances: List[InstanceSpec] = field(default_factory=list)
+
+    @property
+    def item_count(self) -> int:
+        return len(self.classes) + len(self.properties) + len(self.instances)
+
+
+def parse_metadata_xml(text: str) -> MetadataDocument:
+    """Parse and validate one meta-data XML document."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmlSourceError(f"not well-formed XML: {exc}") from None
+    if root.tag != "metadata":
+        raise XmlSourceError(f"root element must be <metadata>, found <{root.tag}>")
+    doc = MetadataDocument(source=root.get("source", "<unnamed feed>"))
+    for child in root:
+        if child.tag == "class":
+            doc.classes.append(_parse_class(child))
+        elif child.tag == "property":
+            doc.properties.append(_parse_property(child))
+        elif child.tag == "instance":
+            doc.instances.append(_parse_instance(child))
+        else:
+            raise XmlSourceError(f"unknown element <{child.tag}>")
+    return doc
+
+
+def _require(element: ET.Element, attribute: str) -> str:
+    value = element.get(attribute)
+    if not value:
+        raise XmlSourceError(
+            f"<{element.tag}> requires a non-empty {attribute!r} attribute"
+        )
+    return value
+
+
+def _parse_class(element: ET.Element) -> ClassSpec:
+    parents = [p for p in (element.get("parent") or "").split(",") if p.strip()]
+    return ClassSpec(
+        name=_require(element, "name"),
+        world=element.get("world", "technical"),
+        parents=[p.strip() for p in parents],
+        label=element.get("label"),
+    )
+
+
+def _parse_property(element: ET.Element) -> PropertySpec:
+    parents = [p for p in (element.get("parent") or "").split(",") if p.strip()]
+    return PropertySpec(
+        name=_require(element, "name"),
+        domain=element.get("domain"),
+        world=element.get("world", "technical"),
+        parents=[p.strip() for p in parents],
+    )
+
+
+def _parse_instance(element: ET.Element) -> InstanceSpec:
+    classes = [c.strip() for c in _require(element, "class").split(",") if c.strip()]
+    spec = InstanceSpec(
+        name=_require(element, "name"),
+        classes=classes,
+        display_name=element.get("display-name"),
+        area=element.get("area"),
+        level=element.get("level"),
+    )
+    for child in element:
+        if child.tag == "value":
+            spec.values.append((_require(child, "property"), child.text or ""))
+        elif child.tag == "link":
+            spec.links.append((_require(child, "property"), _require(child, "target")))
+        elif child.tag == "mapping":
+            spec.mappings.append(
+                (_require(child, "target"), child.get("rule"), child.get("condition"))
+            )
+        else:
+            raise XmlSourceError(f"unknown element <{child.tag}> inside <instance>")
+    return spec

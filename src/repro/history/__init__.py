@@ -1,0 +1,40 @@
+"""Full historization of the meta-data warehouse.
+
+"The meta-data warehouse has a full historization mechanism in place,
+i.e. each meta-data graph is historized completely into a dedicated set
+of historization tables. [...] The number of versions is following the
+release cycles of the major Credit Suisse applications, i.e. up to eight
+versions in one year." (Section III.A)
+
+* :class:`Historizer` snapshots the current model into immutable,
+  versioned historization graphs;
+* :class:`VersionDiff` computes and applies deltas between versions;
+* :class:`ReleaseCycleSimulator` replays multi-year release schedules
+  with the paper's 20–30 % annual meta-data growth.
+"""
+
+from repro.history.version import Version
+from repro.history.historizer import Historizer, HistorizationError
+from repro.history.diff import VersionDiff, diff_graphs
+from repro.history.merge import (
+    MergeConflict,
+    MergeConflictError,
+    MergeResult,
+    merge_graphs,
+)
+from repro.history.release import GrowthProfile, ReleaseCycleSimulator, ReleaseRecord
+
+__all__ = [
+    "GrowthProfile",
+    "HistorizationError",
+    "Historizer",
+    "MergeConflict",
+    "MergeConflictError",
+    "MergeResult",
+    "ReleaseCycleSimulator",
+    "ReleaseRecord",
+    "Version",
+    "VersionDiff",
+    "diff_graphs",
+    "merge_graphs",
+]

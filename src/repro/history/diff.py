@@ -1,0 +1,55 @@
+"""Version deltas: what a release changed."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.rdf.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+@dataclass(frozen=True)
+class VersionDiff:
+    """Triples added and removed between two graphs.
+
+    Satisfies ``apply(old) == new``: applying a diff to (a copy of) the
+    old graph reproduces the new one — the property suite checks this.
+    """
+
+    added: Graph
+    removed: Graph
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+    @property
+    def churn(self) -> int:
+        """Total changed triples."""
+        return len(self.added) + len(self.removed)
+
+    def apply(self, graph: Graph) -> Graph:
+        """Return a new graph with the diff applied to ``graph``."""
+        out = graph.copy()
+        for t in self.removed:
+            out.discard(t)
+        out.add_all(self.added)
+        return out
+
+    def invert(self) -> "VersionDiff":
+        """The reverse delta (rolls the change back)."""
+        return VersionDiff(added=self.removed, removed=self.added)
+
+    def summary(self) -> str:
+        return f"+{len(self.added)} / -{len(self.removed)} triples"
+
+
+def diff_graphs(old: Graph, new: Graph) -> VersionDiff:
+    """Compute the delta from ``old`` to ``new``."""
+    return VersionDiff(
+        added=Graph((t for t in new if t not in old), name="added"),
+        removed=Graph((t for t in old if t not in new), name="removed"),
+    )

@@ -1,0 +1,148 @@
+"""Model merge with conflict detection (the Rondo connection).
+
+The paper's related work cites the Rondo project's model-management
+operators. The warehouse needs one of them in practice: when two teams
+extend the meta-data graph independently (e.g. the DWH area and the
+master-data area rolling out in parallel, Section V), their graphs must
+be merged. RDF graphs merge by union — but *functional* meta-data
+properties (an item's single name, its single area) can genuinely
+conflict, and silently unioning them would leave two names on one item.
+
+:func:`merge_graphs` performs a three-way-aware union: given the two
+extended graphs (and optionally their common base), it returns the
+merged graph plus a conflict report for every functional property whose
+values diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Term, Triple
+
+from repro.core.vocabulary import TERMS
+
+#: Properties that must be single-valued per subject in a sane warehouse.
+DEFAULT_FUNCTIONAL_PROPERTIES: Tuple[IRI, ...] = (
+    TERMS.has_name,
+    TERMS.in_area,
+    TERMS.at_level,
+    TERMS.belongs_to,
+)
+
+
+@dataclass(frozen=True)
+class MergeConflict:
+    """One functional property with diverging values across branches."""
+
+    subject: Term
+    predicate: IRI
+    left_values: Tuple[Term, ...]
+    right_values: Tuple[Term, ...]
+
+    def describe(self) -> str:
+        left = ", ".join(v.n3() for v in self.left_values)
+        right = ", ".join(v.n3() for v in self.right_values)
+        return (
+            f"{self.subject.n3()} {self.predicate.n3()}: "
+            f"left says [{left}], right says [{right}]"
+        )
+
+
+@dataclass
+class MergeResult:
+    """The merged graph plus everything a reviewer needs."""
+
+    merged: Graph
+    conflicts: List[MergeConflict] = field(default_factory=list)
+    left_only: int = 0
+    right_only: int = 0
+    common: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.conflicts
+
+    def summary(self) -> str:
+        return (
+            f"merged {len(self.merged)} triples "
+            f"({self.common} common, {self.left_only} left-only, "
+            f"{self.right_only} right-only), {len(self.conflicts)} conflict(s)"
+        )
+
+
+def merge_graphs(
+    left: Graph,
+    right: Graph,
+    base: Optional[Graph] = None,
+    functional_properties: Sequence[IRI] = DEFAULT_FUNCTIONAL_PROPERTIES,
+    resolve: str = "report",
+) -> MergeResult:
+    """Union two graphs, detecting functional-property conflicts.
+
+    With ``base`` given (three-way merge), a branch that merely kept the
+    base value does not conflict with a branch that changed it — the
+    change wins. ``resolve`` controls conflicted values in the merged
+    graph:
+
+    * ``"report"`` (default) — keep both values, report the conflict;
+    * ``"left"`` / ``"right"`` — that branch's values win;
+    * ``"strict"`` — raise :class:`MergeConflictError`.
+    """
+    if resolve not in ("report", "left", "right", "strict"):
+        raise ValueError(f"unknown resolve policy {resolve!r}")
+
+    merged = left.union(right, name="merged")
+    result = MergeResult(merged=merged)
+    result.common = sum(1 for t in left if t in right)
+    result.left_only = len(left) - result.common
+    result.right_only = len(right) - result.common
+
+    functional = set(functional_properties)
+    for predicate in functional:
+        subjects = set(merged.subjects(predicate, None))
+        for subject in sorted(subjects, key=lambda s: s.sort_key()):
+            left_values = tuple(sorted(left.objects(subject, predicate), key=_key))
+            right_values = tuple(sorted(right.objects(subject, predicate), key=_key))
+            if not left_values or not right_values:
+                continue
+            if set(left_values) == set(right_values):
+                continue
+            if base is not None:
+                base_values = set(base.objects(subject, predicate))
+                if set(left_values) == base_values:
+                    _keep_only(merged, subject, predicate, right_values)
+                    continue
+                if set(right_values) == base_values:
+                    _keep_only(merged, subject, predicate, left_values)
+                    continue
+            conflict = MergeConflict(subject, predicate, left_values, right_values)
+            if resolve == "strict":
+                raise MergeConflictError(conflict)
+            if resolve == "left":
+                _keep_only(merged, subject, predicate, left_values)
+            elif resolve == "right":
+                _keep_only(merged, subject, predicate, right_values)
+            result.conflicts.append(conflict)
+    return result
+
+
+class MergeConflictError(Exception):
+    """Raised by ``resolve="strict"`` on the first conflict."""
+
+    def __init__(self, conflict: MergeConflict):
+        super().__init__(conflict.describe())
+        self.conflict = conflict
+
+
+def _keep_only(graph: Graph, subject: Term, predicate: IRI, values) -> None:
+    keep = set(values)
+    for value in list(graph.objects(subject, predicate)):
+        if value not in keep:
+            graph.discard(Triple(subject, predicate, value))
+
+
+def _key(term: Term):
+    return term.sort_key()

@@ -1,0 +1,27 @@
+"""Oracle Spatial / Semantic Web facade.
+
+The paper's productive system queries the meta-data warehouse through
+Oracle's ``SEM_MATCH`` table function (Listings 1 and 2). This package
+replicates that API surface over :mod:`repro.rdf` and
+:mod:`repro.sparql`:
+
+* :func:`sem_match` — the programmatic entry point with ``SEM_MODELS``,
+  ``SEM_RULEBASES`` and ``SEM_ALIASES`` arguments;
+* :func:`execute_sem_sql` — a parser/executor for the SQL-wrapper form,
+  tolerant enough that both listings from the paper run verbatim.
+"""
+
+from repro.oracle.sem_apis import SEM_ALIAS, SEM_ALIASES, SEM_MODELS, SEM_RULEBASES
+from repro.oracle.sem_match import sem_match
+from repro.oracle.sql import SemSqlError, execute_sem_sql, parse_sem_sql
+
+__all__ = [
+    "SEM_ALIAS",
+    "SEM_ALIASES",
+    "SEM_MODELS",
+    "SEM_RULEBASES",
+    "SemSqlError",
+    "execute_sem_sql",
+    "parse_sem_sql",
+    "sem_match",
+]

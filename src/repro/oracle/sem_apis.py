@@ -1,0 +1,43 @@
+"""Constructors mirroring Oracle's SEM_* helper types.
+
+These exist so Python call sites read like the paper's listings::
+
+    sem_match(
+        '{?object rdf:type ?c . ?object dm:hasName ?term}',
+        store,
+        SEM_MODELS('DWH_CURR'),
+        SEM_RULEBASES('OWLPRIME'),
+        SEM_ALIASES(SEM_ALIAS('dm', 'http://.../data_modeling#')),
+    )
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+
+class SemAlias(NamedTuple):
+    prefix: str
+    namespace: str
+
+
+def SEM_ALIAS(prefix: str, namespace: str) -> SemAlias:
+    """One prefix binding, as in ``SEM_ALIAS('dm', 'http://...#')``."""
+    return SemAlias(prefix, namespace)
+
+
+def SEM_ALIASES(*aliases: SemAlias) -> Tuple[SemAlias, ...]:
+    """A collection of prefix bindings."""
+    return tuple(aliases)
+
+
+def SEM_MODELS(*names: str) -> Tuple[str, ...]:
+    """The models a query reads, e.g. ``SEM_MODELS('DWH_CURR')``."""
+    if not names:
+        raise ValueError("SEM_MODELS requires at least one model name")
+    return tuple(names)
+
+
+def SEM_RULEBASES(*names: str) -> Tuple[str, ...]:
+    """The entailment rulebases whose indexes the query may use."""
+    return tuple(names)

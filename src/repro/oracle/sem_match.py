@@ -1,0 +1,71 @@
+"""The programmatic ``SEM_MATCH`` entry point.
+
+``sem_match`` evaluates a SPARQL graph-pattern string against the named
+models of a :class:`~repro.rdf.TripleStore`. When rulebases are named,
+the matching entailment indexes are stacked into the queried view —
+derived triples are visible to this query and this query only, exactly
+as in Section III.B of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.rdf.namespace import NamespaceManager
+from repro.rdf.store import TripleStore
+from repro.sparql import execute
+from repro.sparql.results import SolutionSequence
+
+from repro.oracle.sem_apis import SemAlias
+
+
+def sem_match(
+    pattern: str,
+    store: TripleStore,
+    models: Sequence[str],
+    rulebases: Sequence[str] = (),
+    aliases: Sequence[SemAlias] = (),
+    filter_condition: Optional[str] = None,
+    projection: Optional[Sequence[str]] = None,
+    distinct: bool = False,
+) -> SolutionSequence:
+    """Match a SPARQL graph pattern against ``models`` of ``store``.
+
+    Parameters
+    ----------
+    pattern:
+        The graph pattern, braces included — e.g.
+        ``'{?object rdf:type ?c . ?object dm:hasName ?term}'``.
+    models:
+        Model names, as from :func:`SEM_MODELS`.
+    rulebases:
+        Rulebase names, as from :func:`SEM_RULEBASES`; each contributes
+        its entailment index when one has been attached to the store.
+    aliases:
+        Prefix bindings, as from :func:`SEM_ALIASES`. ``rdf``, ``rdfs``,
+        ``owl`` and ``xsd`` are always pre-bound.
+    filter_condition:
+        Optional SPARQL expression text, applied as a FILTER inside the
+        pattern — e.g. ``'regex(?term, "customer", "i")'``.
+    projection:
+        Variables to project (without ``?``); all variables when omitted.
+    distinct:
+        Deduplicate projected rows.
+    """
+    pattern = pattern.strip()
+    if not (pattern.startswith("{") and pattern.endswith("}")):
+        raise ValueError("SEM_MATCH pattern must be enclosed in braces")
+
+    nsm = NamespaceManager()
+    for alias in aliases:
+        nsm.bind(alias.prefix, alias.namespace)
+
+    body = pattern[1:-1]
+    if filter_condition:
+        body += f" FILTER ({filter_condition})"
+    select = "*" if not projection else " ".join(f"?{v.lstrip('?')}" for v in projection)
+    keyword = "SELECT DISTINCT" if distinct else "SELECT"
+    query_text = f"{keyword} {select} WHERE {{ {body} }}"
+
+    view = store.view(list(models), rulebases=list(rulebases))
+    return execute(view, query_text, nsm=nsm)

@@ -1,0 +1,419 @@
+"""Indexed in-memory RDF graph.
+
+The Oracle RDF model tables of the paper are replicated as a triple-indexed
+in-memory graph: three nested dictionaries (SPO, POS, OSP) so any triple
+pattern with one or two bound positions is answered without a full scan.
+:class:`GraphView` overlays several graphs read-only — this is how a query
+that names ``SEM_RULEBASES('OWLPRIME')`` sees the base model *plus* the
+entailment index without the derived triples ever being merged into the
+base facts (Section III.B of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.rdf.terms import IRI, Literal, Term, Triple
+
+_Index = Dict[Term, Dict[Term, Set[Term]]]
+
+
+class ReadOnlyGraphError(Exception):
+    """Raised when mutating a read-only graph or view."""
+
+
+class Graph:
+    """A mutable set of triples with SPO / POS / OSP indexes.
+
+    >>> g = Graph()
+    >>> g.add(Triple(IRI("ex:s"), IRI("ex:p"), Literal("o")))
+    >>> len(g)
+    1
+    """
+
+    __slots__ = ("_spo", "_pos", "_osp", "_size", "_frozen", "_listeners", "name")
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None, name: str = ""):
+        self._spo: _Index = {}
+        self._pos: _Index = {}
+        self._osp: _Index = {}
+        self._size = 0
+        self._frozen = False
+        self._listeners = ()
+        self.name = name
+        if triples is not None:
+            for t in triples:
+                self.add(t)
+
+    # -- change notification ------------------------------------------------
+
+    def subscribe(self, listener) -> None:
+        """Register ``listener(action, triple)`` for change events.
+
+        ``action`` is ``"add"`` or ``"remove"``; only effective changes
+        notify (duplicate adds and missed removes are silent). The audit
+        journal and index-staleness tracking build on this.
+        """
+        self._listeners = (*self._listeners, listener)
+
+    def unsubscribe(self, listener) -> None:
+        # equality, not identity: bound methods are recreated per access
+        self._listeners = tuple(l for l in self._listeners if l != listener)
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Add a ground triple. Returns True when it was not present."""
+        self._check_writable()
+        if not isinstance(triple, Triple):
+            triple = Triple(*triple)
+        if not triple.is_ground():
+            raise ValueError(f"cannot store non-ground triple: {triple.n3()}")
+        s, p, o = triple
+        objs = self._spo.setdefault(s, {}).setdefault(p, set())
+        if o in objs:
+            return False
+        objs.add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self._size += 1
+        for listener in self._listeners:
+            listener("add", triple)
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns the number actually inserted."""
+        return sum(1 for t in triples if self.add(t))
+
+    def remove(self, triple: Triple) -> None:
+        """Remove a triple; raises KeyError when absent."""
+        if not self.discard(triple):
+            raise KeyError(triple)
+
+    def discard(self, triple: Triple) -> bool:
+        """Remove a triple if present. Returns True when it was removed."""
+        self._check_writable()
+        if not isinstance(triple, Triple):
+            triple = Triple(*triple)
+        s, p, o = triple
+        try:
+            self._spo[s][p].remove(o)
+        except KeyError:
+            return False
+        _prune(self._spo, s, p)
+        self._pos[p][o].remove(s)
+        _prune(self._pos, p, o)
+        self._osp[o][s].remove(p)
+        _prune(self._osp, o, s)
+        self._size -= 1
+        for listener in self._listeners:
+            listener("remove", triple)
+        return True
+
+    def remove_pattern(self, s=None, p=None, o=None) -> int:
+        """Remove every triple matching the pattern; returns the count."""
+        doomed = list(self.triples(s, p, o))
+        for t in doomed:
+            self.discard(t)
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._check_writable()
+        if self._listeners:
+            for t in list(self.triples()):
+                self.discard(t)
+            return
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+
+    def freeze(self) -> "Graph":
+        """Make the graph immutable (used by historized snapshots)."""
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def _check_writable(self) -> None:
+        if self._frozen:
+            raise ReadOnlyGraphError(f"graph {self.name!r} is frozen")
+
+    # -- matching ----------------------------------------------------------
+
+    def triples(self, s=None, p=None, o=None) -> Iterator[Triple]:
+        """Yield every triple matching the pattern (None = wildcard).
+
+        Dispatches to the most selective index for the bound positions.
+        """
+        if s is not None:
+            by_p = self._spo.get(s)
+            if by_p is None:
+                return
+            if p is not None:
+                objs = by_p.get(p)
+                if objs is None:
+                    return
+                if o is not None:
+                    if o in objs:
+                        yield Triple(s, p, o)
+                else:
+                    for obj in objs:
+                        yield Triple(s, p, obj)
+            else:
+                for pred, objs in by_p.items():
+                    if o is not None:
+                        if o in objs:
+                            yield Triple(s, pred, o)
+                    else:
+                        for obj in objs:
+                            yield Triple(s, pred, obj)
+        elif p is not None:
+            by_o = self._pos.get(p)
+            if by_o is None:
+                return
+            if o is not None:
+                for subj in by_o.get(o, ()):
+                    yield Triple(subj, p, o)
+            else:
+                for obj, subjs in by_o.items():
+                    for subj in subjs:
+                        yield Triple(subj, p, obj)
+        elif o is not None:
+            by_s = self._osp.get(o)
+            if by_s is None:
+                return
+            for subj, preds in by_s.items():
+                for pred in preds:
+                    yield Triple(subj, pred, o)
+        else:
+            for subj, by_p in self._spo.items():
+                for pred, objs in by_p.items():
+                    for obj in objs:
+                        yield Triple(subj, pred, obj)
+
+    def count(self, s=None, p=None, o=None) -> int:
+        """Number of triples matching the pattern, without materializing."""
+        if s is None and p is None and o is None:
+            return self._size
+        if s is not None and p is not None and o is None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if p is not None and o is not None and s is None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        return sum(1 for _ in self.triples(s, p, o))
+
+    def __contains__(self, triple) -> bool:
+        s, p, o = triple
+        return o in self._spo.get(s, {}).get(p, set())
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, (Graph, GraphView)):
+            return NotImplemented
+        return len(self) == len(other) and all(t in other for t in self)
+
+    def __hash__(self):
+        raise TypeError("Graph is unhashable (mutable)")
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Graph{label} size={self._size}>"
+
+    # -- convenience accessors ----------------------------------------------
+
+    def subjects(self, p=None, o=None) -> Iterator[Term]:
+        """Distinct subjects of triples matching ``(?, p, o)``."""
+        if p is not None and o is not None:
+            yield from self._pos.get(p, {}).get(o, ())
+        else:
+            seen = set()
+            for t in self.triples(None, p, o):
+                if t.subject not in seen:
+                    seen.add(t.subject)
+                    yield t.subject
+
+    def objects(self, s=None, p=None) -> Iterator[Term]:
+        """Distinct objects of triples matching ``(s, p, ?)``."""
+        if s is not None and p is not None:
+            yield from self._spo.get(s, {}).get(p, ())
+        else:
+            seen = set()
+            for t in self.triples(s, p, None):
+                if t.object not in seen:
+                    seen.add(t.object)
+                    yield t.object
+
+    def predicates(self, s=None, o=None) -> Iterator[Term]:
+        """Distinct predicates of triples matching ``(s, ?, o)``."""
+        if s is not None and o is not None:
+            yield from self._osp.get(o, {}).get(s, ())
+        else:
+            seen = set()
+            for t in self.triples(s, None, o):
+                if t.predicate not in seen:
+                    seen.add(t.predicate)
+                    yield t.predicate
+
+    def value(self, s=None, p=None, o=None) -> Optional[Term]:
+        """The unique term filling the single unbound position, or None.
+
+        Exactly one of s/p/o must be None. Returns None when no triple
+        matches; when several match, an arbitrary one is returned.
+        """
+        unbound = [name for name, t in zip("spo", (s, p, o)) if t is None]
+        if len(unbound) != 1:
+            raise ValueError("value() requires exactly one unbound position")
+        for t in self.triples(s, p, o):
+            return {"s": t.subject, "p": t.predicate, "o": t.object}[unbound[0]]
+        return None
+
+    def nodes(self) -> Iterator[Term]:
+        """Distinct terms appearing in subject or object position."""
+        seen: Set[Term] = set()
+        for s in self._spo:
+            if s not in seen:
+                seen.add(s)
+                yield s
+        for o in self._osp:
+            if o not in seen:
+                seen.add(o)
+                yield o
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    # -- set operations ------------------------------------------------------
+
+    def copy(self, name: str = "") -> "Graph":
+        return Graph(self.triples(), name=name or self.name)
+
+    def union(self, other: Iterable[Triple], name: str = "") -> "Graph":
+        g = self.copy(name)
+        g.add_all(other)
+        return g
+
+    def intersection(self, other: "Graph", name: str = "") -> "Graph":
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        return Graph((t for t in small if t in large), name=name)
+
+    def difference(self, other: "Graph", name: str = "") -> "Graph":
+        return Graph((t for t in self if t not in other), name=name)
+
+    def __or__(self, other) -> "Graph":
+        return self.union(other)
+
+    def __and__(self, other) -> "Graph":
+        return self.intersection(other)
+
+    def __sub__(self, other) -> "Graph":
+        return self.difference(other)
+
+
+def _prune(index: _Index, k1: Term, k2: Term) -> None:
+    inner = index[k1]
+    if not inner[k2]:
+        del inner[k2]
+        if not inner:
+            del index[k1]
+
+
+class GraphView:
+    """A read-only union of several graphs.
+
+    Duplicate triples across layers are reported once. The store hands a
+    view of [model graphs..., entailment index] to the query engine, so
+    derived triples exist "only through the indexes" exactly as the paper
+    describes.
+    """
+
+    __slots__ = ("_layers",)
+
+    def __init__(self, layers: Iterable[Graph]):
+        self._layers: Tuple[Graph, ...] = tuple(layers)
+        if not self._layers:
+            raise ValueError("GraphView requires at least one layer")
+
+    @property
+    def layers(self) -> Tuple[Graph, ...]:
+        return self._layers
+
+    def triples(self, s=None, p=None, o=None) -> Iterator[Triple]:
+        if len(self._layers) == 1:
+            yield from self._layers[0].triples(s, p, o)
+            return
+        seen: Set[Triple] = set()
+        for layer in self._layers:
+            for t in layer.triples(s, p, o):
+                if t not in seen:
+                    seen.add(t)
+                    yield t
+
+    def count(self, s=None, p=None, o=None) -> int:
+        if len(self._layers) == 1:
+            return self._layers[0].count(s, p, o)
+        return sum(1 for _ in self.triples(s, p, o))
+
+    def subjects(self, p=None, o=None) -> Iterator[Term]:
+        seen = set()
+        for t in self.triples(None, p, o):
+            if t.subject not in seen:
+                seen.add(t.subject)
+                yield t.subject
+
+    def objects(self, s=None, p=None) -> Iterator[Term]:
+        seen = set()
+        for t in self.triples(s, p, None):
+            if t.object not in seen:
+                seen.add(t.object)
+                yield t.object
+
+    def predicates(self, s=None, o=None) -> Iterator[Term]:
+        seen = set()
+        for t in self.triples(s, None, o):
+            if t.predicate not in seen:
+                seen.add(t.predicate)
+                yield t.predicate
+
+    def value(self, s=None, p=None, o=None) -> Optional[Term]:
+        unbound = [name for name, t in zip("spo", (s, p, o)) if t is None]
+        if len(unbound) != 1:
+            raise ValueError("value() requires exactly one unbound position")
+        for t in self.triples(s, p, o):
+            return {"s": t.subject, "p": t.predicate, "o": t.object}[unbound[0]]
+        return None
+
+    def __contains__(self, triple) -> bool:
+        return any(triple in layer for layer in self._layers)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __len__(self) -> int:
+        if len(self._layers) == 1:
+            return len(self._layers[0])
+        return sum(1 for _ in self.triples())
+
+    def __bool__(self) -> bool:
+        return any(self._layers)
+
+    def __repr__(self) -> str:
+        names = ", ".join(repr(layer.name or "?") for layer in self._layers)
+        return f"<GraphView layers=[{names}]>"
+
+    def add(self, triple) -> None:
+        raise ReadOnlyGraphError("GraphView is read-only")
+
+    def discard(self, triple) -> None:
+        raise ReadOnlyGraphError("GraphView is read-only")
+
+    remove = discard

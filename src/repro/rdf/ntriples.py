@@ -1,0 +1,110 @@
+"""N-Triples serialization and parsing.
+
+N-Triples is the line-oriented exchange format the ETL pipeline uses for
+flat RDF files (e.g. the DBpedia extracts the paper merges in). The
+serializer emits triples in deterministic sorted order so output files
+diff cleanly across versions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Union
+
+from repro.rdf.graph import Graph
+from repro.rdf.staging import parse_lexical_term
+from repro.rdf.terms import IRI, Triple
+
+
+class NTriplesParseError(ValueError):
+    """A malformed N-Triples line, carrying its 1-based line number."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def serialize_ntriples(triples: Union[Graph, Iterable[Triple]]) -> str:
+    """Serialize triples as N-Triples text, sorted deterministically."""
+    lines = [
+        f"{t.subject.n3()} {t.predicate.n3()} {t.object.n3()} ."
+        for t in sorted(triples, key=lambda t: (t[0].sort_key(), t[1].sort_key(), t[2].sort_key()))
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_ntriples(text: str) -> Iterator[Triple]:
+    """Parse N-Triples text, yielding triples.
+
+    Comments (``# ...``) and blank lines are skipped. Raises
+    :class:`NTriplesParseError` with the offending line number.
+    """
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if not line.endswith("."):
+            raise NTriplesParseError(lineno, "statement does not end with '.'")
+        body = line[:-1].strip()
+        try:
+            terms = _split_terms(body)
+        except ValueError as exc:
+            raise NTriplesParseError(lineno, str(exc)) from None
+        if len(terms) != 3:
+            raise NTriplesParseError(lineno, f"expected 3 terms, found {len(terms)}")
+        try:
+            s = parse_lexical_term(terms[0])
+            p = parse_lexical_term(terms[1])
+            o = parse_lexical_term(terms[2])
+            yield Triple(s, p, o)
+        except (ValueError, TypeError) as exc:
+            raise NTriplesParseError(lineno, str(exc)) from None
+
+
+def parse_ntriples_graph(text: str, name: str = "") -> Graph:
+    """Parse N-Triples text directly into a new :class:`Graph`."""
+    return Graph(parse_ntriples(text), name=name)
+
+
+def _split_terms(body: str) -> List[str]:
+    """Split an N-Triples statement body into its whitespace-separated
+    terms, honouring quotes and angle brackets."""
+    terms: List[str] = []
+    i = 0
+    n = len(body)
+    while i < n:
+        ch = body[i]
+        if ch.isspace():
+            i += 1
+            continue
+        start = i
+        if ch == "<":
+            end = body.find(">", i)
+            if end == -1:
+                raise ValueError("unterminated IRI")
+            i = end + 1
+        elif ch == '"':
+            i += 1
+            while i < n:
+                if body[i] == "\\":
+                    i += 2
+                    continue
+                if body[i] == '"':
+                    break
+                i += 1
+            if i >= n:
+                raise ValueError("unterminated literal")
+            i += 1  # past closing quote
+            # optional @lang or ^^<datatype>
+            if i < n and body[i] == "@":
+                while i < n and not body[i].isspace():
+                    i += 1
+            elif body.startswith("^^<", i):
+                end = body.find(">", i + 3)
+                if end == -1:
+                    raise ValueError("unterminated datatype IRI")
+                i = end + 1
+        else:
+            while i < n and not body[i].isspace():
+                i += 1
+        terms.append(body[start:i])
+    return terms

@@ -1,0 +1,123 @@
+"""Durable storage: save and load a :class:`TripleStore` on disk.
+
+Layout of a store directory::
+
+    store/
+      manifest.json          # models, indexes, format version
+      models/<name>.nt       # one N-Triples file per model
+      indexes/<model>__<rulebase>.nt
+
+N-Triples keeps the files diffable and greppable — metadata operators
+live in text tools — and the deterministic serialization means repeated
+saves of the same store are byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.rdf.graph import Graph
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.store import TripleStore
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(Exception):
+    """A malformed or incompatible store directory."""
+
+
+def save_store(store: TripleStore, directory: Union[str, Path]) -> Path:
+    """Write ``store`` (models and entailment indexes) to ``directory``.
+
+    The directory is created if needed; existing contents of the
+    ``models/`` and ``indexes/`` subdirectories are replaced so the
+    directory always reflects exactly the saved store.
+    """
+    root = Path(directory)
+    models_dir = root / "models"
+    indexes_dir = root / "indexes"
+    models_dir.mkdir(parents=True, exist_ok=True)
+    indexes_dir.mkdir(parents=True, exist_ok=True)
+    for stale in list(models_dir.glob("*.nt")) + list(indexes_dir.glob("*.nt")):
+        stale.unlink()
+
+    manifest: Dict = {
+        "format_version": FORMAT_VERSION,
+        "models": {},
+        "indexes": [],
+    }
+    used_filenames = set()
+    for name in store.model_names():
+        if _safe_filename(name) + ".nt" in used_filenames:
+            raise PersistenceError(
+                f"model names collide after filename sanitization: {name!r}"
+            )
+        used_filenames.add(_safe_filename(name) + ".nt")
+    for name in store.model_names():
+        graph = store.model(name)
+        filename = _safe_filename(name) + ".nt"
+        (models_dir / filename).write_text(serialize_ntriples(graph), encoding="utf-8")
+        manifest["models"][name] = {
+            "file": filename,
+            "triples": len(graph),
+            "frozen": graph.frozen,
+        }
+    for model, rulebase in store.index_names():
+        derived = store.index(model, rulebase)
+        filename = f"{_safe_filename(model)}__{_safe_filename(rulebase)}.nt"
+        (indexes_dir / filename).write_text(
+            serialize_ntriples(derived), encoding="utf-8"
+        )
+        manifest["indexes"].append(
+            {"model": model, "rulebase": rulebase, "file": filename, "triples": len(derived)}
+        )
+    (root / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    return root
+
+
+def load_store(directory: Union[str, Path]) -> TripleStore:
+    """Load a store previously written by :func:`save_store`."""
+    root = Path(directory)
+    manifest_path = root / "manifest.json"
+    if not manifest_path.exists():
+        raise PersistenceError(f"no manifest.json in {root}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"corrupt manifest: {exc}") from None
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported store format {version!r} (this build reads {FORMAT_VERSION})"
+        )
+
+    store = TripleStore()
+    for name, entry in sorted(manifest.get("models", {}).items()):
+        path = root / "models" / entry["file"]
+        if not path.exists():
+            raise PersistenceError(f"manifest lists missing model file {entry['file']}")
+        graph = store.create_model(name)
+        graph.add_all(parse_ntriples(path.read_text(encoding="utf-8")))
+        if len(graph) != entry.get("triples", len(graph)):
+            raise PersistenceError(
+                f"model {name!r}: manifest says {entry['triples']} triples, "
+                f"file has {len(graph)}"
+            )
+        if entry.get("frozen"):
+            graph.freeze()
+    for entry in manifest.get("indexes", []):
+        path = root / "indexes" / entry["file"]
+        if not path.exists():
+            raise PersistenceError(f"manifest lists missing index file {entry['file']}")
+        derived = Graph(parse_ntriples(path.read_text(encoding="utf-8")))
+        store.attach_index(entry["model"], entry["rulebase"], derived)
+    return store
+
+
+def _safe_filename(name: str) -> str:
+    return "".join(ch if ch.isalnum() or ch in "._-" else "_" for ch in name)

@@ -1,0 +1,79 @@
+"""RDF/XML writer.
+
+The paper's pipeline converts source meta-data from XML into RDF; RDF/XML
+output closes the loop, letting the warehouse hand meta-data back to
+XML-based consumers (e.g. model-driven tooling that converts RDF to UML,
+mentioned in the paper's introduction). Only serialization is provided —
+ingest always goes through the domain XML transformer in
+:mod:`repro.etl.transformer` or the N-Triples/Turtle parsers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import NamespaceManager, RDF
+from repro.rdf.terms import BNode, IRI, Literal, Triple
+
+
+def serialize_rdfxml(
+    triples: Union[Graph, Iterable[Triple]],
+    nsm: Optional[NamespaceManager] = None,
+) -> str:
+    """Serialize triples as RDF/XML with one ``rdf:Description`` per subject.
+
+    Predicates must be compactable to a qname through ``nsm`` (RDF/XML
+    cannot express arbitrary predicate IRIs as element names); a
+    ValueError names the offending predicate otherwise.
+    """
+    nsm = nsm or NamespaceManager()
+    by_subject: Dict = {}
+    for t in triples:
+        by_subject.setdefault(t.subject, []).append((t.predicate, t.object))
+
+    used_prefixes = {"rdf"}
+    bodies: List[str] = []
+    for subject in sorted(by_subject, key=lambda s: s.sort_key()):
+        props: List[str] = []
+        for p, o in sorted(by_subject[subject], key=lambda po: (po[0].sort_key(), po[1].sort_key())):
+            qname = nsm.compact(p)
+            if qname is None:
+                raise ValueError(
+                    f"predicate {p.value} has no namespace binding; bind a prefix first"
+                )
+            used_prefixes.add(qname.split(":", 1)[0])
+            props.append(_property_element(qname, o))
+        about = (
+            f"rdf:about={quoteattr(subject.value)}"
+            if isinstance(subject, IRI)
+            else f"rdf:nodeID={quoteattr(subject.label)}"
+        )
+        body = "\n".join(f"    {line}" for line in props)
+        bodies.append(f"  <rdf:Description {about}>\n{body}\n  </rdf:Description>")
+
+    ns_attrs = []
+    for prefix, ns in nsm.bindings():
+        if prefix in used_prefixes:
+            ns_attrs.append(f"xmlns:{prefix}={quoteattr(ns.base)}")
+    if "rdf" not in {a.split("=")[0][6:] for a in ns_attrs}:
+        ns_attrs.insert(0, f'xmlns:rdf="{RDF.base}"')
+    header = "<?xml version='1.0' encoding='UTF-8'?>\n"
+    open_tag = "<rdf:RDF " + " ".join(sorted(set(ns_attrs))) + ">"
+    return header + open_tag + "\n" + "\n".join(bodies) + "\n</rdf:RDF>\n"
+
+
+def _property_element(qname: str, obj) -> str:
+    if isinstance(obj, IRI):
+        return f"<{qname} rdf:resource={quoteattr(obj.value)}/>"
+    if isinstance(obj, BNode):
+        return f"<{qname} rdf:nodeID={quoteattr(obj.label)}/>"
+    if isinstance(obj, Literal):
+        attrs = ""
+        if obj.language is not None:
+            attrs = f" xml:lang={quoteattr(obj.language)}"
+        elif obj.datatype is not None:
+            attrs = f" rdf:datatype={quoteattr(obj.datatype.value)}"
+        return f"<{qname}{attrs}>{escape(obj.lexical)}</{qname}>"
+    raise TypeError(f"cannot serialize object of type {type(obj).__name__}")

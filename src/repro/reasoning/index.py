@@ -1,0 +1,95 @@
+"""Entailment-index lifecycle over a :class:`TripleStore`.
+
+Building an index computes the derived-only closure of a model and
+attaches it under the rulebase name; queries opt in via
+``SEM_RULEBASES`` (Section III.B of the paper). The manager tracks
+staleness so a release load can refresh only what changed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import Triple
+from repro.reasoning.engine import InferenceReport, closure, extend_closure
+from repro.reasoning.rulebase import get_rulebase
+
+
+def build_entailment_index(
+    store: TripleStore,
+    model: str,
+    rulebase: str = "OWLPRIME",
+    max_rounds: Optional[int] = None,
+) -> InferenceReport:
+    """Build (or rebuild) the entailment index of ``model``.
+
+    ``rulebase`` is resolved through the rulebase registry. Returns the
+    inference report; the derived triples are attached to the store.
+    """
+    rb = get_rulebase(rulebase)
+    derived, report = closure(store.model(model), rb, max_rounds=max_rounds)
+    store.attach_index(model, rb.name, derived)
+    return report
+
+
+class EntailmentIndexManager:
+    """Tracks index freshness per (model, rulebase) pair.
+
+    The store's models keep evolving between release loads; an index is
+    *stale* when its model's triple count has changed since the index
+    was built (a cheap, conservative fingerprint — removals and
+    additions both change it; an exactly-compensating add/remove pair
+    would be missed, so bulk pipelines should call :meth:`refresh`
+    after every load, which the ETL orchestrator does).
+    """
+
+    def __init__(self, store: TripleStore):
+        self._store = store
+        self._built_at_size: Dict[Tuple[str, str], int] = {}
+
+    def build(self, model: str, rulebase: str = "OWLPRIME") -> InferenceReport:
+        report = build_entailment_index(self._store, model, rulebase)
+        self._built_at_size[(model, rulebase)] = len(self._store.model(model))
+        return report
+
+    def is_stale(self, model: str, rulebase: str = "OWLPRIME") -> bool:
+        key = (model, rulebase)
+        if key not in self._built_at_size:
+            return True
+        return self._built_at_size[key] != len(self._store.model(model))
+
+    def refresh(self, model: str, rulebase: str = "OWLPRIME") -> Optional[InferenceReport]:
+        """Rebuild the index when stale; returns None when fresh."""
+        if not self.is_stale(model, rulebase):
+            return None
+        return self.build(model, rulebase)
+
+    def extend(
+        self,
+        model: str,
+        added: Iterable[Triple],
+        rulebase: str = "OWLPRIME",
+    ) -> InferenceReport:
+        """Incrementally maintain the index after ``added`` triples were
+        inserted into the model (cheaper than a full rebuild).
+
+        Falls back to a full build when no index exists yet.
+        """
+        rb = get_rulebase(rulebase)
+        derived = self._store.index(model, rb.name)
+        if derived is None:
+            return self.build(model, rulebase)
+        base = self._store.model(model)
+        report = extend_closure(base, derived, added, rb)
+        # extend_closure may have derived triples that the model itself
+        # acquired meanwhile; keep the index duplicate-free.
+        for t in [t for t in derived if t in base]:
+            derived.discard(t)
+        report.derived_triples = len(derived)
+        self._built_at_size[(model, rulebase)] = len(base)
+        return report
+
+    def built_indexes(self):
+        """(model, rulebase) pairs this manager has built."""
+        return sorted(self._built_at_size)

@@ -1,0 +1,107 @@
+"""Built-in rulebases: RDFS and OWLPRIME.
+
+``OWLPRIME`` mirrors the scope of Oracle's OWLPrime fragment the paper
+uses: the RDFS schema rules plus symmetric / transitive / inverse
+properties, equivalence of classes and properties, and owl:sameAs
+propagation. Custom rulebases can be registered for project-specific
+derivations (the paper's user-defined synonym edges, for example).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.reasoning.rules import Rule, rule
+
+
+class Rulebase:
+    """A named, immutable collection of rules."""
+
+    def __init__(self, name: str, rules: Iterable[Rule]):
+        self.name = name
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        if not self.rules:
+            raise ValueError(f"rulebase {name!r} has no rules")
+        seen = set()
+        for r in self.rules:
+            if r.name in seen:
+                raise ValueError(f"duplicate rule name {r.name!r} in rulebase {name!r}")
+            seen.add(r.name)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def rule_names(self) -> List[str]:
+        return [r.name for r in self.rules]
+
+    def extended(self, name: str, extra_rules: Iterable[Rule]) -> "Rulebase":
+        """A new rulebase with additional rules appended."""
+        return Rulebase(name, list(self.rules) + list(extra_rules))
+
+    def __repr__(self) -> str:
+        return f"<Rulebase {self.name} rules={len(self.rules)}>"
+
+
+_RDFS_RULES = [
+    # schema-level transitivity
+    rule("rdfs5", "?p rdfs:subPropertyOf ?q . ?q rdfs:subPropertyOf ?r -> ?p rdfs:subPropertyOf ?r"),
+    rule("rdfs11", "?c rdfs:subClassOf ?d . ?d rdfs:subClassOf ?e -> ?c rdfs:subClassOf ?e"),
+    # instance-level inheritance
+    rule("rdfs7", "?p rdfs:subPropertyOf ?q . ?s ?p ?o -> ?s ?q ?o"),
+    rule("rdfs9", "?c rdfs:subClassOf ?d . ?x rdf:type ?c -> ?x rdf:type ?d"),
+    # domain and range typing
+    rule("rdfs2", "?p rdfs:domain ?c . ?s ?p ?o -> ?s rdf:type ?c"),
+    rule("rdfs3", "?p rdfs:range ?c . ?s ?p ?o -> ?o rdf:type ?c"),
+]
+
+RDFS_RULEBASE = Rulebase("RDFS", _RDFS_RULES)
+
+_OWL_EXTRA_RULES = [
+    # property characteristics
+    rule("owl-sym", "?p rdf:type owl:SymmetricProperty . ?s ?p ?o -> ?o ?p ?s"),
+    rule("owl-trans", "?p rdf:type owl:TransitiveProperty . ?s ?p ?m . ?m ?p ?o -> ?s ?p ?o"),
+    rule("owl-inv1", "?p owl:inverseOf ?q . ?s ?p ?o -> ?o ?q ?s"),
+    rule("owl-inv2", "?p owl:inverseOf ?q . ?s ?q ?o -> ?o ?p ?s"),
+    # class / property equivalence reduce to mutual subsumption
+    rule("owl-eqc1", "?c owl:equivalentClass ?d -> ?c rdfs:subClassOf ?d"),
+    rule("owl-eqc2", "?c owl:equivalentClass ?d -> ?d rdfs:subClassOf ?c"),
+    rule("owl-eqp1", "?p owl:equivalentProperty ?q -> ?p rdfs:subPropertyOf ?q"),
+    rule("owl-eqp2", "?p owl:equivalentProperty ?q -> ?q rdfs:subPropertyOf ?p"),
+    # sameAs propagation
+    rule("owl-sameas-sym", "?x owl:sameAs ?y -> ?y owl:sameAs ?x"),
+    rule("owl-sameas-trans", "?x owl:sameAs ?y . ?y owl:sameAs ?z -> ?x owl:sameAs ?z"),
+    rule("owl-sameas-subj", "?x owl:sameAs ?y . ?x ?p ?o -> ?y ?p ?o"),
+    rule("owl-sameas-obj", "?x owl:sameAs ?y . ?s ?p ?x -> ?s ?p ?y"),
+]
+
+OWLPRIME = Rulebase("OWLPRIME", _RDFS_RULES + _OWL_EXTRA_RULES)
+
+
+_REGISTRY: Dict[str, Rulebase] = {
+    RDFS_RULEBASE.name: RDFS_RULEBASE,
+    OWLPRIME.name: OWLPRIME,
+}
+
+
+def register_rulebase(rulebase: Rulebase, replace: bool = False) -> None:
+    """Register a custom rulebase by name for use in SEM_RULEBASES."""
+    if rulebase.name in _REGISTRY and not replace:
+        raise ValueError(f"rulebase {rulebase.name!r} already registered")
+    _REGISTRY[rulebase.name] = rulebase
+
+
+def get_rulebase(name: str) -> Rulebase:
+    """Look up a rulebase; raises KeyError with the known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown rulebase {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def rulebase_names() -> List[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,136 @@
+"""The rule formalism: Horn rules over triple patterns.
+
+A :class:`Rule` has premise triple patterns and a single conclusion
+pattern; variables shared between premises join, and every conclusion
+variable must appear in some premise (safe rules). Rules can be built
+from patterns directly or parsed from a compact text notation::
+
+    rule("rdfs9", "?c rdfs:subClassOf ?d . ?x rdf:type ?c -> ?x rdf:type ?d")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.rdf.namespace import NamespaceManager
+from repro.rdf.terms import Triple, Variable
+
+
+class RuleParseError(ValueError):
+    """Malformed rule text."""
+
+
+class Rule:
+    """A safe Horn rule: ``premises -> conclusion``."""
+
+    __slots__ = ("name", "premises", "conclusion")
+
+    def __init__(self, name: str, premises: Sequence[Triple], conclusion: Triple):
+        if not premises:
+            raise ValueError(f"rule {name!r} needs at least one premise")
+        premise_vars: Set[str] = set()
+        for p in premises:
+            premise_vars |= _variables(p)
+        head_vars = _variables(conclusion)
+        unsafe = head_vars - premise_vars
+        if unsafe:
+            raise ValueError(
+                f"rule {name!r} is unsafe: conclusion variables {sorted(unsafe)} "
+                "do not occur in any premise"
+            )
+        self.name = name
+        self.premises = tuple(premises)
+        self.conclusion = conclusion
+
+    def variables(self) -> Set[str]:
+        out: Set[str] = set()
+        for p in self.premises:
+            out |= _variables(p)
+        return out
+
+    def instantiate(self, binding: Dict[str, object]) -> Triple:
+        """Ground the conclusion under ``binding``."""
+        terms = []
+        for term in self.conclusion:
+            if isinstance(term, Variable):
+                terms.append(binding[term.name])
+            else:
+                terms.append(term)
+        return Triple(*terms)
+
+    def __repr__(self) -> str:
+        body = " . ".join(p.n3()[:-2] for p in self.premises)
+        return f"<Rule {self.name}: {body} -> {self.conclusion.n3()[:-2]}>"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Rule)
+            and other.name == self.name
+            and other.premises == self.premises
+            and other.conclusion == self.conclusion
+        )
+
+    def __hash__(self) -> int:
+        return hash((Rule, self.name, self.premises, self.conclusion))
+
+
+def _variables(pattern: Triple) -> Set[str]:
+    return {t.name for t in pattern if isinstance(t, Variable)}
+
+
+def rule(name: str, text: str, nsm: NamespaceManager = None) -> Rule:
+    """Parse ``"premise . premise -> conclusion"`` notation into a Rule.
+
+    Terms are ``?vars``, prefixed names resolved through ``nsm`` (default
+    prefixes rdf/rdfs/owl/xsd when omitted), or ``<full-iris>``.
+    """
+    nsm = nsm or NamespaceManager()
+    if "->" not in text:
+        raise RuleParseError(f"rule {name!r}: missing '->'")
+    body_text, head_text = text.split("->", 1)
+    premises = [_parse_pattern(chunk, nsm, name) for chunk in _split_patterns(body_text)]
+    heads = _split_patterns(head_text)
+    if len(heads) != 1:
+        raise RuleParseError(f"rule {name!r}: exactly one conclusion required")
+    conclusion = _parse_pattern(heads[0], nsm, name)
+    try:
+        return Rule(name, premises, conclusion)
+    except ValueError as exc:
+        raise RuleParseError(str(exc)) from None
+
+
+def _split_patterns(text: str) -> List[str]:
+    chunks = [c.strip() for c in text.split(" . ")]
+    chunks = [c.strip(" .") for c in chunks if c.strip(" .")]
+    if not chunks:
+        raise RuleParseError("empty pattern list")
+    return chunks
+
+
+def _parse_pattern(text: str, nsm: NamespaceManager, rule_name: str) -> Triple:
+    parts = text.split()
+    if len(parts) != 3:
+        raise RuleParseError(
+            f"rule {rule_name!r}: pattern {text!r} must have 3 terms"
+        )
+    terms = []
+    for part in parts:
+        if part.startswith("?"):
+            terms.append(Variable(part))
+        elif part.startswith("<") and part.endswith(">"):
+            from repro.rdf.terms import IRI
+
+            terms.append(IRI(part[1:-1]))
+        elif ":" in part:
+            try:
+                terms.append(nsm.expand(part))
+            except KeyError as exc:
+                raise RuleParseError(f"rule {rule_name!r}: {exc}") from None
+        else:
+            raise RuleParseError(
+                f"rule {rule_name!r}: cannot parse term {part!r}"
+            )
+    try:
+        return Triple(*terms)
+    except TypeError as exc:
+        raise RuleParseError(f"rule {rule_name!r}: {exc}") from None

@@ -1,0 +1,39 @@
+"""The rejected textbook baseline: a fixed relational meta-data schema.
+
+Section III: "One approach [...] would be to construct a relational data
+model [...] following the textbook approach of conceptual data modeling.
+This way, standard (SQL) database systems could be used to store and
+query the meta-data efficiently. [...] Unfortunately, this approach is
+too rigid."
+
+This package implements that baseline so the paper's argument can be
+measured (ablation A1 / Figure 9 experiment): an in-memory typed
+relational engine, the fixed meta-data catalog schema, and a migration
+log that records every ``CREATE TABLE`` / ``ADD COLUMN`` the fixed
+schema needs as new kinds of meta-data arrive — against the graph
+warehouse's zero.
+"""
+
+from repro.relstore.table import (
+    Column,
+    ForeignKeyError,
+    NotNullError,
+    Table,
+    TableError,
+    UniqueViolation,
+)
+from repro.relstore.catalog import RelationalCatalog
+from repro.relstore.migration import Migration, MigrationLog, EvolvableCatalog
+
+__all__ = [
+    "Column",
+    "EvolvableCatalog",
+    "ForeignKeyError",
+    "Migration",
+    "MigrationLog",
+    "NotNullError",
+    "RelationalCatalog",
+    "Table",
+    "TableError",
+    "UniqueViolation",
+]

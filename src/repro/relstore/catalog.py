@@ -1,0 +1,219 @@
+"""The fixed relational meta-data catalog (the textbook schema).
+
+This is the schema a conceptual-modeling exercise over Figure 1 would
+produce: one table per subject-area entity, foreign keys between them.
+It answers the classic catalog queries fast — and demonstrates the
+paper's point: every *new kind* of meta-data needs DDL (see
+:mod:`repro.relstore.migration`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.relstore.table import Column, ForeignKeyError, Table, TableError
+
+
+class Database:
+    """A named collection of tables with foreign-key enforcement."""
+
+    def __init__(self, name: str = "metadata_catalog"):
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(self, table: Table) -> Table:
+        if table.name in self._tables:
+            raise TableError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableError(
+                f"unknown table {name!r}; have {sorted(self._tables)}"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def insert(self, table_name: str, **values) -> Dict[str, Any]:
+        """Insert with foreign-key checks against referenced tables."""
+        table = self.table(table_name)
+        for column in table.columns.values():
+            if column.references and values.get(column.name) is not None:
+                ref_table_name, ref_column = column.references.split(".", 1)
+                ref_table = self.table(ref_table_name)
+                value = values[column.name]
+                if ref_column == ref_table.primary_key:
+                    found = ref_table.get(value) is not None
+                else:
+                    found = bool(ref_table.select({ref_column: value}))
+                if not found:
+                    raise ForeignKeyError(
+                        f"{table_name}.{column.name}={value!r} has no match in "
+                        f"{column.references}"
+                    )
+        return table.insert(**values)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+
+class RelationalCatalog:
+    """The textbook meta-data schema over Figure 1's subject areas.
+
+    Entities: applications, databases, schemas, tables, columns,
+    interfaces, mappings, data definitions, users, roles. Each is a
+    fixed table; the constructor issues all the DDL upfront — the "major
+    investment in constructing a comprehensive meta-data schema" the
+    paper describes.
+    """
+
+    def __init__(self):
+        self.db = Database()
+        d = self.db
+        d.create_table(
+            Table(
+                "applications",
+                [
+                    Column("app_id"),
+                    Column("name"),
+                    Column("description", nullable=True),
+                ],
+                primary_key="app_id",
+                unique=("name",),
+            )
+        )
+        d.create_table(
+            Table(
+                "databases",
+                [
+                    Column("db_id"),
+                    Column("name"),
+                    Column("app_id", references="applications.app_id"),
+                ],
+                primary_key="db_id",
+            )
+        )
+        d.create_table(
+            Table(
+                "schemas",
+                [
+                    Column("schema_id"),
+                    Column("name"),
+                    Column("db_id", references="databases.db_id"),
+                    Column("area", nullable=True),
+                ],
+                primary_key="schema_id",
+            )
+        )
+        d.create_table(
+            Table(
+                "tables",
+                [
+                    Column("table_id"),
+                    Column("name"),
+                    Column("schema_id", references="schemas.schema_id"),
+                ],
+                primary_key="table_id",
+            )
+        )
+        d.create_table(
+            Table(
+                "columns",
+                [
+                    Column("column_id"),
+                    Column("name"),
+                    Column("table_id", references="tables.table_id"),
+                    Column("data_type", nullable=True),
+                ],
+                primary_key="column_id",
+            )
+        )
+        d.create_table(
+            Table(
+                "interfaces",
+                [
+                    Column("interface_id"),
+                    Column("name"),
+                    Column("from_app", references="applications.app_id"),
+                    Column("to_app", references="applications.app_id"),
+                ],
+                primary_key="interface_id",
+            )
+        )
+        d.create_table(
+            Table(
+                "mappings",
+                [
+                    Column("mapping_id"),
+                    Column("source_column", references="columns.column_id"),
+                    Column("target_column", references="columns.column_id"),
+                    Column("rule", nullable=True),
+                ],
+                primary_key="mapping_id",
+            )
+        )
+        d.create_table(
+            Table(
+                "users",
+                [Column("user_id"), Column("name"), Column("external", type=bool, nullable=True)],
+                primary_key="user_id",
+            )
+        )
+        d.create_table(
+            Table(
+                "roles",
+                [
+                    Column("role_id"),
+                    Column("name"),
+                    Column("user_id", references="users.user_id"),
+                    Column("app_id", references="applications.app_id", nullable=True),
+                ],
+                primary_key="role_id",
+            )
+        )
+        # query accelerators for the name lookups the comparison runs
+        for table_name in ("columns", "tables", "applications"):
+            d.table(table_name).create_index("name")
+        d.table("mappings").create_index("source_column")
+        d.table("mappings").create_index("target_column")
+        d.table("columns").create_index("table_id")
+
+    # -- the comparison queries -----------------------------------------------
+
+    def find_columns_by_name(self, name: str) -> List[Dict[str, Any]]:
+        return self.db.table("columns").select({"name": name})
+
+    def find_columns_containing(self, needle: str) -> List[Dict[str, Any]]:
+        needle = needle.lower()
+        return self.db.table("columns").select(
+            predicate=lambda row: needle in row["name"].lower()
+        )
+
+    def columns_of_table(self, table_id: str) -> List[Dict[str, Any]]:
+        return self.db.table("columns").select({"table_id": table_id})
+
+    def lineage_of_column(self, column_id: str) -> List[Dict[str, Any]]:
+        """Backward lineage via the mappings table (transitive)."""
+        out: List[Dict[str, Any]] = []
+        seen = {column_id}
+        frontier = [column_id]
+        mappings = self.db.table("mappings")
+        while frontier:
+            current = frontier.pop()
+            for mapping in mappings.select({"target_column": current}):
+                out.append(mapping)
+                source = mapping["source_column"]
+                if source not in seen:
+                    seen.add(source)
+                    frontier.append(source)
+        return out
+
+    def statistics(self) -> Dict[str, int]:
+        return {name: len(self.db.table(name)) for name in self.db.table_names()}

@@ -1,0 +1,139 @@
+"""Migration accounting: the cost of rigidity.
+
+The paper rejects the relational approach because every new *kind* of
+meta-data forces schema work. :class:`EvolvableCatalog` makes that cost
+measurable: it accepts arbitrary meta-data kinds like the graph
+warehouse does, but has to issue DDL (recorded as :class:`Migration`
+entries) whenever a kind or attribute arrives that the fixed schema has
+never seen. The A1/F9 experiments count these migrations against the
+graph warehouse's zero.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.relstore.catalog import Database
+from repro.relstore.table import Column, Table
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One DDL operation the fixed schema needed."""
+
+    kind: str        # "CREATE TABLE" | "ADD COLUMN" | "CREATE INDEX"
+    table: str
+    detail: str = ""
+
+    def ddl(self) -> str:
+        if self.kind == "CREATE TABLE":
+            return f"CREATE TABLE {self.table} ({self.detail})"
+        if self.kind == "ADD COLUMN":
+            return f"ALTER TABLE {self.table} ADD COLUMN {self.detail}"
+        if self.kind == "CREATE INDEX":
+            return f"CREATE INDEX ON {self.table} ({self.detail})"
+        return f"-- {self.kind} {self.table} {self.detail}"
+
+
+class MigrationLog:
+    """An append-only record of schema changes."""
+
+    def __init__(self):
+        self._migrations: List[Migration] = []
+
+    def record(self, migration: Migration) -> None:
+        self._migrations.append(migration)
+
+    def all(self) -> List[Migration]:
+        return list(self._migrations)
+
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self._migrations)
+        return sum(1 for m in self._migrations if m.kind == kind)
+
+    def script(self) -> str:
+        """The migrations as an executable-looking DDL script."""
+        return "\n".join(m.ddl() + ";" for m in self._migrations)
+
+    def __len__(self) -> int:
+        return len(self._migrations)
+
+
+class EvolvableCatalog:
+    """A relational catalog that *can* absorb new meta-data kinds — at
+    the price of one migration per novelty.
+
+    ``store(kind, identity, **attributes)`` plays the role of the graph
+    warehouse's "just add nodes and edges": the first time a kind
+    appears, a table is created; the first time an attribute appears on
+    a kind, a column is added. Both are recorded in the migration log.
+    """
+
+    def __init__(self, database: Optional[Database] = None):
+        self.db = database or Database("evolvable_catalog")
+        self.log = MigrationLog()
+        self._id_counter = itertools.count(1)
+
+    def store(self, kind: str, identity: str, **attributes) -> Dict[str, Any]:
+        """Store one entity of ``kind``, migrating the schema on demand."""
+        table_name = _table_name(kind)
+        if not self.db.has_table(table_name):
+            self.db.create_table(
+                Table(
+                    table_name,
+                    [Column("id"), Column("name")],
+                    primary_key="id",
+                )
+            )
+            self.log.record(
+                Migration("CREATE TABLE", table_name, "id VARCHAR PRIMARY KEY, name VARCHAR")
+            )
+        table = self.db.table(table_name)
+        row = {"id": identity, "name": identity}
+        for attribute, value in attributes.items():
+            column_name = _column_name(attribute)
+            if column_name not in table.columns:
+                table.add_column(Column(column_name, type=object, nullable=True))
+                self.log.record(
+                    Migration("ADD COLUMN", table_name, f"{column_name} VARCHAR")
+                )
+            row[column_name] = value
+        return table.insert(**row)
+
+    def relate(self, kind_a: str, id_a: str, relation: str, kind_b: str, id_b: str) -> None:
+        """Store a relationship; each new relation needs its link table."""
+        table_name = _table_name(relation)
+        if not self.db.has_table(table_name):
+            self.db.create_table(
+                Table(
+                    table_name,
+                    [Column("id"), Column("from_id"), Column("to_id")],
+                    primary_key="id",
+                )
+            )
+            self.log.record(
+                Migration(
+                    "CREATE TABLE",
+                    table_name,
+                    "id VARCHAR PRIMARY KEY, from_id VARCHAR, to_id VARCHAR",
+                )
+            )
+            self.db.table(table_name).create_index("from_id")
+            self.log.record(Migration("CREATE INDEX", table_name, "from_id"))
+        self.db.table(table_name).insert(
+            id=f"r{next(self._id_counter)}", from_id=id_a, to_id=id_b
+        )
+
+    def migrations(self) -> List[Migration]:
+        return self.log.all()
+
+
+def _table_name(kind: str) -> str:
+    return "".join(ch if ch.isalnum() else "_" for ch in kind.strip().lower()) + "_t"
+
+
+def _column_name(attribute: str) -> str:
+    return "".join(ch if ch.isalnum() else "_" for ch in attribute.strip().lower())

@@ -1,0 +1,220 @@
+"""A small typed in-memory relational table engine.
+
+Just enough of a relational database to make the textbook baseline
+honest: typed columns, NOT NULL, primary keys, unique and secondary
+indexes, foreign keys, and predicate selects. No SQL front end — the
+catalog layer calls the API directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+
+class TableError(Exception):
+    """Base class of relational-engine errors."""
+
+
+class UniqueViolation(TableError):
+    pass
+
+
+class NotNullError(TableError):
+    pass
+
+
+class ForeignKeyError(TableError):
+    pass
+
+
+@dataclass(frozen=True)
+class Column:
+    """One typed column."""
+
+    name: str
+    type: type = str
+    nullable: bool = False
+    references: Optional[str] = None  # "table.column" foreign key target
+
+    def check(self, value: Any) -> Any:
+        if value is None:
+            if not self.nullable:
+                raise NotNullError(f"column {self.name!r} is NOT NULL")
+            return None
+        if self.type is float and isinstance(value, int):
+            return float(value)
+        if not isinstance(value, self.type) or (
+            self.type is not bool and isinstance(value, bool) and self.type is int
+        ):
+            raise TableError(
+                f"column {self.name!r} expects {self.type.__name__}, "
+                f"got {type(value).__name__}: {value!r}"
+            )
+        return value
+
+
+class Table:
+    """Rows are dicts keyed by column name; the primary key is unique."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: str,
+        unique: Sequence[str] = (),
+    ):
+        if not columns:
+            raise TableError(f"table {name!r} needs at least one column")
+        self.name = name
+        self.columns: Dict[str, Column] = {c.name: c for c in columns}
+        if len(self.columns) != len(columns):
+            raise TableError(f"duplicate column names in table {name!r}")
+        if primary_key not in self.columns:
+            raise TableError(f"primary key {primary_key!r} is not a column")
+        self.primary_key = primary_key
+        self.unique = tuple(unique)
+        for u in self.unique:
+            if u not in self.columns:
+                raise TableError(f"unique column {u!r} is not a column")
+        self._rows: Dict[Any, Dict[str, Any]] = {}
+        self._unique_indexes: Dict[str, Dict[Any, Any]] = {u: {} for u in self.unique}
+        self._secondary: Dict[str, Dict[Any, set]] = {}
+
+    # -- DDL ----------------------------------------------------------------
+
+    def add_column(self, column: Column, default: Any = None) -> None:
+        """ALTER TABLE ADD COLUMN; backfills existing rows."""
+        if column.name in self.columns:
+            raise TableError(f"column {column.name!r} already exists")
+        if default is None and not column.nullable:
+            raise TableError(
+                f"adding NOT NULL column {column.name!r} requires a default"
+            )
+        self.columns[column.name] = column
+        for row in self._rows.values():
+            row[column.name] = default
+
+    def create_index(self, column: str) -> None:
+        """A secondary (non-unique) index for equality selects."""
+        if column not in self.columns:
+            raise TableError(f"cannot index unknown column {column!r}")
+        if column in self._secondary:
+            return
+        index: Dict[Any, set] = {}
+        for pk, row in self._rows.items():
+            index.setdefault(row[column], set()).add(pk)
+        self._secondary[column] = index
+
+    # -- DML ---------------------------------------------------------------
+
+    def insert(self, **values) -> Dict[str, Any]:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise TableError(f"unknown columns for {self.name}: {sorted(unknown)}")
+        row = {}
+        for name, column in self.columns.items():
+            row[name] = column.check(values.get(name))
+        pk = row[self.primary_key]
+        if pk is None:
+            raise NotNullError(f"primary key {self.primary_key!r} must be set")
+        if pk in self._rows:
+            raise UniqueViolation(f"duplicate primary key {pk!r} in {self.name}")
+        for u in self.unique:
+            if row[u] is not None and row[u] in self._unique_indexes[u]:
+                raise UniqueViolation(
+                    f"duplicate value {row[u]!r} for unique column {self.name}.{u}"
+                )
+        self._rows[pk] = row
+        for u in self.unique:
+            if row[u] is not None:
+                self._unique_indexes[u][row[u]] = pk
+        for column, index in self._secondary.items():
+            index.setdefault(row[column], set()).add(pk)
+        return dict(row)
+
+    def get(self, pk: Any) -> Optional[Dict[str, Any]]:
+        row = self._rows.get(pk)
+        return dict(row) if row is not None else None
+
+    def select(
+        self,
+        where: Optional[Dict[str, Any]] = None,
+        predicate: Optional[Callable[[Dict[str, Any]], bool]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Equality-select (uses indexes) plus an optional row predicate."""
+        candidates: Optional[Iterator] = None
+        remaining = dict(where or {})
+        # primary key first, then unique, then secondary indexes
+        if self.primary_key in remaining:
+            pk = remaining.pop(self.primary_key)
+            row = self._rows.get(pk)
+            candidates = iter([row] if row is not None else [])
+        else:
+            for u in self.unique:
+                if u in remaining:
+                    pk = self._unique_indexes[u].get(remaining.pop(u))
+                    row = self._rows.get(pk) if pk is not None else None
+                    candidates = iter([row] if row is not None else [])
+                    break
+            else:
+                for column, index in self._secondary.items():
+                    if column in remaining:
+                        pks = index.get(remaining.pop(column), set())
+                        candidates = (self._rows[pk] for pk in pks)
+                        break
+        if candidates is None:
+            candidates = iter(self._rows.values())
+        out = []
+        for row in candidates:
+            if row is None:
+                continue
+            if all(row.get(k) == v for k, v in remaining.items()):
+                if predicate is None or predicate(row):
+                    out.append(dict(row))
+        return out
+
+    def update(self, pk: Any, **changes) -> Dict[str, Any]:
+        row = self._rows.get(pk)
+        if row is None:
+            raise TableError(f"no row with {self.primary_key}={pk!r} in {self.name}")
+        if self.primary_key in changes:
+            raise TableError("primary key updates are not supported")
+        for name, value in changes.items():
+            column = self.columns.get(name)
+            if column is None:
+                raise TableError(f"unknown column {name!r}")
+            checked = column.check(value)
+            if name in self.unique:
+                existing = self._unique_indexes[name].get(checked)
+                if existing is not None and existing != pk:
+                    raise UniqueViolation(
+                        f"duplicate value {checked!r} for unique column {name!r}"
+                    )
+                self._unique_indexes[name].pop(row[name], None)
+                if checked is not None:
+                    self._unique_indexes[name][checked] = pk
+            if name in self._secondary:
+                self._secondary[name][row[name]].discard(pk)
+                self._secondary[name].setdefault(checked, set()).add(pk)
+            row[name] = checked
+        return dict(row)
+
+    def delete(self, pk: Any) -> bool:
+        row = self._rows.pop(pk, None)
+        if row is None:
+            return False
+        for u in self.unique:
+            self._unique_indexes[u].pop(row[u], None)
+        for column, index in self._secondary.items():
+            index.get(row[column], set()).discard(pk)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return (dict(r) for r in self._rows.values())
+
+    def __repr__(self) -> str:
+        return f"<Table {self.name} columns={list(self.columns)} rows={len(self)}>"

@@ -1,0 +1,47 @@
+"""The use-case services built on top of the meta-data warehouse.
+
+Section IV of the paper describes two productive tools — **search** and
+**lineage/provenance** — each defined by (a) the hierarchy classes it
+makes searchable and (b) the *path* through the RDF graph that drives it
+(``rdf:type`` for search, ``(isMappedTo)* rdf:type`` for lineage).
+
+This package implements both, plus the extensions the paper motivates:
+
+* :mod:`repro.services.search` — use case IV.A with synonym expansion
+  (the "semantic search" lesson of Section V);
+* :mod:`repro.services.lineage` — use case IV.B with drill-down,
+  path enumeration, and rule-condition filters (Section V);
+* :mod:`repro.services.impact` — forward lineage: what is affected when
+  an application or item changes (Section I's motivating example);
+* :mod:`repro.services.governance` — role/ownership queries over the
+  Roles subject area (Section II);
+* :mod:`repro.services.reporting` — report-developer support, the
+  use case "currently under development" in Section IV.
+"""
+
+from repro.services.search import SearchFilters, SearchHit, SearchResults, SearchService
+from repro.services.lineage import (
+    LineageEdge,
+    LineageService,
+    LineageTrace,
+    PathExplosionError,
+)
+from repro.services.impact import ImpactAnalysis, ImpactReport
+from repro.services.governance import GovernanceService
+from repro.services.reporting import ReportingAssistant, SourceCandidate
+
+__all__ = [
+    "GovernanceService",
+    "ImpactAnalysis",
+    "ImpactReport",
+    "LineageEdge",
+    "LineageService",
+    "LineageTrace",
+    "PathExplosionError",
+    "ReportingAssistant",
+    "SearchFilters",
+    "SearchHit",
+    "SearchResults",
+    "SearchService",
+    "SourceCandidate",
+]

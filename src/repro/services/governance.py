@@ -1,0 +1,134 @@
+"""Data-governance queries over the Roles subject area.
+
+Section II: roles model both authorization and business relationships —
+each application has a *business owner*, users play roles (consultant,
+administrator, support, ...) for applications, and "the meta-data
+warehouse needs to keep track of all these roles and their
+responsibilities". The auditors' question of Section IV ("which
+applications, and correspondingly which roles and users, have access to
+a particular information item") combines roles with lineage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.rdf.namespace import RDF
+from repro.rdf.terms import Literal, Term, Triple
+
+from repro.core.vocabulary import TERMS
+from repro.core.warehouse import MetadataWarehouse
+from repro.services.lineage import LineageService
+
+
+class GovernanceService:
+    """Role/ownership queries over one warehouse."""
+
+    def __init__(self, warehouse: MetadataWarehouse):
+        self._mdw = warehouse
+        self._lineage = LineageService(warehouse)
+
+    # -- role structure -----------------------------------------------------
+    #
+    # encoding (see repro.synth.landscape): a role assignment node R with
+    #   user --playsRole--> R, R --forApplication--> App, R dm:hasName "role name"
+
+    def roles_of_user(self, user: Term) -> List[Term]:
+        return sorted(self._mdw.graph.objects(user, TERMS.plays_role), key=lambda t: t.sort_key())
+
+    def applications_of_user(self, user: Term) -> Set[Term]:
+        out: Set[Term] = set()
+        for role in self.roles_of_user(user):
+            out |= set(self._mdw.graph.objects(role, TERMS.for_application))
+        return out
+
+    def users_with_access(self, application: Term) -> Set[Term]:
+        """Users holding any role on ``application``."""
+        graph = self._mdw.graph
+        out: Set[Term] = set()
+        for role in graph.subjects(TERMS.for_application, application):
+            out |= set(graph.subjects(TERMS.plays_role, role))
+        return out
+
+    def owner_of(self, application: Term) -> Optional[Term]:
+        """The user playing the 'business owner' role for the application."""
+        graph = self._mdw.graph
+        for role in graph.subjects(TERMS.for_application, application):
+            name = graph.value(role, TERMS.has_name, None)
+            if isinstance(name, Literal) and "owner" in name.lexical.lower():
+                return graph.value(None, TERMS.plays_role, role)
+        return None
+
+    def role_name(self, role: Term) -> Optional[str]:
+        name = self._mdw.graph.value(role, TERMS.has_name, None)
+        return name.lexical if isinstance(name, Literal) else None
+
+    # -- privileges (the paper's RolePrivileges property) -----------------------
+
+    def grant(self, role: Term, privilege: str) -> None:
+        """Attach a privilege to a role."""
+        if not privilege:
+            raise ValueError("privilege must be non-empty")
+        self._mdw.graph.add(Triple(role, TERMS.has_privilege, Literal(privilege)))
+
+    def revoke(self, role: Term, privilege: str) -> bool:
+        """Remove a privilege; returns whether it was present."""
+        return self._mdw.graph.discard(
+            Triple(role, TERMS.has_privilege, Literal(privilege))
+        )
+
+    def privileges_of_role(self, role: Term) -> Set[str]:
+        return {
+            o.lexical
+            for o in self._mdw.graph.objects(role, TERMS.has_privilege)
+            if isinstance(o, Literal)
+        }
+
+    def privileges_of_user(self, user: Term, application: Optional[Term] = None) -> Set[str]:
+        """The union of privileges the user's roles grant, optionally
+        restricted to roles on one application."""
+        out: Set[str] = set()
+        for role in self.roles_of_user(user):
+            if application is not None:
+                targets = set(self._mdw.graph.objects(role, TERMS.for_application))
+                if application not in targets:
+                    continue
+            out |= self.privileges_of_role(role)
+        return out
+
+    def authorize(self, user: Term, privilege: str, application: Term) -> bool:
+        """The discretionary access-control check of Section II: does any
+        role the user plays for ``application`` carry ``privilege``?"""
+        return privilege in self.privileges_of_user(user, application)
+
+    # -- the auditor's question ------------------------------------------------
+
+    def who_can_reach(self, item: Term) -> Dict[Term, Set[Term]]:
+        """Which applications — and which users through them — can reach
+        ``item``'s data: every application owning an item downstream of
+        it, mapped to the users with roles on that application."""
+        trace = self._lineage.downstream(item)
+        out: Dict[Term, Set[Term]] = {}
+        for affected in trace.items():
+            chain = self._lineage.container_chain(affected)
+            application = chain[-1] if len(chain) > 1 else None
+            if application is None:
+                continue
+            if application not in out:
+                out[application] = self.users_with_access(application)
+        return out
+
+    def orphan_applications(self) -> List[Term]:
+        """Applications without any business owner — a governance smell
+        the warehouse makes visible (Section II's data-governance use
+        cases)."""
+        graph = self._mdw.graph
+        applications = set()
+        for cls in self._mdw.schema.classes():
+            label = self._mdw.schema.label(cls) or ""
+            if label.lower() == "application":
+                applications |= set(graph.subjects(RDF.type, cls))
+        return sorted(
+            (a for a in applications if self.owner_of(a) is None),
+            key=lambda t: t.sort_key(),
+        )

@@ -1,0 +1,133 @@
+"""Report-developer support — the use case "under development" (IV).
+
+"An important use case that is currently under development and that
+extends the search facility [...] is to provide more powerful tools to
+developers in order to program new reports."
+
+Given the business terms a new report needs, the assistant finds
+candidate source items (via search with synonym expansion), ranks them
+by how far down the cleansing pipeline they live (mart beats integration
+beats inbound — later areas carry better quality), and reports each
+candidate's provenance so the developer can judge trustworthiness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.rdf.terms import Term
+
+from repro.core.vocabulary import TERMS
+from repro.core.warehouse import MetadataWarehouse
+from repro.services.lineage import LineageService
+from repro.services.search import SearchFilters, SearchService
+
+#: pipeline position score: later areas are cleansed + aggregated
+_AREA_SCORE = {
+    TERMS.area_mart: 3,
+    TERMS.area_integration: 2,
+    TERMS.area_inbound: 1,
+}
+
+
+@dataclass(frozen=True)
+class SourceCandidate:
+    """One candidate item for a report term."""
+
+    term: str
+    item: Term
+    name: str
+    area: Optional[Term]
+    area_score: int
+    provenance_depth: int     # how many upstream stages feed it
+    source_count: int         # distinct upstream endpoints
+    quality: Optional[float] = None   # mdw:qualityScore, when recorded
+    freshness: Optional[str] = None   # mdw:freshness, when recorded
+
+    @property
+    def rank_key(self):
+        # later pipeline areas first (cleansed + aggregated), then the
+        # explicit quality guarantee, then richer provenance
+        return (
+            -self.area_score,
+            -(self.quality if self.quality is not None else 0.0),
+            -self.provenance_depth,
+            self.name,
+        )
+
+
+@dataclass
+class ReportPlan:
+    """The assistant's answer for one report."""
+
+    terms: Sequence[str]
+    candidates: Dict[str, List[SourceCandidate]] = field(default_factory=dict)
+    unresolved: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.unresolved
+
+    def best(self, term: str) -> Optional[SourceCandidate]:
+        ranked = self.candidates.get(term) or []
+        return ranked[0] if ranked else None
+
+    def summary(self) -> str:
+        lines = []
+        for term in self.terms:
+            best = self.best(term)
+            if best is None:
+                lines.append(f"{term}: UNRESOLVED")
+            else:
+                lines.append(
+                    f"{term}: {best.name} "
+                    f"(area score {best.area_score}, "
+                    f"{best.source_count} source(s), depth {best.provenance_depth})"
+                )
+        return "\n".join(lines)
+
+
+class ReportingAssistant:
+    """Finds and ranks source items for a new report's terms."""
+
+    def __init__(self, warehouse: MetadataWarehouse):
+        self._mdw = warehouse
+        self._search = SearchService(warehouse)
+        self._lineage = LineageService(warehouse)
+
+    def plan_report(
+        self,
+        terms: Sequence[str],
+        filters: Optional[SearchFilters] = None,
+        expand_synonyms: bool = True,
+        max_candidates: int = 5,
+    ) -> ReportPlan:
+        """Build a :class:`ReportPlan` for the given business terms."""
+        plan = ReportPlan(terms=list(terms))
+        for term in terms:
+            results = self._search.search(
+                term, filters=filters, expand_synonyms=expand_synonyms
+            )
+            candidates = [self._assess(term, hit.instance, hit.name) for hit in results]
+            candidates.sort(key=lambda c: c.rank_key)
+            if candidates:
+                plan.candidates[term] = candidates[:max_candidates]
+            else:
+                plan.unresolved.append(term)
+        return plan
+
+    def _assess(self, term: str, item: Term, name: str) -> SourceCandidate:
+        area = self._mdw.graph.value(item, TERMS.in_area, None)
+        trace = self._lineage.upstream(item)
+        return SourceCandidate(
+            term=term,
+            item=item,
+            name=name,
+            area=area,
+            area_score=_AREA_SCORE.get(area, 0),
+            provenance_depth=trace.max_depth(),
+            source_count=len(trace.endpoints() - {item}),
+            quality=self._mdw.facts.quality_of(item),
+            freshness=self._mdw.facts.freshness_of(item),
+        )

@@ -1,0 +1,448 @@
+"""Query evaluation over :class:`~repro.rdf.Graph` / GraphView.
+
+Evaluation is pull-based: pattern nodes produce iterators of binding
+dictionaries (variable name → term), solution modifiers post-process the
+materialized row list. BGPs are join-ordered by :mod:`repro.sparql.planner`
+before nested-loop evaluation with binding substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Literal, Term, Triple, Variable
+from repro.sparql.algebra import (
+    Aggregate,
+    AskQuery,
+    BGP,
+    ConstructQuery,
+    Extend,
+    Filter,
+    Join,
+    LeftJoin,
+    Minus,
+    Pattern,
+    Projection,
+    Query,
+    SelectQuery,
+    Union,
+    ValuesPattern,
+)
+from repro.sparql.errors import ExpressionError, SparqlEvalError
+from repro.sparql.expressions import (
+    BinaryExpr,
+    ExistsExpr,
+    FunctionExpr,
+    UnaryExpr,
+    effective_boolean_value,
+)
+from repro.sparql.planner import order_patterns
+from repro.sparql.results import Row, SolutionSequence
+
+Binding = Dict[str, Term]
+
+
+def evaluate(graph, query: Query, initial_bindings: Optional[Binding] = None):
+    """Evaluate ``query`` against ``graph``.
+
+    Returns a :class:`SolutionSequence` for SELECT, ``bool`` for ASK, and
+    a new :class:`Graph` for CONSTRUCT.
+    """
+    initial = dict(initial_bindings or {})
+    if isinstance(query, SelectQuery):
+        return _evaluate_select(graph, query, initial)
+    if isinstance(query, AskQuery):
+        return any(True for _ in eval_pattern(graph, query.pattern, initial))
+    if isinstance(query, ConstructQuery):
+        return _evaluate_construct(graph, query, initial)
+    from repro.sparql.algebra import DescribeQuery
+
+    if isinstance(query, DescribeQuery):
+        return _evaluate_describe(graph, query, initial)
+    raise SparqlEvalError(f"unknown query type {type(query).__name__}")
+
+
+def _evaluate_describe(graph, query, initial: Binding) -> Graph:
+    """DESCRIBE: the concise bounded description — every triple whose
+    subject is a described resource, expanded through blank-node objects."""
+    from repro.rdf.terms import BNode
+
+    resources = list(query.resources)
+    if query.pattern is not None:
+        for row in eval_pattern(graph, query.pattern, initial):
+            for name in query.variables:
+                value = row.get(name)
+                if value is not None and not isinstance(value, Literal):
+                    resources.append(value)
+    out = Graph(name="description")
+    seen = set()
+    frontier = list(dict.fromkeys(resources))
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        for triple in graph.triples(node, None, None):
+            out.add(triple)
+            if isinstance(triple.object, BNode) and triple.object not in seen:
+                frontier.append(triple.object)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Pattern evaluation
+# ---------------------------------------------------------------------------
+
+
+def eval_pattern(graph, pattern: Pattern, binding: Binding) -> Iterator[Binding]:
+    """Yield solution bindings for ``pattern`` extending ``binding``."""
+    if isinstance(pattern, BGP):
+        yield from _eval_bgp(graph, pattern.patterns, binding, paths=pattern.paths)
+    elif isinstance(pattern, Join):
+        for left in eval_pattern(graph, pattern.left, binding):
+            yield from eval_pattern(graph, pattern.right, left)
+    elif isinstance(pattern, LeftJoin):
+        for left in eval_pattern(graph, pattern.left, binding):
+            matched = False
+            for joined in eval_pattern(graph, pattern.right, left):
+                if pattern.condition is not None and not _test(pattern.condition, joined):
+                    continue
+                matched = True
+                yield joined
+            if not matched:
+                yield left
+    elif isinstance(pattern, Union):
+        yield from eval_pattern(graph, pattern.left, binding)
+        yield from eval_pattern(graph, pattern.right, binding)
+    elif isinstance(pattern, Filter):
+        _attach_graph(pattern.condition, graph)
+        for row in eval_pattern(graph, pattern.pattern, binding):
+            if _test(pattern.condition, row):
+                yield row
+    elif isinstance(pattern, Minus):
+        right_rows = list(eval_pattern(graph, pattern.right, dict(binding)))
+        for row in eval_pattern(graph, pattern.left, binding):
+            if not any(_compatible_overlapping(row, other) for other in right_rows):
+                yield row
+    elif isinstance(pattern, Extend):
+        for row in eval_pattern(graph, pattern.pattern, binding):
+            if pattern.variable in row:
+                raise SparqlEvalError(
+                    f"BIND target ?{pattern.variable} is already bound"
+                )
+            extended = dict(row)
+            try:
+                _attach_graph(pattern.expression, graph)
+                extended[pattern.variable] = pattern.expression.evaluate(row)
+            except ExpressionError:
+                pass  # errors leave the variable unbound (SPARQL semantics)
+            yield extended
+    elif isinstance(pattern, ValuesPattern):
+        for values_row in pattern.rows:
+            extended = dict(binding)
+            ok = True
+            for name, value in zip(pattern.names, values_row):
+                if value is None:
+                    continue  # UNDEF constrains nothing
+                bound = extended.get(name)
+                if bound is None:
+                    extended[name] = value
+                elif bound != value:
+                    ok = False
+                    break
+            if ok:
+                yield extended
+    else:
+        raise SparqlEvalError(f"unknown pattern node {type(pattern).__name__}")
+
+
+def _compatible_overlapping(left: Binding, right: Binding) -> bool:
+    """MINUS semantics: right removes left only when they share at least
+    one variable and agree on all shared variables."""
+    shared = left.keys() & right.keys()
+    if not shared:
+        return False
+    return all(left[name] == right[name] for name in shared)
+
+
+def _attach_graph(expression, graph) -> None:
+    """Inject the queried graph into EXISTS sub-expressions."""
+    if isinstance(expression, ExistsExpr):
+        expression.graph = graph
+    elif isinstance(expression, BinaryExpr):
+        _attach_graph(expression.left, graph)
+        _attach_graph(expression.right, graph)
+    elif isinstance(expression, UnaryExpr):
+        _attach_graph(expression.operand, graph)
+    elif isinstance(expression, FunctionExpr):
+        for argument in expression.args:
+            _attach_graph(argument, graph)
+
+
+def _test(condition, binding: Binding) -> bool:
+    try:
+        return effective_boolean_value(condition.evaluate(binding))
+    except ExpressionError:
+        return False
+
+
+def _eval_bgp(
+    graph,
+    patterns: Sequence[Triple],
+    binding: Binding,
+    paths: Sequence = (),
+) -> Iterator[Binding]:
+    if not patterns and not paths:
+        yield dict(binding)
+        return
+    ordered = order_patterns(graph, list(patterns))
+    stages: List = list(ordered) + list(paths)
+
+    def recurse(i: int, current: Binding) -> Iterator[Binding]:
+        if i == len(stages):
+            yield current
+            return
+        stage = stages[i]
+        if isinstance(stage, Triple):
+            matches = _match_pattern(graph, stage, current)
+        else:
+            matches = _match_path_pattern(graph, stage, current)
+        for extended in matches:
+            yield from recurse(i + 1, extended)
+
+    yield from recurse(0, dict(binding))
+
+
+def _match_path_pattern(graph, pattern, binding: Binding) -> Iterator[Binding]:
+    """Match one property-path pattern under ``binding``."""
+    from repro.sparql.paths import eval_path
+
+    def resolve(term):
+        if isinstance(term, Variable):
+            return binding.get(term.name)
+        return term
+
+    start = resolve(pattern.subject)
+    end = resolve(pattern.object)
+    if isinstance(start, Literal):
+        return
+    for s_value, o_value in eval_path(graph, pattern.path, start=start, end=end):
+        extended = dict(binding)
+        ok = True
+        for term, value in ((pattern.subject, s_value), (pattern.object, o_value)):
+            if isinstance(term, Variable):
+                bound = extended.get(term.name)
+                if bound is None:
+                    extended[term.name] = value
+                elif bound != value:
+                    ok = False
+                    break
+            elif term != value:
+                ok = False
+                break
+        if ok:
+            yield extended
+
+
+def _match_pattern(graph, pattern: Triple, binding: Binding) -> Iterator[Binding]:
+    """Match one triple pattern under ``binding``; yield extensions."""
+    query_terms: List[Optional[Term]] = []
+    for term in pattern:
+        if isinstance(term, Variable):
+            query_terms.append(binding.get(term.name))
+        else:
+            query_terms.append(term)
+    s, p, o = query_terms
+    # A bound literal in subject position (via a prior binding) can never
+    # match a stored triple; graph.triples would raise on pattern misuse,
+    # so guard explicitly.
+    if isinstance(s, Literal):
+        return
+    for triple in graph.triples(s, p, o):
+        extended = dict(binding)
+        ok = True
+        for term, value in zip(pattern, triple):
+            if isinstance(term, Variable):
+                existing = extended.get(term.name)
+                if existing is None:
+                    extended[term.name] = value
+                elif existing != value:
+                    # same variable twice in the pattern with conflicting
+                    # matches (e.g. ?x ?p ?x)
+                    ok = False
+                    break
+        if ok:
+            yield extended
+
+
+# ---------------------------------------------------------------------------
+# SELECT evaluation
+# ---------------------------------------------------------------------------
+
+
+def _evaluate_select(graph, query: SelectQuery, initial: Binding) -> SolutionSequence:
+    rows: List[Binding] = list(eval_pattern(graph, query.pattern, initial))
+
+    if query.group_by or query.projection.aggregates:
+        rows = _aggregate(rows, query)
+        columns = query.projection.output_names()
+    elif query.projection.select_all:
+        columns = sorted({name for row in rows for name in row} | query.pattern.variables())
+    else:
+        columns = query.projection.output_names()
+
+    if not (query.group_by or query.projection.aggregates):
+        rows = [
+            {name: row[name] for name in columns if name in row} for row in rows
+        ]
+
+    if query.distinct:
+        seen = set()
+        deduped = []
+        for row in rows:
+            key = frozenset(row.items())
+            if key not in seen:
+                seen.add(key)
+                deduped.append(row)
+        rows = deduped
+
+    for condition in reversed(query.order_by):
+        rows = _stable_sort(rows, condition)
+
+    if query.offset:
+        rows = rows[query.offset :]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+
+    return SolutionSequence(columns, [Row(r) for r in rows])
+
+
+def _stable_sort(rows: List[Binding], condition) -> List[Binding]:
+    def key(row: Binding):
+        try:
+            term = condition.expression.evaluate(row)
+        except ExpressionError:
+            return (1, ())
+        return (0, term.sort_key())
+
+    return sorted(rows, key=key, reverse=condition.descending)
+
+
+def _aggregate(rows: List[Binding], query: SelectQuery) -> List[Binding]:
+    projection = query.projection
+    plain = projection.variables
+    not_grouped = [v for v in plain if v not in query.group_by]
+    if not_grouped and query.group_by:
+        raise SparqlEvalError(
+            f"SELECT variables {not_grouped} are not in GROUP BY"
+        )
+
+    groups: Dict[Tuple, List[Binding]] = {}
+    order: List[Tuple] = []
+    for row in rows:
+        key = tuple(row.get(v) for v in query.group_by)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    if not query.group_by and not groups:
+        # aggregates over the empty solution set produce one group
+        groups[()] = []
+        order.append(())
+
+    out: List[Binding] = []
+    for key in order:
+        members = groups[key]
+        result: Binding = {}
+        for var, value in zip(query.group_by, key):
+            if value is not None:
+                result[var] = value
+        for agg in projection.aggregates:
+            value = _compute_aggregate(agg, members)
+            if value is not None:
+                result[agg.alias] = value
+        if query.having is not None and not _test(query.having, result):
+            continue
+        out.append(result)
+    return out
+
+
+def _compute_aggregate(agg: Aggregate, members: List[Binding]) -> Optional[Term]:
+    if agg.function == "COUNT" and agg.expression is None:
+        values: List[Term] = [Literal(1)] * len(members)  # COUNT(*)
+    else:
+        values = []
+        for row in members:
+            try:
+                values.append(agg.expression.evaluate(row))
+            except ExpressionError:
+                continue
+    if agg.distinct:
+        seen = set()
+        unique = []
+        for v in values:
+            if v not in seen:
+                seen.add(v)
+                unique.append(v)
+        values = unique
+
+    fn = agg.function
+    if fn == "COUNT":
+        return Literal(len(values))
+    if not values:
+        return Literal(0) if fn == "SUM" else None
+    if fn == "SUM":
+        return Literal(_numeric_sum(values))
+    if fn == "AVG":
+        total = _numeric_sum(values)
+        avg = total / len(values)
+        return Literal(int(avg)) if isinstance(avg, float) and avg.is_integer() else Literal(avg)
+    if fn == "MIN":
+        return min(values, key=lambda t: t.sort_key())
+    if fn == "MAX":
+        return max(values, key=lambda t: t.sort_key())
+    if fn == "SAMPLE":
+        return values[0]
+    if fn == "GROUP_CONCAT":
+        parts = [v.lexical if isinstance(v, Literal) else v.n3() for v in values]
+        return Literal(agg.separator.join(parts))
+    raise SparqlEvalError(f"unknown aggregate {fn!r}")
+
+
+def _numeric_sum(values: Sequence[Term]):
+    total = 0
+    for v in values:
+        if not (isinstance(v, Literal) and v.is_numeric()):
+            raise SparqlEvalError(f"non-numeric value in numeric aggregate: {v!r}")
+        total += v.to_python()
+    return total
+
+
+# ---------------------------------------------------------------------------
+# CONSTRUCT evaluation
+# ---------------------------------------------------------------------------
+
+
+def _evaluate_construct(graph, query: ConstructQuery, initial: Binding) -> Graph:
+    out = Graph(name="constructed")
+    for row in eval_pattern(graph, query.pattern, initial):
+        for template in query.template:
+            terms = []
+            ok = True
+            for term in template:
+                if isinstance(term, Variable):
+                    value = row.get(term.name)
+                    if value is None:
+                        ok = False
+                        break
+                    terms.append(value)
+                else:
+                    terms.append(term)
+            if not ok:
+                continue
+            try:
+                out.add(Triple(*terms))
+            except (TypeError, ValueError):
+                continue  # e.g. a literal bound into subject position
+    return out

@@ -1,0 +1,141 @@
+"""Query plans: EXPLAIN for the SPARQL engine.
+
+:func:`explain` renders the evaluation plan of a query against a graph —
+the algebra tree, the join order the selectivity planner chose for each
+BGP, and the index-based cardinality estimate per triple pattern. The
+output is what a DBA would read before letting a new meta-data query
+loose on the warehouse.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.rdf.namespace import NamespaceManager
+from repro.rdf.terms import Triple, Variable
+
+from repro.sparql.algebra import (
+    AskQuery,
+    BGP,
+    ConstructQuery,
+    DescribeQuery,
+    Extend,
+    Filter,
+    Join,
+    LeftJoin,
+    Minus,
+    Pattern,
+    Query,
+    SelectQuery,
+    Union,
+    ValuesPattern,
+)
+from repro.sparql.parser import parse_query
+from repro.sparql.planner import order_patterns, pattern_selectivity
+
+
+def explain(graph, query, nsm: Optional[NamespaceManager] = None) -> str:
+    """Render the evaluation plan of ``query`` (text or algebra) against
+    ``graph``."""
+    if isinstance(query, str):
+        query = parse_query(query, nsm=nsm)
+    lines: List[str] = []
+    if isinstance(query, SelectQuery):
+        header = "SELECT"
+        if query.distinct:
+            header += " DISTINCT"
+        if query.projection.select_all:
+            header += " *"
+        else:
+            header += " " + " ".join(f"?{v}" for v in query.projection.output_names())
+        lines.append(header)
+        _explain_pattern(graph, query.pattern, lines, depth=1)
+        if query.group_by:
+            lines.append("  GROUP BY " + " ".join(f"?{v}" for v in query.group_by))
+        if query.having is not None:
+            lines.append("  HAVING <expression>")
+        if query.order_by:
+            lines.append(f"  ORDER BY ({len(query.order_by)} condition(s))")
+        if query.limit is not None or query.offset:
+            lines.append(f"  SLICE limit={query.limit} offset={query.offset}")
+    elif isinstance(query, AskQuery):
+        lines.append("ASK (stops at the first solution)")
+        _explain_pattern(graph, query.pattern, lines, depth=1)
+    elif isinstance(query, ConstructQuery):
+        lines.append(f"CONSTRUCT ({len(query.template)} template triple(s))")
+        _explain_pattern(graph, query.pattern, lines, depth=1)
+    elif isinstance(query, DescribeQuery):
+        lines.append(
+            f"DESCRIBE ({len(query.resources)} resource(s), "
+            f"{len(query.variables)} variable(s))"
+        )
+        if query.pattern is not None:
+            _explain_pattern(graph, query.pattern, lines, depth=1)
+    else:
+        lines.append(f"<{type(query).__name__}>")
+    return "\n".join(lines)
+
+
+def _explain_pattern(graph, pattern: Pattern, lines: List[str], depth: int) -> None:
+    pad = "  " * depth
+    if isinstance(pattern, BGP):
+        ordered = order_patterns(graph, list(pattern.patterns))
+        lines.append(f"{pad}BGP ({len(ordered)} pattern(s), planner order):")
+        bound: set = set()
+        for i, triple in enumerate(ordered, start=1):
+            estimate = pattern_selectivity(graph, triple, bound)
+            marker = "index-joined" if _shares_variable(triple, bound) or not bound else "first"
+            if bound and not _shares_variable(triple, bound):
+                marker = "CARTESIAN"
+            lines.append(
+                f"{pad}  {i}. {_pattern_text(triple)}   ~{estimate} row(s), {marker}"
+            )
+            bound |= {t.name for t in triple if isinstance(t, Variable)}
+        for path_triple in pattern.paths:
+            lines.append(
+                f"{pad}  PATH {_term_text(path_triple.subject)} "
+                f"{path_triple.path.text()} {_term_text(path_triple.object)}   (BFS)"
+            )
+    elif isinstance(pattern, Join):
+        lines.append(f"{pad}JOIN")
+        _explain_pattern(graph, pattern.left, lines, depth + 1)
+        _explain_pattern(graph, pattern.right, lines, depth + 1)
+    elif isinstance(pattern, LeftJoin):
+        lines.append(f"{pad}OPTIONAL (left join)")
+        _explain_pattern(graph, pattern.left, lines, depth + 1)
+        _explain_pattern(graph, pattern.right, lines, depth + 1)
+    elif isinstance(pattern, Union):
+        lines.append(f"{pad}UNION")
+        _explain_pattern(graph, pattern.left, lines, depth + 1)
+        _explain_pattern(graph, pattern.right, lines, depth + 1)
+    elif isinstance(pattern, Filter):
+        lines.append(f"{pad}FILTER <expression>")
+        _explain_pattern(graph, pattern.pattern, lines, depth + 1)
+    elif isinstance(pattern, Minus):
+        lines.append(f"{pad}MINUS")
+        _explain_pattern(graph, pattern.left, lines, depth + 1)
+        _explain_pattern(graph, pattern.right, lines, depth + 1)
+    elif isinstance(pattern, Extend):
+        lines.append(f"{pad}BIND -> ?{pattern.variable}")
+        _explain_pattern(graph, pattern.pattern, lines, depth + 1)
+    elif isinstance(pattern, ValuesPattern):
+        lines.append(
+            f"{pad}VALUES ({', '.join('?' + n for n in pattern.names)}) "
+            f"x {len(pattern.rows)} row(s)"
+        )
+    else:
+        lines.append(f"{pad}<{type(pattern).__name__}>")
+
+
+def _shares_variable(triple: Triple, bound: set) -> bool:
+    return any(isinstance(t, Variable) and t.name in bound for t in triple)
+
+
+def _pattern_text(triple: Triple) -> str:
+    return " ".join(_term_text(t) for t in triple)
+
+
+def _term_text(term) -> str:
+    if isinstance(term, Variable):
+        return f"?{term.name}"
+    return term.n3()

@@ -1,0 +1,516 @@
+"""FILTER expression trees and their evaluation.
+
+Expression evaluation follows the SPARQL error model: an error inside a
+FILTER (unbound variable, type mismatch) raises :class:`ExpressionError`,
+which the evaluator treats as "effective boolean value false" for the row
+instead of failing the query.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional
+
+from repro.rdf.terms import BNode, IRI, Literal, Term
+from repro.sparql.errors import ExpressionError
+
+_TRUE = Literal("true", datatype=IRI("http://www.w3.org/2001/XMLSchema#boolean"))
+_FALSE = Literal("false", datatype=IRI("http://www.w3.org/2001/XMLSchema#boolean"))
+
+
+def boolean(value: bool) -> Literal:
+    return _TRUE if value else _FALSE
+
+
+class Expression:
+    """Base class of expression-tree nodes."""
+
+    def evaluate(self, binding: Dict[str, Term]) -> Term:
+        raise NotImplementedError
+
+    def variables(self) -> set:
+        raise NotImplementedError
+
+
+class VarExpr(Expression):
+    """A variable reference ``?x``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name[1:] if name.startswith("?") else name
+
+    def evaluate(self, binding: Dict[str, Term]) -> Term:
+        try:
+            return binding[self.name]
+        except KeyError:
+            raise ExpressionError(f"unbound variable ?{self.name}") from None
+
+    def variables(self) -> set:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"VarExpr(?{self.name})"
+
+    def __eq__(self, other):
+        return isinstance(other, VarExpr) and other.name == self.name
+
+    def __hash__(self):
+        return hash((VarExpr, self.name))
+
+
+class ConstExpr(Expression):
+    """A constant term."""
+
+    __slots__ = ("term",)
+
+    def __init__(self, term: Term):
+        self.term = term
+
+    def evaluate(self, binding: Dict[str, Term]) -> Term:
+        return self.term
+
+    def variables(self) -> set:
+        return set()
+
+    def __repr__(self) -> str:
+        return f"ConstExpr({self.term!r})"
+
+    def __eq__(self, other):
+        return isinstance(other, ConstExpr) and other.term == self.term
+
+    def __hash__(self):
+        return hash((ConstExpr, self.term))
+
+
+class UnaryExpr(Expression):
+    """``!expr``, ``-expr``, ``+expr``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expression):
+        self.op = op
+        self.operand = operand
+
+    def evaluate(self, binding: Dict[str, Term]) -> Term:
+        if self.op == "!":
+            return boolean(not effective_boolean_value(self.operand.evaluate(binding)))
+        value = _numeric(self.operand.evaluate(binding))
+        return Literal(-value if self.op == "-" else value)
+
+    def variables(self) -> set:
+        return self.operand.variables()
+
+    def __repr__(self) -> str:
+        return f"UnaryExpr({self.op!r}, {self.operand!r})"
+
+
+class BinaryExpr(Expression):
+    """Binary operators: comparison, logic, arithmetic."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, binding: Dict[str, Term]) -> Term:
+        op = self.op
+        if op == "&&":
+            # SPARQL logical-and error semantics: false wins over error.
+            left = _ebv_or_error(self.left, binding)
+            right = _ebv_or_error(self.right, binding)
+            if left is False or right is False:
+                return boolean(False)
+            if left is None or right is None:
+                raise ExpressionError("error in && operand")
+            return boolean(True)
+        if op == "||":
+            left = _ebv_or_error(self.left, binding)
+            right = _ebv_or_error(self.right, binding)
+            if left is True or right is True:
+                return boolean(True)
+            if left is None or right is None:
+                raise ExpressionError("error in || operand")
+            return boolean(False)
+
+        lhs = self.left.evaluate(binding)
+        rhs = self.right.evaluate(binding)
+        if op == "=":
+            return boolean(_term_equal(lhs, rhs))
+        if op == "!=":
+            return boolean(not _term_equal(lhs, rhs))
+        if op in ("<", ">", "<=", ">="):
+            return boolean(_order_compare(op, lhs, rhs))
+        if op in ("+", "-", "*", "/"):
+            a, b = _numeric(lhs), _numeric(rhs)
+            try:
+                result = {"+": a + b, "-": a - b, "*": a * b}.get(op)
+                if op == "/":
+                    result = a / b
+            except ZeroDivisionError:
+                raise ExpressionError("division by zero") from None
+            if isinstance(result, float) and result.is_integer() and isinstance(a, int) and isinstance(b, int) and op != "/":
+                result = int(result)
+            return Literal(result)
+        raise ExpressionError(f"unknown operator {op!r}")
+
+    def variables(self) -> set:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        return f"BinaryExpr({self.op!r}, {self.left!r}, {self.right!r})"
+
+
+class ExistsExpr(Expression):
+    """``EXISTS { pattern }`` / ``NOT EXISTS { pattern }``.
+
+    Correlated against the row under test: the pattern is evaluated with
+    the current bindings. The evaluator injects the graph before testing
+    (expressions are otherwise graph-free).
+    """
+
+    __slots__ = ("pattern", "negated", "graph")
+
+    def __init__(self, pattern, negated: bool = False):
+        self.pattern = pattern
+        self.negated = negated
+        self.graph = None
+
+    def evaluate(self, binding: Dict[str, Term]) -> Term:
+        if self.graph is None:
+            raise ExpressionError("EXISTS evaluated outside a FILTER context")
+        from repro.sparql.evaluator import eval_pattern
+
+        found = any(True for _ in eval_pattern(self.graph, self.pattern, dict(binding)))
+        return boolean(found != self.negated)
+
+    def variables(self) -> set:
+        return self.pattern.variables()
+
+    def __repr__(self) -> str:
+        keyword = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"ExistsExpr({keyword} ...)"
+
+
+class FunctionExpr(Expression):
+    """A built-in function call, e.g. ``regex(?term, "customer", "i")``."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: List[Expression]):
+        self.name = name.lower()
+        self.args = args
+
+    def evaluate(self, binding: Dict[str, Term]) -> Term:
+        fn = _FUNCTIONS.get(self.name)
+        if fn is None:
+            raise ExpressionError(f"unknown function {self.name!r}")
+        return fn(self.args, binding)
+
+    def variables(self) -> set:
+        out = set()
+        for a in self.args:
+            out |= a.variables()
+        return out
+
+    def __repr__(self) -> str:
+        return f"FunctionExpr({self.name!r}, {self.args!r})"
+
+
+# ---------------------------------------------------------------------------
+# Semantics helpers
+# ---------------------------------------------------------------------------
+
+
+def effective_boolean_value(term: Term) -> bool:
+    """The SPARQL effective boolean value (EBV) of a term."""
+    if isinstance(term, Literal):
+        if term.datatype is not None and term.datatype.local_name == "boolean":
+            return term.lexical in ("true", "1")
+        if term.is_numeric():
+            return term.to_python() != 0
+        if term.datatype is None and term.language is None:
+            return bool(term.lexical)
+        if term.language is not None:
+            return bool(term.lexical)
+    raise ExpressionError(f"no effective boolean value for {term!r}")
+
+
+def _ebv_or_error(expr: Expression, binding) -> Optional[bool]:
+    try:
+        return effective_boolean_value(expr.evaluate(binding))
+    except ExpressionError:
+        return None
+
+
+def _numeric(term: Term):
+    if isinstance(term, Literal) and term.is_numeric():
+        return term.to_python()
+    raise ExpressionError(f"not a numeric literal: {term!r}")
+
+
+def _term_equal(a: Term, b: Term) -> bool:
+    if isinstance(a, Literal) and isinstance(b, Literal):
+        if a.is_numeric() and b.is_numeric():
+            return a.to_python() == b.to_python()
+    return a == b
+
+
+def _order_compare(op: str, a: Term, b: Term) -> bool:
+    if isinstance(a, Literal) and isinstance(b, Literal):
+        if a.is_numeric() and b.is_numeric():
+            x, y = a.to_python(), b.to_python()
+        elif a.datatype is None and b.datatype is None:
+            x, y = a.lexical, b.lexical
+        else:
+            raise ExpressionError(f"incomparable literals {a!r} / {b!r}")
+        return {"<": x < y, ">": x > y, "<=": x <= y, ">=": x >= y}[op]
+    if isinstance(a, IRI) and isinstance(b, IRI):
+        return {"<": a.value < b.value, ">": a.value > b.value, "<=": a.value <= b.value, ">=": a.value >= b.value}[op]
+    raise ExpressionError(f"incomparable terms {a!r} / {b!r}")
+
+
+# ---------------------------------------------------------------------------
+# Built-in functions
+# ---------------------------------------------------------------------------
+
+
+def _fn_regex(args, binding):
+    if len(args) not in (2, 3):
+        raise ExpressionError("regex() takes 2 or 3 arguments")
+    text = _string_value(args[0].evaluate(binding))
+    pattern = _string_value(args[1].evaluate(binding))
+    flags = 0
+    if len(args) == 3:
+        flag_text = _string_value(args[2].evaluate(binding))
+        mapping = {"i": re.IGNORECASE, "s": re.DOTALL, "m": re.MULTILINE, "x": re.VERBOSE}
+        for ch in flag_text:
+            if ch not in mapping:
+                raise ExpressionError(f"unknown regex flag {ch!r}")
+            flags |= mapping[ch]
+    try:
+        return boolean(re.search(pattern, text, flags) is not None)
+    except re.error as exc:
+        raise ExpressionError(f"bad regex: {exc}") from None
+
+
+def _fn_bound(args, binding):
+    if len(args) != 1 or not isinstance(args[0], VarExpr):
+        raise ExpressionError("bound() takes one variable argument")
+    return boolean(args[0].name in binding)
+
+
+def _fn_str(args, binding):
+    term = _single(args, binding, "str")
+    if isinstance(term, Literal):
+        return Literal(term.lexical)
+    if isinstance(term, IRI):
+        return Literal(term.value)
+    raise ExpressionError("str() of a blank node")
+
+
+def _fn_lang(args, binding):
+    term = _single(args, binding, "lang")
+    if isinstance(term, Literal):
+        return Literal(term.language or "")
+    raise ExpressionError("lang() of a non-literal")
+
+
+def _fn_datatype(args, binding):
+    term = _single(args, binding, "datatype")
+    if isinstance(term, Literal):
+        if term.datatype is not None:
+            return term.datatype
+        return IRI("http://www.w3.org/2001/XMLSchema#string")
+    raise ExpressionError("datatype() of a non-literal")
+
+
+def _fn_isiri(args, binding):
+    return boolean(isinstance(_single(args, binding, "isIRI"), IRI))
+
+
+def _fn_isliteral(args, binding):
+    return boolean(isinstance(_single(args, binding, "isLiteral"), Literal))
+
+
+def _fn_isblank(args, binding):
+    return boolean(isinstance(_single(args, binding, "isBlank"), BNode))
+
+
+def _fn_contains(args, binding):
+    a, b = _two_strings(args, binding, "contains")
+    return boolean(b in a)
+
+
+def _fn_strstarts(args, binding):
+    a, b = _two_strings(args, binding, "strstarts")
+    return boolean(a.startswith(b))
+
+
+def _fn_strends(args, binding):
+    a, b = _two_strings(args, binding, "strends")
+    return boolean(a.endswith(b))
+
+
+def _fn_ucase(args, binding):
+    return Literal(_string_value(_single(args, binding, "ucase")).upper())
+
+
+def _fn_lcase(args, binding):
+    return Literal(_string_value(_single(args, binding, "lcase")).lower())
+
+
+def _fn_strlen(args, binding):
+    return Literal(len(_string_value(_single(args, binding, "strlen"))))
+
+
+def _fn_if(args, binding):
+    if len(args) != 3:
+        raise ExpressionError("if() takes three arguments")
+    condition = effective_boolean_value(args[0].evaluate(binding))
+    return args[1].evaluate(binding) if condition else args[2].evaluate(binding)
+
+
+def _fn_coalesce(args, binding):
+    for argument in args:
+        try:
+            return argument.evaluate(binding)
+        except ExpressionError:
+            continue
+    raise ExpressionError("coalesce(): every argument errored")
+
+
+def _fn_concat(args, binding):
+    return Literal("".join(_string_value(a.evaluate(binding)) for a in args))
+
+
+def _fn_substr(args, binding):
+    if len(args) not in (2, 3):
+        raise ExpressionError("substr() takes 2 or 3 arguments")
+    text = _string_value(args[0].evaluate(binding))
+    start = _integer(args[1].evaluate(binding))
+    if start < 1:
+        raise ExpressionError("substr() start is 1-based")
+    if len(args) == 3:
+        length = _integer(args[2].evaluate(binding))
+        return Literal(text[start - 1 : start - 1 + length])
+    return Literal(text[start - 1 :])
+
+
+def _fn_replace(args, binding):
+    if len(args) not in (3, 4):
+        raise ExpressionError("replace() takes 3 or 4 arguments")
+    text = _string_value(args[0].evaluate(binding))
+    pattern = _string_value(args[1].evaluate(binding))
+    replacement = _string_value(args[2].evaluate(binding))
+    flags = 0
+    if len(args) == 4 and "i" in _string_value(args[3].evaluate(binding)):
+        flags = re.IGNORECASE
+    try:
+        return Literal(re.sub(pattern, replacement, text, flags=flags))
+    except re.error as exc:
+        raise ExpressionError(f"bad replace pattern: {exc}") from None
+
+
+def _fn_strbefore(args, binding):
+    a, b = _two_strings(args, binding, "strbefore")
+    index = a.find(b)
+    return Literal(a[:index] if index >= 0 else "")
+
+
+def _fn_strafter(args, binding):
+    a, b = _two_strings(args, binding, "strafter")
+    index = a.find(b)
+    return Literal(a[index + len(b):] if index >= 0 else "")
+
+
+def _fn_abs(args, binding):
+    return Literal(abs(_numeric(_single(args, binding, "abs"))))
+
+
+def _fn_round(args, binding):
+    value = _numeric(_single(args, binding, "round"))
+    import math
+
+    # SPARQL rounds halves away from zero, unlike Python's banker's rounding
+    return Literal(int(math.floor(value + 0.5)) if value >= 0 else int(math.ceil(value - 0.5)))
+
+
+def _fn_ceil(args, binding):
+    import math
+
+    return Literal(math.ceil(_numeric(_single(args, binding, "ceil"))))
+
+
+def _fn_floor(args, binding):
+    import math
+
+    return Literal(math.floor(_numeric(_single(args, binding, "floor"))))
+
+
+def _integer(term: Term) -> int:
+    value = _numeric(term)
+    if isinstance(value, float) and not value.is_integer():
+        raise ExpressionError(f"expected an integer, got {value}")
+    return int(value)
+
+
+def _single(args, binding, name) -> Term:
+    if len(args) != 1:
+        raise ExpressionError(f"{name}() takes one argument")
+    return args[0].evaluate(binding)
+
+
+def _two_strings(args, binding, name):
+    if len(args) != 2:
+        raise ExpressionError(f"{name}() takes two arguments")
+    return (
+        _string_value(args[0].evaluate(binding)),
+        _string_value(args[1].evaluate(binding)),
+    )
+
+
+def _string_value(term: Term) -> str:
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, IRI):
+        return term.value
+    raise ExpressionError(f"no string value for {term!r}")
+
+
+_FUNCTIONS: Dict[str, Callable] = {
+    "regex": _fn_regex,
+    "regexp_like": _fn_regex,  # Oracle spelling used in the paper's listings
+    "bound": _fn_bound,
+    "str": _fn_str,
+    "lang": _fn_lang,
+    "datatype": _fn_datatype,
+    "isiri": _fn_isiri,
+    "isuri": _fn_isiri,
+    "isliteral": _fn_isliteral,
+    "isblank": _fn_isblank,
+    "contains": _fn_contains,
+    "strstarts": _fn_strstarts,
+    "strends": _fn_strends,
+    "ucase": _fn_ucase,
+    "lcase": _fn_lcase,
+    "strlen": _fn_strlen,
+    "if": _fn_if,
+    "coalesce": _fn_coalesce,
+    "concat": _fn_concat,
+    "substr": _fn_substr,
+    "replace": _fn_replace,
+    "strbefore": _fn_strbefore,
+    "strafter": _fn_strafter,
+    "abs": _fn_abs,
+    "round": _fn_round,
+    "ceil": _fn_ceil,
+    "floor": _fn_floor,
+}
+
+
+def builtin_function_names():
+    """Sorted names of all supported FILTER functions."""
+    return sorted(_FUNCTIONS)

@@ -1,0 +1,64 @@
+"""Join-order planning for basic graph patterns.
+
+Oracle orders SEM_MATCH triple patterns using its cost-based optimizer;
+we replicate the essential behaviour with a greedy selectivity planner:
+repeatedly pick the cheapest remaining pattern, preferring patterns that
+share a variable with what is already bound (index-nested-loop joins
+instead of cartesian products).
+
+The cardinality estimate asks the graph's indexes directly
+(:meth:`Graph.count` with unbound positions as wildcards), so estimates
+are exact for the already-ground positions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.rdf.terms import Triple, Variable
+
+
+def pattern_variables(pattern: Triple) -> Set[str]:
+    """The variable names appearing in one triple pattern."""
+    return {t.name for t in pattern if isinstance(t, Variable)}
+
+
+def pattern_selectivity(graph, pattern: Triple, bound: Set[str]) -> int:
+    """Estimated result cardinality of ``pattern`` given ``bound`` vars.
+
+    Positions holding constants keep their constant; positions holding a
+    variable are wildcards. A variable that is already bound upstream
+    still counts as a wildcard for the index estimate (its value differs
+    per upstream row), but such patterns get preferred by the join-order
+    heuristic anyway because they share variables.
+    """
+    s, p, o = (None if isinstance(t, Variable) else t for t in pattern)
+    return graph.count(s, p, o)
+
+
+def order_patterns(graph, patterns: Sequence[Triple]) -> List[Triple]:
+    """Greedy join order: cheapest-first, connected-first.
+
+    Returns a permutation of ``patterns``. Deterministic: ties break on
+    the original pattern position.
+    """
+    remaining = list(enumerate(patterns))
+    ordered: List[Triple] = []
+    bound: Set[str] = set()
+    while remaining:
+        best = None
+        best_key = None
+        for idx, pat in remaining:
+            shares = bool(pattern_variables(pat) & bound) or not bound
+            estimate = pattern_selectivity(graph, pat, bound)
+            unbound_vars = len(pattern_variables(pat) - bound)
+            # connected patterns first, then lowest estimate, fewest new
+            # variables, original order
+            key = (not shares, estimate, unbound_vars, idx)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (idx, pat)
+        remaining.remove(best)
+        ordered.append(best[1])
+        bound |= pattern_variables(best[1])
+    return ordered

@@ -1,0 +1,153 @@
+"""Solution sequences: the row sets SELECT queries return."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.rdf.terms import IRI, Literal, Term
+
+
+class Row:
+    """One solution: an immutable mapping from variable name to term.
+
+    Missing (unbound) variables yield ``None`` on item access so callers
+    can consume OPTIONAL results without try/except.
+    """
+
+    __slots__ = ("_binding",)
+
+    def __init__(self, binding: Dict[str, Term]):
+        self._binding = dict(binding)
+
+    def __getitem__(self, name: str) -> Optional[Term]:
+        return self._binding.get(name)
+
+    def get(self, name: str, default=None):
+        return self._binding.get(name, default)
+
+    def value(self, name: str):
+        """The Python value of a variable (literal → native, IRI → str)."""
+        term = self._binding.get(name)
+        if term is None:
+            return None
+        if isinstance(term, Literal):
+            return term.to_python()
+        if isinstance(term, IRI):
+            return term.value
+        return term.label
+
+    def asdict(self) -> Dict[str, Term]:
+        return dict(self._binding)
+
+    def keys(self):
+        return self._binding.keys()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._binding
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Row):
+            return other._binding == self._binding
+        if isinstance(other, dict):
+            return other == self._binding
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._binding.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"?{k}={v.n3()}" for k, v in sorted(self._binding.items()))
+        return f"Row({inner})"
+
+
+class SolutionSequence:
+    """An ordered sequence of :class:`Row` with a column list."""
+
+    def __init__(self, columns: Sequence[str], rows: Sequence[Row]):
+        self.columns = list(columns)
+        self._rows = list(rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SolutionSequence):
+            return NotImplemented
+        return self.columns == other.columns and self._rows == other._rows
+
+    def column(self, name: str) -> List[Optional[Term]]:
+        """All values of one output column, in row order."""
+        return [row[name] for row in self._rows]
+
+    def values(self, name: str) -> List:
+        """Python values of one column (see :meth:`Row.value`)."""
+        return [row.value(name) for row in self._rows]
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Rows as plain dicts of Python values."""
+        return [
+            {col: row.value(col) for col in self.columns} for row in self._rows
+        ]
+
+    def to_csv(self, delimiter: str = ",") -> str:
+        """Render as CSV (RFC-4180 quoting), header row first.
+
+        IRIs export as their plain text, literals as their lexical form —
+        the shape spreadsheet-bound meta-data consumers expect.
+        """
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+        writer.writerow(self.columns)
+        for row in self._rows:
+            writer.writerow(
+                ["" if row[c] is None else _csv_value(row[c]) for c in self.columns]
+            )
+        return buffer.getvalue()
+
+    def as_table(self, max_width: int = 40) -> str:
+        """Render as a fixed-width ASCII table (for CLIs and examples)."""
+        headers = [f"?{c}" for c in self.columns]
+        body = []
+        for row in self._rows:
+            cells = []
+            for col in self.columns:
+                term = row[col]
+                text = "" if term is None else term.n3()
+                if len(text) > max_width:
+                    text = text[: max_width - 3] + "..."
+                cells.append(text)
+            body.append(cells)
+        widths = [
+            max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+            for i, h in enumerate(headers)
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for cells in body:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(cells, widths)))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<SolutionSequence columns={self.columns} rows={len(self._rows)}>"
+
+
+def _csv_value(term: Term) -> str:
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, IRI):
+        return term.value
+    return term.n3()

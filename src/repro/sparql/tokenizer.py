@@ -1,0 +1,252 @@
+"""Tokenizer for the SPARQL subset.
+
+Produces a flat token list for the recursive-descent parser. Token kinds:
+
+========= ==========================================================
+kind       examples
+========= ==========================================================
+IRIREF     ``<http://...>``
+PNAME      ``dm:hasName``, ``rdf:type``, ``dm:`` (prefix declaration)
+VAR        ``?term``, ``$term``
+STRING     ``"customer"``, ``'customer'``
+NUMBER     ``42``, ``-3.5``
+KEYWORD    ``SELECT``, ``WHERE``, ``FILTER``, ... (case-insensitive)
+NAME       bare identifiers — function names like ``regex``, and ``a``
+PUNCT      ``{ } ( ) . ; , * = != < > <= >= && || ! + - /``
+========= ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from repro.sparql.errors import SparqlParseError
+
+KEYWORDS = {
+    "SELECT",
+    "DISTINCT",
+    "REDUCED",
+    "WHERE",
+    "FILTER",
+    "OPTIONAL",
+    "UNION",
+    "PREFIX",
+    "BASE",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "OFFSET",
+    "GROUP",
+    "HAVING",
+    "ASK",
+    "CONSTRUCT",
+    "DESCRIBE",
+    "AS",
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AVG",
+    "GROUP_CONCAT",
+    "SAMPLE",
+    "NOT",
+    "IN",
+    "TRUE",
+    "FALSE",
+    "BIND",
+    "VALUES",
+    "MINUS",
+    "EXISTS",
+    "UNDEF",
+}
+
+_PUNCT_2 = ("<=", ">=", "!=", "&&", "||", "^^")
+_PUNCT_1 = "{}().;,*=<>!+-/|^"
+
+
+class Token(NamedTuple):
+    kind: str
+    value: str
+    position: int
+    line: int
+
+    def matches(self, kind: str, value: str = None) -> bool:
+        if self.kind != kind:
+            return False
+        if value is None:
+            return True
+        if kind == "KEYWORD":
+            return self.value.upper() == value.upper()
+        return self.value == value
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; raises :class:`SparqlParseError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "#":
+            nl = text.find("\n", i)
+            i = n if nl == -1 else nl
+            continue
+        start = i
+        if ch == "<":
+            # IRIREF only when it looks like one; otherwise '<' comparison.
+            end = _find_iri_end(text, i)
+            if end is not None:
+                tokens.append(Token("IRIREF", text[i + 1 : end], start, line))
+                i = end + 1
+                continue
+            if text.startswith("<=", i):
+                tokens.append(Token("PUNCT", "<=", start, line))
+                i += 2
+            else:
+                tokens.append(Token("PUNCT", "<", start, line))
+                i += 1
+            continue
+        if ch in "?$":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j == i + 1:
+                if ch == "?":
+                    # a bare '?' is the zero-or-one property-path modifier
+                    tokens.append(Token("PUNCT", "?", start, line))
+                    i += 1
+                    continue
+                raise SparqlParseError("empty variable name", start, line)
+            tokens.append(Token("VAR", text[i + 1 : j], start, line))
+            i = j
+            continue
+        if ch in "\"'":
+            value, i = _read_string(text, i, line)
+            tokens.append(Token("STRING", value, start, line))
+            continue
+        two = text[i : i + 2]
+        if two in _PUNCT_2:
+            tokens.append(Token("PUNCT", two, start, line))
+            i += 2
+            continue
+        if ch.isdigit() or (ch in "+-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot and j + 1 < n and text[j + 1].isdigit())):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], start, line))
+            i = j
+            continue
+        if ch in _PUNCT_1:
+            tokens.append(Token("PUNCT", ch, start, line))
+            i += 1
+            continue
+        if ch == "@":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "-"):
+                j += 1
+            if j == i + 1:
+                raise SparqlParseError("empty language tag", start, line)
+            tokens.append(Token("LANGTAG", text[i + 1 : j], start, line))
+            i = j
+            continue
+        if ch == "_" and text.startswith("_:", i):
+            j = i + 2
+            while j < n and (text[j].isalnum() or text[j] in "_-"):
+                j += 1
+            tokens.append(Token("BNODE", text[i + 2 : j], start, line))
+            i = j
+            continue
+        if ch.isalpha():
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "_-."):
+                j += 1
+            # back off trailing dots (statement terminators)
+            while j > i and text[j - 1] == ".":
+                j -= 1
+            word = text[i:j]
+            if j < n and text[j] == ":":
+                # prefixed name: prefix ':' local?
+                k = j + 1
+                while k < n and (text[k].isalnum() or text[k] in "_-."):
+                    k += 1
+                while k > j + 1 and text[k - 1] == ".":
+                    k -= 1
+                tokens.append(Token("PNAME", text[i:k], start, line))
+                i = k
+                continue
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), start, line))
+            else:
+                tokens.append(Token("NAME", word, start, line))
+            i = j
+            continue
+        if ch == ":":
+            # default-prefix name  :local
+            k = i + 1
+            while k < n and (text[k].isalnum() or text[k] in "_-."):
+                k += 1
+            while k > i + 1 and text[k - 1] == ".":
+                k -= 1
+            tokens.append(Token("PNAME", text[i:k], start, line))
+            i = k
+            continue
+        raise SparqlParseError(f"unexpected character {ch!r}", start, line)
+    tokens.append(Token("EOF", "", n, line))
+    return tokens
+
+
+def _find_iri_end(text: str, i: int):
+    """Return the index of the closing '>' if text[i:] starts an IRIREF."""
+    j = i + 1
+    n = len(text)
+    while j < n:
+        ch = text[j]
+        if ch == ">":
+            return j if j > i + 1 else None  # '<>' is never an IRIREF
+        if ch.isspace() or ch in "<\"{}|^`":
+            return None
+        j += 1
+    return None
+
+
+def _read_string(text: str, i: int, line: int):
+    quote = text[i]
+    j = i + 1
+    n = len(text)
+    out = []
+    while j < n:
+        ch = text[j]
+        if ch == "\\":
+            if j + 1 >= n:
+                raise SparqlParseError("dangling backslash in string", i, line)
+            esc = text[j + 1]
+            mapping = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", '"': '"', "'": "'"}
+            if esc in mapping:
+                out.append(mapping[esc])
+                j += 2
+                continue
+            if esc == "u":
+                out.append(chr(int(text[j + 2 : j + 6], 16)))
+                j += 6
+                continue
+            raise SparqlParseError(f"unknown escape \\{esc}", i, line)
+        if ch == quote:
+            return "".join(out), j + 1
+        if ch == "\n":
+            raise SparqlParseError("newline in string literal", i, line)
+        out.append(ch)
+        j += 1
+    raise SparqlParseError("unterminated string literal", i, line)

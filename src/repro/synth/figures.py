@@ -1,0 +1,158 @@
+"""Exact builders for the paper's running examples.
+
+* :func:`build_figure2_example` — the Customer data flow of Figure 2:
+  staging ``customer_id`` (string) → integration ``partner_id``
+  (integer, with the Individual/Institution generalization) → data-mart
+  ``client``.
+* :func:`build_figure3_snippet` — the three-layer Customer
+  Identification snippet of Figure 3, which Figures 5 and 8 walk:
+  ``client_information_id`` → ``partner_id`` → ``customer_id`` at the
+  fact layer, the ``Application1_View_Column`` schema classes above it,
+  and the class hierarchy on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.model import World
+from repro.core.vocabulary import TERMS
+from repro.core.warehouse import MetadataWarehouse
+from repro.rdf.terms import IRI
+
+
+@dataclass
+class Figure2Example:
+    warehouse: MetadataWarehouse
+    staging_customer_id: IRI
+    integration_partner_id: IRI
+    mart_client_id: IRI
+    classes: Dict[str, IRI]
+
+
+def build_figure2_example() -> Figure2Example:
+    """The Figure 2 customer pipeline, exactly as the paper tells it."""
+    mdw = MetadataWarehouse()
+    s = mdw.schema
+
+    # business generalization: Individuals and Institutions are Partners
+    party = s.declare_class("Party", world=World.BUSINESS)
+    partner = s.declare_class("Partner", world=World.BUSINESS, parents=party)
+    s.declare_class("Individual", world=World.BUSINESS, parents=partner)
+    s.declare_class("Institution", world=World.BUSINESS, parents=partner)
+    client = s.declare_class("Client", world=World.BUSINESS, parents=party)
+
+    item = s.declare_class("Item")
+    attribute = s.declare_class("Attribute", parents=item)
+    source_column = s.declare_class("Source Column", parents=attribute)
+    column = s.declare_class("Column", parents=attribute)
+    mart_column = s.declare_class("Mart Column", parents=column)
+
+    # DWH inbound interface (staging): Customer entities keyed by
+    # customer_id, a string
+    staging_customer_id = mdw.facts.add_instance(
+        "staging_customer_id", source_column, display_name="customer_id"
+    )
+    mdw.facts.set_area(staging_customer_id, TERMS.area_inbound)
+    mdw.facts.set_level(staging_customer_id, TERMS.level_physical)
+
+    # integration: all Partners referenced by partner_id, an integer
+    integration_partner_id = mdw.facts.add_instance(
+        "int_partner_id", column, display_name="partner_id"
+    )
+    mdw.facts.set_area(integration_partner_id, TERMS.area_integration)
+    mdw.facts.set_level(integration_partner_id, TERMS.level_logical)
+    mdw.facts.add_mapping(
+        staging_customer_id,
+        integration_partner_id,
+        rule="customer_id (string) -> unique partner_id (integer)",
+    )
+
+    # data mart: all customers are referred to as Clients
+    mart_client_id = mdw.facts.add_instance(
+        "mart_client_id", mart_column, display_name="client_id"
+    )
+    mdw.facts.set_area(mart_client_id, TERMS.area_mart)
+    mdw.facts.set_level(mart_client_id, TERMS.level_conceptual)
+    mdw.facts.add_mapping(
+        integration_partner_id,
+        mart_client_id,
+        rule="partner (Individuals and Institutions) -> client",
+    )
+
+    return Figure2Example(
+        warehouse=mdw,
+        staging_customer_id=staging_customer_id,
+        integration_partner_id=integration_partner_id,
+        mart_client_id=mart_client_id,
+        classes={
+            "Party": party,
+            "Partner": partner,
+            "Client": client,
+            "Source Column": source_column,
+            "Column": column,
+            "Mart Column": mart_column,
+        },
+    )
+
+
+@dataclass
+class Figure3Snippet:
+    warehouse: MetadataWarehouse
+    client_information_id: IRI
+    partner_id: IRI
+    customer_id: IRI
+    classes: Dict[str, IRI]
+
+
+def build_figure3_snippet() -> Figure3Snippet:
+    """The Customer Identification snippet of Figure 3 / 5 / 8."""
+    mdw = MetadataWarehouse()
+    s = mdw.schema
+
+    # hierarchy layer (top of Figure 3)
+    item = s.declare_class("Item")
+    attribute = s.declare_class("Attribute", parents=item)
+    interface_item = s.declare_class("Interface Item", parents=item)
+    application1_item = s.declare_class("Application1 Item", parents=item)
+    source_file_column = s.declare_class("Source File Column", parents=attribute)
+    # the class Figure 5's narrowing singles out: a view column belonging
+    # to Application1 that is also part of an interface
+    application1_view_column = s.declare_class(
+        "Application1 View Column",
+        label="Column",
+        parents=[attribute, application1_item, interface_item],
+    )
+
+    # fact layer (bottom): the mapping chain of Figure 3
+    client_information_id = mdw.facts.add_instance(
+        "client_information_id", source_file_column, display_name="client_information_id"
+    )
+    mdw.facts.set_area(client_information_id, TERMS.area_inbound)
+    partner_id = mdw.facts.add_instance(
+        "partner_id", source_file_column, display_name="partner_id"
+    )
+    mdw.facts.set_area(partner_id, TERMS.area_integration)
+    customer_id = mdw.facts.add_instance(
+        "customer_id", application1_view_column, display_name="customer_id"
+    )
+    mdw.facts.set_area(customer_id, TERMS.area_mart)
+
+    mdw.facts.add_mapping(client_information_id, partner_id)
+    mdw.facts.add_mapping(partner_id, customer_id)
+
+    return Figure3Snippet(
+        warehouse=mdw,
+        client_information_id=client_information_id,
+        partner_id=partner_id,
+        customer_id=customer_id,
+        classes={
+            "Item": item,
+            "Attribute": attribute,
+            "Interface Item": interface_item,
+            "Application1 Item": application1_item,
+            "Source File Column": source_file_column,
+            "Application1 View Column": application1_view_column,
+        },
+    )

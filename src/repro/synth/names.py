@@ -1,0 +1,107 @@
+"""Deterministic banking-flavoured name pools.
+
+The generator needs names that look like a bank's meta-data: business
+entities ("customer", "portfolio"), cryptic legacy table names
+("TCD100" — the paper's own example), application names, and person
+names for the Roles subject area.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+BUSINESS_ENTITIES = [
+    "customer", "client", "partner", "party", "individual", "institution",
+    "account", "transaction", "payment", "portfolio", "position", "trade",
+    "order", "instrument", "security", "loan", "mortgage", "deposit",
+    "card", "branch", "advisor", "product", "contract", "collateral",
+    "currency", "counterparty", "settlement", "statement", "fee", "rate",
+]
+
+ATTRIBUTE_SUFFIXES = [
+    "id", "name", "type", "status", "date", "amount", "balance", "code",
+    "number", "currency", "country", "segment", "category", "flag",
+    "timestamp", "reference", "description", "limit", "rating", "channel",
+]
+
+APPLICATION_DOMAINS = [
+    "payments", "custody", "trading", "risk", "compliance", "crm",
+    "lending", "treasury", "settlement", "reporting", "pricing",
+    "onboarding", "tax", "fx", "collateral", "clearing", "archiving",
+    "billing", "fraud", "liquidity",
+]
+
+APPLICATION_SUFFIXES = ["core", "hub", "engine", "suite", "gateway", "desk", "monitor"]
+
+ROLE_NAMES = [
+    "business owner", "business user", "consultant", "investment banker",
+    "accountant", "administrator", "support", "auditor", "data steward",
+]
+
+FIRST_NAMES = [
+    "anna", "beat", "claudia", "daniel", "erika", "felix", "gabriela",
+    "hans", "iris", "jonas", "karin", "lukas", "maria", "nico", "olivia",
+    "peter", "regula", "stefan", "teresa", "urs",
+]
+
+LAST_NAMES = [
+    "ackermann", "baumann", "cavelti", "dubois", "egger", "frei",
+    "gerber", "huber", "imhof", "jenni", "keller", "lanz", "meier",
+    "nussbaum", "odermatt", "pfister", "roth", "schneider", "tanner",
+    "vogel",
+]
+
+PROGRAMMING_LANGUAGES = ["cobol", "pl1", "java", "c", "python", "sql", "rexx"]
+
+THIRD_PARTY_SOFTWARE = [
+    "oracle_11g", "db2", "mq_series", "websphere", "tibco", "informatica",
+    "protege", "business_objects", "sap_fi",
+]
+
+
+class NamePool:
+    """Seeded name factory. Every method is deterministic per instance."""
+
+    def __init__(self, seed: int):
+        self._rng = random.Random(seed)
+        self._legacy_counter = 100
+
+    def application_name(self, index: int) -> str:
+        domain = APPLICATION_DOMAINS[index % len(APPLICATION_DOMAINS)]
+        suffix = APPLICATION_SUFFIXES[(index // len(APPLICATION_DOMAINS)) % len(APPLICATION_SUFFIXES)]
+        series = index // (len(APPLICATION_DOMAINS) * len(APPLICATION_SUFFIXES))
+        tail = f"_{series + 2}" if series else ""
+        return f"{domain}_{suffix}{tail}"
+
+    def legacy_table_name(self) -> str:
+        """Cryptic legacy names like the paper's "TCD100"."""
+        prefix = "T" + "".join(self._rng.choice("ABCDEGKMPRSX") for _ in range(2))
+        self._legacy_counter += self._rng.randint(1, 9) * 10
+        return f"{prefix}{self._legacy_counter % 1000:03d}"
+
+    def entity(self) -> str:
+        return self._rng.choice(BUSINESS_ENTITIES)
+
+    def column_name(self, entity: str) -> str:
+        return f"{entity}_{self._rng.choice(ATTRIBUTE_SUFFIXES)}"
+
+    def person(self, index: int) -> str:
+        first = FIRST_NAMES[index % len(FIRST_NAMES)]
+        last = LAST_NAMES[(index // len(FIRST_NAMES)) % len(LAST_NAMES)]
+        series = index // (len(FIRST_NAMES) * len(LAST_NAMES))
+        tail = str(series + 2) if series else ""
+        return f"{first}.{last}{tail}"
+
+    def choice(self, items: Sequence):
+        return self._rng.choice(items)
+
+    def sample(self, items: Sequence, k: int) -> List:
+        k = min(k, len(items))
+        return self._rng.sample(list(items), k)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._rng.randint(low, high)
+
+    def random(self) -> float:
+        return self._rng.random()

@@ -1,0 +1,90 @@
+"""Deep DWH pipeline generator for the path-explosion study (A3).
+
+Section V: "the number of paths is growing exponentially with every
+additional data processing step or stage of the data warehouse."
+:func:`generate_pipeline` builds a k-stage pipeline with a configurable
+fan between stages so that growth is measurable, attaching rule
+conditions to a fraction of the mappings so the condition-filter fix can
+be measured against it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.model import World
+from repro.core.vocabulary import TERMS
+from repro.core.warehouse import MetadataWarehouse
+from repro.rdf.terms import IRI
+
+
+@dataclass
+class Pipeline:
+    """Handles into a generated k-stage pipeline."""
+
+    warehouse: MetadataWarehouse
+    stages: List[List[IRI]]        # stage 0 = sources, last = report items
+    conditions_used: List[str]
+
+    @property
+    def source(self) -> IRI:
+        return self.stages[0][0]
+
+    @property
+    def depth(self) -> int:
+        return len(self.stages) - 1
+
+
+def generate_pipeline(
+    stages: int,
+    items_per_stage: int = 3,
+    fan: int = 2,
+    condition_fraction: float = 0.5,
+    conditions: Optional[List[str]] = None,
+    seed: int = 7,
+    warehouse: Optional[MetadataWarehouse] = None,
+) -> Pipeline:
+    """Build a pipeline of ``stages`` processing steps.
+
+    Every item of stage *i* maps into ``fan`` items of stage *i+1*
+    (chosen round-robin), so the number of source→sink paths grows
+    roughly like ``fan**stages``. ``condition_fraction`` of the mapping
+    edges carry one of ``conditions`` as their rule condition.
+    """
+    if stages < 1:
+        raise ValueError("a pipeline needs at least one stage hop")
+    if fan < 1 or items_per_stage < 1:
+        raise ValueError("fan and items_per_stage must be >= 1")
+    mdw = warehouse or MetadataWarehouse()
+    conditions = conditions or ["country = 'CH'", "segment = 'private'"]
+    rng = random.Random(seed)
+
+    stage_cls = mdw.schema.declare_class("Pipeline Item", world=World.TECHNICAL)
+    layers: List[List[IRI]] = []
+    for s in range(stages + 1):
+        layer = [
+            mdw.facts.add_instance(f"stage{s}_item{i}", stage_cls)
+            for i in range(items_per_stage)
+        ]
+        if s == 0:
+            area = TERMS.area_inbound
+        elif s == stages:
+            area = TERMS.area_mart
+        else:
+            area = TERMS.area_integration
+        for item in layer:
+            mdw.facts.set_area(item, area)
+        layers.append(layer)
+
+    for s in range(stages):
+        for i, item in enumerate(layers[s]):
+            for f in range(fan):
+                target = layers[s + 1][(i + f) % items_per_stage]
+                condition = None
+                if rng.random() < condition_fraction:
+                    condition = rng.choice(conditions)
+                mdw.facts.add_mapping(item, target, condition=condition)
+
+    return Pipeline(warehouse=mdw, stages=layers, conditions_used=list(conditions))

@@ -1,0 +1,23 @@
+"""Text renderings of the meta-data warehouse frontend.
+
+The paper's screenshots are reproduced as deterministic text panes:
+
+* :func:`render_search_results` — the grouped result list of Figure 6;
+* :func:`render_lineage_panes` — the two-pane provenance drill-down of
+  Figure 7;
+* :func:`render_graph_snippet` — the three-layer graph view of Figure 3
+  (facts / meta-data schema / hierarchy).
+"""
+
+from repro.ui.search_view import render_search_results
+from repro.ui.lineage_view import render_lineage_panes, render_trace
+from repro.ui.graph_view import render_graph_snippet
+from repro.ui.landscape_view import render_landscape_overview
+
+__all__ = [
+    "render_graph_snippet",
+    "render_landscape_overview",
+    "render_lineage_panes",
+    "render_search_results",
+    "render_trace",
+]

@@ -1,0 +1,73 @@
+"""The Figure 3 pane: the three-layer view of a graph snippet.
+
+Figure 3 draws the meta-data warehouse with the hierarchy on top, the
+meta-data schema in the middle, and the facts at the bottom. This
+renderer classifies every edge of a (small) graph against Table I and
+prints it under its layer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.model import EdgeCategory, classify_edge, TableIViolation
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import NamespaceManager, DM, DT
+from repro.rdf.terms import Literal, Term
+
+from repro.core.vocabulary import MDW
+
+
+def _default_nsm() -> NamespaceManager:
+    nsm = NamespaceManager()
+    nsm.bind("dm", DM)
+    nsm.bind("dt", DT)
+    nsm.bind("mdw", MDW)
+    nsm.bind("cs", "http://www.credit-suisse.com/dwh/")
+    return nsm
+
+
+def _term_text(term: Term, nsm: NamespaceManager) -> str:
+    if isinstance(term, Literal):
+        return f'"{term.lexical}"'
+    compacted = nsm.compact(term) if hasattr(term, "value") else None
+    return compacted or term.n3()
+
+
+def render_graph_snippet(
+    graph: Graph,
+    nsm: NamespaceManager = None,
+    max_edges_per_layer: int = 30,
+) -> str:
+    """Render a graph in Figure 3's three layers (top to bottom:
+    hierarchies, meta-data schema, facts)."""
+    nsm = nsm or _default_nsm()
+    layers = {category: [] for category in EdgeCategory}
+    violations: List[str] = []
+    for triple in graph:
+        line = (
+            f"{_term_text(triple.subject, nsm)} "
+            f"--{_term_text(triple.predicate, nsm)}--> "
+            f"{_term_text(triple.object, nsm)}"
+        )
+        try:
+            classification = classify_edge(graph, triple)
+        except TableIViolation:
+            violations.append(line)
+            continue
+        layers[classification.category].append(line)
+
+    lines: List[str] = []
+    for category in (EdgeCategory.HIERARCHY, EdgeCategory.SCHEMA, EdgeCategory.FACTS):
+        edges = sorted(layers[category])
+        title = category.value.upper()
+        lines.append(f"=== {title} ({len(edges)} edge(s)) ===")
+        for edge in edges[:max_edges_per_layer]:
+            lines.append(f"  {edge}")
+        if len(edges) > max_edges_per_layer:
+            lines.append(f"  ... {len(edges) - max_edges_per_layer} more")
+        lines.append("")
+    if violations:
+        lines.append(f"=== OUTSIDE TABLE I ({len(violations)}) ===")
+        lines.extend(f"  {v}" for v in sorted(violations))
+    return "\n".join(lines).rstrip() + "\n"

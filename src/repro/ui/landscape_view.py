@@ -1,0 +1,74 @@
+"""The Figure 1 / Figure 9 pane: the subject areas of the IT landscape.
+
+Applications sit in the center of Figure 1, surrounded by the other
+subject areas; Figure 9 adds the extended scope. The renderer draws the
+generated landscape in the same arrangement, with entity counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: (title, [subject-area keys]) in display order — the Figure 1 ring.
+CORE_BLOCKS: Sequence[Tuple[str, Sequence[str]]] = (
+    ("Applications", ("applications",)),
+    ("Databases", ("databases",)),
+    ("Data Definitions", ("schemas", "tables", "columns", "files")),
+    ("Interfaces", ("interfaces",)),
+    ("Data Flows", ("data flows", "staging columns", "integration columns")),
+    ("Roles", ("roles", "users")),
+    ("Business Concepts", ("domains", "conceptual entities", "conceptual attributes")),
+    ("Reports", ("reports", "report attributes")),
+)
+
+#: the Figure 9 additions
+EXTENDED_BLOCKS: Sequence[Tuple[str, Sequence[str]]] = (
+    ("Logs", ("log files",)),
+    ("Technical Components", ("technical components", "component links")),
+    ("Data Governance", ("governance links",)),
+)
+
+
+def render_landscape_overview(
+    subject_area_counts: Dict[str, int],
+    title: str = "IT landscape subject areas (Figure 1)",
+    width: int = 64,
+) -> str:
+    """Render per-subject-area counts in the Figure 1 arrangement.
+
+    Extended-scope blocks appear automatically when their counts are
+    present (i.e. the Figure 9 variant of the landscape).
+    """
+    lines: List[str] = [title, "=" * min(width, len(title))]
+
+    def emit(block_title: str, keys: Sequence[str]) -> bool:
+        present = [(key, subject_area_counts[key]) for key in keys if key in subject_area_counts]
+        if not present:
+            return False
+        total = sum(count for _, count in present)
+        lines.append(f"[ {block_title} — {total} ]")
+        for key, count in present:
+            lines.append(f"    {key:<28} {count:>8}")
+        return True
+
+    for block_title, keys in CORE_BLOCKS:
+        emit(block_title, keys)
+
+    extended_rendered = False
+    for block_title, keys in EXTENDED_BLOCKS:
+        if any(key in subject_area_counts for key in keys):
+            if not extended_rendered:
+                lines.append("")
+                lines.append("-- extended scope (Figure 9) --")
+                extended_rendered = True
+            emit(block_title, keys)
+
+    leftovers = set(subject_area_counts) - {
+        key for _, keys in (*CORE_BLOCKS, *EXTENDED_BLOCKS) for key in keys
+    }
+    if leftovers:
+        lines.append("")
+        lines.append("[ Other ]")
+        for key in sorted(leftovers):
+            lines.append(f"    {key:<28} {subject_area_counts[key]:>8}")
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""The Figure 6 pane: search results grouped by class with counts."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.services.search import SearchResults
+
+
+def render_search_results(
+    results: SearchResults,
+    expand: Optional[str] = None,
+    width: int = 60,
+) -> str:
+    """Render the grouped result list of Figure 6.
+
+    ``expand`` names a group label to expand (the user clicking a row),
+    listing its member instances underneath.
+    """
+    lines = [f'Search Results for "{results.term}"']
+    if len(results.expanded_terms) > 1:
+        lines.append("  (expanded: " + ", ".join(results.expanded_terms) + ")")
+    if results.homonym_warnings:
+        lines.append(
+            "  (warning: homonyms exist — " + ", ".join(results.homonym_warnings) + ")"
+        )
+    lines.append("-" * width)
+    if not results:
+        lines.append("  no results")
+        return "\n".join(lines)
+    for cls, label, count in results.groups():
+        lines.append(f"  {label:<{width - 12}} ({count})")
+        if expand is not None and label == expand:
+            for hit in sorted(
+                results.group_members(cls), key=lambda h: h.name
+            ):
+                lines.append(f"      {hit.name}")
+    lines.append("-" * width)
+    lines.append(f"  {len(results)} distinct item(s)")
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Unit tests for the Table I type system (node kinds, edge categories)."""
+
+import pytest
+
+from repro.core import EdgeCategory, NodeKind, classify_edge, node_kind
+from repro.core.model import TableIViolation
+from repro.rdf import Graph, IRI, Literal, Namespace, OWL, RDF, RDFS, Triple
+
+EX = Namespace("http://x/")
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.add(Triple(EX.Customer, RDF.type, OWL.Class))
+    g.add(Triple(EX.Individual, RDF.type, OWL.Class))
+    g.add(Triple(EX.hasName, RDF.type, RDF.Property))
+    g.add(Triple(EX.john, RDF.type, EX.Customer))
+    g.add(Triple(EX.jane, RDF.type, EX.Customer))
+    return g
+
+
+class TestNodeKind:
+    def test_literal_is_value(self, graph):
+        assert node_kind(graph, Literal("Zurich")) is NodeKind.VALUE
+
+    def test_marked_class(self, graph):
+        assert node_kind(graph, EX.Customer) is NodeKind.CLASS
+
+    def test_rdfs_class_marker(self):
+        g = Graph([Triple(EX.C, RDF.type, RDFS.Class)])
+        assert node_kind(g, EX.C) is NodeKind.CLASS
+
+    def test_marked_property(self, graph):
+        assert node_kind(graph, EX.hasName) is NodeKind.PROPERTY
+
+    def test_owl_object_property_marker(self):
+        g = Graph([Triple(EX.p, RDF.type, OWL.ObjectProperty)])
+        assert node_kind(g, EX.p) is NodeKind.PROPERTY
+
+    def test_unmarked_is_instance(self, graph):
+        assert node_kind(graph, EX.john) is NodeKind.INSTANCE
+        assert node_kind(graph, EX.unseen) is NodeKind.INSTANCE
+
+    def test_vocabulary_terms_are_classes(self, graph):
+        assert node_kind(graph, OWL.Class) is NodeKind.CLASS
+        assert node_kind(graph, RDF.Property) is NodeKind.CLASS
+
+
+class TestClassifyEdge:
+    def test_instance_instance_fact(self, graph):
+        c = classify_edge(graph, Triple(EX.john, EX.knows, EX.jane))
+        assert c.category is EdgeCategory.FACTS
+        assert c.cell == "Edges (Instance, Instance)"
+
+    def test_instance_value_fact(self, graph):
+        c = classify_edge(graph, Triple(EX.john, EX.hasName, Literal("John")))
+        assert c.category is EdgeCategory.FACTS
+        assert c.cell == "Edges (Instance, Value)"
+
+    def test_rdf_type_fact(self, graph):
+        c = classify_edge(graph, Triple(EX.john, RDF.type, EX.Customer))
+        assert c.category is EdgeCategory.FACTS
+        assert c.cell == "Edges (Class, Instance)"
+
+    def test_class_marker_fact(self, graph):
+        c = classify_edge(graph, Triple(EX.Customer, RDF.type, OWL.Class))
+        assert c.category is EdgeCategory.FACTS
+
+    def test_property_value_fact(self, graph):
+        c = classify_edge(graph, Triple(EX.hasName, RDFS.comment, Literal("a name")))
+        assert c.category is EdgeCategory.FACTS
+        assert c.cell == "Edges (Value, Property)"
+
+    def test_domain_is_schema(self, graph):
+        c = classify_edge(graph, Triple(EX.hasName, RDFS.domain, EX.Customer))
+        assert c.category is EdgeCategory.SCHEMA
+        assert c.cell == "Edges (Class, Property)"
+
+    def test_range_is_schema(self, graph):
+        c = classify_edge(graph, Triple(EX.hasName, RDFS.range, EX.Individual))
+        assert c.category is EdgeCategory.SCHEMA
+
+    def test_class_label_is_schema(self, graph):
+        c = classify_edge(graph, Triple(EX.Customer, RDFS.label, Literal("Customer")))
+        assert c.category is EdgeCategory.SCHEMA
+        assert c.cell == "Edges (Class, Value)"
+
+    def test_subclass_is_hierarchy(self, graph):
+        c = classify_edge(graph, Triple(EX.Individual, RDFS.subClassOf, EX.Customer))
+        assert c.category is EdgeCategory.HIERARCHY
+        assert c.cell == "Edges (Class, Class)"
+
+    def test_subproperty_is_hierarchy(self, graph):
+        c = classify_edge(graph, Triple(EX.hasName, RDFS.subPropertyOf, EX.hasLabel))
+        assert c.category is EdgeCategory.HIERARCHY
+        assert c.cell == "Edges (Property, Property)"
+
+    def test_subclass_marker_wins_over_kinds(self, graph):
+        # even between unmarked nodes, rdfs:subClassOf is a hierarchy edge
+        c = classify_edge(graph, Triple(EX.unknown1, RDFS.subClassOf, EX.unknown2))
+        assert c.category is EdgeCategory.HIERARCHY
+
+    def test_instance_to_property_forbidden(self, graph):
+        with pytest.raises(TableIViolation) as exc:
+            classify_edge(graph, Triple(EX.john, EX.weird, EX.hasName))
+        assert exc.value.subject_kind is NodeKind.INSTANCE
+        assert exc.value.object_kind is NodeKind.PROPERTY
+
+    def test_instance_to_class_non_type_forbidden(self, graph):
+        # relating an instance to a class through an arbitrary predicate
+        # is exactly the unstructured mess Table I forbids
+        with pytest.raises(TableIViolation):
+            classify_edge(graph, Triple(EX.Customer, EX.weird, EX.john))
+
+    def test_explicit_kinds_skip_inference(self, graph):
+        c = classify_edge(
+            graph,
+            Triple(EX.a, EX.p, EX.b),
+            subject_kind=NodeKind.INSTANCE,
+            object_kind=NodeKind.INSTANCE,
+        )
+        assert c.category is EdgeCategory.FACTS

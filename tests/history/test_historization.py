@@ -1,0 +1,223 @@
+"""Unit tests for historization: snapshots, diffs, release simulation."""
+
+import pytest
+
+from repro.core import MetadataWarehouse
+from repro.history import (
+    GrowthProfile,
+    HistorizationError,
+    Historizer,
+    ReleaseCycleSimulator,
+    Version,
+    VersionDiff,
+    diff_graphs,
+)
+from repro.rdf import Graph, IRI, Namespace, ReadOnlyGraphError, Triple
+
+EX = Namespace("http://x/")
+
+
+@pytest.fixture
+def mdw():
+    mdw = MetadataWarehouse()
+    cls = mdw.schema.declare_class("Thing")
+    mdw.facts.add_instance("t1", cls)
+    return mdw
+
+
+@pytest.fixture
+def hist(mdw):
+    return Historizer(mdw.store)
+
+
+class TestSnapshot:
+    def test_snapshot_copies_current(self, mdw, hist):
+        version = hist.snapshot("2009.R1")
+        assert version.edge_count == len(mdw.graph)
+        assert version.graph == mdw.graph
+
+    def test_snapshot_is_frozen(self, mdw, hist):
+        version = hist.snapshot("2009.R1")
+        with pytest.raises(ReadOnlyGraphError):
+            version.graph.add(Triple(EX.a, EX.p, EX.b))
+
+    def test_snapshot_isolated_from_later_changes(self, mdw, hist):
+        version = hist.snapshot("2009.R1")
+        before = version.edge_count
+        cls = mdw.schema.declare_class("Later")
+        mdw.facts.add_instance("l1", cls)
+        assert version.edge_count == before
+        assert len(mdw.graph) > before
+
+    def test_snapshot_queryable_through_store(self, mdw, hist):
+        hist.snapshot("2009.R1")
+        assert mdw.store.has_model("HIST_2009.R1")
+        view = mdw.store.view(["HIST_2009.R1"])
+        assert len(view) == len(mdw.graph)
+
+    def test_duplicate_name_rejected(self, mdw, hist):
+        hist.snapshot("2009.R1")
+        with pytest.raises(HistorizationError):
+            hist.snapshot("2009.R1")
+
+    def test_empty_name_rejected(self, hist):
+        with pytest.raises(HistorizationError):
+            hist.snapshot("")
+
+    def test_sequence_and_parent(self, mdw, hist):
+        v1 = hist.snapshot("R1")
+        v2 = hist.snapshot("R2")
+        assert (v1.sequence, v2.sequence) == (1, 2)
+        assert v1.parent is None
+        assert v2.parent == "R1"
+
+    def test_version_requires_frozen_graph(self):
+        with pytest.raises(ValueError):
+            Version(1, "x", Graph(), 0, 0)
+
+    def test_lookup(self, mdw, hist):
+        hist.snapshot("R1")
+        assert hist.get("R1").name == "R1"
+        assert "R1" in hist
+        assert len(hist) == 1
+        assert hist.latest().name == "R1"
+        with pytest.raises(HistorizationError):
+            hist.get("R9")
+
+    def test_latest_none_when_empty(self, hist):
+        assert hist.latest() is None
+
+    def test_restore(self, mdw, hist):
+        hist.snapshot("R1")
+        size = len(mdw.graph)
+        cls = mdw.schema.declare_class("Extra")
+        mdw.facts.add_instance("e1", cls)
+        hist.restore("R1")
+        assert len(mdw.graph) == size
+
+    def test_storage_cost_sums_versions(self, mdw, hist):
+        v1 = hist.snapshot("R1")
+        v2 = hist.snapshot("R2")
+        assert hist.storage_cost() == v1.edge_count + v2.edge_count
+
+
+class TestDiff:
+    def test_diff_empty_for_identical(self, mdw, hist):
+        hist.snapshot("R1")
+        hist.snapshot("R2")
+        diff = hist.diff("R1", "R2")
+        assert diff.is_empty
+        assert diff.churn == 0
+
+    def test_diff_detects_additions(self, mdw, hist):
+        hist.snapshot("R1")
+        cls = mdw.schema.declare_class("Added")
+        mdw.facts.add_instance("a1", cls)
+        hist.snapshot("R2")
+        diff = hist.diff("R1", "R2")
+        assert len(diff.added) > 0
+        assert len(diff.removed) == 0
+
+    def test_apply_reproduces_target(self, mdw, hist):
+        v1 = hist.snapshot("R1")
+        cls = mdw.schema.declare_class("Added")
+        mdw.facts.add_instance("a1", cls)
+        v2 = hist.snapshot("R2")
+        assert hist.diff("R1", "R2").apply(v1.graph) == v2.graph
+
+    def test_invert(self):
+        old = Graph([Triple(EX.a, EX.p, EX.b)])
+        new = Graph([Triple(EX.a, EX.p, EX.c)])
+        diff = diff_graphs(old, new)
+        assert diff.invert().apply(new) == old
+
+    def test_diff_to_current(self, mdw, hist):
+        hist.snapshot("R1")
+        cls = mdw.schema.declare_class("Live")
+        mdw.facts.add_instance("x", cls)
+        diff = hist.diff_to_current("R1")
+        assert len(diff.added) > 0
+
+    def test_summary(self):
+        diff = diff_graphs(Graph(), Graph([Triple(EX.a, EX.p, EX.b)]))
+        assert diff.summary() == "+1 / -0 triples"
+
+    def test_growth_series(self, mdw, hist):
+        hist.snapshot("R1")
+        cls = mdw.schema.declare_class("G")
+        for i in range(5):
+            mdw.facts.add_instance(f"g{i}", cls)
+        hist.snapshot("R2")
+        series = hist.growth_series()
+        assert series[0]["edge_growth"] is None
+        assert series[1]["edge_growth"] > 0
+
+
+class TestGrowthProfile:
+    def test_paper_defaults(self):
+        profile = GrowthProfile()
+        assert profile.releases_per_year == 8
+        assert profile.annual_growth_low == 0.20
+        assert profile.annual_growth_high == 0.30
+
+    def test_per_release_growth_compounds_to_annual(self):
+        import random
+
+        profile = GrowthProfile(releases_per_year=8)
+        g = profile.per_release_growth(random.Random(1))
+        annual = (1 + g) ** 8 - 1
+        assert 0.20 <= annual <= 0.30
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            GrowthProfile(annual_growth_low=0.5, annual_growth_high=0.2)
+        with pytest.raises(ValueError):
+            GrowthProfile(releases_per_year=0)
+
+
+class TestReleaseSimulator:
+    def make(self, releases_per_year=4):
+        mdw = MetadataWarehouse()
+        cls = mdw.schema.declare_class("Thing")
+        for i in range(50):
+            mdw.facts.add_instance(f"seed{i}", cls)
+        counter = [0]
+
+        def grower(fraction):
+            # each instance adds two triples (rdf:type + dm:hasName)
+            for _ in range(max(1, round(len(mdw.graph) * fraction / 2))):
+                counter[0] += 1
+                mdw.facts.add_instance(f"grown{counter[0]}", cls)
+
+        hist = Historizer(mdw.store)
+        return ReleaseCycleSimulator(
+            hist, grower, GrowthProfile(releases_per_year=releases_per_year), seed=7
+        )
+
+    def test_versions_per_year(self):
+        sim = self.make(releases_per_year=4)
+        records = sim.run(2)
+        assert len(records) == 8
+        names = [r.version.name for r in records]
+        assert names[0] == "2009.R1"
+        assert names[-1] == "2010.R4"
+
+    def test_monotone_growth(self):
+        sim = self.make()
+        records = sim.run(2)
+        sizes = [r.version.edge_count for r in records]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+    def test_annual_growth_in_band(self):
+        sim = self.make(releases_per_year=8)
+        sim.run(3)
+        for entry in sim.annual_growth():
+            if "growth" in entry:
+                # lumpy integer growth widens the band slightly
+                assert 0.10 <= entry["growth"] <= 0.45
+
+    def test_deterministic_per_seed(self):
+        a, b = self.make(), self.make()
+        ra, rb = a.run(1), b.run(1)
+        assert [r.version.edge_count for r in ra] == [r.version.edge_count for r in rb]

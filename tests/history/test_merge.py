@@ -1,0 +1,166 @@
+"""Unit tests for the model-merge operator (Rondo connection)."""
+
+import pytest
+
+from repro.core import MetadataWarehouse, TERMS
+from repro.history import MergeConflictError, merge_graphs
+from repro.rdf import Graph, IRI, Literal, Namespace, Triple
+
+EX = Namespace("http://x/")
+
+
+def g(*triples):
+    return Graph(triples)
+
+
+def name_of(graph, subject):
+    return sorted(l.lexical for l in graph.objects(subject, TERMS.has_name))
+
+
+class TestCleanMerge:
+    def test_disjoint_union(self):
+        left = g(Triple(EX.a, EX.p, EX.b))
+        right = g(Triple(EX.c, EX.p, EX.d))
+        result = merge_graphs(left, right)
+        assert result.clean
+        assert len(result.merged) == 2
+        assert result.left_only == 1 and result.right_only == 1 and result.common == 0
+
+    def test_overlapping_union(self):
+        shared = Triple(EX.a, EX.p, EX.b)
+        left = g(shared, Triple(EX.a, EX.q, EX.c))
+        right = g(shared)
+        result = merge_graphs(left, right)
+        assert result.common == 1
+        assert len(result.merged) == 2
+
+    def test_inputs_untouched(self):
+        left = g(Triple(EX.a, EX.p, EX.b))
+        right = g(Triple(EX.c, EX.p, EX.d))
+        merge_graphs(left, right)
+        assert len(left) == 1 and len(right) == 1
+
+    def test_same_functional_value_no_conflict(self):
+        t = Triple(EX.item, TERMS.has_name, Literal("customer_id"))
+        result = merge_graphs(g(t), g(t))
+        assert result.clean
+
+    def test_only_one_side_has_value(self):
+        left = g(Triple(EX.item, TERMS.has_name, Literal("customer_id")))
+        right = g(Triple(EX.item, EX.other, EX.x))
+        result = merge_graphs(left, right)
+        assert result.clean
+        assert name_of(result.merged, EX.item) == ["customer_id"]
+
+    def test_summary(self):
+        result = merge_graphs(g(Triple(EX.a, EX.p, EX.b)), g())
+        assert "0 conflict(s)" in result.summary()
+
+
+class TestConflicts:
+    def left_right(self):
+        left = g(Triple(EX.item, TERMS.has_name, Literal("customer_id")))
+        right = g(Triple(EX.item, TERMS.has_name, Literal("cust_id")))
+        return left, right
+
+    def test_diverging_names_conflict(self):
+        result = merge_graphs(*self.left_right())
+        assert not result.clean
+        [conflict] = result.conflicts
+        assert conflict.subject == EX.item
+        assert conflict.predicate == TERMS.has_name
+        assert "customer_id" in conflict.describe()
+
+    def test_report_keeps_both(self):
+        result = merge_graphs(*self.left_right())
+        assert name_of(result.merged, EX.item) == ["cust_id", "customer_id"]
+
+    def test_resolve_left(self):
+        result = merge_graphs(*self.left_right(), resolve="left")
+        assert name_of(result.merged, EX.item) == ["customer_id"]
+        assert result.conflicts  # still reported
+
+    def test_resolve_right(self):
+        result = merge_graphs(*self.left_right(), resolve="right")
+        assert name_of(result.merged, EX.item) == ["cust_id"]
+
+    def test_resolve_strict_raises(self):
+        with pytest.raises(MergeConflictError):
+            merge_graphs(*self.left_right(), resolve="strict")
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            merge_graphs(g(), g(), resolve="coin-flip")
+
+    def test_non_functional_properties_never_conflict(self):
+        left = g(Triple(EX.item, EX.tag, Literal("a")))
+        right = g(Triple(EX.item, EX.tag, Literal("b")))
+        result = merge_graphs(left, right)
+        assert result.clean
+        assert len(result.merged) == 2
+
+    def test_custom_functional_properties(self):
+        left = g(Triple(EX.item, EX.tag, Literal("a")))
+        right = g(Triple(EX.item, EX.tag, Literal("b")))
+        result = merge_graphs(left, right, functional_properties=[EX.tag])
+        assert len(result.conflicts) == 1
+
+
+class TestThreeWay:
+    def test_change_beats_kept_base(self):
+        base_triple = Triple(EX.item, TERMS.has_name, Literal("old_name"))
+        base = g(base_triple)
+        left = g(base_triple)  # kept the base value
+        right = g(Triple(EX.item, TERMS.has_name, Literal("new_name")))  # renamed
+        result = merge_graphs(left, right, base=base)
+        assert result.clean
+        assert name_of(result.merged, EX.item) == ["new_name"]
+
+    def test_symmetric(self):
+        base_triple = Triple(EX.item, TERMS.has_name, Literal("old_name"))
+        base = g(base_triple)
+        left = g(Triple(EX.item, TERMS.has_name, Literal("new_name")))
+        right = g(base_triple)
+        result = merge_graphs(left, right, base=base)
+        assert result.clean
+        assert name_of(result.merged, EX.item) == ["new_name"]
+
+    def test_both_changed_differently_conflicts(self):
+        base = g(Triple(EX.item, TERMS.has_name, Literal("old")))
+        left = g(Triple(EX.item, TERMS.has_name, Literal("left_name")))
+        right = g(Triple(EX.item, TERMS.has_name, Literal("right_name")))
+        result = merge_graphs(left, right, base=base)
+        assert len(result.conflicts) == 1
+
+    def test_both_changed_identically_ok(self):
+        base = g(Triple(EX.item, TERMS.has_name, Literal("old")))
+        new = Triple(EX.item, TERMS.has_name, Literal("new"))
+        result = merge_graphs(g(new), g(new), base=base)
+        assert result.clean
+
+
+class TestWarehouseScenario:
+    def test_parallel_rollout_merge(self):
+        """Two areas extend a common base warehouse in parallel
+        (Section V: the roll-out to master data management)."""
+        base_mdw = MetadataWarehouse()
+        cls = base_mdw.schema.declare_class("Item")
+        shared = base_mdw.facts.add_instance("shared_item", cls)
+        base = base_mdw.graph.copy()
+
+        dwh = base.copy()
+        dwh_mdw_item = IRI("http://www.credit-suisse.com/dwh/dwh_new")
+        dwh.add(Triple(dwh_mdw_item, TERMS.has_name, Literal("dwh_new")))
+
+        mdm = base.copy()
+        mdm_item = IRI("http://www.credit-suisse.com/dwh/mdm_new")
+        mdm.add(Triple(mdm_item, TERMS.has_name, Literal("mdm_new")))
+        # master data team renames the shared item
+        mdm.remove_pattern(shared, TERMS.has_name, None)
+        mdm.add(Triple(shared, TERMS.has_name, Literal("golden_item")))
+
+        result = merge_graphs(dwh, mdm, base=base)
+        assert result.clean  # only one side touched the shared name
+        assert name_of(result.merged, shared) == ["golden_item"]
+        assert (dwh_mdw_item, TERMS.has_name, Literal("dwh_new")) in result.merged
+        assert (mdm_item, TERMS.has_name, Literal("mdm_new")) in result.merged

@@ -1,0 +1,121 @@
+"""Unit tests for namespaces and the prefix manager."""
+
+import pytest
+
+from repro.rdf import DM, DT, IRI, Namespace, NamespaceManager, OWL, RDF, RDFS, XSD
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://x/ns#")
+        assert ns.Customer == IRI("http://x/ns#Customer")
+
+    def test_item_access(self):
+        ns = Namespace("http://x/ns#")
+        assert ns["Customer"] == IRI("http://x/ns#Customer")
+
+    def test_contains(self):
+        ns = Namespace("http://x/ns#")
+        assert ns.Customer in ns
+        assert IRI("http://other/") not in ns
+
+    def test_equality(self):
+        assert Namespace("http://x/") == Namespace("http://x/")
+        assert Namespace("http://x/") != Namespace("http://y/")
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(ValueError):
+            Namespace("")
+
+    def test_underscore_attr_raises(self):
+        ns = Namespace("http://x/")
+        with pytest.raises(AttributeError):
+            ns._private
+
+
+class TestWellKnownVocabularies:
+    def test_rdf_type(self):
+        assert RDF.type.value == "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+    def test_rdfs_subclassof(self):
+        assert RDFS.subClassOf.value == "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+
+    def test_owl_class(self):
+        assert OWL.Class.value == "http://www.w3.org/2002/07/owl#Class"
+
+    def test_xsd_integer(self):
+        assert XSD.integer.value == "http://www.w3.org/2001/XMLSchema#integer"
+
+    def test_paper_namespaces(self):
+        # The exact aliases used in Listings 1 and 2 of the paper.
+        assert DM.base == "http://www.credit-suisse.com/dwh/mdm/data_modeling#"
+        assert DT.base == "http://www.credit-suisse.com/dwh/mdm/data_transfer#"
+
+
+class TestNamespaceManager:
+    def test_defaults_bound(self):
+        nsm = NamespaceManager()
+        assert "rdf" in nsm and "rdfs" in nsm and "owl" in nsm and "xsd" in nsm
+
+    def test_no_defaults(self):
+        assert len(NamespaceManager(bind_defaults=False)) == 0
+
+    def test_bind_and_expand(self):
+        nsm = NamespaceManager()
+        nsm.bind("dm", DM)
+        assert nsm.expand("dm:hasName") == DM.hasName
+
+    def test_bind_string_base(self):
+        nsm = NamespaceManager()
+        nsm.bind("ex", "http://x/")
+        assert nsm.expand("ex:a") == IRI("http://x/a")
+
+    def test_expand_unbound_prefix(self):
+        with pytest.raises(KeyError):
+            NamespaceManager().expand("nope:a")
+
+    def test_expand_requires_colon(self):
+        with pytest.raises(ValueError):
+            NamespaceManager().expand("plain")
+
+    def test_compact(self):
+        nsm = NamespaceManager()
+        nsm.bind("dm", DM)
+        assert nsm.compact(DM.hasName) == "dm:hasName"
+
+    def test_compact_unknown_is_none(self):
+        assert NamespaceManager().compact(IRI("http://unknown/x")) is None
+
+    def test_compact_prefers_longest_base(self):
+        nsm = NamespaceManager(bind_defaults=False)
+        nsm.bind("a", "http://x/")
+        nsm.bind("b", "http://x/deep/")
+        assert nsm.compact(IRI("http://x/deep/term")) == "b:term"
+
+    def test_compact_rejects_invalid_local(self):
+        nsm = NamespaceManager(bind_defaults=False)
+        nsm.bind("a", "http://x/")
+        # '/' in the remainder is not a valid qname local part
+        assert nsm.compact(IRI("http://x/a/b")) is None
+
+    def test_rebind_prefix(self):
+        nsm = NamespaceManager(bind_defaults=False)
+        nsm.bind("a", "http://one/")
+        nsm.bind("a", "http://two/")
+        assert nsm.expand("a:x") == IRI("http://two/x")
+        # old base no longer compacts through the stale prefix
+        assert nsm.compact(IRI("http://one/x")) is None
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            NamespaceManager().bind("has space", "http://x/")
+
+    def test_bind_non_namespace_rejected(self):
+        with pytest.raises(TypeError):
+            NamespaceManager().bind("x", 42)
+
+    def test_bindings_sorted(self):
+        nsm = NamespaceManager(bind_defaults=False)
+        nsm.bind("z", "http://z/")
+        nsm.bind("a", "http://a/")
+        assert [p for p, _ in nsm.bindings()] == ["a", "z"]

@@ -1,0 +1,185 @@
+"""Unit tests for store persistence (save/load round-trip)."""
+
+import json
+
+import pytest
+
+from repro.core import MetadataWarehouse
+from repro.history import Historizer
+from repro.rdf import (
+    Graph,
+    IRI,
+    Literal,
+    PersistenceError,
+    Triple,
+    TripleStore,
+    load_store,
+    save_store,
+)
+
+
+def sample_store():
+    store = TripleStore()
+    g = store.create_model("DWH_CURR")
+    g.add(Triple(IRI("http://x/s"), IRI("http://x/p"), Literal('with "quotes"\nand newline')))
+    g.add(Triple(IRI("http://x/s"), IRI("http://x/p"), Literal(42)))
+    prev = store.create_model("DWH_PREV")
+    prev.add(Triple(IRI("http://x/old"), IRI("http://x/p"), IRI("http://x/o")))
+    prev.freeze()
+    store.attach_index("DWH_CURR", "OWLPRIME", Graph([Triple(IRI("http://x/d"), IRI("http://x/p"), IRI("http://x/e"))]))
+    return store
+
+
+class TestRoundtrip:
+    def test_models_roundtrip(self, tmp_path):
+        store = sample_store()
+        save_store(store, tmp_path / "store")
+        loaded = load_store(tmp_path / "store")
+        assert loaded.model_names() == store.model_names()
+        for name in store.model_names():
+            assert loaded.model(name) == store.model(name)
+
+    def test_frozen_flag_preserved(self, tmp_path):
+        save_store(sample_store(), tmp_path / "store")
+        loaded = load_store(tmp_path / "store")
+        assert loaded.model("DWH_PREV").frozen
+        assert not loaded.model("DWH_CURR").frozen
+
+    def test_indexes_roundtrip(self, tmp_path):
+        store = sample_store()
+        save_store(store, tmp_path / "store")
+        loaded = load_store(tmp_path / "store")
+        index = loaded.index("DWH_CURR", "OWLPRIME")
+        assert index is not None
+        assert index == store.index("DWH_CURR", "OWLPRIME")
+
+    def test_save_is_deterministic(self, tmp_path):
+        store = sample_store()
+        save_store(store, tmp_path / "a")
+        save_store(store, tmp_path / "b")
+        for sub in ("manifest.json", "models/DWH_CURR.nt"):
+            assert (tmp_path / "a" / sub).read_text() == (tmp_path / "b" / sub).read_text()
+
+    def test_resave_removes_dropped_models(self, tmp_path):
+        store = sample_store()
+        save_store(store, tmp_path / "store")
+        store.drop_model("DWH_PREV")
+        save_store(store, tmp_path / "store")
+        loaded = load_store(tmp_path / "store")
+        assert not loaded.has_model("DWH_PREV")
+
+    def test_empty_store(self, tmp_path):
+        save_store(TripleStore(), tmp_path / "store")
+        assert len(load_store(tmp_path / "store")) == 0
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(PersistenceError, match="manifest"):
+            load_store(tmp_path)
+
+    def test_corrupt_manifest(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{not json")
+        with pytest.raises(PersistenceError, match="corrupt"):
+            load_store(tmp_path)
+
+    def test_wrong_format_version(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(PersistenceError, match="format"):
+            load_store(tmp_path)
+
+    def test_missing_model_file(self, tmp_path):
+        save_store(sample_store(), tmp_path)
+        (tmp_path / "models" / "DWH_CURR.nt").unlink()
+        with pytest.raises(PersistenceError, match="missing model file"):
+            load_store(tmp_path)
+
+    def test_triple_count_mismatch(self, tmp_path):
+        save_store(sample_store(), tmp_path)
+        path = tmp_path / "models" / "DWH_CURR.nt"
+        path.write_text(path.read_text() + "<http://x/extra> <http://x/p> <http://x/o> .\n")
+        with pytest.raises(PersistenceError, match="manifest says"):
+            load_store(tmp_path)
+
+    def test_colliding_model_names(self, tmp_path):
+        store = TripleStore()
+        store.create_model("a/b")
+        store.create_model("a_b")
+        with pytest.raises(PersistenceError, match="collide"):
+            save_store(store, tmp_path)
+
+
+class TestWarehouseIntegration:
+    def test_warehouse_save_load(self, tmp_path):
+        mdw = MetadataWarehouse()
+        cls = mdw.schema.declare_class("Customer")
+        mdw.facts.add_instance("customer_id", cls)
+        mdw.build_entailment_index()
+        mdw.save(tmp_path / "wh")
+
+        reopened = MetadataWarehouse.load(tmp_path / "wh")
+        assert reopened.graph == mdw.graph
+        assert len(reopened.search.search("customer")) == 1
+        # index came back: entailment-only facts visible with the rulebase
+        assert reopened.store.index("DWH_CURR", "OWLPRIME") is not None
+
+    def test_history_survives_roundtrip(self, tmp_path):
+        mdw = MetadataWarehouse()
+        cls = mdw.schema.declare_class("Thing")
+        mdw.facts.add_instance("t1", cls)
+        historizer = Historizer(mdw.store)
+        historizer.snapshot("2009.R1")
+        mdw.facts.add_instance("t2", cls)
+        mdw.save(tmp_path / "wh")
+
+        reopened = MetadataWarehouse.load(tmp_path / "wh")
+        as_of = reopened.as_of("2009.R1")
+        assert len(as_of.graph) < len(reopened.graph)
+        assert as_of.graph.frozen
+
+    def test_as_of_unknown_version(self):
+        mdw = MetadataWarehouse()
+        with pytest.raises(KeyError):
+            mdw.as_of("nope")
+
+    def test_as_of_queries_the_snapshot(self):
+        mdw = MetadataWarehouse()
+        cls = mdw.schema.declare_class("Thing")
+        mdw.facts.add_instance("early", cls)
+        historizer = Historizer(mdw.store)
+        historizer.snapshot("R1")
+        mdw.facts.add_instance("late", cls)
+
+        as_of = mdw.as_of("R1")
+        assert len(as_of.search.search("early")) == 1
+        assert len(as_of.search.search("late")) == 0
+        assert len(mdw.search.search("late")) == 1
+
+    def test_historizer_as_warehouse(self):
+        mdw = MetadataWarehouse()
+        cls = mdw.schema.declare_class("Thing")
+        mdw.facts.add_instance("x", cls)
+        historizer = Historizer(mdw.store)
+        historizer.snapshot("R1")
+        old = historizer.as_warehouse("R1")
+        assert len(old.search.search("x")) == 1
+
+
+class TestLoadedIndexFreshness:
+    def test_update_refreshes_loaded_index(self, tmp_path):
+        """An index that arrived with a persisted store is refreshed by
+        warehouse.update(), not silently left stale."""
+        mdw = MetadataWarehouse()
+        parent = mdw.schema.declare_class("Item")
+        mdw.schema.declare_class("Column", parents=parent)
+        mdw.build_entailment_index()
+        mdw.save(tmp_path / "wh")
+
+        reopened = MetadataWarehouse.load(tmp_path / "wh")
+        reopened.update(
+            'INSERT DATA { cs:late rdf:type dm:Column . cs:late dm:hasName "late" }'
+        )
+        rows = reopened.query(
+            "SELECT ?x WHERE { ?x rdf:type dm:Item }", rulebases=["OWLPRIME"]
+        )
+        assert len(rows) == 1  # derived through the refreshed index

@@ -1,0 +1,135 @@
+"""Unit tests for TripleStore named models and entailment-index views."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, ModelNotFoundError, Triple, TripleStore
+
+
+def t(n):
+    return Triple(IRI(f"http://x/s{n}"), IRI("http://x/p"), IRI(f"http://x/o{n}"))
+
+
+@pytest.fixture
+def store():
+    s = TripleStore()
+    s.create_model("DWH_CURR").add_all([t(1), t(2)])
+    s.create_model("DWH_PREV").add(t(3))
+    return s
+
+
+class TestModels:
+    def test_create_and_get(self, store):
+        assert len(store.model("DWH_CURR")) == 2
+
+    def test_create_duplicate_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.create_model("DWH_CURR")
+
+    def test_create_empty_name_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.create_model("")
+
+    def test_unknown_model(self, store):
+        with pytest.raises(ModelNotFoundError) as exc:
+            store.model("NOPE")
+        assert "DWH_CURR" in str(exc.value)
+
+    def test_get_or_create(self, store):
+        g = store.get_or_create_model("NEW")
+        assert len(g) == 0
+        assert store.get_or_create_model("NEW") is g
+
+    def test_drop(self, store):
+        store.drop_model("DWH_PREV")
+        assert not store.has_model("DWH_PREV")
+        with pytest.raises(ModelNotFoundError):
+            store.drop_model("DWH_PREV")
+
+    def test_rename(self, store):
+        store.rename_model("DWH_CURR", "DWH_2009")
+        assert store.has_model("DWH_2009")
+        assert not store.has_model("DWH_CURR")
+        assert store.model("DWH_2009").name == "DWH_2009"
+
+    def test_rename_to_existing_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.rename_model("DWH_CURR", "DWH_PREV")
+
+    def test_model_names_sorted(self, store):
+        assert store.model_names() == ["DWH_CURR", "DWH_PREV"]
+
+    def test_contains_len_iter(self, store):
+        assert "DWH_CURR" in store
+        assert len(store) == 2
+        assert list(store) == ["DWH_CURR", "DWH_PREV"]
+
+    def test_total_triples(self, store):
+        assert store.total_triples() == 3
+
+
+class TestIndexes:
+    def test_attach_and_view(self, store):
+        derived = Graph([t(99)])
+        store.attach_index("DWH_CURR", "OWLPRIME", derived)
+        # Without the rulebase the derived triple is invisible
+        plain = store.view(["DWH_CURR"])
+        assert t(99) not in plain
+        # With it, visible
+        reasoned = store.view(["DWH_CURR"], rulebases=["OWLPRIME"])
+        assert t(99) in reasoned
+        assert len(reasoned) == 3
+
+    def test_attach_to_unknown_model(self, store):
+        with pytest.raises(ModelNotFoundError):
+            store.attach_index("NOPE", "OWLPRIME", Graph())
+
+    def test_reattach_replaces(self, store):
+        store.attach_index("DWH_CURR", "OWLPRIME", Graph([t(98)]))
+        store.attach_index("DWH_CURR", "OWLPRIME", Graph([t(99)]))
+        view = store.view(["DWH_CURR"], rulebases=["OWLPRIME"])
+        assert t(99) in view and t(98) not in view
+
+    def test_detach(self, store):
+        store.attach_index("DWH_CURR", "OWLPRIME", Graph([t(99)]))
+        store.detach_index("DWH_CURR", "OWLPRIME")
+        assert t(99) not in store.view(["DWH_CURR"], rulebases=["OWLPRIME"])
+
+    def test_unbuilt_rulebase_is_not_an_error(self, store):
+        view = store.view(["DWH_CURR"], rulebases=["RDFS"])
+        assert len(view) == 2
+
+    def test_index_names(self, store):
+        store.attach_index("DWH_CURR", "OWLPRIME", Graph())
+        store.attach_index("DWH_PREV", "RDFS", Graph())
+        assert store.index_names() == [("DWH_CURR", "OWLPRIME"), ("DWH_PREV", "RDFS")]
+        assert store.index_names("DWH_CURR") == [("DWH_CURR", "OWLPRIME")]
+
+    def test_drop_model_drops_indexes(self, store):
+        store.attach_index("DWH_CURR", "OWLPRIME", Graph([t(99)]))
+        store.drop_model("DWH_CURR")
+        assert store.index("DWH_CURR", "OWLPRIME") is None
+
+    def test_rename_model_keeps_indexes(self, store):
+        store.attach_index("DWH_CURR", "OWLPRIME", Graph([t(99)]))
+        store.rename_model("DWH_CURR", "DWH_NEXT")
+        assert store.index("DWH_NEXT", "OWLPRIME") is not None
+        assert t(99) in store.view(["DWH_NEXT"], rulebases=["OWLPRIME"])
+
+    def test_total_triples_with_indexes(self, store):
+        store.attach_index("DWH_CURR", "OWLPRIME", Graph([t(99)]))
+        assert store.total_triples() == 3
+        assert store.total_triples(include_indexes=True) == 4
+
+
+class TestViews:
+    def test_multi_model_view(self, store):
+        view = store.view(["DWH_CURR", "DWH_PREV"])
+        assert len(view) == 3
+
+    def test_view_requires_models(self, store):
+        with pytest.raises(ValueError):
+            store.view([])
+
+    def test_view_unknown_model(self, store):
+        with pytest.raises(ModelNotFoundError):
+            store.view(["NOPE"])

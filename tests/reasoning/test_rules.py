@@ -1,0 +1,139 @@
+"""Unit tests for the rule formalism and rulebase registry."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, NamespaceManager, RDF, RDFS, Triple, Variable
+from repro.reasoning import (
+    OWLPRIME,
+    RDFS_RULEBASE,
+    Rule,
+    RuleParseError,
+    Rulebase,
+    get_rulebase,
+    register_rulebase,
+    rule,
+    rulebase_names,
+)
+
+
+class TestRule:
+    def test_construct(self):
+        r = Rule(
+            "t",
+            [Triple(Variable("x"), RDF.type, Variable("c"))],
+            Triple(Variable("x"), RDF.type, IRI("http://x/Thing")),
+        )
+        assert r.name == "t"
+        assert len(r.premises) == 1
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(ValueError, match="unsafe"):
+            Rule(
+                "bad",
+                [Triple(Variable("x"), RDF.type, IRI("http://x/A"))],
+                Triple(Variable("x"), RDF.type, Variable("unseen")),
+            )
+
+    def test_no_premises_rejected(self):
+        with pytest.raises(ValueError):
+            Rule("bad", [], Triple(IRI("http://x/a"), RDF.type, IRI("http://x/A")))
+
+    def test_instantiate(self):
+        r = Rule(
+            "t",
+            [Triple(Variable("x"), RDF.type, Variable("c"))],
+            Triple(Variable("x"), RDFS.label, Variable("c")),
+        )
+        out = r.instantiate({"x": IRI("http://x/a"), "c": IRI("http://x/C")})
+        assert out == Triple(IRI("http://x/a"), RDFS.label, IRI("http://x/C"))
+
+    def test_variables(self):
+        r = rule("t", "?a ?p ?b . ?b ?q ?c -> ?a ?q ?c")
+        assert r.variables() == {"a", "b", "c", "p", "q"}
+
+    def test_equality_and_hash(self):
+        r1 = rule("t", "?x rdf:type ?c -> ?x rdfs:label ?c")
+        r2 = rule("t", "?x rdf:type ?c -> ?x rdfs:label ?c")
+        assert r1 == r2
+        assert len({r1, r2}) == 1
+
+
+class TestRuleParsing:
+    def test_parse_basic(self):
+        r = rule("rdfs9", "?c rdfs:subClassOf ?d . ?x rdf:type ?c -> ?x rdf:type ?d")
+        assert len(r.premises) == 2
+        assert r.premises[0].predicate == RDFS.subClassOf
+
+    def test_parse_full_iri(self):
+        r = rule("t", "?x <http://x/p> ?y -> ?y <http://x/p> ?x")
+        assert r.premises[0].predicate == IRI("http://x/p")
+
+    def test_parse_custom_nsm(self):
+        nsm = NamespaceManager()
+        nsm.bind("dm", "http://dm/")
+        r = rule("t", "?x dm:maps ?y -> ?y dm:maps ?x", nsm)
+        assert r.premises[0].predicate == IRI("http://dm/maps")
+
+    def test_missing_arrow(self):
+        with pytest.raises(RuleParseError):
+            rule("t", "?x rdf:type ?c")
+
+    def test_two_conclusions_rejected(self):
+        with pytest.raises(RuleParseError):
+            rule("t", "?x ?p ?y -> ?y ?p ?x . ?x ?p ?x")
+
+    def test_wrong_arity(self):
+        with pytest.raises(RuleParseError):
+            rule("t", "?x ?p -> ?x ?p ?x")
+
+    def test_unbound_prefix(self):
+        with pytest.raises(RuleParseError):
+            rule("t", "?x nope:p ?y -> ?y nope:p ?x")
+
+    def test_bare_word_rejected(self):
+        with pytest.raises(RuleParseError):
+            rule("t", "?x p ?y -> ?y p ?x")
+
+
+class TestRulebase:
+    def test_builtin_contents(self):
+        assert "rdfs9" in RDFS_RULEBASE.rule_names()
+        assert "owl-trans" in OWLPRIME.rule_names()
+        assert set(RDFS_RULEBASE.rule_names()) <= set(OWLPRIME.rule_names())
+
+    def test_registry(self):
+        assert get_rulebase("OWLPRIME") is OWLPRIME
+        assert get_rulebase("RDFS") is RDFS_RULEBASE
+        assert "OWLPRIME" in rulebase_names()
+
+    def test_unknown_rulebase(self):
+        with pytest.raises(KeyError, match="registered"):
+            get_rulebase("NOPE")
+
+    def test_register_custom(self):
+        custom = Rulebase("TEST_CUSTOM", [rule("r1", "?x ?p ?y -> ?y ?p ?x")])
+        register_rulebase(custom)
+        try:
+            assert get_rulebase("TEST_CUSTOM") is custom
+            with pytest.raises(ValueError):
+                register_rulebase(custom)
+            register_rulebase(custom, replace=True)
+        finally:
+            from repro.reasoning.rulebase import _REGISTRY
+
+            _REGISTRY.pop("TEST_CUSTOM", None)
+
+    def test_extended(self):
+        extra = rule("syn", "?x <http://x/synonym> ?y -> ?y <http://x/synonym> ?x")
+        bigger = RDFS_RULEBASE.extended("RDFS_PLUS", [extra])
+        assert len(bigger) == len(RDFS_RULEBASE) + 1
+        assert bigger.name == "RDFS_PLUS"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Rulebase("EMPTY", [])
+
+    def test_duplicate_rule_names_rejected(self):
+        r = rule("dup", "?x ?p ?y -> ?y ?p ?x")
+        with pytest.raises(ValueError):
+            Rulebase("B", [r, r])

@@ -1,0 +1,231 @@
+"""Unit tests for the relational baseline: engine, catalog, migrations."""
+
+import pytest
+
+from repro.relstore import (
+    Column,
+    EvolvableCatalog,
+    ForeignKeyError,
+    Migration,
+    MigrationLog,
+    NotNullError,
+    RelationalCatalog,
+    Table,
+    TableError,
+    UniqueViolation,
+)
+
+
+def people_table():
+    return Table(
+        "people",
+        [Column("id"), Column("name"), Column("age", type=int, nullable=True)],
+        primary_key="id",
+        unique=("name",),
+    )
+
+
+class TestTable:
+    def test_insert_and_get(self):
+        t = people_table()
+        t.insert(id="p1", name="Alice", age=30)
+        assert t.get("p1")["name"] == "Alice"
+        assert len(t) == 1
+
+    def test_get_missing(self):
+        assert people_table().get("nope") is None
+
+    def test_primary_key_unique(self):
+        t = people_table()
+        t.insert(id="p1", name="Alice")
+        with pytest.raises(UniqueViolation):
+            t.insert(id="p1", name="Bob")
+
+    def test_unique_column(self):
+        t = people_table()
+        t.insert(id="p1", name="Alice")
+        with pytest.raises(UniqueViolation):
+            t.insert(id="p2", name="Alice")
+
+    def test_not_null(self):
+        with pytest.raises(NotNullError):
+            people_table().insert(id="p1", name=None)
+
+    def test_nullable_ok(self):
+        t = people_table()
+        t.insert(id="p1", name="Alice", age=None)
+        assert t.get("p1")["age"] is None
+
+    def test_type_check(self):
+        with pytest.raises(TableError):
+            people_table().insert(id="p1", name="Alice", age="thirty")
+
+    def test_unknown_column(self):
+        with pytest.raises(TableError):
+            people_table().insert(id="p1", name="A", shoe_size=42)
+
+    def test_select_by_pk_and_unique(self):
+        t = people_table()
+        t.insert(id="p1", name="Alice", age=30)
+        t.insert(id="p2", name="Bob", age=25)
+        assert t.select({"id": "p1"})[0]["name"] == "Alice"
+        assert t.select({"name": "Bob"})[0]["id"] == "p2"
+
+    def test_select_with_predicate(self):
+        t = people_table()
+        t.insert(id="p1", name="Alice", age=30)
+        t.insert(id="p2", name="Bob", age=25)
+        assert [r["name"] for r in t.select(predicate=lambda r: r["age"] > 28)] == ["Alice"]
+
+    def test_secondary_index(self):
+        t = people_table()
+        t.insert(id="p1", name="Alice", age=30)
+        t.create_index("age")
+        t.insert(id="p2", name="Bob", age=30)
+        rows = t.select({"age": 30})
+        assert {r["id"] for r in rows} == {"p1", "p2"}
+
+    def test_update(self):
+        t = people_table()
+        t.insert(id="p1", name="Alice", age=30)
+        t.update("p1", age=31)
+        assert t.get("p1")["age"] == 31
+
+    def test_update_unique_conflict(self):
+        t = people_table()
+        t.insert(id="p1", name="Alice")
+        t.insert(id="p2", name="Bob")
+        with pytest.raises(UniqueViolation):
+            t.update("p2", name="Alice")
+
+    def test_update_pk_rejected(self):
+        t = people_table()
+        t.insert(id="p1", name="Alice")
+        with pytest.raises(TableError):
+            t.update("p1", id="p9")
+
+    def test_delete(self):
+        t = people_table()
+        t.insert(id="p1", name="Alice")
+        assert t.delete("p1")
+        assert not t.delete("p1")
+        # unique value is released
+        t.insert(id="p2", name="Alice")
+
+    def test_add_column_backfills(self):
+        t = people_table()
+        t.insert(id="p1", name="Alice")
+        t.add_column(Column("city", nullable=True))
+        assert t.get("p1")["city"] is None
+        t.insert(id="p2", name="Bob", city="Zurich")
+
+    def test_add_not_null_column_needs_default(self):
+        t = people_table()
+        with pytest.raises(TableError):
+            t.add_column(Column("city", nullable=False))
+
+    def test_rows_returned_are_copies(self):
+        t = people_table()
+        t.insert(id="p1", name="Alice", age=1)
+        row = t.get("p1")
+        row["age"] = 99
+        assert t.get("p1")["age"] == 1
+
+
+class TestCatalog:
+    @pytest.fixture
+    def catalog(self):
+        cat = RelationalCatalog()
+        cat.db.insert("applications", app_id="a1", name="Payments")
+        cat.db.insert("databases", db_id="d1", name="PayDB", app_id="a1")
+        cat.db.insert("schemas", schema_id="s1", name="core", db_id="d1", area="integration")
+        cat.db.insert("tables", table_id="t1", name="TCD100", schema_id="s1")
+        cat.db.insert("columns", column_id="c1", name="customer_id", table_id="t1")
+        cat.db.insert("columns", column_id="c2", name="partner_id", table_id="t1")
+        cat.db.insert("columns", column_id="c3", name="client_id", table_id="t1")
+        cat.db.insert("mappings", mapping_id="m1", source_column="c1", target_column="c2")
+        cat.db.insert("mappings", mapping_id="m2", source_column="c2", target_column="c3")
+        return cat
+
+    def test_schema_created_upfront(self):
+        cat = RelationalCatalog()
+        assert "applications" in cat.db.table_names()
+        assert "mappings" in cat.db.table_names()
+        assert len(cat.db) == 9
+
+    def test_foreign_keys_enforced(self, catalog):
+        with pytest.raises(ForeignKeyError):
+            catalog.db.insert("databases", db_id="d9", name="X", app_id="ghost")
+        with pytest.raises(ForeignKeyError):
+            catalog.db.insert(
+                "mappings", mapping_id="m9", source_column="ghost", target_column="c1"
+            )
+
+    def test_find_columns(self, catalog):
+        assert len(catalog.find_columns_by_name("customer_id")) == 1
+        assert {r["name"] for r in catalog.find_columns_containing("id")} == {
+            "customer_id",
+            "partner_id",
+            "client_id",
+        }
+
+    def test_columns_of_table(self, catalog):
+        assert len(catalog.columns_of_table("t1")) == 3
+
+    def test_lineage_transitive(self, catalog):
+        lineage = catalog.lineage_of_column("c3")
+        assert {m["mapping_id"] for m in lineage} == {"m1", "m2"}
+
+    def test_lineage_of_source_is_empty(self, catalog):
+        assert catalog.lineage_of_column("c1") == []
+
+    def test_statistics(self, catalog):
+        stats = catalog.statistics()
+        assert stats["columns"] == 3
+        assert stats["mappings"] == 2
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(TableError):
+            catalog.db.table("nope")
+
+
+class TestMigrations:
+    def test_first_kind_creates_table(self):
+        ev = EvolvableCatalog()
+        ev.store("Log File", "log1")
+        assert ev.log.count("CREATE TABLE") == 1
+        ev.store("Log File", "log2")
+        assert ev.log.count("CREATE TABLE") == 1  # no new DDL
+
+    def test_new_attribute_adds_column(self):
+        ev = EvolvableCatalog()
+        ev.store("Log File", "log1")
+        ev.store("Log File", "log2", retention="30d")
+        assert ev.log.count("ADD COLUMN") == 1
+        ev.store("Log File", "log3", retention="60d")
+        assert ev.log.count("ADD COLUMN") == 1
+
+    def test_new_relation_creates_link_table(self):
+        ev = EvolvableCatalog()
+        ev.store("App", "a1")
+        ev.store("User", "u1")
+        ev.relate("App", "a1", "owned by", "User", "u1")
+        assert ev.log.count("CREATE TABLE") == 3
+        assert ev.log.count("CREATE INDEX") == 1
+        ev.relate("App", "a1", "owned by", "User", "u1")
+        assert ev.log.count("CREATE TABLE") == 3
+
+    def test_stored_data_retrievable(self):
+        ev = EvolvableCatalog()
+        ev.store("Log File", "log1", retention="30d")
+        rows = ev.db.table("log_file_t").select({"id": "log1"})
+        assert rows[0]["retention"] == "30d"
+
+    def test_migration_script(self):
+        log = MigrationLog()
+        log.record(Migration("CREATE TABLE", "t", "id VARCHAR"))
+        log.record(Migration("ADD COLUMN", "t", "c VARCHAR"))
+        script = log.script()
+        assert "CREATE TABLE t" in script
+        assert "ALTER TABLE t ADD COLUMN" in script
+        assert len(log) == 2

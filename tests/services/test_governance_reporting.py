@@ -1,0 +1,134 @@
+"""Unit tests for the governance queries and the reporting assistant."""
+
+import pytest
+
+from repro.core import MetadataWarehouse, TERMS
+from repro.rdf import Triple
+from repro.services import GovernanceService, ReportingAssistant
+from repro.services.search import SearchFilters
+from repro.synth import LandscapeConfig, generate_landscape
+from repro.synth.figures import build_figure2_example
+
+
+@pytest.fixture(scope="module")
+def landscape():
+    return generate_landscape(LandscapeConfig.tiny(seed=11))
+
+
+class TestGovernance:
+    @pytest.fixture
+    def setup(self):
+        mdw = MetadataWarehouse()
+        app_cls = mdw.schema.declare_class("Application")
+        role_cls = mdw.schema.declare_class("Role")
+        user_cls = mdw.schema.declare_class("User")
+        app = mdw.facts.add_instance("payments", app_cls)
+        owner_role = mdw.facts.add_instance(
+            "role_owner", role_cls, display_name="business owner"
+        )
+        support_role = mdw.facts.add_instance(
+            "role_support", role_cls, display_name="support"
+        )
+        alice = mdw.facts.add_instance("alice", user_cls)
+        bob = mdw.facts.add_instance("bob", user_cls)
+        g = mdw.graph
+        g.add(Triple(owner_role, TERMS.for_application, app))
+        g.add(Triple(support_role, TERMS.for_application, app))
+        g.add(Triple(alice, TERMS.plays_role, owner_role))
+        g.add(Triple(bob, TERMS.plays_role, support_role))
+        return mdw, app, alice, bob, owner_role
+
+    def test_roles_of_user(self, setup):
+        mdw, app, alice, bob, owner_role = setup
+        service = GovernanceService(mdw)
+        assert service.roles_of_user(alice) == [owner_role]
+        assert service.role_name(owner_role) == "business owner"
+
+    def test_applications_of_user(self, setup):
+        mdw, app, alice, _, _ = setup
+        assert GovernanceService(mdw).applications_of_user(alice) == {app}
+
+    def test_users_with_access(self, setup):
+        mdw, app, alice, bob, _ = setup
+        assert GovernanceService(mdw).users_with_access(app) == {alice, bob}
+
+    def test_owner_of(self, setup):
+        mdw, app, alice, _, _ = setup
+        assert GovernanceService(mdw).owner_of(app) == alice
+
+    def test_orphan_applications(self, setup):
+        mdw, app, *_ = setup
+        service = GovernanceService(mdw)
+        assert service.orphan_applications() == []
+        app_cls = mdw.schema.class_by_label("Application")
+        orphan = mdw.facts.add_instance("orphaned_app", app_cls)
+        assert service.orphan_applications() == [orphan]
+
+    def test_who_can_reach(self):
+        landscape = generate_landscape(LandscapeConfig.tiny(seed=11))
+        mdw = landscape.warehouse
+        service = GovernanceService(mdw)
+        item = landscape.staging_columns[0]
+        reachable = service.who_can_reach(item)
+        assert isinstance(reachable, dict)
+        # every key is an application-level container
+        for application in reachable:
+            assert len(mdw.lineage.container_chain(application)) == 1
+
+    def test_landscape_every_app_has_owner(self, landscape):
+        service = GovernanceService(landscape.warehouse)
+        # the generator always assigns a business-owner role to synthetic
+        # source applications (marts get none)
+        for app in landscape.source_applications:
+            assert service.owner_of(app) is not None
+
+
+class TestReportingAssistant:
+    def test_plan_prefers_mart_items(self, landscape):
+        mdw = landscape.warehouse
+        assistant = ReportingAssistant(mdw)
+        # pick a term known to exist in the mart layer
+        name = None
+        for attr in landscape.report_attributes:
+            name = mdw.facts.name_of(attr).rsplit("_", 1)[0]
+            break
+        plan = assistant.plan_report([name])
+        assert plan.complete
+        best = plan.best(name)
+        assert best is not None
+        assert best.area_score == 3  # mart wins
+
+    def test_unresolved_terms_reported(self, landscape):
+        assistant = ReportingAssistant(landscape.warehouse)
+        plan = assistant.plan_report(["zzz_does_not_exist"])
+        assert not plan.complete
+        assert plan.unresolved == ["zzz_does_not_exist"]
+        assert "UNRESOLVED" in plan.summary()
+
+    def test_candidates_capped(self, landscape):
+        assistant = ReportingAssistant(landscape.warehouse)
+        plan = assistant.plan_report(["id"], max_candidates=2)
+        for candidates in plan.candidates.values():
+            assert len(candidates) <= 2
+
+    def test_provenance_depth_reported(self):
+        fig2 = build_figure2_example()
+        assistant = ReportingAssistant(fig2.warehouse)
+        plan = assistant.plan_report(["client"], expand_synonyms=False)
+        best = plan.best("client")
+        assert best.provenance_depth == 2  # mart <- integration <- staging
+        assert best.source_count == 1
+
+    def test_synonym_resolution(self):
+        fig2 = build_figure2_example()
+        mdw = fig2.warehouse
+        from repro.etl import SynonymThesaurus
+
+        thesaurus = SynonymThesaurus()
+        thesaurus.add_synonym("customer", "client")
+        thesaurus.materialize(mdw.graph)
+        assistant = ReportingAssistant(mdw)
+        plan = assistant.plan_report(["customer"], expand_synonyms=True)
+        # "customer" resolves through the synonym to the client_id item
+        names = [c.name for c in plan.candidates["customer"]]
+        assert "client_id" in names

@@ -1,0 +1,108 @@
+"""Unit tests for the inverted name index and its search integration."""
+
+import pytest
+
+from repro.core import MetadataWarehouse
+from repro.rdf import Literal
+from repro.services import SearchFilters
+from repro.services.text_index import NameIndex
+from repro.synth import LandscapeConfig, generate_landscape
+
+
+@pytest.fixture
+def mdw():
+    mdw = MetadataWarehouse()
+    cls = mdw.schema.declare_class("Column")
+    for i, name in enumerate(
+        ["customer_id", "customer_name", "trade_amount", "customer_id"]
+    ):
+        mdw.facts.add_instance(f"item_{i}", cls, display_name=name)
+    return mdw
+
+
+class TestNameIndex:
+    def test_build_from_graph(self, mdw):
+        index = NameIndex(mdw.graph, auto_maintain=False)
+        assert index.vocabulary_size == 3  # customer_id appears twice
+        assert len(index) == 4
+
+    def test_candidates_substring(self, mdw):
+        index = NameIndex(mdw.graph, auto_maintain=False)
+        assert len(index.candidates("customer")) == 3
+        assert len(index.candidates("trade")) == 1
+        assert index.candidates("zzz") == set()
+
+    def test_case_insensitive(self, mdw):
+        index = NameIndex(mdw.graph, auto_maintain=False)
+        assert len(index.candidates("CUSTOMER")) == 3
+
+    def test_candidates_for_terms_unions(self, mdw):
+        index = NameIndex(mdw.graph, auto_maintain=False)
+        assert len(index.candidates_for_terms(["customer", "trade"])) == 4
+
+    def test_auto_maintained_add(self, mdw):
+        index = NameIndex(mdw.graph)
+        cls = mdw.schema.class_by_label("Column")
+        mdw.facts.add_instance("late", cls, display_name="customer_late")
+        assert len(index.candidates("customer_late")) == 1
+
+    def test_auto_maintained_remove(self, mdw):
+        index = NameIndex(mdw.graph)
+        victim = next(iter(index.candidates("trade")))
+        mdw.facts.retire_instance(victim, force=True)
+        assert index.candidates("trade") == set()
+
+    def test_close_stops_maintenance(self, mdw):
+        index = NameIndex(mdw.graph)
+        index.close()
+        cls = mdw.schema.class_by_label("Column")
+        mdw.facts.add_instance("after_close", cls, display_name="post_close_name")
+        assert index.candidates("post_close") == set()
+
+    def test_rebuild_catches_up(self, mdw):
+        index = NameIndex(mdw.graph, auto_maintain=False)
+        cls = mdw.schema.class_by_label("Column")
+        mdw.facts.add_instance("later", cls, display_name="missed_name")
+        assert index.candidates("missed") == set()
+        index.rebuild()
+        assert len(index.candidates("missed")) == 1
+
+    def test_repr(self, mdw):
+        assert "vocabulary=3" in repr(NameIndex(mdw.graph, auto_maintain=False))
+
+
+class TestSearchIntegration:
+    def test_indexed_results_identical(self):
+        landscape = generate_landscape(LandscapeConfig.small(seed=13))
+        mdw = landscape.warehouse
+        plain = mdw.search.search("customer")
+        mdw.search.enable_index()
+        indexed = mdw.search.search("customer")
+        assert [h.instance for h in indexed.hits] == [h.instance for h in plain.hits]
+
+    def test_indexed_with_filters_identical(self):
+        from repro.core import TERMS
+
+        landscape = generate_landscape(LandscapeConfig.small(seed=13))
+        mdw = landscape.warehouse
+        filters = SearchFilters(classes=["Attribute"], areas=[TERMS.area_integration])
+        plain = mdw.search.search("id", filters)
+        mdw.search.enable_index()
+        indexed = mdw.search.search("id", filters)
+        assert [h.instance for h in indexed.hits] == [h.instance for h in plain.hits]
+
+    def test_regex_bypasses_index(self, mdw):
+        index = mdw.search.enable_index()
+        results = mdw.search.search("^customer_(id|name)$", regex=True)
+        assert len(results) == 3
+
+    def test_index_sees_updates_through_sparql(self, mdw):
+        mdw.search.enable_index()
+        mdw.update('INSERT DATA { cs:new_one dm:hasName "customer_fresh" }')
+        assert any(
+            h.name == "customer_fresh" for h in mdw.search.search("customer_fresh").hits
+        )
+
+    def test_enable_idempotent(self, mdw):
+        assert mdw.search.enable_index() is mdw.search.enable_index()
+        assert mdw.search.index is not None

@@ -1,0 +1,140 @@
+"""Unit tests for the extended SPARQL function library."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal, Namespace, Triple
+from repro.sparql import execute
+from repro.sparql.errors import ExpressionError
+from repro.sparql.expressions import ConstExpr, FunctionExpr, VarExpr
+
+EX = Namespace("http://x/")
+
+
+def const(v, **kw):
+    return ConstExpr(Literal(v, **kw))
+
+
+def ev(name, *args, binding=None):
+    return FunctionExpr(name, list(args)).evaluate(binding or {})
+
+
+class TestConditional:
+    def test_if_true_branch(self):
+        assert ev("if", const(True), const("yes"), const("no")) == Literal("yes")
+
+    def test_if_false_branch(self):
+        assert ev("if", const(0), const("yes"), const("no")) == Literal("no")
+
+    def test_if_lazy_not_required_but_errors_propagate(self):
+        with pytest.raises(ExpressionError):
+            ev("if", ConstExpr(IRI("http://x/")), const(1), const(2))
+
+    def test_if_arity(self):
+        with pytest.raises(ExpressionError):
+            ev("if", const(True), const(1))
+
+    def test_coalesce_first_success(self):
+        assert ev("coalesce", VarExpr("unbound"), const("fallback")) == Literal("fallback")
+
+    def test_coalesce_all_fail(self):
+        with pytest.raises(ExpressionError):
+            ev("coalesce", VarExpr("a"), VarExpr("b"))
+
+    def test_coalesce_keeps_first_value(self):
+        assert ev("coalesce", const("x"), const("y")) == Literal("x")
+
+
+class TestStringFunctions:
+    def test_concat(self):
+        assert ev("concat", const("customer"), const("_"), const("id")) == Literal("customer_id")
+
+    def test_concat_empty(self):
+        assert ev("concat") == Literal("")
+
+    def test_substr_from(self):
+        assert ev("substr", const("customer_id"), const(10)) == Literal("id")
+
+    def test_substr_with_length(self):
+        assert ev("substr", const("customer_id"), const(1), const(8)) == Literal("customer")
+
+    def test_substr_one_based(self):
+        with pytest.raises(ExpressionError):
+            ev("substr", const("x"), const(0))
+
+    def test_replace(self):
+        assert ev("replace", const("cust_id"), const("_"), const("-")) == Literal("cust-id")
+
+    def test_replace_regex(self):
+        assert ev("replace", const("a1b2"), const("[0-9]"), const("")) == Literal("ab")
+
+    def test_replace_case_flag(self):
+        assert ev("replace", const("ABC"), const("b"), const("-"), const("i")) == Literal("A-C")
+
+    def test_replace_bad_pattern(self):
+        with pytest.raises(ExpressionError):
+            ev("replace", const("x"), const("("), const("y"))
+
+    def test_strbefore_strafter(self):
+        assert ev("strbefore", const("customer_id"), const("_")) == Literal("customer")
+        assert ev("strafter", const("customer_id"), const("_")) == Literal("id")
+
+    def test_strbefore_missing_is_empty(self):
+        assert ev("strbefore", const("abc"), const("z")) == Literal("")
+        assert ev("strafter", const("abc"), const("z")) == Literal("")
+
+
+class TestNumericFunctions:
+    def test_abs(self):
+        assert ev("abs", const(-7)).to_python() == 7
+
+    def test_round_half_away_from_zero(self):
+        assert ev("round", const(2.5)).to_python() == 3
+        assert ev("round", const(-2.5)).to_python() == -3
+        assert ev("round", const(2.4)).to_python() == 2
+
+    def test_ceil_floor(self):
+        assert ev("ceil", const(2.1)).to_python() == 3
+        assert ev("floor", const(2.9)).to_python() == 2
+
+    def test_non_numeric_errors(self):
+        with pytest.raises(ExpressionError):
+            ev("abs", const("seven"))
+
+
+class TestInQueries:
+    @pytest.fixture
+    def graph(self):
+        g = Graph()
+        g.add(Triple(EX.a, EX.name, Literal("customer_id")))
+        g.add(Triple(EX.b, EX.name, Literal("trade_amount")))
+        g.add(Triple(EX.a, EX.score, Literal(0.87)))
+        return g
+
+    def test_bind_concat(self, graph):
+        rows = execute(
+            graph,
+            'SELECT ?label WHERE { ?x <http://x/name> ?n BIND(concat("col:", ?n) AS ?label) }',
+        )
+        assert "col:customer_id" in rows.values("label")
+
+    def test_filter_strbefore(self, graph):
+        rows = execute(
+            graph,
+            'SELECT ?x WHERE { ?x <http://x/name> ?n FILTER (strbefore(?n, "_") = "customer") }',
+        )
+        assert rows.values("x") == ["http://x/a"]
+
+    def test_bind_if_classification(self, graph):
+        rows = execute(
+            graph,
+            'SELECT ?n ?grade WHERE { ?x <http://x/score> ?s . ?x <http://x/name> ?n '
+            'BIND(if(?s >= 0.9, "audit", "standard") AS ?grade) }',
+        )
+        assert rows.to_dicts() == [{"n": "customer_id", "grade": "standard"}]
+
+    def test_round_in_filter(self, graph):
+        rows = execute(
+            graph,
+            "SELECT ?x WHERE { ?x <http://x/score> ?s FILTER (round(?s * 10) = 9) }",
+        )
+        assert rows.values("x") == ["http://x/a"]

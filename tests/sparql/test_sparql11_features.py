@@ -1,0 +1,194 @@
+"""Unit tests for the SPARQL 1.1 additions: BIND, VALUES, MINUS, EXISTS."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal, Namespace, Triple
+from repro.sparql import SparqlEvalError, SparqlParseError, execute, parse_query
+
+EX = Namespace("http://x/")
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.add(Triple(EX.a, EX.age, Literal(30)))
+    g.add(Triple(EX.b, EX.age, Literal(25)))
+    g.add(Triple(EX.c, EX.age, Literal(40)))
+    g.add(Triple(EX.a, EX.knows, EX.b))
+    g.add(Triple(EX.b, EX.knows, EX.c))
+    g.add(Triple(EX.a, EX.name, Literal("Anna")))
+    return g
+
+
+def run(graph, query):
+    return execute(graph, "PREFIX ex: <http://x/>\n" + query)
+
+
+class TestBind:
+    def test_computed_column(self, graph):
+        rows = run(graph, "SELECT ?x ?d WHERE { ?x ex:age ?a BIND(?a * 2 AS ?d) }")
+        by_x = {r.value("x"): r.value("d") for r in rows}
+        assert by_x["http://x/a"] == 60
+        assert by_x["http://x/b"] == 50
+
+    def test_bind_string_function(self, graph):
+        rows = run(
+            graph,
+            'SELECT ?u WHERE { ?x ex:name ?n BIND(ucase(?n) AS ?u) }',
+        )
+        assert rows.values("u") == ["ANNA"]
+
+    def test_bind_error_leaves_unbound(self, graph):
+        rows = run(graph, "SELECT ?x ?bad WHERE { ?x ex:age ?a BIND(?a / 0 AS ?bad) }")
+        assert len(rows) == 3
+        assert all(r["bad"] is None for r in rows)
+
+    def test_bind_usable_in_later_filter(self, graph):
+        rows = run(
+            graph,
+            "SELECT ?x WHERE { { ?x ex:age ?a BIND(?a * 2 AS ?d) } FILTER (?d > 55) }",
+        )
+        assert {r.value("x") for r in rows} == {"http://x/a", "http://x/c"}
+
+    def test_rebinding_rejected(self, graph):
+        with pytest.raises(SparqlEvalError, match="already bound"):
+            run(graph, "SELECT ?a WHERE { ?x ex:age ?a BIND(1 AS ?a) }")
+
+    def test_bind_in_empty_group(self, graph):
+        rows = run(graph, "SELECT ?c WHERE { BIND(40 + 2 AS ?c) }")
+        assert rows.values("c") == [42]
+
+
+class TestValues:
+    def test_single_variable(self, graph):
+        rows = run(graph, "SELECT ?a WHERE { VALUES ?x { ex:a ex:c } ?x ex:age ?a }")
+        assert sorted(rows.values("a")) == [30, 40]
+
+    def test_values_restricts_join(self, graph):
+        rows = run(graph, "SELECT ?x WHERE { VALUES ?x { ex:nope } ?x ex:age ?a }")
+        assert len(rows) == 0
+
+    def test_multi_variable_rows(self, graph):
+        rows = run(
+            graph,
+            "SELECT ?x ?label WHERE { VALUES (?x ?label) { (ex:a \"first\") (ex:b \"second\") } ?x ex:age ?a }",
+        )
+        labels = {r.value("x"): r.value("label") for r in rows}
+        assert labels["http://x/a"] == "first"
+
+    def test_undef_constrains_nothing(self, graph):
+        rows = run(
+            graph,
+            'SELECT ?x ?l WHERE { VALUES (?x ?l) { (UNDEF "any") } ?x ex:age ?a }',
+        )
+        assert len(rows) == 3  # UNDEF ?x joins every age row
+
+    def test_values_after_pattern(self, graph):
+        rows = run(graph, "SELECT ?x WHERE { ?x ex:age ?a VALUES ?x { ex:b } }")
+        assert rows.values("x") == ["http://x/b"]
+
+    def test_literal_values(self, graph):
+        rows = run(graph, "SELECT ?x WHERE { VALUES ?a { 25 } ?x ex:age ?a }")
+        assert rows.values("x") == ["http://x/b"]
+
+    def test_arity_mismatch_rejected(self, graph):
+        with pytest.raises(SparqlParseError, match="row has"):
+            parse_query("SELECT * WHERE { VALUES (?x ?y) { (<http://x/a>) } }")
+
+    def test_no_variables_rejected(self, graph):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT * WHERE { VALUES () { } }")
+
+
+class TestMinus:
+    def test_removes_matching(self, graph):
+        rows = run(graph, "SELECT ?x WHERE { ?x ex:age ?a MINUS { ?x ex:knows ?y } }")
+        assert rows.values("x") == ["http://x/c"]
+
+    def test_disjoint_domains_keep_everything(self, graph):
+        # the MINUS side shares no variable: nothing is removed (spec)
+        rows = run(graph, "SELECT ?x WHERE { ?x ex:age ?a MINUS { ?p ex:knows ?q } }")
+        assert len(rows) == 3
+
+    def test_minus_empty_right(self, graph):
+        rows = run(graph, "SELECT ?x WHERE { ?x ex:age ?a MINUS { ?x ex:hates ?y } }")
+        assert len(rows) == 3
+
+    def test_minus_vs_not_exists_on_shared_vars(self, graph):
+        minus_rows = run(graph, "SELECT ?x WHERE { ?x ex:age ?a MINUS { ?x ex:knows ?y } }")
+        ne_rows = run(
+            graph,
+            "SELECT ?x WHERE { ?x ex:age ?a FILTER NOT EXISTS { ?x ex:knows ?y } }",
+        )
+        assert set(minus_rows.values("x")) == set(ne_rows.values("x"))
+
+
+class TestExists:
+    def test_exists(self, graph):
+        rows = run(graph, "SELECT ?x WHERE { ?x ex:age ?a FILTER EXISTS { ?x ex:knows ?y } }")
+        assert {r.value("x") for r in rows} == {"http://x/a", "http://x/b"}
+
+    def test_not_exists(self, graph):
+        rows = run(
+            graph, "SELECT ?x WHERE { ?x ex:age ?a FILTER NOT EXISTS { ?x ex:knows ?y } }"
+        )
+        assert rows.values("x") == ["http://x/c"]
+
+    def test_exists_is_correlated(self, graph):
+        # ?x inside EXISTS refers to the outer row's ?x
+        rows = run(
+            graph,
+            "SELECT ?x WHERE { ?x ex:age ?a FILTER EXISTS { ?x ex:knows ex:b } }",
+        )
+        assert rows.values("x") == ["http://x/a"]
+
+    def test_exists_in_boolean_combination(self, graph):
+        rows = run(
+            graph,
+            "SELECT ?x WHERE { ?x ex:age ?a "
+            "FILTER (EXISTS { ?x ex:knows ?y } && ?a > 28) }",
+        )
+        assert rows.values("x") == ["http://x/a"]
+
+    def test_not_keyword_still_negates_expressions(self, graph):
+        # NOT only introduces EXISTS; plain negation stays '!'
+        rows = run(graph, "SELECT ?x WHERE { ?x ex:age ?a FILTER (!(?a = 30)) }")
+        assert len(rows) == 2
+
+    def test_exists_with_path(self, graph):
+        rows = run(
+            graph,
+            "SELECT ?x WHERE { ?x ex:age ?a FILTER EXISTS { ?x ex:knows+ ex:c } }",
+        )
+        assert {r.value("x") for r in rows} == {"http://x/a", "http://x/b"}
+
+
+class TestUseCaseIntegration:
+    def test_orphan_items_via_not_exists(self):
+        """Items that feed nothing — the governance question as SPARQL."""
+        from repro.synth.figures import build_figure3_snippet
+
+        snippet = build_figure3_snippet()
+        rows = snippet.warehouse.query(
+            """
+            SELECT ?name WHERE {
+              ?x dm:hasName ?name
+              FILTER NOT EXISTS { ?x dt:isMappedTo ?y }
+            }
+            """
+        )
+        assert rows.values("name") == ["customer_id"]  # the chain's sink
+
+    def test_values_parameterized_search(self):
+        from repro.synth.figures import build_figure3_snippet
+
+        snippet = build_figure3_snippet()
+        rows = snippet.warehouse.query(
+            """
+            SELECT ?x WHERE {
+              VALUES ?name { "customer_id" "partner_id" }
+              ?x dm:hasName ?name
+            }
+            """
+        )
+        assert len(rows) == 2

@@ -1,0 +1,127 @@
+"""Unit tests for the SPARQL tokenizer."""
+
+import pytest
+
+from repro.sparql import SparqlParseError, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_iriref(self):
+        toks = tokenize("<http://x/a>")
+        assert toks[0].kind == "IRIREF"
+        assert toks[0].value == "http://x/a"
+
+    def test_pname(self):
+        toks = tokenize("dm:hasName")
+        assert toks[0].kind == "PNAME"
+        assert toks[0].value == "dm:hasName"
+
+    def test_pname_empty_local(self):
+        toks = tokenize("dm:")
+        assert toks[0].kind == "PNAME"
+        assert toks[0].value == "dm:"
+
+    def test_default_prefix_pname(self):
+        assert tokenize(":local")[0].kind == "PNAME"
+
+    def test_var_question(self):
+        toks = tokenize("?term")
+        assert toks[0].kind == "VAR"
+        assert toks[0].value == "term"
+
+    def test_var_dollar(self):
+        assert tokenize("$x")[0].value == "x"
+
+    def test_bare_question_mark_is_path_modifier(self):
+        # '?' not followed by a name is the zero-or-one path modifier
+        toks = tokenize("? x")
+        assert toks[0].kind == "PUNCT" and toks[0].value == "?"
+
+    def test_empty_dollar_var_rejected(self):
+        with pytest.raises(SparqlParseError):
+            tokenize("$ x")
+
+    def test_double_quoted_string(self):
+        assert tokenize('"customer"')[0].value == "customer"
+
+    def test_single_quoted_string(self):
+        assert tokenize("'customer'")[0].value == "customer"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\"b\nc"')[0].value == 'a"b\nc'
+
+    def test_unterminated_string(self):
+        with pytest.raises(SparqlParseError):
+            tokenize('"open')
+
+    def test_newline_in_string_rejected(self):
+        with pytest.raises(SparqlParseError):
+            tokenize('"a\nb"')
+
+    def test_numbers(self):
+        assert values("42 -7 3.25") == ["42", "-7", "3.25"]
+
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("select Where FILTER")
+        assert all(t.kind == "KEYWORD" for t in toks[:3])
+        assert toks[0].value == "SELECT"
+
+    def test_names_not_keywords(self):
+        assert tokenize("regex")[0].kind == "NAME"
+
+    def test_a_is_name(self):
+        assert tokenize("a")[0].kind == "NAME"
+
+    def test_langtag(self):
+        toks = tokenize('"x"@en-GB')
+        assert toks[1].kind == "LANGTAG"
+        assert toks[1].value == "en-GB"
+
+    def test_bnode(self):
+        toks = tokenize("_:b1")
+        assert toks[0].kind == "BNODE"
+        assert toks[0].value == "b1"
+
+    def test_comment_skipped(self):
+        assert values("?x # a comment\n?y") == ["x", "y"]
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+    def test_line_numbers(self):
+        toks = tokenize("?a\n?b\n?c")
+        assert [t.line for t in toks[:3]] == [1, 2, 3]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SparqlParseError):
+            tokenize("§")
+
+
+class TestPunctuation:
+    def test_two_char_operators(self):
+        assert values("<= >= != && || ^^") == ["<=", ">=", "!=", "&&", "||", "^^"]
+
+    def test_braces_parens(self):
+        assert values("{ } ( ) . ; , *") == ["{", "}", "(", ")", ".", ";", ",", "*"]
+
+    def test_lt_not_confused_with_iri(self):
+        # '?x < 5' must tokenize '<' as an operator, not start an IRI
+        toks = tokenize("?x < 5")
+        assert toks[1].kind == "PUNCT" and toks[1].value == "<"
+
+    def test_lt_followed_by_var(self):
+        toks = tokenize("?x<?y")
+        assert [t.kind for t in toks[:3]] == ["VAR", "PUNCT", "VAR"]
+
+    def test_datatype_carets(self):
+        toks = tokenize('"7"^^xsd:integer')
+        assert toks[1].value == "^^"
+        assert toks[2].kind == "PNAME"

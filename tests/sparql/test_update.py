@@ -1,0 +1,175 @@
+"""Unit tests for SPARQL Update."""
+
+import pytest
+
+from repro.core import MetadataWarehouse
+from repro.rdf import Graph, IRI, Literal, Namespace, Triple
+from repro.sparql import SparqlParseError, execute, execute_update, parse_update
+
+EX = Namespace("http://x/")
+
+PREFIX = "PREFIX ex: <http://x/>\n"
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.add(Triple(EX.a, EX.age, Literal(30)))
+    g.add(Triple(EX.b, EX.age, Literal(25)))
+    g.add(Triple(EX.a, EX.status, Literal("active")))
+    g.add(Triple(EX.b, EX.status, Literal("retired")))
+    return g
+
+
+def up(graph, text):
+    return execute_update(graph, PREFIX + text)
+
+
+class TestInsertDeleteData:
+    def test_insert_data(self, graph):
+        result = up(graph, 'INSERT DATA { ex:c ex:age 40 . ex:c ex:status "active" }')
+        assert result.inserted == 2
+        assert Triple(EX.c, EX.age, Literal(40)) in graph
+
+    def test_insert_data_duplicate_counts_zero(self, graph):
+        result = up(graph, "INSERT DATA { ex:a ex:age 30 }")
+        assert result.inserted == 0
+
+    def test_delete_data(self, graph):
+        result = up(graph, "DELETE DATA { ex:a ex:age 30 }")
+        assert result.deleted == 1
+        assert Triple(EX.a, EX.age, Literal(30)) not in graph
+
+    def test_delete_data_missing_counts_zero(self, graph):
+        assert up(graph, "DELETE DATA { ex:z ex:age 1 }").deleted == 0
+
+    def test_data_forms_reject_variables(self, graph):
+        with pytest.raises(SparqlParseError, match="ground"):
+            up(graph, "INSERT DATA { ?s ex:age 1 }")
+        with pytest.raises(SparqlParseError, match="ground"):
+            up(graph, "DELETE DATA { ex:a ex:age ?o }")
+
+    def test_chained_statements(self, graph):
+        result = up(
+            graph,
+            "INSERT DATA { ex:c ex:age 1 } ; DELETE DATA { ex:a ex:age 30 } ;",
+        )
+        assert result.statements == 2
+        assert result.inserted == 1 and result.deleted == 1
+
+
+class TestDeleteWhere:
+    def test_delete_where(self, graph):
+        result = up(graph, "DELETE WHERE { ?s ex:age ?o }")
+        assert result.deleted == 2
+        assert not list(graph.triples(None, EX.age, None))
+
+    def test_delete_where_join(self, graph):
+        result = up(graph, 'DELETE WHERE { ?s ex:age ?o . ?s ex:status "retired" }')
+        # both of b's matched triples are deleted
+        assert result.deleted == 2
+        assert Triple(EX.a, EX.age, Literal(30)) in graph
+        assert not list(graph.triples(EX.b, None, None))
+
+    def test_delete_where_rejects_paths(self, graph):
+        with pytest.raises(SparqlParseError, match="property paths"):
+            up(graph, "DELETE WHERE { ?s ex:age+ ?o }")
+
+
+class TestTemplateForms:
+    def test_delete_insert_where(self, graph):
+        result = up(
+            graph,
+            'DELETE { ?s ex:status "retired" } INSERT { ?s ex:status "archived" } '
+            'WHERE { ?s ex:status "retired" }',
+        )
+        assert result.deleted == 1 and result.inserted == 1
+        assert Triple(EX.b, EX.status, Literal("archived")) in graph
+
+    def test_insert_where(self, graph):
+        result = up(
+            graph,
+            "INSERT { ?s ex:ageNextYear ?n } WHERE { ?s ex:age ?a BIND(?a + 1 AS ?n) }",
+        )
+        assert result.inserted == 2
+        assert Triple(EX.a, EX.ageNextYear, Literal(31)) in graph
+
+    def test_delete_where_with_filter(self, graph):
+        result = up(
+            graph,
+            "DELETE { ?s ex:age ?a } WHERE { ?s ex:age ?a FILTER (?a < 28) }",
+        )
+        assert result.deleted == 1
+        assert Triple(EX.a, EX.age, Literal(30)) in graph
+
+    def test_unbound_template_var_skips_triple(self, graph):
+        result = up(
+            graph,
+            "INSERT { ?s ex:note ?missing } WHERE { ?s ex:age ?a }",
+        )
+        assert result.inserted == 0
+
+    def test_deletions_before_insertions(self, graph):
+        # renaming a value onto itself must keep it (delete then insert)
+        up(
+            graph,
+            'DELETE { ?s ex:status ?v } INSERT { ?s ex:status "active" } '
+            "WHERE { ?s ex:status ?v }",
+        )
+        assert graph.count(None, EX.status, Literal("active")) == 2
+        assert graph.count(None, EX.status, None) == 2
+
+    def test_summary(self, graph):
+        result = up(graph, "INSERT DATA { ex:c ex:age 1 }")
+        assert "+1 / -0" in result.summary()
+
+
+class TestParse:
+    def test_parse_returns_statements(self):
+        statements = parse_update(
+            PREFIX + "INSERT DATA { ex:a ex:b ex:c } ; DELETE WHERE { ?s ?p ?o }"
+        )
+        assert len(statements) == 2
+        assert statements[1].delete_where
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SparqlParseError):
+            parse_update("MODIFY THE GRAPH PLEASE")
+
+    def test_prefixes_per_statement(self):
+        statements = parse_update(
+            "PREFIX a: <http://a/> INSERT DATA { a:x a:y a:z } ; "
+            "PREFIX b: <http://b/> INSERT DATA { b:x b:y b:z }"
+        )
+        assert statements[1].insert_template[0].subject == IRI("http://b/x")
+
+
+class TestWarehouseUpdate:
+    def test_update_refreshes_indexes(self):
+        mdw = MetadataWarehouse()
+        parent = mdw.schema.declare_class("Item")
+        child = mdw.schema.declare_class("Column", parents=parent)
+        mdw.build_entailment_index()
+        result = mdw.update(
+            "INSERT DATA { cs:late rdf:type dm:Column . "
+            'cs:late dm:hasName "late_column" }'
+        )
+        assert result.inserted == 2
+        rows = mdw.query(
+            "SELECT ?x WHERE { ?x rdf:type dm:Item }", rulebases=["OWLPRIME"]
+        )
+        assert len(rows) == 1  # the inserted column, via subclass entailment
+
+    def test_update_visible_to_search(self):
+        mdw = MetadataWarehouse()
+        mdw.schema.declare_class("Column")
+        mdw.update(
+            'INSERT DATA { cs:x rdf:type dm:Column . cs:x dm:hasName "fresh_item" }'
+        )
+        assert len(mdw.search.search("fresh_item")) == 1
+
+    def test_update_audited(self):
+        mdw = MetadataWarehouse()
+        journal = mdw.enable_audit()
+        mdw.update("INSERT DATA { cs:x dm:hasName \"y\" }")
+        assert journal.total_changes == 1

@@ -1,0 +1,229 @@
+"""Integration tests for the repro-mdw command line."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "wh"
+    code = main(["generate", str(path), "--scale", "tiny", "--seed", "3", "--with-index"])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_creates_store(self, store_dir, capsys):
+        assert (store_dir / "manifest.json").exists()
+
+    def test_generate_output(self, tmp_path, capsys):
+        code = main(["generate", str(tmp_path / "wh2"), "--scale", "tiny"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "nodes" in out and "saved to" in out
+
+    def test_generate_extended(self, tmp_path, capsys):
+        code = main(["generate", str(tmp_path / "wh3"), "--scale", "tiny", "--extended"])
+        assert code == 0
+        assert "log files" in capsys.readouterr().out
+
+
+class TestStatsValidate:
+    def test_stats(self, store_dir, capsys):
+        assert main(["stats", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "FACTS" in out and "HIERARCH" in out.upper()
+
+    def test_validate_conformant(self, store_dir, capsys):
+        assert main(["validate", str(store_dir)]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_missing_store_errors(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSearch:
+    def test_search_basic(self, store_dir, capsys):
+        assert main(["search", str(store_dir), "customer"]) == 0
+        out = capsys.readouterr().out
+        assert 'Search Results for "customer"' in out
+
+    def test_search_with_synonyms(self, store_dir, capsys):
+        assert main(["search", str(store_dir), "client", "--synonyms"]) == 0
+        assert "expanded:" in capsys.readouterr().out
+
+    def test_search_area_filter(self, store_dir, capsys):
+        assert main(["search", str(store_dir), "customer", "--area", "mart"]) == 0
+
+    def test_search_unknown_class(self, store_dir, capsys):
+        assert main(["search", str(store_dir), "x", "--class", "NoSuchClass"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_search_expand_group(self, store_dir, capsys):
+        assert main(["search", str(store_dir), "customer", "--expand", "Attribute"]) == 0
+
+
+class TestLineageFlows:
+    def item_name(self, store_dir):
+        from repro.core import MetadataWarehouse
+
+        mdw = MetadataWarehouse.load(store_dir)
+        results = mdw.search.search("", regex=True)  # matches everything
+        # pick an item that has lineage
+        for hit in results.hits:
+            if mdw.lineage.upstream(hit.instance).max_depth() > 0:
+                return hit.name
+        return results.hits[0].name
+
+    def test_lineage(self, store_dir, capsys):
+        name = self.item_name(store_dir)
+        assert main(["lineage", str(store_dir), name]) == 0
+        assert "Lineage of" in capsys.readouterr().out
+
+    def test_lineage_downstream_with_condition(self, store_dir, capsys):
+        name = self.item_name(store_dir)
+        code = main(
+            ["lineage", str(store_dir), name, "--direction", "downstream", "--condition", "CH"]
+        )
+        assert code == 0
+
+    def test_lineage_unknown_item(self, store_dir, capsys):
+        assert main(["lineage", str(store_dir), "zzz_nothing"]) == 2
+        assert "no item named" in capsys.readouterr().err
+
+    def test_flows(self, store_dir, capsys):
+        assert main(["flows", str(store_dir), "--granularity", "2"]) == 0
+        assert "SOURCE OBJECTS" in capsys.readouterr().out
+
+
+class TestIndexHistory:
+    def test_index_build(self, tmp_path, capsys):
+        path = tmp_path / "wh"
+        main(["generate", str(path), "--scale", "tiny"])
+        assert main(["index", str(path)]) == 0
+        assert "derived" in capsys.readouterr().out
+
+    def test_index_unknown_rulebase(self, store_dir, capsys):
+        assert main(["index", str(store_dir), "--rulebase", "NOPE"]) == 2
+
+    def test_snapshot_and_versions(self, tmp_path, capsys):
+        path = tmp_path / "wh"
+        main(["generate", str(path), "--scale", "tiny"])
+        capsys.readouterr()
+        assert main(["snapshot", str(path), "2026.R1"]) == 0
+        assert "version 2026.R1" in capsys.readouterr().out
+        assert main(["versions", str(path)]) == 0
+        assert "2026.R1" in capsys.readouterr().out
+
+    def test_snapshot_duplicate(self, tmp_path, capsys):
+        path = tmp_path / "wh"
+        main(["generate", str(path), "--scale", "tiny"])
+        main(["snapshot", str(path), "R1"])
+        assert main(["snapshot", str(path), "R1"]) == 2
+
+    def test_versions_empty(self, tmp_path, capsys):
+        path = tmp_path / "wh"
+        main(["generate", str(path), "--scale", "tiny"])
+        capsys.readouterr()
+        main(["versions", str(path)])
+        assert "no historized versions" in capsys.readouterr().out
+
+
+class TestSql:
+    SQL = """
+    SELECT term FROM TABLE(SEM_MATCH(
+        {?o dm:hasName ?term},
+        SEM_MODELS('DWH_CURR'),
+        SEM_ALIASES(SEM_ALIAS('dm', 'http://www.credit-suisse.com/dwh/mdm/data_modeling#'))))
+    WHERE regexp_like(term, 'customer')
+    GROUP BY term
+    """
+
+    def test_sql_from_file(self, store_dir, tmp_path, capsys):
+        sql_file = tmp_path / "q.sql"
+        sql_file.write_text(self.SQL)
+        assert main(["sql", str(store_dir), str(sql_file)]) == 0
+        out = capsys.readouterr().out
+        assert "row(s)" in out
+
+    def test_sql_missing_file(self, store_dir, capsys):
+        assert main(["sql", str(store_dir), "/no/such/file.sql"]) == 2
+
+    def test_sql_malformed(self, store_dir, tmp_path, capsys):
+        bad = tmp_path / "bad.sql"
+        bad.write_text("SELECT FROM nothing")
+        assert main(["sql", str(store_dir), str(bad)]) == 2
+
+
+class TestUpdateCommand:
+    def test_update_from_file(self, tmp_path, capsys):
+        path = tmp_path / "wh"
+        main(["generate", str(path), "--scale", "tiny"])
+        update_file = tmp_path / "u.ru"
+        update_file.write_text(
+            'INSERT DATA { cs:cli_added rdf:type dm:Column . '
+            'cs:cli_added dm:hasName "cli_added_column" }'
+        )
+        capsys.readouterr()
+        assert main(["update", str(path), str(update_file)]) == 0
+        assert "+2 / -0" in capsys.readouterr().out
+        # persisted: a fresh open sees the change
+        assert main(["search", str(path), "cli_added_column"]) == 0
+        assert "cli_added_column" in capsys.readouterr().out
+
+    def test_update_rejecting_nonconformant(self, tmp_path, capsys):
+        path = tmp_path / "wh"
+        main(["generate", str(path), "--scale", "tiny"])
+        bad = tmp_path / "bad.ru"
+        # an instance -> property edge violates Table I
+        bad.write_text(
+            "INSERT DATA { cs:x dm:weird dm:hasName . "
+            "cs:hasName_marker rdf:type rdf:Property }"
+        )
+        capsys.readouterr()
+        # dm:hasName is untyped in a fresh tiny store... type it first so
+        # the violation is real
+        typer = tmp_path / "t.ru"
+        typer.write_text("INSERT DATA { dm:weirdTarget rdf:type rdf:Property }")
+        main(["update", str(path), str(typer)])
+        bad.write_text("INSERT DATA { cs:x dm:other dm:weirdTarget }")
+        code = main(["update", str(path), str(bad)])
+        assert code == 2
+        assert "Table I" in capsys.readouterr().err
+
+    def test_update_missing_file(self, tmp_path, capsys):
+        path = tmp_path / "wh"
+        main(["generate", str(path), "--scale", "tiny"])
+        assert main(["update", str(path), "/no/such.ru"]) == 2
+
+    def test_update_malformed(self, tmp_path, capsys):
+        path = tmp_path / "wh"
+        main(["generate", str(path), "--scale", "tiny"])
+        bad = tmp_path / "bad.ru"
+        bad.write_text("UPSERT THINGS")
+        assert main(["update", str(path), str(bad)]) == 2
+
+
+class TestSearchServiceLevelFlags:
+    def test_freshness_and_quality_flags(self, tmp_path, capsys):
+        path = tmp_path / "wh"
+        main(["generate", str(path), "--scale", "tiny"])
+        capsys.readouterr()
+        assert main(
+            ["search", str(path), "id", "--freshness", "daily", "--freshness", "weekly"]
+        ) == 0
+        out_fresh = capsys.readouterr().out
+        assert main(["search", str(path), "id", "--min-quality", "0.9"]) == 0
+        out_quality = capsys.readouterr().out
+        assert main(["search", str(path), "id"]) == 0
+        out_all = capsys.readouterr().out
+
+        def hits(text):
+            if "no results" in text:
+                return 0
+            return int(text.rsplit(" distinct item(s)", 1)[0].rsplit(None, 1)[-1])
+
+        assert hits(out_fresh) <= hits(out_all)
+        assert hits(out_quality) <= hits(out_all)

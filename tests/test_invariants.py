@@ -1,0 +1,230 @@
+"""Cross-module property-based invariants (DESIGN.md §6).
+
+These run hypothesis over randomly-shaped warehouses and query inputs,
+checking the contracts that hold the system together: Table I
+conformance of everything the managers accept, search/lineage soundness,
+diff/apply round-trips, and SPARQL BGP evaluation against a naive
+cross-product oracle.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MetadataWarehouse, TERMS, validate_graph
+from repro.history import diff_graphs, merge_graphs
+from repro.rdf import Graph, IRI, Literal, Namespace, Triple, Variable
+from repro.sparql import execute
+from repro.sparql.algebra import BGP, SelectQuery, Projection
+from repro.sparql.evaluator import evaluate
+
+EX = Namespace("http://inv/")
+
+_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+
+
+# ---------------------------------------------------------------------------
+# warehouse construction scripts
+# ---------------------------------------------------------------------------
+
+_actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("class"), _names),
+        st.tuples(st.just("instance"), _names, _names),
+        st.tuples(st.just("value"), _names, _names),
+        st.tuples(st.just("mapping"), _names, _names),
+    ),
+    max_size=25,
+)
+
+
+def build_warehouse(actions):
+    """Replay a random action script through the managers; actions that
+    violate conventions are skipped (the managers reject them)."""
+    mdw = MetadataWarehouse()
+    default_cls = mdw.schema.declare_class("thing")
+    prop = mdw.schema.declare_property("note")
+    instances = {}
+    for action in actions:
+        kind = action[0]
+        try:
+            if kind == "class":
+                mdw.schema.declare_class(action[1] + "_cls")
+            elif kind == "instance":
+                cls = mdw.schema.class_by_label(action[2] + "_cls") or default_cls
+                instances[action[1]] = mdw.facts.add_instance("i_" + action[1], cls)
+            elif kind == "value" and action[1] in instances:
+                mdw.facts.set_value(instances[action[1]], prop, action[2])
+            elif kind == "mapping" and action[1] in instances and action[2] in instances:
+                if instances[action[1]] != instances[action[2]]:
+                    mdw.facts.add_mapping(instances[action[1]], instances[action[2]])
+        except ValueError:
+            continue
+    return mdw, instances
+
+
+@settings(max_examples=50, deadline=None)
+@given(_actions)
+def test_manager_built_graphs_always_conformant(actions):
+    """Whatever the managers accept classifies into Table I."""
+    mdw, _ = build_warehouse(actions)
+    report = validate_graph(mdw.graph)
+    assert report.conformant, [i.describe() for i in report.issues]
+
+
+@settings(max_examples=50, deadline=None)
+@given(_actions, _names)
+def test_search_hits_contain_the_term(actions, term):
+    mdw, _ = build_warehouse(actions)
+    results = mdw.search.search(term)
+    for hit in results.hits:
+        assert term.lower() in hit.name.lower()
+
+
+@settings(max_examples=50, deadline=None)
+@given(_actions)
+def test_search_group_counts_consistent(actions):
+    mdw, _ = build_warehouse(actions)
+    results = mdw.search.search("i_")  # matches every generated instance
+    for cls, _, count in results.groups():
+        members = results.group_members(cls)
+        assert count == len(members)
+        for hit in members:
+            assert cls in hit.all_classes
+
+
+@settings(max_examples=50, deadline=None)
+@given(_actions)
+def test_lineage_direction_symmetry(actions):
+    """b is downstream of a  <=>  a is upstream of b."""
+    mdw, instances = build_warehouse(actions)
+    nodes = list(instances.values())[:6]
+    for a in nodes:
+        down = mdw.lineage.downstream(a).items()
+        for b in down:
+            assert a in mdw.lineage.upstream(b).items()
+
+
+@settings(max_examples=50, deadline=None)
+@given(_actions)
+def test_lineage_edges_are_real(actions):
+    mdw, instances = build_warehouse(actions)
+    for node in list(instances.values())[:6]:
+        trace = mdw.lineage.downstream(node)
+        for edge in trace.edges:
+            assert (edge.source, TERMS.is_mapped_to, edge.target) in mdw.graph
+
+
+# ---------------------------------------------------------------------------
+# diff / merge
+# ---------------------------------------------------------------------------
+
+_triples = st.lists(
+    st.tuples(_names, _names, _names).map(
+        lambda t: Triple(EX[t[0]], EX[t[1]], EX[t[2]])
+    ),
+    max_size=20,
+)
+
+
+@settings(max_examples=100)
+@given(_triples, _triples)
+def test_diff_apply_roundtrip(old_triples, new_triples):
+    old, new = Graph(old_triples), Graph(new_triples)
+    diff = diff_graphs(old, new)
+    assert diff.apply(old) == new
+    assert diff.invert().apply(new) == old
+
+
+@settings(max_examples=100)
+@given(_triples, _triples)
+def test_merge_report_policy_is_union(left_triples, right_triples):
+    left, right = Graph(left_triples), Graph(right_triples)
+    result = merge_graphs(left, right)  # EX.* predicates are not functional
+    assert set(result.merged) == set(left) | set(right)
+    assert result.common + result.left_only == len(left)
+    assert result.common + result.right_only == len(right)
+
+
+@settings(max_examples=60)
+@given(_triples, _triples)
+def test_merge_is_commutative_up_to_conflict_sides(a_triples, b_triples):
+    a, b = Graph(a_triples), Graph(b_triples)
+    ab = merge_graphs(a, b)
+    ba = merge_graphs(b, a)
+    assert set(ab.merged) == set(ba.merged)
+    assert len(ab.conflicts) == len(ba.conflicts)
+
+
+# ---------------------------------------------------------------------------
+# SPARQL BGP vs naive oracle
+# ---------------------------------------------------------------------------
+
+_small_terms = [EX[c] for c in "abcdef"]
+_graph_triples = st.lists(
+    st.tuples(
+        st.sampled_from(_small_terms),
+        st.sampled_from(_small_terms[:3]),
+        st.sampled_from(_small_terms),
+    ).map(lambda t: Triple(*t)),
+    max_size=15,
+)
+
+_pattern_term = st.one_of(
+    st.sampled_from(_small_terms),
+    st.sampled_from([Variable("x"), Variable("y"), Variable("z")]),
+)
+_pattern = st.tuples(_pattern_term, _pattern_term, _pattern_term).map(
+    lambda t: Triple(t[0], t[1] if isinstance(t[1], Variable) else t[1], t[2])
+)
+_bgps = st.lists(_pattern, min_size=1, max_size=3)
+
+
+def naive_bgp(graph, patterns):
+    """Cross-product join of pattern matches — the evaluation oracle."""
+    solutions = [dict()]
+    for pattern in patterns:
+        next_solutions = []
+        for binding in solutions:
+            for triple in graph:
+                extended = dict(binding)
+                ok = True
+                for term, value in zip(pattern, triple):
+                    if isinstance(term, Variable):
+                        if extended.get(term.name, value) != value:
+                            ok = False
+                            break
+                        extended[term.name] = value
+                    elif term != value:
+                        ok = False
+                        break
+                if ok:
+                    next_solutions.append(extended)
+        solutions = next_solutions
+    return solutions
+
+
+@settings(max_examples=150, deadline=None)
+@given(_graph_triples, _bgps)
+def test_bgp_evaluation_matches_naive_oracle(triples, patterns):
+    graph = Graph(triples)
+    query = SelectQuery(
+        projection=Projection(select_all=True), pattern=BGP(list(patterns))
+    )
+    got = evaluate(graph, query)
+    expected = naive_bgp(graph, patterns)
+    got_set = {frozenset(row.asdict().items()) for row in got}
+    expected_set = {frozenset(b.items()) for b in expected}
+    assert got_set == expected_set
+    # multiset cardinality must match too (joins must not duplicate)
+    assert len(got) == len(expected)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_graph_triples)
+def test_distinct_never_larger(triples):
+    graph = Graph(triples)
+    plain = execute(graph, "SELECT ?s WHERE { ?s ?p ?o }")
+    distinct = execute(graph, "SELECT DISTINCT ?s WHERE { ?s ?p ?o }")
+    assert len(distinct) <= len(plain)
+    assert {r["s"] for r in distinct} == {r["s"] for r in plain}

@@ -1,0 +1,62 @@
+"""Unit tests for the Figure 1/9 landscape overview renderer."""
+
+from repro.synth import LandscapeConfig, generate_landscape
+from repro.ui import render_landscape_overview
+
+
+class TestOverview:
+    def test_core_blocks(self):
+        landscape = generate_landscape(LandscapeConfig.tiny(seed=4))
+        pane = render_landscape_overview(landscape.subject_area_counts)
+        for block in ("Applications", "Databases", "Interfaces", "Roles", "Data Flows"):
+            assert f"[ {block}" in pane
+        assert "extended scope" not in pane
+
+    def test_extended_blocks_appear(self):
+        landscape = generate_landscape(LandscapeConfig.tiny(seed=4).with_extended_scope())
+        pane = render_landscape_overview(landscape.subject_area_counts)
+        assert "extended scope (Figure 9)" in pane
+        assert "[ Logs" in pane
+        assert "[ Technical Components" in pane
+        assert "[ Data Governance" in pane
+
+    def test_counts_shown(self):
+        pane = render_landscape_overview({"applications": 7, "databases": 3})
+        assert "7" in pane and "3" in pane
+        assert "[ Applications — 7 ]" in pane
+
+    def test_unknown_keys_in_other(self):
+        pane = render_landscape_overview({"applications": 1, "mystery area": 5})
+        assert "[ Other ]" in pane
+        assert "mystery area" in pane
+
+    def test_block_totals(self):
+        pane = render_landscape_overview({"schemas": 2, "tables": 3, "columns": 10})
+        assert "[ Data Definitions — 15 ]" in pane
+
+    def test_empty(self):
+        pane = render_landscape_overview({})
+        assert "Figure 1" in pane
+
+
+class TestCliIntegration:
+    def test_overview_and_explain_commands(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "wh"
+        assert main(["generate", str(path), "--scale", "tiny"]) == 0
+        capsys.readouterr()
+
+        assert main(["overview", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "[ Applications" in out and "total:" in out
+
+        assert main(["explain", str(path), "SELECT ?x WHERE { ?x rdf:type ?c }"]) == 0
+        assert "BGP" in capsys.readouterr().out
+
+    def test_explain_bad_query(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "wh"
+        main(["generate", str(path), "--scale", "tiny"])
+        assert main(["explain", str(path), "SELECT WHERE {"]) == 2

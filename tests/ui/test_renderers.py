@@ -1,0 +1,116 @@
+"""Unit tests for the text renderings of Figures 3, 6, and 7."""
+
+import pytest
+
+from repro.services.search import SearchFilters
+from repro.synth.figures import build_figure3_snippet
+from repro.ui import (
+    render_graph_snippet,
+    render_lineage_panes,
+    render_search_results,
+    render_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def snippet():
+    return build_figure3_snippet()
+
+
+class TestSearchView:
+    def test_grouped_counts(self, snippet):
+        results = snippet.warehouse.search.search(
+            "customer", SearchFilters(classes=["Application1 Item", "Interface Item"])
+        )
+        pane = render_search_results(results)
+        assert 'Search Results for "customer"' in pane
+        assert "Column" in pane and "(1)" in pane
+        assert "1 distinct item(s)" in pane
+
+    def test_expand_group(self, snippet):
+        results = snippet.warehouse.search.search("customer")
+        pane = render_search_results(results, expand="Column")
+        assert "customer_id" in pane
+
+    def test_empty_results(self, snippet):
+        results = snippet.warehouse.search.search("zzz")
+        assert "no results" in render_search_results(results)
+
+    def test_expanded_terms_shown(self, snippet):
+        mdw = snippet.warehouse
+        from repro.etl import SynonymThesaurus
+
+        thesaurus = SynonymThesaurus()
+        thesaurus.add_synonym("customer", "client")
+        thesaurus.materialize(mdw.graph)
+        mdw.search.invalidate_thesaurus()
+        results = mdw.search.search("customer", expand_synonyms=True)
+        assert "expanded: customer, client" in render_search_results(results)
+
+    def test_deterministic(self, snippet):
+        results = snippet.warehouse.search.search("id")
+        assert render_search_results(results) == render_search_results(results)
+
+
+class TestLineageView:
+    def test_panes_show_flows(self, snippet):
+        pane = render_lineage_panes(snippet.warehouse)
+        assert "SOURCE OBJECTS" in pane and "TARGET OBJECTS" in pane
+        assert "client_information_id" in pane
+        assert "-- 1 ->" in pane
+
+    def test_empty_scope(self, snippet):
+        mdw = snippet.warehouse
+        pane = render_lineage_panes(mdw, source_scope=snippet.customer_id)
+        assert "no data flows" in pane
+
+    def test_trace_tree(self, snippet):
+        trace = snippet.warehouse.lineage.downstream(snippet.client_information_id)
+        pane = render_trace(snippet.warehouse, trace)
+        lines = pane.splitlines()
+        assert any(line.startswith("* client_information_id") for line in lines)
+        assert any(line.startswith("    - customer_id") for line in lines)
+
+    def test_trace_conditions_listed(self):
+        from repro.core import MetadataWarehouse
+
+        mdw = MetadataWarehouse()
+        cls = mdw.schema.declare_class("N")
+        a = mdw.facts.add_instance("a", cls)
+        b = mdw.facts.add_instance("b", cls)
+        mdw.facts.add_mapping(a, b, condition="country = 'CH'")
+        pane = render_trace(mdw, mdw.lineage.downstream(a))
+        assert "country = 'CH'" in pane
+
+
+class TestGraphView:
+    def test_three_layers_in_order(self, snippet):
+        pane = render_graph_snippet(snippet.warehouse.graph)
+        hierarchy_at = pane.index("HIERARCHIES")
+        schema_at = pane.index("META-DATA SCHEMA")
+        facts_at = pane.index("FACTS")
+        assert hierarchy_at < schema_at < facts_at
+
+    def test_edges_compacted_to_qnames(self, snippet):
+        pane = render_graph_snippet(snippet.warehouse.graph)
+        assert "dm:Application1_View_Column" in pane
+        assert "rdfs:subClassOf" in pane
+        assert "dt:isMappedTo" in pane
+
+    def test_truncation(self, snippet):
+        pane = render_graph_snippet(snippet.warehouse.graph, max_edges_per_layer=2)
+        assert "more" in pane
+
+    def test_violations_section(self):
+        from repro.rdf import Graph, IRI, Namespace, RDF, Triple
+        from repro.rdf.namespace import OWL
+
+        ex = Namespace("http://x/")
+        g = Graph(
+            [
+                Triple(ex.p, RDF.type, RDF.Property),
+                Triple(ex.inst, ex.weird, ex.p),  # instance -> property: forbidden
+            ]
+        )
+        pane = render_graph_snippet(g)
+        assert "OUTSIDE TABLE I (1)" in pane
