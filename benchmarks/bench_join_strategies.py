@@ -1,0 +1,210 @@
+"""J1 — join-engine strategies on the Listing 1/2 workloads.
+
+Regression-tracked comparison of the physical BGP execution strategies
+against the pre-optimization baseline:
+
+* ``nested-loop`` — the historical term-space recursion, re-parsing and
+  re-planning per call (exactly what the engine did before the hash-join
+  work);
+* ``hash-join`` — forced id-space hash joins;
+* ``auto`` — the adaptive default (bind-join vs hash-join per stage);
+* ``cached-plan`` — ``auto`` plus the warehouse :class:`PlanCache`, so
+  repeated templates skip parsing and join ordering.
+
+Two workloads, the paper's two published queries: the Listing 1 search
+SQL (large scan, regex filter) and a Listing 2-shaped lineage probe
+(selective bound subject, repeated for many sources).
+
+Timings are written to ``BENCH_join_engine.json`` at the repo root so CI
+can diff runs. Scale is chosen with ``MDW_BENCH_SCALE`` (``small`` —
+default, CI smoke; ``medium``; ``paper``). The ≥2x acceptance assertion
+against the nested-loop baseline applies from ``medium`` up — at the
+tiny smoke scale fixed per-call overheads dominate and the comparison is
+noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import pytest
+
+from repro.core.vocabulary import TERMS
+from repro.oracle import execute_sem_sql
+from repro.sparql import PlanCache
+from repro.synth import LandscapeConfig, generate_landscape
+
+from benchmarks.bench_listing1_search_query import LISTING_1_LANDSCAPE
+
+SCALE = os.environ.get("MDW_BENCH_SCALE", "small").lower()
+_ROUNDS = {"small": 5, "medium": 3, "paper": 2}
+_CONFIGS = {
+    "small": LandscapeConfig.small,
+    "medium": LandscapeConfig.medium,
+    "paper": LandscapeConfig.paper_scale,
+}
+if SCALE not in _CONFIGS:
+    raise ValueError(f"MDW_BENCH_SCALE must be one of {sorted(_CONFIGS)}, got {SCALE!r}")
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_join_engine.json"
+
+# Listing 2's shape over the generated landscape: the bound-source
+# lineage probe (the landscape's items are not named Application1_*, so
+# the class narrowing is by hierarchy membership via the rdf:type join)
+LINEAGE_TEMPLATE = """
+SELECT source_id, target_id, target_name
+FROM TABLE (SEM_MATCH(
+    {{?source_id dt:isMappedTo ?target_id .
+    ?target_id rdf:type ?c .
+    ?target_id dm:hasName ?target_name}}
+    SEM_MODELS('DWH_CURR'),
+    SEM_RULEBASES('OWLPRIME'),
+    SEM_ALIASES(
+        SEM_ALIAS('dm', 'http://www.credit-suisse.com/dwh/mdm/data_modeling#'),
+        SEM_ALIAS('dt', 'http://www.credit-suisse.com/dwh/mdm/data_transfer#')),
+        null)
+WHERE source_id = '{source}'
+GROUP BY source_id, target_id, target_name
+"""
+
+
+@pytest.fixture(scope="module")
+def landscape():
+    scape = generate_landscape(_CONFIGS[SCALE](seed=2009))
+    scape.warehouse.build_entailment_index()
+    return scape
+
+
+@pytest.fixture(scope="module")
+def lineage_sources(landscape) -> List[str]:
+    """Deterministic mapped sources — the lineage probe targets."""
+    graph = landscape.warehouse.graph
+    sources = sorted(
+        {t.subject.value for t in graph.triples(None, TERMS.is_mapped_to, None)}
+    )
+    assert sources, "landscape has no isMappedTo edges"
+    step = max(1, len(sources) // 10)
+    return sources[::step][:10]
+
+
+def _best_of(fn: Callable[[], object], rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _canonical(rows) -> List[tuple]:
+    return sorted(tuple(sorted(r.asdict().items())) for r in rows)
+
+
+def _save(workload: str, timings: Dict[str, float], meta: Dict[str, object]) -> None:
+    """Merge one workload's timings into BENCH_join_engine.json."""
+    data: Dict[str, object] = {}
+    if RESULTS_PATH.exists():
+        try:
+            data = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data.setdefault("scale", SCALE)
+    if data.get("scale") != SCALE:
+        data = {"scale": SCALE}  # stale file from another scale: restart
+    workloads = data.setdefault("workloads", {})
+    baseline = timings.get("nested-loop")
+    workloads[workload] = {
+        "seconds": {k: round(v, 6) for k, v in timings.items()},
+        "speedup_vs_nested_loop": {
+            k: round(baseline / v, 2) for k, v in timings.items() if v > 0
+        },
+        **meta,
+    }
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _run_strategies(calls: Callable[[str, "PlanCache | None"], object]):
+    """Time each strategy; returns (timings, canonical result per strategy)."""
+    rounds = _ROUNDS[SCALE]
+    timings: Dict[str, float] = {}
+    results: Dict[str, List[tuple]] = {}
+
+    for strategy in ("nested-loop", "hash-join", "auto"):
+        results[strategy] = _canonical(calls(strategy, None))
+        timings[strategy] = _best_of(lambda: calls(strategy, None), rounds)
+
+    cache = PlanCache()
+    results["cached-plan"] = _canonical(calls(None, cache))
+    timings["cached-plan"] = _best_of(lambda: calls(None, cache), rounds)
+    return timings, results
+
+
+def test_listing1_search_strategies(landscape, record):
+    store = landscape.warehouse.store
+
+    def run(strategy, cache):
+        return execute_sem_sql(
+            store, LISTING_1_LANDSCAPE, strategy=strategy, plan_cache=cache
+        )
+
+    timings, results = _run_strategies(run)
+
+    baseline_rows = results.pop("nested-loop")
+    assert baseline_rows, "Listing 1 found nothing — landscape misconfigured"
+    for label, rows in results.items():
+        assert rows == baseline_rows, f"{label} diverges from nested-loop"
+
+    _save(
+        "listing1_search",
+        timings,
+        {"rows": len(baseline_rows), "rounds": _ROUNDS[SCALE]},
+    )
+    record(
+        "J1",
+        f"Join strategies on Listing 1 search ({SCALE})",
+        [(k, f"{v * 1000:.2f} ms") for k, v in timings.items()]
+        + [("result rows", str(len(baseline_rows)))],
+    )
+    if SCALE != "small":
+        assert timings["nested-loop"] / timings["cached-plan"] >= 2.0
+        assert timings["nested-loop"] / timings["auto"] >= 2.0
+
+
+def test_listing2_lineage_strategies(landscape, lineage_sources, record):
+    store = landscape.warehouse.store
+    statements = [LINEAGE_TEMPLATE.format(source=s) for s in lineage_sources]
+
+    def run(strategy, cache):
+        out = []
+        for sql in statements:
+            out.extend(execute_sem_sql(store, sql, strategy=strategy, plan_cache=cache))
+        return out
+
+    timings, results = _run_strategies(run)
+
+    baseline_rows = results.pop("nested-loop")
+    assert baseline_rows, "lineage probes found nothing — landscape misconfigured"
+    for label, rows in results.items():
+        assert rows == baseline_rows, f"{label} diverges from nested-loop"
+
+    _save(
+        "listing2_lineage",
+        timings,
+        {
+            "rows": len(baseline_rows),
+            "probes": len(statements),
+            "rounds": _ROUNDS[SCALE],
+        },
+    )
+    record(
+        "J1b",
+        f"Join strategies on Listing 2 lineage x{len(statements)} ({SCALE})",
+        [(k, f"{v * 1000:.2f} ms") for k, v in timings.items()]
+        + [("result rows", str(len(baseline_rows)))],
+    )
+    if SCALE != "small":
+        assert timings["nested-loop"] / timings["cached-plan"] >= 2.0

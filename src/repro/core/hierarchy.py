@@ -10,17 +10,44 @@ independent of whether an entailment index has been built.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import Callable, Dict, List, Set, Tuple
 
 from repro.rdf.namespace import RDF, RDFS
 from repro.rdf.terms import IRI, Term
 
 
 class HierarchyManager:
-    """Transitive navigation over ``rdfs:subClassOf`` / ``subPropertyOf``."""
+    """Transitive navigation over ``rdfs:subClassOf`` / ``subPropertyOf``.
+
+    Reachability results are memoized against the graph's generation
+    counter: the search algorithm asks for the same subclass closures
+    and instance memberships once per hit, so repeated BFS walks are
+    answered from the cache until the graph changes.
+    """
 
     def __init__(self, graph):
         self._graph = graph
+        self._cache: Dict[Tuple, Set] = {}
+        self._cache_generation = None
+
+    def _cached(self, key: Tuple, compute: Callable[[], Set]) -> Set:
+        """Memoize ``compute()`` under ``key`` until the graph mutates.
+
+        Returns a copy so callers may mutate their result freely. Graphs
+        without a generation counter (duck-typed test doubles) are never
+        cached.
+        """
+        generation = getattr(self._graph, "generation", None)
+        if generation is None:
+            return compute()
+        if generation != self._cache_generation:
+            self._cache.clear()
+            self._cache_generation = generation
+        result = self._cache.get(key)
+        if result is None:
+            result = compute()
+            self._cache[key] = result
+        return set(result)
 
     # -- class hierarchy ----------------------------------------------------
 
@@ -112,10 +139,14 @@ class HierarchyManager:
         direct_classes = set(self._graph.objects(instance, RDF.type))
         if direct:
             return direct_classes
-        out: Set[IRI] = set()
-        for c in direct_classes:
-            out |= self.superclasses(c, include_self=True)
-        return out
+
+        def compute() -> Set[IRI]:
+            out: Set[IRI] = set()
+            for c in direct_classes:
+                out |= self.superclasses(c, include_self=True)
+            return out
+
+        return self._cached(("classes_of", instance), compute)
 
     # -- internals ----------------------------------------------------------------
 
@@ -126,6 +157,15 @@ class HierarchyManager:
         cycle makes it reachable from itself (then it genuinely is its
         own ancestor/descendant).
         """
+        out = self._cached(
+            ("reach", start, predicate, up),
+            lambda: self._reach_uncached(start, predicate, up),
+        )
+        if include_self:
+            out.add(start)
+        return out
+
+    def _reach_uncached(self, start: Term, predicate: IRI, up: bool) -> Set:
         out: Set = set()
         stack = [start]
         while stack:
@@ -138,8 +178,6 @@ class HierarchyManager:
                 if neighbour not in out:
                     out.add(neighbour)
                     stack.append(neighbour)
-        if include_self:
-            out.add(start)
         return out
 
 

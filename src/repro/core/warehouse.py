@@ -15,7 +15,7 @@ from repro.rdf.graph import Graph
 from repro.rdf.namespace import Namespace, NamespaceManager
 from repro.rdf.store import TripleStore
 from repro.reasoning.index import EntailmentIndexManager
-from repro.sparql import execute as sparql_execute
+from repro.sparql import PlanCache, execute as sparql_execute
 
 from repro.core.facts import FactManager
 from repro.core.hierarchy import HierarchyManager
@@ -63,6 +63,10 @@ class MetadataWarehouse:
         self._search = None
         self._lineage = None
         self._audit = None
+        # Shared parse/plan cache: repeated template queries (search,
+        # lineage, SEM_MATCH) skip re-parsing and re-planning until the
+        # queried view's generation changes.
+        self.plan_cache = PlanCache()
 
     # -- auditing ------------------------------------------------------------
 
@@ -106,28 +110,58 @@ class MetadataWarehouse:
 
     # -- querying ------------------------------------------------------------
 
-    def query(self, text: str, rulebases: Sequence[str] = (), bindings=None):
+    def query(
+        self,
+        text: str,
+        rulebases: Sequence[str] = (),
+        bindings=None,
+        strategy: Optional[str] = None,
+    ):
         """Run a SPARQL query against the current model.
 
         ``rulebases`` adds the matching entailment indexes to the queried
-        view — without them, derived triples stay invisible.
+        view — without them, derived triples stay invisible. ``strategy``
+        forces a physical BGP execution (``"nested-loop"``,
+        ``"hash-join"``; default adaptive). Parsed queries and join
+        orders are reused through :attr:`plan_cache`.
         """
         view = self.store.view([self.model_name], rulebases=list(rulebases))
-        return sparql_execute(view, text, nsm=self.namespaces, bindings=bindings)
+        return sparql_execute(
+            view,
+            text,
+            nsm=self.namespaces,
+            bindings=bindings,
+            strategy=strategy,
+            plan_cache=self.plan_cache,
+        )
 
-    def explain(self, text: str, rulebases: Sequence[str] = ()) -> str:
+    def explain(
+        self,
+        text: str,
+        rulebases: Sequence[str] = (),
+        strategy: str = "auto",
+    ) -> str:
         """The evaluation plan of a SPARQL query against the current
-        model (join order, cardinality estimates)."""
+        model (join order, cardinality estimates, physical strategy),
+        plus the plan-cache state for the query text."""
         from repro.sparql import explain as sparql_explain
 
         view = self.store.view([self.model_name], rulebases=list(rulebases))
-        return sparql_explain(view, text, nsm=self.namespaces)
+        rendered = sparql_explain(view, text, nsm=self.namespaces, strategy=strategy)
+        plan = self.plan_cache.prepare(view, text, nsm=self.namespaces)
+        stats = self.plan_cache.stats()
+        rendered += (
+            f"\nPLAN CACHE entry generation={plan.generation!r} "
+            f"(hits={stats['plan_hits']} misses={stats['plan_misses']} "
+            f"entries={stats['plan_entries']})"
+        )
+        return rendered
 
     def sem_sql(self, sql: str):
         """Run an Oracle-style SEM_MATCH SQL statement (the listings)."""
         from repro.oracle import execute_sem_sql
 
-        return execute_sem_sql(self.store, sql)
+        return execute_sem_sql(self.store, sql, plan_cache=self.plan_cache)
 
     def update(self, text: str):
         """Run SPARQL Update statements against the current model.

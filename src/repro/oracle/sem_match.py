@@ -9,11 +9,14 @@ as in Section III.B of the paper.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.rdf.namespace import NamespaceManager
 from repro.rdf.store import TripleStore
-from repro.sparql import execute
+from repro.rdf.terms import IRI, Term, Variable
+from repro.sparql.algebra import BGP, Filter, SelectQuery
+from repro.sparql.evaluator import evaluate
+from repro.sparql.parser import parse_query
 from repro.sparql.results import SolutionSequence
 
 from repro.oracle.sem_apis import SemAlias
@@ -28,6 +31,9 @@ def sem_match(
     filter_condition: Optional[str] = None,
     projection: Optional[Sequence[str]] = None,
     distinct: bool = False,
+    strategy: Optional[str] = None,
+    plan_cache=None,
+    eq_hints: Optional[Mapping[str, str]] = None,
 ) -> SolutionSequence:
     """Match a SPARQL graph pattern against ``models`` of ``store``.
 
@@ -51,6 +57,21 @@ def sem_match(
         Variables to project (without ``?``); all variables when omitted.
     distinct:
         Deduplicate projected rows.
+    strategy:
+        Physical BGP execution strategy (see
+        :data:`repro.sparql.evaluator.STRATEGIES`); adaptive by default.
+    plan_cache:
+        Optional :class:`~repro.sparql.PlanCache`; reuses the parsed
+        query and join order across repeated calls.
+    eq_hints:
+        Variable-name → string-constant equality predicates from an
+        enclosing SQL WHERE clause (see
+        :func:`repro.oracle.sql.execute_sem_sql`). Hints proven safe are
+        pushed down as initial bindings so a selective probe (the
+        Listing 2 lineage shape) runs as a bind-join instead of scanning
+        the whole pattern and filtering afterwards. Pushdown is skipped
+        for the ``nested-loop`` strategy, which reproduces the
+        pre-optimization execution end to end.
     """
     pattern = pattern.strip()
     if not (pattern.startswith("{") and pattern.endswith("}")):
@@ -68,4 +89,53 @@ def sem_match(
     query_text = f"{keyword} {select} WHERE {{ {body} }}"
 
     view = store.view(list(models), rulebases=list(rulebases))
-    return execute(view, query_text, nsm=nsm)
+    want_pushdown = bool(eq_hints) and strategy != "nested-loop"
+
+    if plan_cache is not None:
+        bindings = None
+        if want_pushdown:
+            parsed = plan_cache.parse(query_text, nsm=nsm)
+            bindings = _pushdown_bindings(parsed, eq_hints)
+        return plan_cache.execute(
+            view, query_text, nsm=nsm, bindings=bindings, strategy=strategy
+        )
+
+    query = parse_query(query_text, nsm=nsm)
+    bindings = _pushdown_bindings(query, eq_hints) if want_pushdown else None
+    return evaluate(view, query, initial_bindings=bindings, strategy=strategy)
+
+
+def _pushdown_bindings(query, hints: Mapping[str, str]) -> Optional[Dict[str, Term]]:
+    """Initial bindings for the hints that are provably safe to push.
+
+    A hint ``var = 'X'`` may only be bound when ``var`` occurs in the
+    pattern exclusively in subject or predicate position: there the
+    matching term can only be an IRI (a blank node never string-equals a
+    constant under SQL comparison semantics), so binding ``IRI(X)``
+    keeps exactly the solutions the residual WHERE clause would keep.
+    Object positions can match literals of any datatype with the same
+    lexical form, so those hints stay at the SQL layer. Restricted to
+    pure basic graph patterns (an optional FILTER wrapper is fine;
+    OPTIONAL/UNION/paths change multiplicity or bind conditionally).
+    """
+    if not isinstance(query, SelectQuery):
+        return None
+    pattern = query.pattern
+    while isinstance(pattern, Filter):
+        pattern = pattern.pattern
+    if not isinstance(pattern, BGP) or pattern.paths:
+        return None
+
+    subject_side: set = set()
+    object_side: set = set()
+    for triple in pattern.patterns:
+        for position, term in enumerate(triple):
+            if isinstance(term, Variable):
+                (object_side if position == 2 else subject_side).add(term.name)
+
+    bindings = {
+        name: IRI(value)
+        for name, value in hints.items()
+        if name in subject_side and name not in object_side
+    }
+    return bindings or None

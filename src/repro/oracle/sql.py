@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.rdf.store import TripleStore
-from repro.rdf.terms import Literal
+from repro.rdf.terms import IRI, Literal
 from repro.sparql.errors import ExpressionError
 from repro.sparql.expressions import (
     BinaryExpr,
@@ -45,6 +45,7 @@ from repro.sparql.expressions import (
     FunctionExpr,
     UnaryExpr,
     VarExpr,
+    compile_regex,
     effective_boolean_value,
 )
 from repro.sparql.results import Row, SolutionSequence
@@ -131,8 +132,13 @@ def parse_sem_sql(sql: str) -> SemSqlQuery:
     )
 
 
-def execute_sem_sql(store: TripleStore, sql: str) -> SolutionSequence:
-    """Parse and execute a SEM_MATCH SQL statement against ``store``."""
+def execute_sem_sql(
+    store: TripleStore, sql: str, strategy=None, plan_cache=None
+) -> SolutionSequence:
+    """Parse and execute a SEM_MATCH SQL statement against ``store``.
+
+    ``strategy`` and ``plan_cache`` pass through to :func:`sem_match`.
+    """
     query = parse_sem_sql(sql)
     raw = sem_match(
         query.pattern,
@@ -140,11 +146,17 @@ def execute_sem_sql(store: TripleStore, sql: str) -> SolutionSequence:
         models=query.models,
         rulebases=query.rulebases,
         aliases=query.aliases,
+        strategy=strategy,
+        plan_cache=plan_cache,
+        eq_hints=_equality_hints(query.where),
     )
 
-    rows = [row.asdict() for row in raw]
+    rows = list(raw.iter_bindings())
     if query.where is not None:
-        rows = [r for r in rows if _sql_test(query.where, r)]
+        predicate = _compile_row_predicate(query.where)
+        if predicate is None:
+            predicate = lambda r: _sql_test(query.where, r)  # noqa: E731
+        rows = [r for r in rows if predicate(r)]
 
     out_columns = list(query.columns) + [alias for _, alias in query.count_columns]
 
@@ -169,7 +181,14 @@ def execute_sem_sql(store: TripleStore, sql: str) -> SolutionSequence:
             result_rows.append(out)
         rows = result_rows
     else:
-        projected = [{c: r.get(c) for c in query.columns if r.get(c) is not None} for r in rows]
+        projected = []
+        for r in rows:
+            out = {}
+            for c in query.columns:
+                v = r.get(c)
+                if v is not None:
+                    out[c] = v
+            projected.append(out)
         if query.group_by:
             seen = set()
             deduped = []
@@ -186,7 +205,7 @@ def execute_sem_sql(store: TripleStore, sql: str) -> SolutionSequence:
         rows.sort(
             key=lambda r: (r.get(col) is None, r.get(col).sort_key() if r.get(col) is not None else ())
         )
-    return SolutionSequence(out_columns, [Row(r) for r in rows])
+    return SolutionSequence(out_columns, [Row.adopt(r) for r in rows])
 
 
 # ---------------------------------------------------------------------------
@@ -254,6 +273,136 @@ def _sql_test(expr: Expression, binding: dict) -> bool:
         return effective_boolean_value(expr.evaluate(binding))
     except ExpressionError:
         return False
+
+
+# -- compiled WHERE predicates ------------------------------------------------
+#
+# The WHERE clause runs once per raw SEM_MATCH row; the listings' shapes
+# (regexp_like on a column, column = 'string', AND/OR/NOT combinations)
+# compile to direct closures, sparing the expression-tree walk per row.
+# Anything else falls back to _sql_test with identical semantics
+# (evaluation errors — e.g. an unbound column — test as False).
+
+
+def _string_of(term) -> Optional[str]:
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, IRI):
+        return term.value
+    return None
+
+
+def _column_of(expr: Expression) -> Optional[str]:
+    """The column name behind ``col`` or ``str(col)``, if that shape."""
+    if isinstance(expr, VarExpr):
+        return expr.name
+    if (
+        isinstance(expr, FunctionExpr)
+        and expr.name == "str"
+        and len(expr.args) == 1
+        and isinstance(expr.args[0], VarExpr)
+    ):
+        return expr.args[0].name
+    return None
+
+
+def _string_const_of(expr: Expression) -> Optional[str]:
+    # numeric constants compare numerically ("25" vs "25.0"), so only
+    # plain string constants take the fast path
+    if (
+        isinstance(expr, ConstExpr)
+        and isinstance(expr.term, Literal)
+        and not expr.term.is_numeric()
+    ):
+        return expr.term.lexical
+    return None
+
+
+def _equality_hints(expr: Optional[Expression]) -> Dict[str, str]:
+    """Column → string constant for the WHERE clause's AND'ed equalities.
+
+    Candidates for predicate pushdown into SEM_MATCH: every conjunct of
+    the shape ``col = 'const'`` reachable through top-level ``AND``s.
+    Only plain columns and non-numeric string constants qualify (the
+    same restriction as the compiled fast path). The full WHERE clause
+    still runs afterwards, so over-collection here cannot change
+    results — :func:`repro.oracle.sem_match.sem_match` independently
+    verifies each hint is safe to bind.
+    """
+    hints: Dict[str, str] = {}
+
+    def walk(e: Expression) -> None:
+        if not isinstance(e, BinaryExpr):
+            return
+        if e.op == "&&":
+            walk(e.left)
+            walk(e.right)
+            return
+        if e.op != "=":
+            return
+        column = _column_of(e.left)
+        constant = _string_const_of(e.right)
+        if column is None or constant is None:
+            column = _column_of(e.right)
+            constant = _string_const_of(e.left)
+        if column is not None and constant is not None and column not in hints:
+            hints[column] = constant
+
+    if expr is not None:
+        walk(expr)
+    return hints
+
+
+def _compile_row_predicate(expr: Expression):
+    """A fast row predicate for the common WHERE shapes, else None."""
+    if isinstance(expr, UnaryExpr) and expr.op == "!":
+        inner = _compile_row_predicate(expr.operand)
+        if inner is None:
+            return None
+        return lambda row: not inner(row)
+    if isinstance(expr, BinaryExpr):
+        if expr.op in ("&&", "||"):
+            left = _compile_row_predicate(expr.left)
+            right = _compile_row_predicate(expr.right)
+            if left is None or right is None:
+                return None
+            if expr.op == "&&":
+                return lambda row: left(row) and right(row)
+            return lambda row: left(row) or right(row)
+        if expr.op in ("=", "!="):
+            column = _column_of(expr.left)
+            constant = _string_const_of(expr.right)
+            if column is None or constant is None:
+                column = _column_of(expr.right)
+                constant = _string_const_of(expr.left)
+            if column is None or constant is None:
+                return None
+            negate = expr.op == "!="
+            def compare(row, column=column, constant=constant, negate=negate):
+                value = _string_of(row.get(column))
+                if value is None:
+                    return False  # unbound or blank: evaluation error
+                return (value != constant) if negate else (value == constant)
+            return compare
+        return None
+    if isinstance(expr, FunctionExpr) and expr.name == "regex":
+        if len(expr.args) not in (2, 3):
+            return None
+        column = _column_of(expr.args[0])
+        pattern = _string_const_of(expr.args[1])
+        flags = _string_const_of(expr.args[2]) if len(expr.args) == 3 else ""
+        if column is None or pattern is None or flags is None:
+            return None
+        try:
+            compiled = compile_regex(pattern, flags)
+        except ExpressionError:
+            return None
+        search = compiled.search
+        def match(row, column=column):
+            value = _string_of(row.get(column))
+            return value is not None and search(value) is not None
+        return match
+    return None
 
 
 # -- SQL expression parsing ---------------------------------------------------

@@ -29,6 +29,7 @@ from repro.rdf.namespace import (
     RDFS,
     XSD,
 )
+from repro.rdf.dictionary import DEFAULT_DICTIONARY, TermDictionary
 from repro.rdf.graph import Graph, GraphView, ReadOnlyGraphError
 from repro.rdf.store import ModelNotFoundError, TripleStore
 from repro.rdf.staging import StagingRow, StagingTable
@@ -47,6 +48,7 @@ __all__ = [
     "BulkLoader",
     "BulkLoadError",
     "BulkLoadReport",
+    "DEFAULT_DICTIONARY",
     "DM",
     "DT",
     "Graph",
@@ -65,6 +67,7 @@ __all__ = [
     "StagingRow",
     "StagingTable",
     "Term",
+    "TermDictionary",
     "Triple",
     "TripleStore",
     "TurtleParseError",

@@ -3,19 +3,33 @@
 The Oracle RDF model tables of the paper are replicated as a triple-indexed
 in-memory graph: three nested dictionaries (SPO, POS, OSP) so any triple
 pattern with one or two bound positions is answered without a full scan.
+Like Oracle's ``RDF_VALUE$`` dictionary encoding, terms are interned to
+integer ids through a :class:`~repro.rdf.dictionary.TermDictionary` and
+the indexes key on ints — pattern matching and joins compare ids instead
+of re-hashing term objects (see :mod:`repro.sparql.evaluator` for the
+id-space join operators built on :meth:`Graph.triples_ids`).
+
 :class:`GraphView` overlays several graphs read-only — this is how a query
 that names ``SEM_RULEBASES('OWLPRIME')`` sees the base model *plus* the
 entailment index without the derived triples ever being merged into the
-base facts (Section III.B of the paper).
+base facts (Section III.B of the paper). When the caller can prove the
+layers pairwise disjoint (base model vs. a freshly built entailment
+index), ``disjoint_hint=True`` skips the per-triple dedup set.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
+from repro.rdf.dictionary import DEFAULT_DICTIONARY, TermDictionary
 from repro.rdf.terms import IRI, Literal, Term, Triple
 
-_Index = Dict[Term, Dict[Term, Set[Term]]]
+_Index = Dict[int, Dict[int, Set[int]]]
+
+#: id-space triple: (subject id, predicate id, object id)
+IdTriple = Tuple[int, int, int]
+
+_COUNT_CACHE_LIMIT = 4096
 
 
 class ReadOnlyGraphError(Exception):
@@ -31,19 +45,55 @@ class Graph:
     1
     """
 
-    __slots__ = ("_spo", "_pos", "_osp", "_size", "_frozen", "_listeners", "name")
+    __slots__ = (
+        "_dict",
+        "_spo",
+        "_pos",
+        "_osp",
+        "_size",
+        "_frozen",
+        "_listeners",
+        "_generation",
+        "_count_cache",
+        "_count_cache_gen",
+        "name",
+    )
 
-    def __init__(self, triples: Optional[Iterable[Triple]] = None, name: str = ""):
+    def __init__(
+        self,
+        triples: Optional[Iterable[Triple]] = None,
+        name: str = "",
+        dictionary: Optional[TermDictionary] = None,
+    ):
+        self._dict = dictionary if dictionary is not None else DEFAULT_DICTIONARY
         self._spo: _Index = {}
         self._pos: _Index = {}
         self._osp: _Index = {}
         self._size = 0
         self._frozen = False
         self._listeners = ()
+        self._generation = 0
+        self._count_cache: Dict[tuple, int] = {}
+        self._count_cache_gen = 0
         self.name = name
         if triples is not None:
             for t in triples:
                 self.add(t)
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The term dictionary this graph interns into."""
+        return self._dict
+
+    @property
+    def generation(self) -> int:
+        """Monotonic change counter: bumps on every effective mutation.
+
+        Plan caches, selectivity caches, and the hierarchy memoization
+        compare generations instead of subscribing to individual change
+        events — equal generation means bit-identical triple content.
+        """
+        return self._generation
 
     # -- change notification ------------------------------------------------
 
@@ -69,14 +119,17 @@ class Graph:
             triple = Triple(*triple)
         if not triple.is_ground():
             raise ValueError(f"cannot store non-ground triple: {triple.n3()}")
+        intern = self._dict.intern
         s, p, o = triple
-        objs = self._spo.setdefault(s, {}).setdefault(p, set())
-        if o in objs:
+        si, pi, oi = intern(s), intern(p), intern(o)
+        objs = self._spo.setdefault(si, {}).setdefault(pi, set())
+        if oi in objs:
             return False
-        objs.add(o)
-        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
-        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        objs.add(oi)
+        self._pos.setdefault(pi, {}).setdefault(oi, set()).add(si)
+        self._osp.setdefault(oi, {}).setdefault(si, set()).add(pi)
         self._size += 1
+        self._generation += 1
         for listener in self._listeners:
             listener("add", triple)
         return True
@@ -95,17 +148,21 @@ class Graph:
         self._check_writable()
         if not isinstance(triple, Triple):
             triple = Triple(*triple)
-        s, p, o = triple
+        lookup = self._dict.lookup
+        si, pi, oi = lookup(triple[0]), lookup(triple[1]), lookup(triple[2])
+        if si is None or pi is None or oi is None:
+            return False
         try:
-            self._spo[s][p].remove(o)
+            self._spo[si][pi].remove(oi)
         except KeyError:
             return False
-        _prune(self._spo, s, p)
-        self._pos[p][o].remove(s)
-        _prune(self._pos, p, o)
-        self._osp[o][s].remove(p)
-        _prune(self._osp, o, s)
+        _prune(self._spo, si, pi)
+        self._pos[pi][oi].remove(si)
+        _prune(self._pos, pi, oi)
+        self._osp[oi][si].remove(pi)
+        _prune(self._osp, oi, si)
         self._size -= 1
+        self._generation += 1
         for listener in self._listeners:
             listener("remove", triple)
         return True
@@ -123,6 +180,8 @@ class Graph:
             for t in list(self.triples()):
                 self.discard(t)
             return
+        if self._size:
+            self._generation += 1
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
@@ -141,12 +200,35 @@ class Graph:
         if self._frozen:
             raise ReadOnlyGraphError(f"graph {self.name!r} is frozen")
 
-    # -- matching ----------------------------------------------------------
+    # -- id-space access ----------------------------------------------------
 
-    def triples(self, s=None, p=None, o=None) -> Iterator[Triple]:
-        """Yield every triple matching the pattern (None = wildcard).
+    def _encode_pattern(self, s, p, o):
+        """Terms → ids for a pattern; None wildcards pass through.
 
-        Dispatches to the most selective index for the bound positions.
+        Returns None when a bound term is unknown to the dictionary —
+        no stored triple can match it.
+        """
+        lookup = self._dict.lookup
+        if s is not None:
+            s = lookup(s)
+            if s is None:
+                return None
+        if p is not None:
+            p = lookup(p)
+            if p is None:
+                return None
+        if o is not None:
+            o = lookup(o)
+            if o is None:
+                return None
+        return s, p, o
+
+    def triples_ids(self, s=None, p=None, o=None) -> Iterator[IdTriple]:
+        """Yield id-triples matching the id pattern (None = wildcard).
+
+        Arguments are dictionary ids (ints), not terms. This is the
+        fast path the join operators run on: no term objects are built
+        and no term hashing happens during iteration.
         """
         if s is not None:
             by_p = self._spo.get(s)
@@ -158,55 +240,126 @@ class Graph:
                     return
                 if o is not None:
                     if o in objs:
-                        yield Triple(s, p, o)
+                        yield (s, p, o)
                 else:
                     for obj in objs:
-                        yield Triple(s, p, obj)
+                        yield (s, p, obj)
             else:
                 for pred, objs in by_p.items():
                     if o is not None:
                         if o in objs:
-                            yield Triple(s, pred, o)
+                            yield (s, pred, o)
                     else:
                         for obj in objs:
-                            yield Triple(s, pred, obj)
+                            yield (s, pred, obj)
         elif p is not None:
             by_o = self._pos.get(p)
             if by_o is None:
                 return
             if o is not None:
                 for subj in by_o.get(o, ()):
-                    yield Triple(subj, p, o)
+                    yield (subj, p, o)
             else:
                 for obj, subjs in by_o.items():
                     for subj in subjs:
-                        yield Triple(subj, p, obj)
+                        yield (subj, p, obj)
         elif o is not None:
             by_s = self._osp.get(o)
             if by_s is None:
                 return
             for subj, preds in by_s.items():
                 for pred in preds:
-                    yield Triple(subj, pred, o)
+                    yield (subj, pred, o)
         else:
             for subj, by_p in self._spo.items():
                 for pred, objs in by_p.items():
                     for obj in objs:
-                        yield Triple(subj, pred, obj)
+                        yield (subj, pred, obj)
+
+    def count_ids(self, s=None, p=None, o=None) -> int:
+        """Like :meth:`count` but over dictionary ids."""
+        if s is not None:
+            by_p = self._spo.get(s)
+            if by_p is None:
+                return 0
+            if p is not None:
+                objs = by_p.get(p)
+                if objs is None:
+                    return 0
+                if o is not None:
+                    return 1 if o in objs else 0
+                return len(objs)
+            if o is not None:
+                preds = self._osp.get(o, {}).get(s)
+                return len(preds) if preds is not None else 0
+            return sum(len(objs) for objs in by_p.values())
+        if p is not None:
+            by_o = self._pos.get(p)
+            if by_o is None:
+                return 0
+            if o is not None:
+                subjs = by_o.get(o)
+                return len(subjs) if subjs is not None else 0
+            return sum(len(subjs) for subjs in by_o.values())
+        if o is not None:
+            by_s = self._osp.get(o)
+            if by_s is None:
+                return 0
+            return sum(len(preds) for preds in by_s.values())
+        return self._size
+
+    # -- matching ----------------------------------------------------------
+
+    def triples(self, s=None, p=None, o=None) -> Iterator[Triple]:
+        """Yield every triple matching the pattern (None = wildcard).
+
+        Dispatches to the most selective index for the bound positions.
+        """
+        encoded = self._encode_pattern(s, p, o)
+        if encoded is None:
+            return
+        term = self._dict.term
+        for si, pi, oi in self.triples_ids(*encoded):
+            yield Triple(term(si), term(pi), term(oi))
 
     def count(self, s=None, p=None, o=None) -> int:
-        """Number of triples matching the pattern, without materializing."""
-        if s is None and p is None and o is None:
-            return self._size
-        if s is not None and p is not None and o is None:
-            return len(self._spo.get(s, {}).get(p, ()))
-        if p is not None and o is not None and s is None:
-            return len(self._pos.get(p, {}).get(o, ()))
-        return sum(1 for _ in self.triples(s, p, o))
+        """Number of triples matching the pattern, without materializing.
+
+        Every bound/unbound combination is answered directly from one of
+        the three indexes — no pattern falls back to an iteration over
+        matching triples, so the planner can call this in a loop.
+        """
+        encoded = self._encode_pattern(s, p, o)
+        if encoded is None:
+            return 0
+        return self.count_ids(*encoded)
+
+    def cached_count(self, s=None, p=None, o=None) -> int:
+        """Memoized :meth:`count`, invalidated by the generation counter.
+
+        The join planner estimates every pattern of every query against
+        the same handful of (predicate, class) shapes; caching per
+        (pattern, generation) turns re-planning into dict lookups.
+        """
+        if self._count_cache_gen != self._generation:
+            self._count_cache.clear()
+            self._count_cache_gen = self._generation
+        key = (s, p, o)
+        cached = self._count_cache.get(key)
+        if cached is None:
+            if len(self._count_cache) >= _COUNT_CACHE_LIMIT:
+                self._count_cache.clear()
+            cached = self.count(s, p, o)
+            self._count_cache[key] = cached
+        return cached
 
     def __contains__(self, triple) -> bool:
+        lookup = self._dict.lookup
         s, p, o = triple
-        return o in self._spo.get(s, {}).get(p, set())
+        si, pi, oi = lookup(s), lookup(p), lookup(o)
+        if si is None or pi is None or oi is None:
+            return False
+        return oi in self._spo.get(si, {}).get(pi, ())
 
     def __len__(self) -> int:
         return self._size
@@ -234,7 +387,12 @@ class Graph:
     def subjects(self, p=None, o=None) -> Iterator[Term]:
         """Distinct subjects of triples matching ``(?, p, o)``."""
         if p is not None and o is not None:
-            yield from self._pos.get(p, {}).get(o, ())
+            encoded = self._encode_pattern(None, p, o)
+            if encoded is None:
+                return
+            term = self._dict.term
+            for si in self._pos.get(encoded[1], {}).get(encoded[2], ()):
+                yield term(si)
         else:
             seen = set()
             for t in self.triples(None, p, o):
@@ -245,7 +403,12 @@ class Graph:
     def objects(self, s=None, p=None) -> Iterator[Term]:
         """Distinct objects of triples matching ``(s, p, ?)``."""
         if s is not None and p is not None:
-            yield from self._spo.get(s, {}).get(p, ())
+            encoded = self._encode_pattern(s, p, None)
+            if encoded is None:
+                return
+            term = self._dict.term
+            for oi in self._spo.get(encoded[0], {}).get(encoded[1], ()):
+                yield term(oi)
         else:
             seen = set()
             for t in self.triples(s, p, None):
@@ -256,7 +419,12 @@ class Graph:
     def predicates(self, s=None, o=None) -> Iterator[Term]:
         """Distinct predicates of triples matching ``(s, ?, o)``."""
         if s is not None and o is not None:
-            yield from self._osp.get(o, {}).get(s, ())
+            encoded = self._encode_pattern(s, None, o)
+            if encoded is None:
+                return
+            term = self._dict.term
+            for pi in self._osp.get(encoded[2], {}).get(encoded[0], ()):
+                yield term(pi)
         else:
             seen = set()
             for t in self.triples(s, None, o):
@@ -279,15 +447,16 @@ class Graph:
 
     def nodes(self) -> Iterator[Term]:
         """Distinct terms appearing in subject or object position."""
-        seen: Set[Term] = set()
-        for s in self._spo:
-            if s not in seen:
-                seen.add(s)
-                yield s
-        for o in self._osp:
-            if o not in seen:
-                seen.add(o)
-                yield o
+        term = self._dict.term
+        seen: Set[int] = set()
+        for si in self._spo:
+            if si not in seen:
+                seen.add(si)
+                yield term(si)
+        for oi in self._osp:
+            if oi not in seen:
+                seen.add(oi)
+                yield term(oi)
 
     def node_count(self) -> int:
         return sum(1 for _ in self.nodes())
@@ -295,7 +464,7 @@ class Graph:
     # -- set operations ------------------------------------------------------
 
     def copy(self, name: str = "") -> "Graph":
-        return Graph(self.triples(), name=name or self.name)
+        return Graph(self.triples(), name=name or self.name, dictionary=self._dict)
 
     def union(self, other: Iterable[Triple], name: str = "") -> "Graph":
         g = self.copy(name)
@@ -304,10 +473,10 @@ class Graph:
 
     def intersection(self, other: "Graph", name: str = "") -> "Graph":
         small, large = (self, other) if len(self) <= len(other) else (other, self)
-        return Graph((t for t in small if t in large), name=name)
+        return Graph((t for t in small if t in large), name=name, dictionary=self._dict)
 
     def difference(self, other: "Graph", name: str = "") -> "Graph":
-        return Graph((t for t in self if t not in other), name=name)
+        return Graph((t for t in self if t not in other), name=name, dictionary=self._dict)
 
     def __or__(self, other) -> "Graph":
         return self.union(other)
@@ -319,7 +488,7 @@ class Graph:
         return self.difference(other)
 
 
-def _prune(index: _Index, k1: Term, k2: Term) -> None:
+def _prune(index: _Index, k1: int, k2: int) -> None:
     inner = index[k1]
     if not inner[k2]:
         del inner[k2]
@@ -334,22 +503,56 @@ class GraphView:
     view of [model graphs..., entailment index] to the query engine, so
     derived triples exist "only through the indexes" exactly as the paper
     describes.
+
+    ``disjoint_hint=True`` asserts the layers are pairwise disjoint;
+    iteration then skips the dedup set and ``count``/``__len__`` sum the
+    layer counts directly. The caller owns the proof — the store sets it
+    only for a base model stacked with a freshly built entailment index
+    (the reasoner never emits triples already asserted in the base).
     """
 
-    __slots__ = ("_layers",)
+    __slots__ = ("_layers", "_disjoint")
 
-    def __init__(self, layers: Iterable[Graph]):
+    def __init__(self, layers: Iterable[Graph], disjoint_hint: bool = False):
         self._layers: Tuple[Graph, ...] = tuple(layers)
         if not self._layers:
             raise ValueError("GraphView requires at least one layer")
+        self._disjoint = disjoint_hint or len(self._layers) == 1
 
     @property
     def layers(self) -> Tuple[Graph, ...]:
         return self._layers
 
+    @property
+    def disjoint_hint(self) -> bool:
+        return self._disjoint
+
+    @property
+    def dictionary(self) -> Optional[TermDictionary]:
+        """The shared term dictionary, or None when the layers disagree
+        (id-space iteration is then unavailable)."""
+        first = self._layers[0].dictionary
+        for layer in self._layers[1:]:
+            if layer.dictionary is not first:
+                return None
+        return first
+
+    @property
+    def generation(self) -> Tuple[Tuple[int, int], ...]:
+        """A composite change stamp over the layers.
+
+        Two equal stamps mean every layer object is the same and none
+        has mutated — the invariant plan and selectivity caches key on.
+        """
+        return tuple((id(layer), layer.generation) for layer in self._layers)
+
     def triples(self, s=None, p=None, o=None) -> Iterator[Triple]:
         if len(self._layers) == 1:
             yield from self._layers[0].triples(s, p, o)
+            return
+        if self._disjoint:
+            for layer in self._layers:
+                yield from layer.triples(s, p, o)
             return
         seen: Set[Triple] = set()
         for layer in self._layers:
@@ -358,10 +561,40 @@ class GraphView:
                     seen.add(t)
                     yield t
 
-    def count(self, s=None, p=None, o=None) -> int:
+    def triples_ids(self, s=None, p=None, o=None) -> Iterator[IdTriple]:
+        """Merged id-space iteration (see :meth:`Graph.triples_ids`).
+
+        Requires a shared dictionary; dedup across layers happens on
+        int tuples (or not at all under ``disjoint_hint``).
+        """
         if len(self._layers) == 1:
-            return self._layers[0].count(s, p, o)
+            yield from self._layers[0].triples_ids(s, p, o)
+            return
+        if self._disjoint:
+            for layer in self._layers:
+                yield from layer.triples_ids(s, p, o)
+            return
+        seen: Set[IdTriple] = set()
+        for layer in self._layers:
+            for t in layer.triples_ids(s, p, o):
+                if t not in seen:
+                    seen.add(t)
+                    yield t
+
+    def count_ids(self, s=None, p=None, o=None) -> int:
+        if self._disjoint:
+            return sum(layer.count_ids(s, p, o) for layer in self._layers)
+        return sum(1 for _ in self.triples_ids(s, p, o))
+
+    def count(self, s=None, p=None, o=None) -> int:
+        if self._disjoint:
+            return sum(layer.count(s, p, o) for layer in self._layers)
         return sum(1 for _ in self.triples(s, p, o))
+
+    def cached_count(self, s=None, p=None, o=None) -> int:
+        """Layer-cached cardinality; exact when disjoint, an upper bound
+        otherwise (good enough for join ordering)."""
+        return sum(layer.cached_count(s, p, o) for layer in self._layers)
 
     def subjects(self, p=None, o=None) -> Iterator[Term]:
         seen = set()
@@ -401,6 +634,8 @@ class GraphView:
     def __len__(self) -> int:
         if len(self._layers) == 1:
             return len(self._layers[0])
+        if self._disjoint:
+            return sum(len(layer) for layer in self._layers)
         return sum(1 for _ in self.triples())
 
     def __bool__(self) -> bool:
@@ -408,7 +643,8 @@ class GraphView:
 
     def __repr__(self) -> str:
         names = ", ".join(repr(layer.name or "?") for layer in self._layers)
-        return f"<GraphView layers=[{names}]>"
+        hint = " disjoint" if self._disjoint and len(self._layers) > 1 else ""
+        return f"<GraphView layers=[{names}]{hint}>"
 
     def add(self, triple) -> None:
         raise ReadOnlyGraphError("GraphView is read-only")

@@ -40,6 +40,10 @@ class TripleStore:
         self._models: Dict[str, Graph] = {}
         # (model name, rulebase name) -> derived-triples graph
         self._indexes: Dict[tuple, Graph] = {}
+        # (model name, rulebase name) -> model generation at attach time;
+        # while the model is unchanged since, model and index are known
+        # disjoint (the reasoner only emits triples absent from the base)
+        self._index_base_generation: Dict[tuple, int] = {}
 
     # -- model management ----------------------------------------------------
 
@@ -72,6 +76,7 @@ class TripleStore:
         del self._models[name]
         for key in [k for k in self._indexes if k[0] == name]:
             del self._indexes[key]
+            self._index_base_generation.pop(key, None)
 
     def rename_model(self, old: str, new: str) -> None:
         """Rename a model, carrying its entailment indexes along."""
@@ -84,6 +89,10 @@ class TripleStore:
         self._models[new] = graph
         for key in [k for k in self._indexes if k[0] == old]:
             self._indexes[(new, key[1])] = self._indexes.pop(key)
+            if key in self._index_base_generation:
+                self._index_base_generation[(new, key[1])] = (
+                    self._index_base_generation.pop(key)
+                )
 
     def has_model(self, name: str) -> bool:
         return name in self._models
@@ -117,9 +126,11 @@ class TripleStore:
             raise ModelNotFoundError(model, self._models)
         derived.name = f"{model}[{rulebase}]"
         self._indexes[(model, rulebase)] = derived
+        self._index_base_generation[(model, rulebase)] = self._models[model].generation
 
     def detach_index(self, model: str, rulebase: str) -> None:
         self._indexes.pop((model, rulebase), None)
+        self._index_base_generation.pop((model, rulebase), None)
 
     def index(self, model: str, rulebase: str) -> Optional[Graph]:
         """The derived-triples graph for (model, rulebase), or None."""
@@ -149,12 +160,23 @@ class TripleStore:
         if not models:
             raise ValueError("view requires at least one model name")
         layers: List[Graph] = [self.model(name) for name in models]
+        index_keys: List[tuple] = []
         for model_name in models:
             for rb in rulebases:
                 derived = self._indexes.get((model_name, rb))
                 if derived is not None:
                     layers.append(derived)
-        return GraphView(layers)
+                    index_keys.append((model_name, rb))
+        # One model plus one index whose base is unchanged since the
+        # build: provably disjoint, so the view can skip per-triple
+        # dedup. Several models (or several indexes) may overlap.
+        disjoint = (
+            len(models) == 1
+            and len(index_keys) == 1
+            and self._index_base_generation.get(index_keys[0])
+            == layers[0].generation
+        )
+        return GraphView(layers, disjoint_hint=disjoint)
 
     # -- aggregate statistics ------------------------------------------------------
 

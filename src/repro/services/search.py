@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.rdf.namespace import RDF
@@ -33,6 +34,17 @@ from repro.core.model import World
 from repro.core.vocabulary import TERMS
 from repro.core.warehouse import MetadataWarehouse
 from repro.etl.dbpedia import SynonymThesaurus
+
+
+@lru_cache(maxsize=512)
+def _compiled_pattern(pattern_text: str) -> "re.Pattern":
+    """Case-insensitive compiled regex, cached across searches.
+
+    Search terms repeat heavily (users refine a query, synonym
+    expansion re-emits the same thesaurus terms), so the compile cost
+    is paid once per distinct pattern instead of once per search call.
+    """
+    return re.compile(pattern_text, re.IGNORECASE)
 
 
 @dataclass
@@ -188,7 +200,7 @@ class SearchService:
             terms = self.thesaurus.expand(term)
             homonym_warnings = sorted(self.thesaurus.homonyms(term))
         patterns = [
-            re.compile(t if regex else re.escape(t), re.IGNORECASE) for t in terms
+            _compiled_pattern(t if regex else re.escape(t)) for t in terms
         ]
 
         area_set = set(filters.areas)

@@ -61,29 +61,41 @@ from repro.sparql.expressions import (
     VarExpr,
 )
 from repro.sparql.parser import parse_query
-from repro.sparql.evaluator import evaluate
+from repro.sparql.evaluator import DEFAULT_STRATEGY, STRATEGIES, evaluate
 from repro.sparql.explain import explain
+from repro.sparql.plancache import PlanCache, PreparedQuery
 from repro.sparql.update import UpdateResult, execute_update, parse_update
 from repro.sparql.results import Row, SolutionSequence
 from repro.sparql.planner import order_patterns, pattern_selectivity
 
 
-def execute(graph, query_text, nsm=None, bindings=None):
+def execute(graph, query_text, nsm=None, bindings=None, strategy=None, plan_cache=None):
     """Parse and evaluate ``query_text`` against ``graph``.
 
     ``graph`` is a :class:`~repro.rdf.Graph` or
     :class:`~repro.rdf.GraphView`. Returns a
     :class:`~repro.sparql.results.SolutionSequence` for SELECT, a bool
     for ASK, and a :class:`~repro.rdf.Graph` for CONSTRUCT.
+
+    ``strategy`` picks the physical BGP execution (one of
+    :data:`STRATEGIES`; default adaptive). Passing a :class:`PlanCache`
+    as ``plan_cache`` reuses parsed queries and join orders across
+    calls.
     """
+    if plan_cache is not None:
+        return plan_cache.execute(
+            graph, query_text, nsm=nsm, bindings=bindings, strategy=strategy
+        )
     query = parse_query(query_text, nsm=nsm)
-    return evaluate(graph, query, initial_bindings=bindings)
+    return evaluate(graph, query, initial_bindings=bindings, strategy=strategy)
 
 
 __all__ = [
     "Aggregate",
     "AskQuery",
     "BGP",
+    "DEFAULT_STRATEGY",
+    "STRATEGIES",
     "BinaryExpr",
     "ConstExpr",
     "ConstructQuery",
@@ -102,6 +114,8 @@ __all__ = [
     "PathSequence",
     "PathStar",
     "PathStep",
+    "PlanCache",
+    "PreparedQuery",
     "Projection",
     "Query",
     "Row",

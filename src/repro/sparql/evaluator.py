@@ -1,9 +1,31 @@
 """Query evaluation over :class:`~repro.rdf.Graph` / GraphView.
 
-Evaluation is pull-based: pattern nodes produce iterators of binding
-dictionaries (variable name → term), solution modifiers post-process the
-materialized row list. BGPs are join-ordered by :mod:`repro.sparql.planner`
-before nested-loop evaluation with binding substitution.
+Evaluation is staged: pattern nodes produce binding sets, solution
+modifiers post-process the materialized row list. BGPs are join-ordered
+by :mod:`repro.sparql.planner` and then executed by one of three
+physical strategies:
+
+``"nested-loop"``
+    The historical pull-based recursion over term objects — one
+    index-probe per intermediate row per pattern. Kept as the baseline
+    the benchmark harness compares against.
+
+``"hash-join"``
+    Id-space pipeline (terms interned through the graph's
+    :class:`~repro.rdf.dictionary.TermDictionary`); every stage sharing
+    a variable with the rows so far builds a hash table over the
+    pattern's scan keyed on the shared-variable ids.
+
+``"auto"`` (default)
+    Id-space pipeline; each stage picks hash-join or bind-join
+    (index-nested-loop with binding substitution) from the exact size
+    of the intermediate result and the index cardinality estimate —
+    hash-join when both sides are unbound-large, bind-join when the
+    bindings make the inner side selective.
+
+All strategies produce the same solution multiset; only row order may
+differ between the nested-loop and hash paths (SPARQL leaves it
+unspecified without ORDER BY).
 """
 
 from __future__ import annotations
@@ -42,35 +64,69 @@ from repro.sparql.results import Row, SolutionSequence
 
 Binding = Dict[str, Term]
 
+#: The physical BGP execution strategies (see module docstring).
+STRATEGIES = ("auto", "hash-join", "nested-loop")
 
-def evaluate(graph, query: Query, initial_bindings: Optional[Binding] = None):
+DEFAULT_STRATEGY = "auto"
+
+# Auto-strategy knobs: below _HASH_MIN_ROWS intermediate rows a bind-join
+# always wins (the hash table would cost more than the probes); above it,
+# hash-join is chosen when scanning the pattern once is no more expensive
+# than probing per row (estimate <= rows * factor).
+_HASH_MIN_ROWS = 16
+_HASH_SCAN_FACTOR = 2
+
+
+def evaluate(
+    graph,
+    query: Query,
+    initial_bindings: Optional[Binding] = None,
+    strategy: Optional[str] = None,
+    plan=None,
+):
     """Evaluate ``query`` against ``graph``.
 
     Returns a :class:`SolutionSequence` for SELECT, ``bool`` for ASK, and
-    a new :class:`Graph` for CONSTRUCT.
+    a new :class:`Graph` for CONSTRUCT. ``strategy`` selects the physical
+    BGP execution (see :data:`STRATEGIES`); ``plan`` is an optional
+    :class:`~repro.sparql.plancache.PreparedQuery` whose cached join
+    orders are reused instead of re-planning.
     """
+    strategy = _check_strategy(strategy)
     initial = dict(initial_bindings or {})
     if isinstance(query, SelectQuery):
-        return _evaluate_select(graph, query, initial)
+        return _evaluate_select(graph, query, initial, strategy, plan)
     if isinstance(query, AskQuery):
-        return any(True for _ in eval_pattern(graph, query.pattern, initial))
+        return any(
+            True for _ in eval_pattern(graph, query.pattern, initial, strategy, plan)
+        )
     if isinstance(query, ConstructQuery):
-        return _evaluate_construct(graph, query, initial)
+        return _evaluate_construct(graph, query, initial, strategy, plan)
     from repro.sparql.algebra import DescribeQuery
 
     if isinstance(query, DescribeQuery):
-        return _evaluate_describe(graph, query, initial)
+        return _evaluate_describe(graph, query, initial, strategy, plan)
     raise SparqlEvalError(f"unknown query type {type(query).__name__}")
 
 
-def _evaluate_describe(graph, query, initial: Binding) -> Graph:
+def _check_strategy(strategy: Optional[str]) -> str:
+    if strategy is None:
+        return DEFAULT_STRATEGY
+    if strategy not in STRATEGIES:
+        raise SparqlEvalError(
+            f"unknown execution strategy {strategy!r}; choose from {STRATEGIES}"
+        )
+    return strategy
+
+
+def _evaluate_describe(graph, query, initial: Binding, strategy, plan) -> Graph:
     """DESCRIBE: the concise bounded description — every triple whose
     subject is a described resource, expanded through blank-node objects."""
     from repro.rdf.terms import BNode
 
     resources = list(query.resources)
     if query.pattern is not None:
-        for row in eval_pattern(graph, query.pattern, initial):
+        for row in eval_pattern(graph, query.pattern, initial, strategy, plan):
             for name in query.variables:
                 value = row.get(name)
                 if value is not None and not isinstance(value, Literal):
@@ -95,17 +151,25 @@ def _evaluate_describe(graph, query, initial: Binding) -> Graph:
 # ---------------------------------------------------------------------------
 
 
-def eval_pattern(graph, pattern: Pattern, binding: Binding) -> Iterator[Binding]:
+def eval_pattern(
+    graph,
+    pattern: Pattern,
+    binding: Binding,
+    strategy: str = DEFAULT_STRATEGY,
+    plan=None,
+) -> Iterator[Binding]:
     """Yield solution bindings for ``pattern`` extending ``binding``."""
     if isinstance(pattern, BGP):
-        yield from _eval_bgp(graph, pattern.patterns, binding, paths=pattern.paths)
+        yield from _eval_bgp(
+            graph, pattern, binding, strategy=strategy, plan=plan
+        )
     elif isinstance(pattern, Join):
-        for left in eval_pattern(graph, pattern.left, binding):
-            yield from eval_pattern(graph, pattern.right, left)
+        for left in eval_pattern(graph, pattern.left, binding, strategy, plan):
+            yield from eval_pattern(graph, pattern.right, left, strategy, plan)
     elif isinstance(pattern, LeftJoin):
-        for left in eval_pattern(graph, pattern.left, binding):
+        for left in eval_pattern(graph, pattern.left, binding, strategy, plan):
             matched = False
-            for joined in eval_pattern(graph, pattern.right, left):
+            for joined in eval_pattern(graph, pattern.right, left, strategy, plan):
                 if pattern.condition is not None and not _test(pattern.condition, joined):
                     continue
                 matched = True
@@ -113,20 +177,22 @@ def eval_pattern(graph, pattern: Pattern, binding: Binding) -> Iterator[Binding]
             if not matched:
                 yield left
     elif isinstance(pattern, Union):
-        yield from eval_pattern(graph, pattern.left, binding)
-        yield from eval_pattern(graph, pattern.right, binding)
+        yield from eval_pattern(graph, pattern.left, binding, strategy, plan)
+        yield from eval_pattern(graph, pattern.right, binding, strategy, plan)
     elif isinstance(pattern, Filter):
         _attach_graph(pattern.condition, graph)
-        for row in eval_pattern(graph, pattern.pattern, binding):
+        for row in eval_pattern(graph, pattern.pattern, binding, strategy, plan):
             if _test(pattern.condition, row):
                 yield row
     elif isinstance(pattern, Minus):
-        right_rows = list(eval_pattern(graph, pattern.right, dict(binding)))
-        for row in eval_pattern(graph, pattern.left, binding):
+        right_rows = list(
+            eval_pattern(graph, pattern.right, dict(binding), strategy, plan)
+        )
+        for row in eval_pattern(graph, pattern.left, binding, strategy, plan):
             if not any(_compatible_overlapping(row, other) for other in right_rows):
                 yield row
     elif isinstance(pattern, Extend):
-        for row in eval_pattern(graph, pattern.pattern, binding):
+        for row in eval_pattern(graph, pattern.pattern, binding, strategy, plan):
             if pattern.variable in row:
                 raise SparqlEvalError(
                     f"BIND target ?{pattern.variable} is already bound"
@@ -189,16 +255,56 @@ def _test(condition, binding: Binding) -> bool:
 
 def _eval_bgp(
     graph,
-    patterns: Sequence[Triple],
+    bgp: BGP,
     binding: Binding,
-    paths: Sequence = (),
+    strategy: str = DEFAULT_STRATEGY,
+    plan=None,
 ) -> Iterator[Binding]:
+    patterns = bgp.patterns
+    paths = bgp.paths
     if not patterns and not paths:
         yield dict(binding)
         return
-    ordered = order_patterns(graph, list(patterns))
-    stages: List = list(ordered) + list(paths)
+    if plan is not None:
+        ordered = plan.bgp_order(graph, bgp)
+    else:
+        ordered = order_patterns(graph, list(patterns))
 
+    dictionary = getattr(graph, "dictionary", None)
+    if strategy == "nested-loop" or dictionary is None:
+        yield from _eval_bgp_nested(graph, list(ordered) + list(paths), binding)
+        return
+
+    piped = _run_id_pipeline(graph, dictionary, ordered, binding, strategy)
+    if piped is None:
+        return
+    slots, rows, extras = piped
+    term = dictionary.term
+    names = list(slots)  # insertion order == slot order
+    for id_row in rows:
+        decoded = dict(extras)
+        for name, tid in zip(names, id_row):
+            decoded[name] = term(tid)
+        if paths:
+            yield from _recurse_paths(graph, paths, 0, decoded)
+        else:
+            yield decoded
+
+
+def _recurse_paths(graph, paths: Sequence, i: int, current: Binding) -> Iterator[Binding]:
+    if i == len(paths):
+        yield current
+        return
+    for extended in _match_path_pattern(graph, paths[i], current):
+        yield from _recurse_paths(graph, paths, i + 1, extended)
+
+
+# ---------------------------------------------------------------------------
+# Nested-loop execution (term space) — the pre-optimization baseline
+# ---------------------------------------------------------------------------
+
+
+def _eval_bgp_nested(graph, stages: List, binding: Binding) -> Iterator[Binding]:
     def recurse(i: int, current: Binding) -> Iterator[Binding]:
         if i == len(stages):
             yield current
@@ -212,6 +318,245 @@ def _eval_bgp(
             yield from recurse(i + 1, extended)
 
     yield from recurse(0, dict(binding))
+
+
+# ---------------------------------------------------------------------------
+# Id-space pipeline: bind-join and hash-join operators
+#
+# Intermediate solutions are flat tuples of term ids; ``slots`` maps each
+# variable name to its tuple index. Extending a solution is tuple
+# concatenation — no per-row dict allocation until final decode.
+# ---------------------------------------------------------------------------
+
+IdRow = Tuple[int, ...]
+
+
+def _run_id_pipeline(
+    graph, dictionary, ordered: Sequence[Triple], binding: Binding, strategy: str
+) -> Optional[Tuple[Dict[str, int], List[IdRow], Binding]]:
+    """Execute the ordered triple stages over interned ids.
+
+    Returns (variable slot map, id rows, pass-through term bindings), or
+    None when the initial binding already rules out every solution.
+    """
+    pattern_vars = set()
+    for pat in ordered:
+        for t in pat:
+            if isinstance(t, Variable):
+                pattern_vars.add(t.name)
+
+    slots: Dict[str, int] = {}
+    initial: List[int] = []
+    extras: Binding = {}
+    for name, value in binding.items():
+        if name in pattern_vars:
+            tid = dictionary.lookup(value)
+            if tid is None:
+                # the bound term exists in no stored triple, and it is
+                # used by a conjunctive pattern: no solutions
+                return None
+            slots[name] = len(initial)
+            initial.append(tid)
+        else:
+            extras[name] = value
+
+    rows: List[IdRow] = [tuple(initial)]
+    for pat in ordered:
+        rows = _join_stage(graph, dictionary, pat, rows, slots, strategy)
+        if not rows:
+            return slots, [], extras
+    return slots, rows, extras
+
+
+def _join_stage(
+    graph,
+    dictionary,
+    pattern: Triple,
+    rows: List[IdRow],
+    slots: Dict[str, int],
+    strategy: str,
+) -> List[IdRow]:
+    """Join ``rows`` with one triple pattern, picking the operator.
+
+    Extends ``slots`` in place with the pattern's new variables (their
+    values occupy the appended tuple positions).
+    """
+    # per position: the constant id, the bound row slot, or a new name
+    const: List[Optional[int]] = [None, None, None]
+    bound_slot: List[Optional[int]] = [None, None, None]
+    names: List[Optional[str]] = [None, None, None]
+    for i, t in enumerate(pattern):
+        if isinstance(t, Variable):
+            names[i] = t.name
+            bound_slot[i] = slots.get(t.name)
+        else:
+            tid = dictionary.lookup(t)
+            if tid is None:
+                return []
+            const[i] = tid
+
+    # new variables in first-occurrence order; repeated occurrences of
+    # the same new variable become equality checks (e.g. ?x ?p ?x)
+    new_names: List[str] = []
+    ext_positions: List[int] = []  # triple position supplying each new slot
+    eq_checks: List[Tuple[int, int]] = []  # (position, position) must match
+    first_pos: Dict[str, int] = {}
+    for i, name in enumerate(names):
+        if name is None or bound_slot[i] is not None:
+            continue
+        if name in first_pos:
+            eq_checks.append((first_pos[name], i))
+        else:
+            first_pos[name] = i
+            new_names.append(name)
+            ext_positions.append(i)
+
+    shared = sorted(
+        {names[i] for i in range(3) if names[i] is not None and bound_slot[i] is not None}
+    )
+    if shared and _use_hash_join(graph, dictionary, const, rows, strategy):
+        out = _hash_join(
+            graph, const, names, bound_slot, slots,
+            ext_positions, eq_checks, rows,
+        )
+    else:
+        out = _bind_join(
+            graph, const, bound_slot, ext_positions, eq_checks, rows
+        )
+    base = len(slots)
+    for offset, name in enumerate(new_names):
+        slots[name] = base + offset
+    return out
+
+
+def _use_hash_join(graph, dictionary, const, rows, strategy: str) -> bool:
+    if strategy == "hash-join":
+        return True
+    if len(rows) < _HASH_MIN_ROWS:
+        return False
+    term = dictionary.term
+    estimate = graph.cached_count(
+        term(const[0]) if const[0] is not None else None,
+        term(const[1]) if const[1] is not None else None,
+        term(const[2]) if const[2] is not None else None,
+    )
+    return estimate <= len(rows) * _HASH_SCAN_FACTOR
+
+
+def _bind_join(
+    graph,
+    const: List[Optional[int]],
+    bound_slot: List[Optional[int]],
+    ext_positions: List[int],
+    eq_checks: List[Tuple[int, int]],
+    rows: List[IdRow],
+) -> List[IdRow]:
+    """Index-nested-loop with binding substitution, over ids."""
+    out: List[IdRow] = []
+    append = out.append
+    triples_ids = graph.triples_ids
+    s_const, p_const, o_const = const
+    s_slot, p_slot, o_slot = bound_slot
+    if not eq_checks and len(ext_positions) == 1:
+        # dominant shape (one new variable per pattern): skip the
+        # per-triple genexpr tuple build
+        ep = ext_positions[0]
+        for row in rows:
+            s = row[s_slot] if s_slot is not None else s_const
+            p = row[p_slot] if p_slot is not None else p_const
+            o = row[o_slot] if o_slot is not None else o_const
+            for t in triples_ids(s, p, o):
+                append(row + (t[ep],))
+        return out
+    for row in rows:
+        s = row[s_slot] if s_slot is not None else s_const
+        p = row[p_slot] if p_slot is not None else p_const
+        o = row[o_slot] if o_slot is not None else o_const
+        for t in triples_ids(s, p, o):
+            if eq_checks and any(t[a] != t[b] for a, b in eq_checks):
+                continue
+            append(row + tuple(t[i] for i in ext_positions))
+    return out
+
+
+def _hash_join(
+    graph,
+    const: List[Optional[int]],
+    names: List[Optional[str]],
+    bound_slot: List[Optional[int]],
+    slots: Dict[str, int],
+    ext_positions: List[int],
+    eq_checks: List[Tuple[int, int]],
+    rows: List[IdRow],
+) -> List[IdRow]:
+    """Scan the pattern once, hash on the shared-variable ids, probe rows."""
+    # key: one triple position per shared variable (plus an equality
+    # check when the same shared variable fills two positions)
+    key_positions: List[int] = []
+    key_slots: List[int] = []
+    seen_shared: Dict[str, int] = {}
+    shared_eq: List[Tuple[int, int]] = []
+    for i, name in enumerate(names):
+        if name is None or bound_slot[i] is None:
+            continue
+        if name in seen_shared:
+            shared_eq.append((seen_shared[name], i))
+        else:
+            seen_shared[name] = i
+            key_positions.append(i)
+            key_slots.append(slots[name])
+
+    # single shared variable with no equality checks is the dominant
+    # shape; key on the bare id to skip per-triple/per-row tuple builds
+    single_key = (
+        len(key_positions) == 1 and not shared_eq and not eq_checks
+    )
+    table: Dict = {}
+    setdefault = table.setdefault
+    triples = graph.triples_ids(*const)
+    if single_key:
+        kp = key_positions[0]
+        if len(ext_positions) == 1:
+            ep = ext_positions[0]
+            for t in triples:
+                setdefault(t[kp], []).append((t[ep],))
+        else:
+            for t in triples:
+                setdefault(t[kp], []).append(
+                    tuple(t[i] for i in ext_positions)
+                )
+    else:
+        for t in triples:
+            if shared_eq and any(t[a] != t[b] for a, b in shared_eq):
+                continue
+            if eq_checks and any(t[a] != t[b] for a, b in eq_checks):
+                continue
+            key = tuple(t[i] for i in key_positions)
+            ext = tuple(t[i] for i in ext_positions)
+            setdefault(key, []).append(ext)
+
+    out: List[IdRow] = []
+    append = out.append
+    get = table.get
+    if single_key:
+        ks = key_slots[0]
+        for row in rows:
+            exts = get(row[ks])
+            if exts:
+                for ext in exts:
+                    append(row + ext)
+        return out
+    for row in rows:
+        exts = get(tuple(row[i] for i in key_slots))
+        if exts:
+            for ext in exts:
+                append(row + ext)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Term-space matching (baseline path and property paths)
+# ---------------------------------------------------------------------------
 
 
 def _match_path_pattern(graph, pattern, binding: Binding) -> Iterator[Binding]:
@@ -281,8 +626,12 @@ def _match_pattern(graph, pattern: Triple, binding: Binding) -> Iterator[Binding
 # ---------------------------------------------------------------------------
 
 
-def _evaluate_select(graph, query: SelectQuery, initial: Binding) -> SolutionSequence:
-    rows: List[Binding] = list(eval_pattern(graph, query.pattern, initial))
+def _evaluate_select(
+    graph, query: SelectQuery, initial: Binding, strategy, plan
+) -> SolutionSequence:
+    rows: List[Binding] = list(
+        eval_pattern(graph, query.pattern, initial, strategy, plan)
+    )
 
     if query.group_by or query.projection.aggregates:
         rows = _aggregate(rows, query)
@@ -292,7 +641,11 @@ def _evaluate_select(graph, query: SelectQuery, initial: Binding) -> SolutionSeq
     else:
         columns = query.projection.output_names()
 
-    if not (query.group_by or query.projection.aggregates):
+    if not (
+        query.group_by or query.projection.aggregates or query.projection.select_all
+    ):
+        # SELECT * keeps the solution dicts as-is: ``columns`` already
+        # covers every bound name, so projecting would be a plain copy.
         rows = [
             {name: row[name] for name in columns if name in row} for row in rows
         ]
@@ -315,7 +668,7 @@ def _evaluate_select(graph, query: SelectQuery, initial: Binding) -> SolutionSeq
     if query.limit is not None:
         rows = rows[: query.limit]
 
-    return SolutionSequence(columns, [Row(r) for r in rows])
+    return SolutionSequence(columns, [Row.adopt(r) for r in rows])
 
 
 def _stable_sort(rows: List[Binding], condition) -> List[Binding]:
@@ -424,9 +777,11 @@ def _numeric_sum(values: Sequence[Term]):
 # ---------------------------------------------------------------------------
 
 
-def _evaluate_construct(graph, query: ConstructQuery, initial: Binding) -> Graph:
+def _evaluate_construct(
+    graph, query: ConstructQuery, initial: Binding, strategy, plan
+) -> Graph:
     out = Graph(name="constructed")
-    for row in eval_pattern(graph, query.pattern, initial):
+    for row in eval_pattern(graph, query.pattern, initial, strategy, plan):
         for template in query.template:
             terms = []
             ok = True

@@ -34,9 +34,16 @@ from repro.sparql.parser import parse_query
 from repro.sparql.planner import order_patterns, pattern_selectivity
 
 
-def explain(graph, query, nsm: Optional[NamespaceManager] = None) -> str:
+def explain(
+    graph,
+    query,
+    nsm: Optional[NamespaceManager] = None,
+    strategy: str = "auto",
+) -> str:
     """Render the evaluation plan of ``query`` (text or algebra) against
-    ``graph``."""
+    ``graph``. ``strategy`` is the physical BGP execution the caller
+    will run with (see :data:`repro.sparql.evaluator.STRATEGIES`); it is
+    echoed per BGP so plans read unambiguously."""
     if isinstance(query, str):
         query = parse_query(query, nsm=nsm)
     lines: List[str] = []
@@ -49,7 +56,7 @@ def explain(graph, query, nsm: Optional[NamespaceManager] = None) -> str:
         else:
             header += " " + " ".join(f"?{v}" for v in query.projection.output_names())
         lines.append(header)
-        _explain_pattern(graph, query.pattern, lines, depth=1)
+        _explain_pattern(graph, query.pattern, lines, depth=1, strategy=strategy)
         if query.group_by:
             lines.append("  GROUP BY " + " ".join(f"?{v}" for v in query.group_by))
         if query.having is not None:
@@ -60,27 +67,32 @@ def explain(graph, query, nsm: Optional[NamespaceManager] = None) -> str:
             lines.append(f"  SLICE limit={query.limit} offset={query.offset}")
     elif isinstance(query, AskQuery):
         lines.append("ASK (stops at the first solution)")
-        _explain_pattern(graph, query.pattern, lines, depth=1)
+        _explain_pattern(graph, query.pattern, lines, depth=1, strategy=strategy)
     elif isinstance(query, ConstructQuery):
         lines.append(f"CONSTRUCT ({len(query.template)} template triple(s))")
-        _explain_pattern(graph, query.pattern, lines, depth=1)
+        _explain_pattern(graph, query.pattern, lines, depth=1, strategy=strategy)
     elif isinstance(query, DescribeQuery):
         lines.append(
             f"DESCRIBE ({len(query.resources)} resource(s), "
             f"{len(query.variables)} variable(s))"
         )
         if query.pattern is not None:
-            _explain_pattern(graph, query.pattern, lines, depth=1)
+            _explain_pattern(graph, query.pattern, lines, depth=1, strategy=strategy)
     else:
         lines.append(f"<{type(query).__name__}>")
     return "\n".join(lines)
 
 
-def _explain_pattern(graph, pattern: Pattern, lines: List[str], depth: int) -> None:
+def _explain_pattern(
+    graph, pattern: Pattern, lines: List[str], depth: int, strategy: str = "auto"
+) -> None:
     pad = "  " * depth
     if isinstance(pattern, BGP):
         ordered = order_patterns(graph, list(pattern.patterns))
-        lines.append(f"{pad}BGP ({len(ordered)} pattern(s), planner order):")
+        lines.append(
+            f"{pad}BGP ({len(ordered)} pattern(s), planner order, "
+            f"strategy={strategy}):"
+        )
         bound: set = set()
         for i, triple in enumerate(ordered, start=1):
             estimate = pattern_selectivity(graph, triple, bound)
@@ -98,26 +110,26 @@ def _explain_pattern(graph, pattern: Pattern, lines: List[str], depth: int) -> N
             )
     elif isinstance(pattern, Join):
         lines.append(f"{pad}JOIN")
-        _explain_pattern(graph, pattern.left, lines, depth + 1)
-        _explain_pattern(graph, pattern.right, lines, depth + 1)
+        _explain_pattern(graph, pattern.left, lines, depth + 1, strategy)
+        _explain_pattern(graph, pattern.right, lines, depth + 1, strategy)
     elif isinstance(pattern, LeftJoin):
         lines.append(f"{pad}OPTIONAL (left join)")
-        _explain_pattern(graph, pattern.left, lines, depth + 1)
-        _explain_pattern(graph, pattern.right, lines, depth + 1)
+        _explain_pattern(graph, pattern.left, lines, depth + 1, strategy)
+        _explain_pattern(graph, pattern.right, lines, depth + 1, strategy)
     elif isinstance(pattern, Union):
         lines.append(f"{pad}UNION")
-        _explain_pattern(graph, pattern.left, lines, depth + 1)
-        _explain_pattern(graph, pattern.right, lines, depth + 1)
+        _explain_pattern(graph, pattern.left, lines, depth + 1, strategy)
+        _explain_pattern(graph, pattern.right, lines, depth + 1, strategy)
     elif isinstance(pattern, Filter):
         lines.append(f"{pad}FILTER <expression>")
-        _explain_pattern(graph, pattern.pattern, lines, depth + 1)
+        _explain_pattern(graph, pattern.pattern, lines, depth + 1, strategy)
     elif isinstance(pattern, Minus):
         lines.append(f"{pad}MINUS")
-        _explain_pattern(graph, pattern.left, lines, depth + 1)
-        _explain_pattern(graph, pattern.right, lines, depth + 1)
+        _explain_pattern(graph, pattern.left, lines, depth + 1, strategy)
+        _explain_pattern(graph, pattern.right, lines, depth + 1, strategy)
     elif isinstance(pattern, Extend):
         lines.append(f"{pad}BIND -> ?{pattern.variable}")
-        _explain_pattern(graph, pattern.pattern, lines, depth + 1)
+        _explain_pattern(graph, pattern.pattern, lines, depth + 1, strategy)
     elif isinstance(pattern, ValuesPattern):
         lines.append(
             f"{pad}VALUES ({', '.join('?' + n for n in pattern.names)}) "

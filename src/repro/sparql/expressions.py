@@ -277,23 +277,44 @@ def _order_compare(op: str, a: Term, b: Term) -> bool:
 # ---------------------------------------------------------------------------
 
 
+def compile_regex(pattern: str, flag_text: str = "") -> "re.Pattern":
+    """Compile a SPARQL regex() pattern + flag string, with caching.
+
+    FILTER regex() runs once per candidate row, always with the same
+    pattern; the cache turns per-row compilation (including re's flag
+    handling) into a dict hit. Raises :class:`ExpressionError` on bad
+    patterns or flags.
+    """
+    cached = _REGEX_CACHE.get((pattern, flag_text))
+    if cached is not None:
+        return cached
+    flags = 0
+    mapping = {"i": re.IGNORECASE, "s": re.DOTALL, "m": re.MULTILINE, "x": re.VERBOSE}
+    for ch in flag_text:
+        if ch not in mapping:
+            raise ExpressionError(f"unknown regex flag {ch!r}")
+        flags |= mapping[ch]
+    try:
+        compiled = re.compile(pattern, flags)
+    except re.error as exc:
+        raise ExpressionError(f"bad regex: {exc}") from None
+    if len(_REGEX_CACHE) >= _REGEX_CACHE_LIMIT:
+        _REGEX_CACHE.clear()
+    _REGEX_CACHE[(pattern, flag_text)] = compiled
+    return compiled
+
+
+_REGEX_CACHE: Dict[tuple, "re.Pattern"] = {}
+_REGEX_CACHE_LIMIT = 512
+
+
 def _fn_regex(args, binding):
     if len(args) not in (2, 3):
         raise ExpressionError("regex() takes 2 or 3 arguments")
     text = _string_value(args[0].evaluate(binding))
     pattern = _string_value(args[1].evaluate(binding))
-    flags = 0
-    if len(args) == 3:
-        flag_text = _string_value(args[2].evaluate(binding))
-        mapping = {"i": re.IGNORECASE, "s": re.DOTALL, "m": re.MULTILINE, "x": re.VERBOSE}
-        for ch in flag_text:
-            if ch not in mapping:
-                raise ExpressionError(f"unknown regex flag {ch!r}")
-            flags |= mapping[ch]
-    try:
-        return boolean(re.search(pattern, text, flags) is not None)
-    except re.error as exc:
-        raise ExpressionError(f"bad regex: {exc}") from None
+    flag_text = _string_value(args[2].evaluate(binding)) if len(args) == 3 else ""
+    return boolean(compile_regex(pattern, flag_text).search(text) is not None)
 
 
 def _fn_bound(args, binding):

@@ -1,0 +1,164 @@
+"""LRU cache of parsed queries and prepared execution plans.
+
+Parsing a SPARQL query and join-ordering its BGPs are pure functions of
+(query text, namespace bindings) and (query, graph statistics)
+respectively, so both are worth caching across the repeated template
+queries the warehouse services issue (the Listing 1 search and Listing 2
+lineage shapes run once per user interaction with only the bindings
+changing).
+
+Two cache levels:
+
+* **parse cache** — keyed on (query text, namespace fingerprint); holds
+  the parsed algebra tree. Survives graph updates.
+* **plan cache** — keyed on (query text, namespace fingerprint, graph
+  generation); holds a :class:`PreparedQuery` whose per-BGP join orders
+  are computed once. Any mutation of the underlying graph bumps its
+  generation counter and naturally invalidates the entry (the stale
+  entry ages out of the LRU).
+
+``graph.generation`` is an int for :class:`~repro.rdf.Graph` and a
+tuple of per-layer ``(id(layer), generation)`` pairs for
+:class:`~repro.rdf.GraphView`, so a view plan is reused only while every
+layer is unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.rdf.terms import Triple
+from repro.sparql.algebra import BGP, Query
+from repro.sparql.parser import parse_query
+from repro.sparql.planner import order_patterns
+
+_DEFAULT_MAXSIZE = 128
+
+
+def _nsm_fingerprint(nsm) -> Tuple:
+    """A hashable digest of the namespace bindings a parse depends on."""
+    if nsm is None:
+        return ()
+    return tuple(sorted((prefix, ns.base) for prefix, ns in nsm.bindings()))
+
+
+def _generation_of(graph):
+    """The graph's invalidation stamp; None disables plan reuse."""
+    return getattr(graph, "generation", None)
+
+
+class PreparedQuery:
+    """A parsed query plus memoized join orders for one graph generation."""
+
+    __slots__ = ("text", "query", "generation", "_orders")
+
+    def __init__(self, text: str, query: Query, generation):
+        self.text = text
+        self.query = query
+        self.generation = generation
+        # id(bgp) -> ordered triple patterns; the BGP nodes live as long
+        # as self.query does, so ids are stable
+        self._orders: Dict[int, List[Triple]] = {}
+
+    def bgp_order(self, graph, bgp: BGP) -> List[Triple]:
+        """The planner's join order for ``bgp``, computed once per plan."""
+        key = id(bgp)
+        order = self._orders.get(key)
+        if order is None:
+            order = order_patterns(graph, list(bgp.patterns))
+            self._orders[key] = order
+        return order
+
+
+class PlanCache:
+    """LRU parse + plan cache for repeated query templates.
+
+    Thread-unsafe by design (the warehouse is single-threaded, like one
+    Oracle session); callers needing sharing should lock around
+    :meth:`prepare`.
+    """
+
+    def __init__(self, maxsize: int = _DEFAULT_MAXSIZE):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._parses: "OrderedDict[Tuple, Query]" = OrderedDict()
+        self._plans: "OrderedDict[Tuple, PreparedQuery]" = OrderedDict()
+        self.parse_hits = 0
+        self.parse_misses = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+
+    # -- parse level -------------------------------------------------------
+
+    def parse(self, text: str, nsm=None) -> Query:
+        key = (text, _nsm_fingerprint(nsm))
+        cached = self._parses.get(key)
+        if cached is not None:
+            self.parse_hits += 1
+            self._parses.move_to_end(key)
+            return cached
+        self.parse_misses += 1
+        query = parse_query(text, nsm=nsm)
+        self._parses[key] = query
+        if len(self._parses) > self.maxsize:
+            self._parses.popitem(last=False)
+        return query
+
+    # -- plan level --------------------------------------------------------
+
+    def prepare(self, graph, text: str, nsm=None) -> PreparedQuery:
+        """A :class:`PreparedQuery` valid for the graph's current state."""
+        generation = _generation_of(graph)
+        key = (text, _nsm_fingerprint(nsm), generation)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self.plan_hits += 1
+            self._plans.move_to_end(key)
+            return cached
+        self.plan_misses += 1
+        plan = PreparedQuery(text, self.parse(text, nsm=nsm), generation)
+        self._plans[key] = plan
+        if len(self._plans) > self.maxsize:
+            self._plans.popitem(last=False)
+        return plan
+
+    def execute(self, graph, text: str, nsm=None, bindings=None, strategy=None):
+        """Parse/plan through the cache, then evaluate."""
+        from repro.sparql.evaluator import evaluate
+
+        plan = self.prepare(graph, text, nsm=nsm)
+        return evaluate(
+            graph,
+            plan.query,
+            initial_bindings=bindings,
+            strategy=strategy,
+            plan=plan,
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def clear(self) -> None:
+        self._parses.clear()
+        self._plans.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "parse_hits": self.parse_hits,
+            "parse_misses": self.parse_misses,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "parse_entries": len(self._parses),
+            "plan_entries": len(self._plans),
+        }
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"<PlanCache plans={s['plan_entries']}/{self.maxsize} "
+            f"hits={s['plan_hits']} misses={s['plan_misses']}>"
+        )

@@ -33,6 +33,9 @@ def pattern_selectivity(graph, pattern: Triple, bound: Set[str]) -> int:
     heuristic anyway because they share variables.
     """
     s, p, o = (None if isinstance(t, Variable) else t for t in pattern)
+    counter = getattr(graph, "cached_count", None)
+    if counter is not None:
+        return counter(s, p, o)
     return graph.count(s, p, o)
 
 

@@ -19,6 +19,18 @@ class Row:
     def __init__(self, binding: Dict[str, Term]):
         self._binding = dict(binding)
 
+    @classmethod
+    def adopt(cls, binding: Dict[str, Term]) -> "Row":
+        """Wrap ``binding`` without the defensive copy.
+
+        For engine internals handing over freshly-allocated dicts that
+        no other reference can mutate; result sets are built from tens
+        of thousands of these, so the copy matters.
+        """
+        row = cls.__new__(cls)
+        row._binding = binding
+        return row
+
     def __getitem__(self, name: str) -> Optional[Term]:
         return self._binding.get(name)
 
@@ -83,6 +95,15 @@ class SolutionSequence:
         if not isinstance(other, SolutionSequence):
             return NotImplemented
         return self.columns == other.columns and self._rows == other._rows
+
+    def iter_bindings(self) -> Iterator[Dict[str, Term]]:
+        """The underlying binding dicts, without per-row copies.
+
+        Read-only by contract: mutating a yielded dict corrupts the
+        sequence. Use :meth:`Row.asdict` when ownership is needed.
+        """
+        for row in self._rows:
+            yield row._binding
 
     def column(self, name: str) -> List[Optional[Term]]:
         """All values of one output column, in row order."""

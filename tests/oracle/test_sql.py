@@ -197,3 +197,48 @@ class TestSqlSemantics:
         """
         rows = execute_sem_sql(store, sql)
         assert rows.values("term") == sorted(rows.values("term"))
+
+
+class TestEqualityPushdown:
+    """WHERE `col = 'const'` conjuncts pushed into SEM_MATCH as bindings."""
+
+    def test_hint_extraction(self):
+        from repro.oracle.sql import _equality_hints
+
+        query = parse_sem_sql(LISTING_2)
+        assert _equality_hints(query.where) == {
+            "source_id": "http://www.credit-suisse.com/dwh/client_information_id"
+        }
+        regex_query = parse_sem_sql(LISTING_1)
+        assert _equality_hints(regex_query.where) == {}
+
+    def test_all_strategies_agree_on_listing2(self, store):
+        baseline = execute_sem_sql(store, LISTING_2, strategy="nested-loop")
+        for strategy in (None, "auto", "hash-join"):
+            rows = execute_sem_sql(store, LISTING_2, strategy=strategy)
+            assert rows.to_dicts() == baseline.to_dicts(), strategy
+        assert baseline.values("source_id") == [
+            "http://www.credit-suisse.com/dwh/client_information_id"
+        ]
+
+    def test_subject_equality_on_absent_iri_is_empty(self, store):
+        sql = LISTING_2.replace("client_information_id", "no_such_source")
+        assert len(execute_sem_sql(store, sql)) == 0
+        assert len(execute_sem_sql(store, sql, strategy="nested-loop")) == 0
+
+    def test_object_position_column_not_pushed(self, store):
+        # target_name sits in object position: it may match literals of
+        # any shape, so the equality must stay a post-filter. An IRI
+        # binding here would find nothing; the filter must still match.
+        sql = """
+        SELECT o, term FROM TABLE(SEM_MATCH(
+            {?o dm:hasName ?term},
+            SEM_MODELS('DWH_CURR'),
+            SEM_ALIASES(SEM_ALIAS('dm', 'http://www.credit-suisse.com/dwh/mdm/data_modeling#'))))
+        WHERE term = 'customer_id'
+        """
+        rows = execute_sem_sql(store, sql)
+        assert rows.values("term") == ["customer_id"]
+        assert rows.to_dicts() == execute_sem_sql(
+            store, sql, strategy="nested-loop"
+        ).to_dicts()

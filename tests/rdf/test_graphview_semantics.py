@@ -1,0 +1,132 @@
+"""GraphView layering semantics: dedup, the disjoint fast path, and
+read-only enforcement — plus planner tie determinism.
+
+The view is how entailment indexes become visible (Section III.B), so
+its set semantics must hold whether or not the store could prove the
+layers disjoint.
+"""
+
+import pytest
+
+from repro.rdf import (
+    Graph,
+    GraphView,
+    IRI,
+    Literal,
+    ReadOnlyGraphError,
+    Triple,
+    TripleStore,
+)
+from repro.sparql.planner import order_patterns
+from repro.rdf.terms import Variable
+
+
+def t(n, p="p"):
+    return Triple(IRI(f"http://x/s{n}"), IRI(f"http://x/{p}"), IRI(f"http://x/o{n}"))
+
+
+class TestDuplicateSemantics:
+    def test_triple_in_both_layers_reported_once(self):
+        shared = t(1)
+        a = Graph([shared, t(2)])
+        b = Graph([shared, t(3)])
+        view = GraphView([a, b])
+        assert sorted(view.triples(), key=lambda tr: tr.subject.value) == sorted(
+            [shared, t(2), t(3)], key=lambda tr: tr.subject.value
+        )
+        assert len(view) == 3
+        assert view.count(None, None, None) == 3
+
+    def test_count_with_pattern_dedups(self):
+        shared = t(1)
+        view = GraphView([Graph([shared]), Graph([shared])])
+        assert view.count(shared.subject, None, None) == 1
+        assert list(view.triples_ids()) and len(list(view.triples_ids())) == 1
+
+    def test_contains_across_layers(self):
+        view = GraphView([Graph([t(1)]), Graph([t(2)])])
+        assert t(1) in view and t(2) in view and t(3) not in view
+
+
+class TestDisjointHint:
+    def layers(self):
+        return Graph([t(1), t(2)]), Graph([t(3), t(4)])
+
+    def test_disjoint_hint_matches_dedup_path(self):
+        a, b = self.layers()
+        hinted = GraphView([a, b], disjoint_hint=True)
+        plain = GraphView([a, b])
+        assert set(hinted.triples()) == set(plain.triples())
+        assert set(hinted.triples_ids()) == set(plain.triples_ids())
+        assert len(hinted) == len(plain) == 4
+        for pattern in [
+            (None, None, None),
+            (t(1).subject, None, None),
+            (None, t(1).predicate, None),
+            (None, None, t(3).object),
+        ]:
+            assert hinted.count(*pattern) == plain.count(*pattern)
+
+    def test_single_layer_view_is_disjoint(self):
+        a, _ = self.layers()
+        assert GraphView([a]).disjoint_hint is True
+
+    def test_store_hints_disjoint_for_fresh_index(self):
+        store = TripleStore()
+        store.create_model("M").add(t(1))
+        store.attach_index("M", "RB", Graph([t(2)]))
+        view = store.view(["M"], rulebases=["RB"])
+        assert view.disjoint_hint is True
+        assert len(view) == 2
+
+    def test_store_drops_hint_after_base_mutation(self):
+        store = TripleStore()
+        base = store.create_model("M")
+        base.add(t(1))
+        store.attach_index("M", "RB", Graph([t(2)]))
+        base.add(t(3))  # model changed since the index build
+        view = store.view(["M"], rulebases=["RB"])
+        assert view.disjoint_hint is False
+        assert len(view) == 3
+
+    def test_store_never_hints_for_multiple_models(self):
+        store = TripleStore()
+        store.create_model("A").add(t(1))
+        store.create_model("B").add(t(2))
+        assert store.view(["A", "B"]).disjoint_hint is False
+
+
+class TestReadOnly:
+    def test_view_add_raises(self):
+        view = GraphView([Graph([t(1)])])
+        with pytest.raises(ReadOnlyGraphError):
+            view.add(t(2))
+        with pytest.raises(ReadOnlyGraphError):
+            view.discard(t(1))
+
+    def test_frozen_graph_mutation_raises(self):
+        g = Graph([t(1)])
+        g.freeze()
+        with pytest.raises(ReadOnlyGraphError):
+            g.add(t(2))
+        with pytest.raises(ReadOnlyGraphError):
+            g.discard(t(1))
+        with pytest.raises(ReadOnlyGraphError):
+            g.clear()
+        assert len(g) == 1  # untouched
+
+
+class TestPlannerDeterminism:
+    def test_equal_selectivity_ties_keep_original_order(self):
+        g = Graph([t(1, "p1"), t(2, "p2")])
+        patterns = [
+            Triple(Variable("a"), IRI("http://x/p1"), Variable("b")),
+            Triple(Variable("a"), IRI("http://x/p2"), Variable("c")),
+        ]
+        # both estimate to 1 row and share ?a: the tie must break on the
+        # original pattern position, every time
+        for _ in range(5):
+            assert order_patterns(g, patterns) == patterns
+            assert order_patterns(g, list(reversed(patterns))) == list(
+                reversed(patterns)
+            )

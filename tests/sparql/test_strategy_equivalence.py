@@ -1,0 +1,163 @@
+"""Result equivalence across physical join strategies.
+
+The acceptance bar for the hash-join engine: for every query shape, the
+nested-loop baseline, the forced hash-join path, the adaptive default,
+and the cached-plan execution produce identical solution multisets —
+and identical sequences when ORDER BY pins the order.
+"""
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal, Triple
+from repro.rdf.namespace import NamespaceManager, RDF, RDFS
+from repro.sparql import PlanCache, STRATEGIES, execute
+
+EX = "http://example.org/"
+
+
+def iri(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = Graph(name="equivalence")
+    person, doc = iri("Person"), iri("Document")
+    for i in range(40):
+        p = iri(f"person{i}")
+        g.add(Triple(p, RDF.type, person))
+        g.add(Triple(p, iri("name"), Literal(f"Person {i}")))
+        g.add(Triple(p, iri("age"), Literal(20 + i % 7)))
+        if i % 3 == 0:
+            g.add(Triple(p, iri("knows"), iri(f"person{(i + 1) % 40}")))
+    for i in range(25):
+        d = iri(f"doc{i}")
+        g.add(Triple(d, RDF.type, doc))
+        g.add(Triple(d, iri("author"), iri(f"person{i % 10}")))
+        g.add(Triple(d, iri("title"), Literal(f"Title {i} customer data")))
+    g.add(Triple(doc, RDFS.subClassOf, iri("Asset")))
+    return g
+
+
+@pytest.fixture(scope="module")
+def nsm():
+    m = NamespaceManager()
+    m.bind("ex", EX)
+    return m
+
+
+QUERIES = [
+    # multi-pattern join with a shared variable (hash-join territory)
+    """SELECT ?p ?n ?a WHERE {
+        ?p rdf:type ex:Person . ?p ex:name ?n . ?p ex:age ?a }""",
+    # join across entity kinds
+    """SELECT ?d ?p ?n WHERE {
+        ?d ex:author ?p . ?p ex:name ?n . ?d rdf:type ex:Document }""",
+    # FILTER + regex
+    """SELECT ?d WHERE {
+        ?d ex:title ?t . FILTER regex(?t, "customer", "i") }""",
+    # OPTIONAL with a partial match
+    """SELECT ?p ?q WHERE {
+        ?p rdf:type ex:Person . OPTIONAL { ?p ex:knows ?q } }""",
+    # UNION
+    """SELECT ?x WHERE {
+        { ?x rdf:type ex:Person } UNION { ?x rdf:type ex:Document } }""",
+    # DISTINCT projection
+    "SELECT DISTINCT ?a WHERE { ?p ex:age ?a }",
+    # aggregates with grouping
+    """SELECT ?a (COUNT(?p) AS ?n) WHERE {
+        ?p ex:age ?a } GROUP BY ?a""",
+    # VALUES constraining a join variable
+    """SELECT ?p ?n WHERE {
+        VALUES ?p { ex:person1 ex:person2 } ?p ex:name ?n }""",
+    # property path through the class hierarchy
+    """SELECT ?d WHERE { ?d rdf:type/rdfs:subClassOf ex:Asset }""",
+    # ORDER BY: sequence must match exactly, not just as a multiset
+    """SELECT ?p ?a WHERE {
+        ?p rdf:type ex:Person . ?p ex:age ?a }
+        ORDER BY ?a ?p LIMIT 17 OFFSET 3""",
+    # bound subject (selective bind-join side)
+    "SELECT ?n WHERE { ex:person5 ex:name ?n }",
+    # cartesian product of two tiny groups
+    """SELECT ?a ?b WHERE {
+        ex:person1 ex:name ?a . ex:doc1 ex:title ?b }""",
+]
+
+ASK_QUERIES = [
+    "ASK { ?p ex:knows ?q . ?q ex:name ?n }",
+    "ASK { ex:person2 ex:age ?a . FILTER (?a > 100) }",
+]
+
+
+def canonical(result):
+    return sorted(
+        tuple(sorted(row.asdict().items())) for row in result
+    )
+
+
+def exact(result):
+    return [tuple(sorted(row.asdict().items())) for row in result]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_strategies_bit_identical(graph, nsm, query):
+    results = {
+        strategy: execute(graph, query, nsm=nsm, strategy=strategy)
+        for strategy in STRATEGIES
+    }
+    cache = PlanCache()
+    results["cached-plan"] = execute(graph, query, nsm=nsm, plan_cache=cache)
+    results["cached-plan-hit"] = execute(graph, query, nsm=nsm, plan_cache=cache)
+    assert cache.plan_hits >= 1
+
+    baseline = results.pop("nested-loop")
+    for label, result in results.items():
+        assert result.columns == baseline.columns, label
+        assert canonical(result) == canonical(baseline), label
+        if "ORDER BY" in query:
+            assert exact(result) == exact(baseline), label
+
+
+@pytest.mark.parametrize("query", ASK_QUERIES)
+def test_ask_strategies_agree(graph, nsm, query):
+    answers = {execute(graph, query, nsm=nsm, strategy=s) for s in STRATEGIES}
+    assert len(answers) == 1
+
+
+def test_initial_bindings_agree(graph, nsm):
+    query = "SELECT ?n WHERE { ?p ex:name ?n }"
+    bindings = {"p": iri("person7")}
+    rows = [
+        canonical(execute(graph, query, nsm=nsm, bindings=bindings, strategy=s))
+        for s in STRATEGIES
+    ]
+    assert rows[0] and all(r == rows[0] for r in rows)
+
+
+def test_unknown_term_in_bindings_yields_empty(graph, nsm):
+    query = "SELECT ?n WHERE { ?p ex:name ?n }"
+    bindings = {"p": iri("nobody-ever-interned")}
+    for s in STRATEGIES:
+        assert (
+            len(execute(graph, query, nsm=nsm, bindings=bindings, strategy=s)) == 0
+        )
+
+
+def test_unknown_strategy_rejected(graph, nsm):
+    from repro.sparql import SparqlEvalError
+
+    with pytest.raises(SparqlEvalError):
+        execute(graph, "SELECT ?s WHERE { ?s ?p ?o }", nsm=nsm, strategy="merge")
+
+
+def test_plan_cache_invalidates_on_mutation(nsm):
+    g = Graph()
+    g.add(Triple(iri("a"), iri("p"), iri("b")))
+    cache = PlanCache()
+    query = "SELECT ?o WHERE { ex:a ex:p ?o }"
+    assert len(execute(g, query, nsm=nsm, plan_cache=cache)) == 1
+    g.add(Triple(iri("a"), iri("p"), iri("c")))
+    assert len(execute(g, query, nsm=nsm, plan_cache=cache)) == 2
+    # two distinct generations -> two plan entries, but one parse
+    assert cache.stats()["plan_misses"] == 2
+    assert cache.stats()["parse_misses"] == 1
