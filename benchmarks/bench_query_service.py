@@ -1,0 +1,262 @@
+"""S1 — concurrent query service: throughput and tail latency vs workers.
+
+Regression-tracked serving benchmark: a Listing 1/2 request mix (the
+deterministic :func:`make_service_workload` stream) driven by client
+threads against :class:`QueryService` at several worker counts, plus the
+deadline-enforcement check.
+
+Two acceptance properties:
+
+* **no divergence** — every configuration returns bit-identical rows to
+  a single-threaded direct run (checked at *every* scale, including the
+  CI smoke);
+* **scaling** — at ``medium``+ scale, 4 fork-mode workers deliver at
+  least 2.5x the throughput of 1 worker on the same mix. Asserted only
+  when the machine actually has >= 4 usable cores — process parallelism
+  cannot beat the hardware, and on a single-core CI box extra workers
+  are pure context-switch and copy-on-write overhead. The measured
+  numbers and the core count are recorded either way. Thread-mode
+  numbers are recorded too (they show the interpreter-lock ceiling) but
+  not asserted against.
+
+Results land in ``BENCH_query_service.json``. Scale via
+``MDW_BENCH_SCALE`` (``small`` default / ``medium`` / ``paper``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.server import DeadlineExceeded, ServiceConfig
+from repro.synth import LandscapeConfig, generate_landscape, make_service_workload
+
+SCALE = os.environ.get("MDW_BENCH_SCALE", "small").lower()
+_CONFIGS = {
+    "small": LandscapeConfig.small,
+    "medium": LandscapeConfig.medium,
+    "paper": LandscapeConfig.paper_scale,
+}
+_N_OPS = {"small": 60, "medium": 200, "paper": 300}
+if SCALE not in _CONFIGS:
+    raise ValueError(f"MDW_BENCH_SCALE must be one of {sorted(_CONFIGS)}, got {SCALE!r}")
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_query_service.json"
+
+#: Cores this process may actually run on (affinity-aware: a 64-core box
+#: with a 1-core cgroup quota must not be treated as 64).
+CORES = (
+    len(os.sched_getaffinity(0))
+    if hasattr(os, "sched_getaffinity")
+    else (os.cpu_count() or 1)
+)
+
+#: Worker counts swept (1 is the serial baseline).
+WORKER_COUNTS = (1, 2, 4)
+
+#: The adversarial deadline probe: an unconstrained cross product.
+HOG_QUERY = (
+    "SELECT ?a ?b ?c WHERE { ?a dm:hasName ?n1 . ?b dm:hasName ?n2 . "
+    "?c dm:hasName ?n3 }"
+)
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    return generate_landscape(_CONFIGS[SCALE](seed=2009)).warehouse
+
+
+@pytest.fixture(scope="module")
+def workload(warehouse):
+    return make_service_workload(warehouse, n_ops=_N_OPS[SCALE], seed=2009)
+
+
+def _canonical_result(kind, result) -> object:
+    """A comparable, order-insensitive form of any endpoint's result."""
+    if kind in ("query", "sql"):
+        return sorted(
+            tuple(sorted((k, v.n3()) for k, v in row.asdict().items()))
+            for row in result
+        )
+    if kind == "search":
+        return sorted((hit.instance.n3(), hit.name) for hit in result.hits)
+    if kind == "lineage":
+        return sorted(
+            (edge.source.n3(), edge.target.n3()) for edge in result.edges
+        )
+    return repr(result)
+
+
+def _drive(service, ops, clients: int):
+    """Replay ``ops`` from ``clients`` threads; returns (elapsed, results).
+
+    ``results[i]`` is the canonicalized answer of ``ops[i]`` regardless
+    of which client/worker executed it.
+    """
+    results: List[object] = [None] * len(ops)
+    errors: List[BaseException] = []
+    shards = [list(range(i, len(ops), clients)) for i in range(clients)]
+    barrier = threading.Barrier(clients + 1)
+
+    def client(indices):
+        try:
+            barrier.wait(timeout=60)
+            for i in indices:
+                op = ops[i]
+                results[i] = _canonical_result(
+                    op.kind, service.execute(op.kind, **op.payload)
+                )
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(shard,), daemon=True)
+        for shard in shards
+        if shard
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60)
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=1200)
+    elapsed = time.perf_counter() - started
+    assert not errors, errors
+    return elapsed, results
+
+
+def _save(section: str, payload: Dict[str, object]) -> None:
+    data: Dict[str, object] = {}
+    if RESULTS_PATH.exists():
+        try:
+            data = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data.setdefault("scale", SCALE)
+    if data.get("scale") != SCALE:
+        data = {"scale": SCALE}
+    data[section] = payload
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _reference_results(warehouse, ops):
+    """The single-threaded direct-warehouse truth for the whole mix."""
+    from repro.server.service import dispatch
+
+    return [_canonical_result(op.kind, dispatch(warehouse, op.kind, op.payload)) for op in ops]
+
+
+def _sweep(warehouse, ops, mode: str, reference) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for workers in WORKER_COUNTS:
+        config = ServiceConfig(
+            max_workers=workers,
+            max_queue=max(64, len(ops)),
+            worker_mode=mode,
+            name=f"bench-{mode}-{workers}",
+        )
+        with warehouse.serve(config) as service:
+            elapsed, results = _drive(service, ops, clients=max(4, workers))
+            snap = service.metrics_snapshot()
+        assert results == reference, (
+            f"{mode} mode with {workers} worker(s) diverged from the "
+            "single-threaded reference"
+        )
+        per_endpoint = {
+            kind: {"p50": summary["p50"], "p99": summary["p99"]}
+            for kind, summary in snap["endpoints"].items()
+        }
+        out[str(workers)] = {
+            "seconds": round(elapsed, 6),
+            "throughput_rps": round(len(ops) / elapsed, 2),
+            "plan_cache_hit_rate": round(snap["plan_cache_hit_rate"], 4),
+            "latency": per_endpoint,
+        }
+    serial = out[str(WORKER_COUNTS[0])]["throughput_rps"]
+    for workers in WORKER_COUNTS:
+        entry = out[str(workers)]
+        entry["speedup_vs_1"] = round(entry["throughput_rps"] / serial, 2)
+    return out
+
+
+def test_throughput_scaling_thread_mode(warehouse, workload, record):
+    reference = _reference_results(warehouse, workload)
+    sweep = _sweep(warehouse, workload, "thread", reference)
+    _save("thread_mode", {"ops": len(workload), "workers": sweep})
+    record(
+        "S1a",
+        f"Service throughput, thread workers ({SCALE}, {len(workload)} ops)",
+        [
+            (f"{workers} worker(s)", f"{sweep[str(workers)]['throughput_rps']} req/s "
+             f"({sweep[str(workers)]['speedup_vs_1']}x)")
+            for workers in WORKER_COUNTS
+        ],
+    )
+    # thread mode must at least not collapse under concurrency
+    assert sweep["4"]["speedup_vs_1"] >= 0.5
+
+
+def test_throughput_scaling_fork_mode(warehouse, workload, record):
+    reference = _reference_results(warehouse, workload)
+    sweep = _sweep(warehouse, workload, "fork", reference)
+    _save("fork_mode", {"ops": len(workload), "cores": CORES, "workers": sweep})
+    record(
+        "S1b",
+        f"Service throughput, fork workers ({SCALE}, {len(workload)} ops, {CORES} core(s))",
+        [
+            (f"{workers} worker(s)", f"{sweep[str(workers)]['throughput_rps']} req/s "
+             f"({sweep[str(workers)]['speedup_vs_1']}x)")
+            for workers in WORKER_COUNTS
+        ],
+    )
+    if SCALE != "small" and CORES >= 4:
+        # the acceptance bar: real parallel evaluation
+        assert sweep["4"]["speedup_vs_1"] >= 2.5, (
+            f"4 fork workers only reached {sweep['4']['speedup_vs_1']}x"
+        )
+
+
+def test_deadline_enforcement_under_load(warehouse, record):
+    """A deadline-exceeding query fails typed and fast while the service
+    keeps answering concurrent well-behaved requests."""
+    timeout = 0.2
+    with warehouse.serve(max_workers=2, max_queue=32) as service:
+        probe = "SELECT ?s WHERE { ?s dm:hasName ?n } LIMIT 5"
+        background = [service.submit("query", text=probe) for _ in range(4)]
+        started = time.perf_counter()
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            service.query(HOG_QUERY, timeout=timeout)
+        wall = time.perf_counter() - started
+        survivors = [len(ticket.result(timeout=120)) for ticket in background]
+        after = len(service.query(probe, timeout=120))
+        snapshot = service.metrics_snapshot()
+
+    assert excinfo.value.timeout == timeout
+    assert wall <= timeout * 1.5, f"timeout surfaced after {wall:.3f}s (budget {timeout}s)"
+    assert all(n > 0 for n in survivors)
+    assert after > 0
+    assert snapshot["timeouts"] >= 1
+
+    _save(
+        "deadline",
+        {
+            "budget_s": timeout,
+            "observed_s": round(wall, 4),
+            "ratio": round(wall / timeout, 2),
+        },
+    )
+    record(
+        "S1c",
+        f"Deadline enforcement ({SCALE})",
+        [
+            ("budget", f"{timeout * 1000:.0f} ms"),
+            ("typed error after", f"{wall * 1000:.0f} ms"),
+            ("bound", "<= 1.5x budget"),
+        ],
+    )

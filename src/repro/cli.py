@@ -119,6 +119,28 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("query", help="the query text, or a path to a .rq file")
     explain.add_argument("--rulebase", action="append", default=[], help="include an entailment index")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run statements from stdin through the concurrent query service",
+    )
+    serve.add_argument("store")
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--mode", choices=["thread", "fork"], default="thread")
+    serve.add_argument("--timeout", type=float, default=None, help="per-statement deadline in seconds")
+    serve.add_argument("--queue", type=int, default=64, help="admission queue bound")
+
+    workload = sub.add_parser(
+        "workload",
+        help="drive a synthetic client mix against the query service",
+    )
+    workload.add_argument("store")
+    workload.add_argument("--workers", type=int, default=4)
+    workload.add_argument("--clients", type=int, default=8, help="concurrent client threads")
+    workload.add_argument("--requests", type=int, default=200, help="total requests across clients")
+    workload.add_argument("--mode", choices=["thread", "fork"], default="thread")
+    workload.add_argument("--timeout", type=float, default=None, help="per-request deadline in seconds")
+    workload.add_argument("--seed", type=int, default=42)
+
     return parser
 
 
@@ -390,6 +412,99 @@ def cmd_explain(args) -> None:
         raise CliError(str(exc)) from None
 
 
+def cmd_serve(args) -> None:
+    """Feed blank-line-separated statements from stdin to a query service.
+
+    Statements containing ``SEM_MATCH`` run through the SQL layer, the
+    rest as SPARQL. At EOF the service's metrics report is printed.
+    """
+    mdw = _open(args)
+    from repro.server import DeadlineExceeded, Overloaded, QueryServiceError, ServiceConfig
+
+    config = ServiceConfig(
+        max_workers=args.workers,
+        max_queue=args.queue,
+        default_timeout=args.timeout,
+        worker_mode=args.mode,
+    )
+    statements = [
+        block.strip()
+        for block in sys.stdin.read().split("\n\n")
+        if block.strip() and not block.lstrip().startswith("#")
+    ]
+    failures = 0
+    with mdw.serve(config) as service:
+        for number, statement in enumerate(statements, start=1):
+            kind = "sql" if "SEM_MATCH" in statement.upper() else "query"
+            try:
+                if kind == "sql":
+                    rows = service.sem_sql(statement)
+                else:
+                    rows = service.query(statement)
+            except (DeadlineExceeded, Overloaded, QueryServiceError) as exc:
+                failures += 1
+                print(f"-- statement {number}: {type(exc).__name__}: {exc}")
+                continue
+            print(f"-- statement {number} ({kind}, {len(rows)} row(s))")
+            print(rows.as_table())
+        print(service.metrics_report())
+    if failures:
+        raise CliError(f"{failures} of {len(statements)} statement(s) failed")
+
+
+def cmd_workload(args) -> None:
+    """Drive a deterministic mixed workload with concurrent clients."""
+    import threading
+    import time
+
+    mdw = _open(args)
+    from repro.server import QueryServiceError, ServiceConfig
+    from repro.synth import make_service_workload
+
+    config = ServiceConfig(
+        max_workers=args.workers,
+        max_queue=max(64, args.requests),
+        default_timeout=args.timeout,
+        worker_mode=args.mode,
+    )
+    ops = make_service_workload(mdw, n_ops=args.requests, seed=args.seed)
+    shards = [ops[i :: args.clients] for i in range(args.clients)]
+    errors: List[str] = []
+    errors_lock = threading.Lock()
+
+    with mdw.serve(config) as service:
+
+        def client(shard):
+            for op in shard:
+                try:
+                    service.execute(op.kind, **op.payload)
+                except QueryServiceError as exc:
+                    with errors_lock:
+                        errors.append(f"{op.kind}: {type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=client, args=(shard,), daemon=True)
+            for shard in shards
+            if shard
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        print(
+            f"{len(ops)} request(s), {args.clients} client(s), "
+            f"{args.workers} {args.mode} worker(s): "
+            f"{elapsed:.2f}s ({len(ops) / elapsed:.1f} req/s)"
+        )
+        print(service.metrics_report())
+    if errors:
+        for line in errors[:10]:
+            print(f"  failed {line}", file=sys.stderr)
+        raise CliError(f"{len(errors)} of {len(ops)} request(s) failed")
+
+
 _HANDLERS = {
     "generate": cmd_generate,
     "stats": cmd_stats,
@@ -404,6 +519,8 @@ _HANDLERS = {
     "overview": cmd_overview,
     "explain": cmd_explain,
     "update": cmd_update,
+    "serve": cmd_serve,
+    "workload": cmd_workload,
 }
 
 

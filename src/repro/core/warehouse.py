@@ -200,6 +200,20 @@ class MetadataWarehouse:
             self._lineage = LineageService(self)
         return self._lineage
 
+    # -- serving ------------------------------------------------------------
+
+    def serve(self, config=None, **overrides):
+        """A concurrent :class:`~repro.server.QueryService` over this
+        warehouse: worker pool, bounded admission, per-request deadlines,
+        snapshot-isolated reads. See ``docs/serving.md``.
+
+        >>> with mdw.serve(max_workers=2) as service:        # doctest: +SKIP
+        ...     rows = service.query("SELECT ...", timeout=1.0)
+        """
+        from repro.server import QueryService
+
+        return QueryService(self, config=config, **overrides)
+
     # -- persistence and history ------------------------------------------------
 
     def save(self, directory) -> None:

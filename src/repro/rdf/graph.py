@@ -464,7 +464,29 @@ class Graph:
     # -- set operations ------------------------------------------------------
 
     def copy(self, name: str = "") -> "Graph":
-        return Graph(self.triples(), name=name or self.name, dictionary=self._dict)
+        """A mutable copy sharing this graph's term dictionary.
+
+        Copies the three indexes structurally (dict/set comprehensions
+        over ids) instead of re-interning term objects — an order of
+        magnitude faster, which matters because the query service
+        publishes a copy as the new reader snapshot after every write
+        epoch. Listeners and frozen-ness are not carried over.
+        """
+        g = Graph(name=name or self.name, dictionary=self._dict)
+        g._spo = {
+            s: {p: set(objs) for p, objs in by_p.items()}
+            for s, by_p in self._spo.items()
+        }
+        g._pos = {
+            p: {o: set(subs) for o, subs in by_o.items()}
+            for p, by_o in self._pos.items()
+        }
+        g._osp = {
+            o: {s: set(preds) for s, preds in by_s.items()}
+            for o, by_s in self._osp.items()
+        }
+        g._size = self._size
+        return g
 
     def union(self, other: Iterable[Triple], name: str = "") -> "Graph":
         g = self.copy(name)

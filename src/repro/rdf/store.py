@@ -62,6 +62,22 @@ class TripleStore:
             return self._models[name]
         return self.create_model(name)
 
+    def adopt_model(self, name: str, graph: Graph) -> Graph:
+        """Register an existing graph as the model ``name``.
+
+        Used by snapshot publication: the query service copies the live
+        model, freezes the copy, and adopts it into a private store so a
+        read-only warehouse facade can be built over it. The graph's
+        ``name`` is updated to match.
+        """
+        if not name:
+            raise ValueError("model name must be non-empty")
+        if name in self._models:
+            raise ValueError(f"model {name!r} already exists")
+        graph.name = name
+        self._models[name] = graph
+        return graph
+
     def model(self, name: str) -> Graph:
         """The graph for ``name``; raises :class:`ModelNotFoundError`."""
         try:

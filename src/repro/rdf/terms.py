@@ -79,6 +79,13 @@ class IRI(Term):
     def __setattr__(self, name, value):
         raise AttributeError("IRI is immutable")
 
+    def __reduce__(self):
+        # immutable __slots__ classes need explicit pickle support (the
+        # default slot-state path calls the blocked __setattr__); query
+        # results cross process boundaries in the query service's
+        # fork-mode worker pool
+        return (IRI, (self.value,))
+
     def __eq__(self, other) -> bool:
         return isinstance(other, IRI) and other.value == self.value
 
@@ -127,6 +134,9 @@ class BNode(Term):
 
     def __setattr__(self, name, value):
         raise AttributeError("BNode is immutable")
+
+    def __reduce__(self):
+        return (BNode, (self.label,))
 
     def __eq__(self, other) -> bool:
         return isinstance(other, BNode) and other.label == self.label
@@ -187,6 +197,9 @@ class Literal(Term):
 
     def __setattr__(self, name, value):
         raise AttributeError("Literal is immutable")
+
+    def __reduce__(self):
+        return (Literal, (self.lexical, self.datatype, self.language))
 
     def __eq__(self, other) -> bool:
         return (
@@ -260,6 +273,9 @@ class Variable(Term):
     def __setattr__(self, name, value):
         raise AttributeError("Variable is immutable")
 
+    def __reduce__(self):
+        return (Variable, (self.name,))
+
     def __eq__(self, other) -> bool:
         return isinstance(other, Variable) and other.name == self.name
 
@@ -309,6 +325,10 @@ class Triple(tuple):
     @property
     def object(self):
         return self[2]
+
+    def __reduce__(self):
+        # tuple subclasses with a required-argument __new__ need this
+        return (Triple, tuple(self))
 
     def is_ground(self) -> bool:
         """True when the triple contains no variables or wildcards."""

@@ -1,0 +1,37 @@
+"""Concurrent query service over the warehouse (the serving tier).
+
+The paper's productive MDW is a shared database serving many analysts
+at once while release loads land. This package adds that operating mode
+to the reproduction: a worker pool with bounded admission, per-request
+deadlines with cooperative cancellation, snapshot-isolated reads, and
+service metrics. Entry point: ``warehouse.serve()`` or
+:class:`QueryService` directly; see ``docs/serving.md``.
+"""
+
+from repro.server.errors import (
+    Cancelled,
+    DeadlineExceeded,
+    Overloaded,
+    QueryServiceError,
+    ServiceClosed,
+)
+from repro.server.metrics import LatencyHistogram, ServiceMetrics, SlowQuery, SlowQueryLog
+from repro.server.service import QueryService, QueryTicket, ServiceConfig
+from repro.server.snapshot import Snapshot, SnapshotManager
+
+__all__ = [
+    "Cancelled",
+    "DeadlineExceeded",
+    "LatencyHistogram",
+    "Overloaded",
+    "QueryService",
+    "QueryServiceError",
+    "QueryTicket",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "SlowQuery",
+    "SlowQueryLog",
+    "Snapshot",
+    "SnapshotManager",
+]

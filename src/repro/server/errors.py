@@ -1,0 +1,60 @@
+"""Typed errors of the concurrent query service.
+
+Admission control and deadline enforcement communicate through these
+instead of blocking: a full queue raises :class:`Overloaded` immediately
+(carrying the depth the caller hit, so clients can back off
+proportionally), and an overrun deadline raises
+:class:`~repro.sparql.cancel.DeadlineExceeded` — re-exported here so
+service callers need only this module.
+
+All errors pickle cleanly: fork-mode workers ship them back to the
+parent process verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.sparql.cancel import Cancelled, DeadlineExceeded
+
+
+class QueryServiceError(Exception):
+    """Base class of every service-layer error."""
+
+
+class Overloaded(QueryServiceError):
+    """The admission queue is full; the request was rejected, not queued.
+
+    ``queue_depth`` is the number of requests waiting when the
+    rejection happened, ``max_queue`` the configured bound. The service
+    never blocks a submitter: rejecting with the depth attached lets a
+    client implement load shedding or exponential backoff.
+    """
+
+    def __init__(self, queue_depth: int, max_queue: int):
+        super().__init__(
+            f"admission queue full ({queue_depth}/{max_queue} waiting); "
+            "retry with backoff"
+        )
+        self.queue_depth = queue_depth
+        self.max_queue = max_queue
+
+    def __reduce__(self):
+        return (Overloaded, (self.queue_depth, self.max_queue))
+
+
+class ServiceClosed(QueryServiceError):
+    """The service is shut down (or shutting down) and takes no work."""
+
+    def __init__(self, message: str = "query service is closed"):
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (ServiceClosed, (str(self),))
+
+
+__all__ = [
+    "Cancelled",
+    "DeadlineExceeded",
+    "Overloaded",
+    "QueryServiceError",
+    "ServiceClosed",
+]

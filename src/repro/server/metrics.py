@@ -1,0 +1,264 @@
+"""Operational metrics of the query service.
+
+The productive warehouse lives or dies by its operators noticing load
+problems before analysts do, so the service keeps its own counters
+rather than relying on external tooling: per-endpoint latency
+histograms with percentile estimates, admission-queue gauges, rejection
+and timeout counts, the shared plan cache's hit rate, and a slow-query
+log that captures the evaluation plan of offenders while the evidence
+is still fresh.
+
+Everything here is thread-safe and cheap on the hot path (a lock, a few
+integer bumps); the analysis work — percentiles, rendering — happens
+only when someone asks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+#: Histogram bucket upper bounds in seconds (log-spaced, ~1ms .. 60s).
+#: The last implicit bucket is +inf.
+_BUCKET_BOUNDS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with percentile estimation.
+
+    Log-spaced buckets keep the memory constant and the percentile
+    error proportional to bucket width — plenty for "p99 jumped from
+    20ms to 2s" style observations.
+    """
+
+    __slots__ = ("_lock", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, seconds: float) -> None:
+        idx = 0
+        for bound in _BUCKET_BOUNDS:
+            if seconds <= bound:
+                break
+            idx += 1
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += seconds
+            if self._min is None or seconds < self._min:
+                self._min = seconds
+            if self._max is None or seconds > self._max:
+                self._max = seconds
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated latency at quantile ``q`` in [0, 1] (bucket upper bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            if not self._count:
+                return 0.0
+            rank = q * self._count
+            seen = 0
+            for idx, n in enumerate(self._counts):
+                seen += n
+                if seen >= rank:
+                    if idx < len(_BUCKET_BOUNDS):
+                        return _BUCKET_BOUNDS[idx]
+                    return self._max if self._max is not None else _BUCKET_BOUNDS[-1]
+            return self._max if self._max is not None else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            count, total = self._count, self._sum
+            lo = self._min if self._min is not None else 0.0
+            hi = self._max if self._max is not None else 0.0
+        return {
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "min": lo,
+            "max": hi,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+@dataclass(frozen=True)
+class SlowQuery:
+    """One slow-query log record."""
+
+    request_id: str
+    kind: str
+    statement: str
+    elapsed: float
+    timestamp: float
+    plan: Optional[str] = None  # evaluator explain() output, when available
+
+
+class SlowQueryLog:
+    """Bounded ring of the slowest offenders, newest last.
+
+    The service appends a record (with the query's evaluation plan) for
+    every request whose latency exceeds the configured threshold; the
+    ring keeps the investigation material bounded.
+    """
+
+    def __init__(self, capacity: int = 50):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._lock = threading.Lock()
+        self._entries: Deque[SlowQuery] = deque(maxlen=capacity)
+
+    def record(self, entry: SlowQuery) -> None:
+        with self._lock:
+            self._entries.append(entry)
+
+    def entries(self) -> List[SlowQuery]:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ServiceMetrics:
+    """All service-level counters and gauges in one place.
+
+    Per-endpoint latency histograms (``query`` / ``sql`` / ``search`` /
+    ``lineage`` / ``update``), admission counters, and the slow-query
+    log. ``snapshot()`` returns a plain dict (JSON-friendly, used by the
+    benchmark); ``render()`` a human report for the CLI.
+    """
+
+    def __init__(self, slow_query_capacity: int = 50):
+        self._lock = threading.Lock()
+        self._latency: Dict[str, LatencyHistogram] = {}
+        self.slow_queries = SlowQueryLog(slow_query_capacity)
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._timeouts = 0
+        self._cancelled = 0
+        self._queue_depth = 0
+        self._queue_high_water = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def endpoint(self, kind: str) -> LatencyHistogram:
+        with self._lock:
+            hist = self._latency.get(kind)
+            if hist is None:
+                hist = self._latency[kind] = LatencyHistogram()
+            return hist
+
+    def on_submit(self, queue_depth: int) -> None:
+        with self._lock:
+            self._submitted += 1
+            self._queue_depth = queue_depth
+            if queue_depth > self._queue_high_water:
+                self._queue_high_water = queue_depth
+
+    def on_dequeue(self, queue_depth: int) -> None:
+        with self._lock:
+            self._queue_depth = queue_depth
+
+    def on_complete(self, kind: str, seconds: float) -> None:
+        with self._lock:
+            self._completed += 1
+        self.endpoint(kind).observe(seconds)
+
+    def on_failure(self, kind: str, seconds: float) -> None:
+        with self._lock:
+            self._failed += 1
+        self.endpoint(kind).observe(seconds)
+
+    def on_reject(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def on_timeout(self) -> None:
+        with self._lock:
+            self._timeouts += 1
+
+    def on_cancel(self) -> None:
+        with self._lock:
+            self._cancelled += 1
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self, plan_cache=None) -> Dict[str, object]:
+        with self._lock:
+            out: Dict[str, object] = {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "rejected": self._rejected,
+                "timeouts": self._timeouts,
+                "cancelled": self._cancelled,
+                "queue_depth": self._queue_depth,
+                "queue_high_water": self._queue_high_water,
+            }
+            endpoints = dict(self._latency)
+        out["endpoints"] = {kind: h.summary() for kind, h in sorted(endpoints.items())}
+        out["slow_queries"] = len(self.slow_queries)
+        if plan_cache is not None:
+            out["plan_cache"] = dict(plan_cache.stats())
+            out["plan_cache_hit_rate"] = plan_cache.hit_rate()
+        return out
+
+    def render(self, plan_cache=None) -> str:
+        snap = self.snapshot(plan_cache=plan_cache)
+        lines = [
+            "query service metrics:",
+            (
+                f"  requests: {snap['submitted']} submitted, "
+                f"{snap['completed']} completed, {snap['failed']} failed"
+            ),
+            (
+                f"  admission: {snap['rejected']} rejected, "
+                f"{snap['timeouts']} timeouts, {snap['cancelled']} cancelled, "
+                f"queue depth {snap['queue_depth']} "
+                f"(high water {snap['queue_high_water']})"
+            ),
+        ]
+        for kind, summary in snap["endpoints"].items():
+            lines.append(
+                f"  {kind}: n={summary['count']} mean={summary['mean'] * 1e3:.2f}ms "
+                f"p50={summary['p50'] * 1e3:.2f}ms p95={summary['p95'] * 1e3:.2f}ms "
+                f"p99={summary['p99'] * 1e3:.2f}ms"
+            )
+        if "plan_cache_hit_rate" in snap:
+            lines.append(f"  plan cache hit rate: {snap['plan_cache_hit_rate']:.1%}")
+        slow = self.slow_queries.entries()
+        if slow:
+            lines.append(f"  slow queries ({len(slow)} retained):")
+            for entry in slow[-5:]:
+                statement = " ".join(entry.statement.split())
+                if len(statement) > 72:
+                    statement = statement[:69] + "..."
+                lines.append(
+                    f"    {entry.request_id} {entry.kind} "
+                    f"{entry.elapsed * 1e3:.1f}ms: {statement}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Fork-mode workers: one child process per worker thread.
+
+Pure-Python query evaluation is CPU-bound, so thread workers cannot run
+it in parallel — the interpreter lock serializes them. For throughput
+scaling the service pairs each worker thread with a **forked child
+process**: the child inherits the pinned snapshot copy-on-write (no
+serialization of the model), evaluates requests it receives over a
+queue, and ships results back pickled. The parent worker thread keeps
+owning admission, deadlines, and metrics; the child only computes.
+
+Children are disposable by design:
+
+* a deadline overrun or cancellation past the cooperative checks is
+  enforced by killing the child and respawning it for the next request;
+* a write republishes the snapshot, so each worker thread discards its
+  child (stale copy-on-write image) and forks a fresh one lazily.
+
+Fork start method only — the whole point is inheriting the in-memory
+graph for free. On platforms without ``fork`` (Windows), use the
+default thread mode.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as _queue
+import threading
+import time
+from typing import Optional
+
+from repro.server.errors import Cancelled, DeadlineExceeded, QueryServiceError
+
+#: How often the parent polls the response queue while also watching the
+#: request's cancel token (seconds).
+_POLL = 0.05
+
+
+def _child_main(warehouse, request_queue, response_queue) -> None:
+    """The forked child's request loop.
+
+    ``warehouse`` is the snapshot facade inherited through fork. The
+    parent's locks may have been held by unrelated threads at fork
+    time, so every lock-bearing structure the child touches is replaced
+    with a fresh one before serving.
+    """
+    from repro.sparql.cancel import CancelToken, cancel_scope
+    from repro.sparql.plancache import PlanCache
+    import repro.sparql.expressions as _expressions
+
+    _expressions._REGEX_CACHE_LOCK = threading.Lock()
+    warehouse.plan_cache = PlanCache()
+    warehouse._search = None  # rebuild lazily with fresh locks
+    warehouse._lineage = None
+
+    while True:
+        message = request_queue.get()
+        if message is None:
+            break
+        kind, payload, budget = message
+        token = CancelToken(timeout=budget)
+        try:
+            from repro.server.service import dispatch
+
+            with cancel_scope(token):
+                result = dispatch(warehouse, kind, payload)
+        except BaseException as exc:
+            try:
+                response_queue.put((False, exc))
+            except Exception:
+                # the error itself would not pickle; degrade to a typed
+                # service error carrying its repr
+                response_queue.put((False, QueryServiceError(repr(exc))))
+            continue
+        try:
+            response_queue.put((True, result))
+        except Exception as exc:
+            response_queue.put((False, QueryServiceError(f"unpicklable result: {exc!r}")))
+
+
+class ForkWorker:
+    """One forked child plus the queues to talk to it.
+
+    Owned by exactly one parent worker thread; not itself thread-safe.
+    ``generation`` records which snapshot the child inherited, so the
+    owner can detect staleness after a write and respawn.
+    """
+
+    def __init__(self, snapshot, name: str = "mdw"):
+        ctx = multiprocessing.get_context("fork")
+        self.generation = snapshot.generation
+        self._request_queue = ctx.Queue()
+        self._response_queue = ctx.Queue()
+        self._process = ctx.Process(
+            target=_child_main,
+            args=(snapshot.warehouse, self._request_queue, self._response_queue),
+            name=f"{name}-forked",
+            daemon=True,
+        )
+        self._process.start()
+
+    @property
+    def alive(self) -> bool:
+        return self._process.is_alive()
+
+    def run(self, request):
+        """Execute one request in the child; enforce deadline/cancel.
+
+        Cooperative checks inside the child normally raise first; if the
+        child blows past the budget anyway (stuck outside a check
+        point), the parent kills it and raises the same typed error the
+        cooperative path would have.
+        """
+        token = request.token
+        self._request_queue.put((request.kind, request.payload, token.remaining()))
+        while True:
+            try:
+                ok, value = self._response_queue.get(timeout=_POLL)
+            except _queue.Empty:
+                if token.cancelled:
+                    self._kill()
+                    raise Cancelled()
+                remaining = token.remaining()
+                if remaining is not None and remaining < -(token.timeout * 0.2 + 0.05):
+                    # grace past the deadline for the child's own
+                    # cooperative DeadlineExceeded to arrive first
+                    self._kill()
+                    raise DeadlineExceeded(token.timeout, token.elapsed())
+                if not self._process.is_alive() and self._response_queue.empty():
+                    self._kill()
+                    raise QueryServiceError(
+                        f"forked worker died (exit code {self._process.exitcode})"
+                    )
+                continue
+            if ok:
+                return value
+            raise value
+
+    def stop(self, grace: float = 2.0) -> None:
+        """Shut the child down, forcefully after ``grace`` seconds."""
+        if self._process.is_alive():
+            try:
+                self._request_queue.put(None)
+            except Exception:
+                pass
+            self._process.join(timeout=grace)
+        self._kill()
+
+    def _kill(self) -> None:
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=2.0)
+        self._request_queue.close()
+        self._response_queue.close()
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"<ForkWorker generation={self.generation} {state}>"

@@ -1,0 +1,479 @@
+"""The concurrent query service over one warehouse.
+
+The productive MDW is shared infrastructure: many analysts and batch
+consumers hit the same model concurrently while release loads land.
+:class:`QueryService` reproduces that operating mode over the library:
+
+* a **worker pool** executes requests (``query`` / ``sql`` / ``search``
+  / ``lineage``) against pinned snapshots, so readers never observe a
+  half-applied write;
+* a **bounded admission queue** rejects (never blocks) when full —
+  :class:`~repro.server.errors.Overloaded` carries the depth so clients
+  can back off;
+* every request gets a :class:`~repro.sparql.cancel.CancelToken`; the
+  evaluator's join loops observe it, so a deadline overrun aborts the
+  query cooperatively instead of occupying the worker;
+* writes go through :meth:`update` — serialized, audited with the
+  request id, republishing the snapshot for subsequent readers.
+
+Two worker modes trade isolation for parallelism. ``thread`` (default)
+is cheap and shares the process: right for I/O-mixed or short queries,
+but CPU-bound evaluation serializes on the interpreter lock. ``fork``
+pairs every worker thread with a forked child process that inherits the
+snapshot copy-on-write; evaluation then scales with cores at the price
+of pickling results across the process boundary and respawning workers
+after every write.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.vocabulary import TERMS
+from repro.rdf.terms import Literal, Term
+from repro.server.errors import (
+    Cancelled,
+    DeadlineExceeded,
+    Overloaded,
+    QueryServiceError,
+    ServiceClosed,
+)
+from repro.server.metrics import ServiceMetrics, SlowQuery
+from repro.server.snapshot import SnapshotManager
+from repro.sparql.cancel import CancelToken, cancel_scope
+
+_UNSET = object()
+
+#: Request kinds the service dispatches (update is a separate, write path).
+KINDS = ("query", "sql", "search", "lineage")
+
+
+def dispatch(warehouse, kind: str, payload: Dict[str, object]):
+    """Run one read request against a warehouse (facade or live).
+
+    Shared by thread workers (against a pinned snapshot facade) and
+    fork-mode children (against their copy-on-write inherited facade).
+    """
+    if kind == "query":
+        return warehouse.query(
+            payload["text"],
+            rulebases=payload.get("rulebases", ()),
+            strategy=payload.get("strategy"),
+        )
+    if kind == "sql":
+        return warehouse.sem_sql(payload["sql"])
+    if kind == "search":
+        return warehouse.search.search(
+            payload["term"],
+            filters=payload.get("filters"),
+            expand_synonyms=bool(payload.get("expand_synonyms", False)),
+            regex=bool(payload.get("regex", False)),
+        )
+    if kind == "lineage":
+        item = payload["item"]
+        if not isinstance(item, Term):
+            matches = sorted(
+                warehouse.graph.subjects(TERMS.has_name, Literal(str(item))),
+                key=lambda t: t.sort_key(),
+            )
+            if not matches:
+                raise QueryServiceError(
+                    f"no item named {item!r} (names are dm:hasName values)"
+                )
+            item = matches[0]
+        return warehouse.lineage.trace(
+            item,
+            payload.get("direction", "upstream"),
+            max_depth=payload.get("max_depth"),
+        )
+    raise QueryServiceError(f"unknown request kind {kind!r}; expected one of {KINDS}")
+
+
+def _statement_of(kind: str, payload: Dict[str, object]) -> str:
+    """A printable one-line form of the request, for the slow-query log."""
+    if kind == "query":
+        return str(payload.get("text", ""))
+    if kind == "sql":
+        return str(payload.get("sql", ""))
+    if kind == "search":
+        return f"search {payload.get('term', '')!r}"
+    if kind == "lineage":
+        return f"lineage {payload.get('item', '')!r} {payload.get('direction', 'upstream')}"
+    return repr(payload)
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs of a :class:`QueryService`.
+
+    ``max_queue`` bounds *waiting* requests (running ones occupy
+    workers, not the queue). ``default_timeout`` applies when a request
+    names none; ``None`` disables the deadline. ``slow_query_threshold``
+    is the latency (seconds) past which a request is captured in the
+    slow-query log together with its evaluation plan.
+    """
+
+    max_workers: int = 4
+    max_queue: int = 64
+    default_timeout: Optional[float] = None
+    slow_query_threshold: float = 0.25
+    worker_mode: str = "thread"  # "thread" | "fork"
+    name: str = "mdw"
+
+    def __post_init__(self):
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be positive")
+        if self.worker_mode not in ("thread", "fork"):
+            raise ValueError("worker_mode must be 'thread' or 'fork'")
+        if self.default_timeout is not None and self.default_timeout <= 0:
+            raise ValueError("default_timeout must be positive")
+
+
+class QueryRequest:
+    """One admitted request travelling from queue to worker."""
+
+    __slots__ = ("request_id", "kind", "payload", "token", "future", "submitted_at")
+
+    def __init__(self, request_id, kind, payload, token, future):
+        self.request_id = request_id
+        self.kind = kind
+        self.payload = payload
+        self.token = token
+        self.future = future
+        self.submitted_at = time.monotonic()
+
+
+class QueryTicket:
+    """The caller's handle on a submitted request.
+
+    A thin wrapper over :class:`concurrent.futures.Future` that also
+    carries the request id and the cancel token, so a caller can
+    ``cancel()`` an in-flight query (takes effect at the evaluator's
+    next check point).
+    """
+
+    __slots__ = ("request_id", "kind", "future", "token")
+
+    def __init__(self, request_id: str, kind: str, future: Future, token: CancelToken):
+        self.request_id = request_id
+        self.kind = kind
+        self.future = future
+        self.token = token
+
+    def result(self, timeout: Optional[float] = None):
+        return self.future.result(timeout=timeout)
+
+    def exception(self, timeout: Optional[float] = None):
+        return self.future.exception(timeout=timeout)
+
+    def done(self) -> bool:
+        return self.future.done()
+
+    def cancel(self) -> bool:
+        """Cancel the request: dequeued-but-unstarted requests are dropped,
+        running ones abort at the next evaluator check point."""
+        self.token.cancel()
+        return self.future.cancel() or not self.future.done()
+
+    def __repr__(self) -> str:
+        state = "done" if self.future.done() else "pending"
+        return f"<QueryTicket {self.request_id} {self.kind} {state}>"
+
+
+_STOP = object()
+
+
+class QueryService:
+    """Worker pool + admission control + deadlines over one warehouse.
+
+    >>> service = QueryService(mdw, ServiceConfig(max_workers=4))   # doctest: +SKIP
+    >>> ticket = service.submit("query", text="SELECT ...")         # doctest: +SKIP
+    >>> rows = ticket.result()                                      # doctest: +SKIP
+
+    Use as a context manager to guarantee shutdown. All reads run
+    against pinned snapshots; :meth:`update` is the only write path and
+    is serialized by the snapshot manager's writer lock.
+    """
+
+    def __init__(self, warehouse, config: Optional[ServiceConfig] = None, **overrides):
+        if config is None:
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            raise TypeError("pass either a ServiceConfig or keyword overrides, not both")
+        self.config = config
+        self.warehouse = warehouse
+        self.plan_cache = warehouse.plan_cache
+        self.snapshots = SnapshotManager(warehouse, plan_cache=self.plan_cache)
+        self.metrics = ServiceMetrics()
+        self._queue: "queue.Queue" = queue.Queue(maxsize=config.max_queue)
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._read_seq = itertools.count(1)
+        self._write_seq = itertools.count(1)
+        self._workers: List[threading.Thread] = []
+        for i in range(config.max_workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"{config.name}-worker-{i}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, kind: str, *, timeout=_UNSET, **payload) -> QueryTicket:
+        """Admit a read request; returns immediately with a ticket.
+
+        Raises :class:`Overloaded` when the admission queue is full and
+        :class:`ServiceClosed` after :meth:`close` — never blocks the
+        submitter. The deadline clock starts *now*: time spent waiting
+        in the queue counts against the request's budget.
+        """
+        if kind not in KINDS:
+            raise QueryServiceError(
+                f"unknown request kind {kind!r}; expected one of {KINDS}"
+            )
+        if self._closed:
+            raise ServiceClosed()
+        if timeout is _UNSET:
+            timeout = self.config.default_timeout
+        token = CancelToken(timeout=timeout)
+        request_id = f"q-{next(self._read_seq)}"
+        request = QueryRequest(request_id, kind, payload, token, Future())
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self.metrics.on_reject()
+            raise Overloaded(self._queue.qsize(), self.config.max_queue) from None
+        self.metrics.on_submit(self._queue.qsize())
+        return QueryTicket(request_id, kind, request.future, token)
+
+    def execute(self, kind: str, *, timeout=_UNSET, **payload):
+        """Submit and wait; the synchronous front door.
+
+        The cooperative checks inside the evaluator normally surface a
+        deadline overrun well before the budget is gone; the wait here
+        adds a small slack backstop so a worker stuck outside any check
+        point (or a queue that never drains) still returns a typed
+        :class:`DeadlineExceeded` instead of hanging the caller.
+        """
+        ticket = self.submit(kind, timeout=timeout, **payload)
+        budget = ticket.token.timeout
+        if budget is None:
+            return ticket.result()
+        try:
+            return ticket.result(timeout=budget * 1.2 + 0.05)
+        except FutureTimeoutError:
+            ticket.token.cancel()
+            self.metrics.on_timeout()
+            raise DeadlineExceeded(budget, ticket.token.elapsed()) from None
+
+    # -- convenience read endpoints ---------------------------------------
+
+    def query(self, text: str, *, timeout=_UNSET, **options):
+        """Synchronous SPARQL query (see :meth:`MetadataWarehouse.query`)."""
+        return self.execute("query", timeout=timeout, text=text, **options)
+
+    def sem_sql(self, sql: str, *, timeout=_UNSET):
+        """Synchronous SEM_MATCH SQL statement (the paper's listings)."""
+        return self.execute("sql", timeout=timeout, sql=sql)
+
+    def search(self, term: str, *, timeout=_UNSET, **options):
+        """Synchronous search (use case IV.A)."""
+        return self.execute("search", timeout=timeout, term=term, **options)
+
+    def lineage(self, item, *, timeout=_UNSET, **options):
+        """Synchronous lineage trace (use case IV.B); ``item`` is a term
+        or a ``dm:hasName`` value."""
+        return self.execute("lineage", timeout=timeout, item=item, **options)
+
+    # -- writes ------------------------------------------------------------
+
+    def update(self, text: str):
+        """Run SPARQL Update against the live model.
+
+        Serialized with other writes; in-flight readers keep their
+        pinned snapshots, later requests see the new state. The audit
+        journal (when enabled) attributes the change to this request's
+        id. Fork-mode workers are respawned lazily: each notices the
+        new generation at its next dequeue.
+        """
+        if self._closed:
+            raise ServiceClosed()
+        request_id = f"w-{next(self._write_seq)}"
+        start = time.monotonic()
+        self.metrics.on_submit(self._queue.qsize())
+        audit = self.warehouse.audit
+
+        def apply(mdw):
+            if audit is not None:
+                with audit.request_context(request_id):
+                    return mdw.update(text)
+            return mdw.update(text)
+
+        try:
+            result = self.snapshots.write(apply)
+        except Exception:
+            self.metrics.on_failure("update", time.monotonic() - start)
+            raise
+        self.metrics.on_complete("update", time.monotonic() - start)
+        return result
+
+    # -- worker loop -------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        fork_worker = None
+        try:
+            while True:
+                request = self._queue.get()
+                if request is _STOP:
+                    break
+                self.metrics.on_dequeue(self._queue.qsize())
+                if not request.future.set_running_or_notify_cancel():
+                    continue  # cancelled while queued
+                if self.config.worker_mode == "fork":
+                    fork_worker = self._ensure_fork_worker(fork_worker)
+                self._handle(request, fork_worker)
+        finally:
+            if fork_worker is not None:
+                fork_worker.stop()
+
+    def _ensure_fork_worker(self, fork_worker):
+        """(Re)spawn this worker thread's child when absent or stale."""
+        from repro.server.procpool import ForkWorker
+
+        generation = self.snapshots.generation
+        if (
+            fork_worker is not None
+            and fork_worker.alive
+            and fork_worker.generation == generation
+        ):
+            return fork_worker
+        if fork_worker is not None:
+            fork_worker.stop()
+        with self.snapshots.read() as snap:
+            return ForkWorker(snap, name=self.config.name)
+
+    def _handle(self, request: QueryRequest, fork_worker) -> None:
+        start = time.monotonic()
+        try:
+            request.token.check()  # deadline spent while queued
+            if fork_worker is not None:
+                result = fork_worker.run(request)
+            else:
+                with self.snapshots.read() as snap:
+                    with cancel_scope(request.token):
+                        result = dispatch(snap.warehouse, request.kind, request.payload)
+        except BaseException as exc:  # typed errors travel to the caller
+            elapsed = time.monotonic() - start
+            if isinstance(exc, DeadlineExceeded):
+                self.metrics.on_timeout()
+            elif isinstance(exc, Cancelled):
+                self.metrics.on_cancel()
+            self.metrics.on_failure(request.kind, elapsed)
+            request.future.set_exception(exc)
+            return
+        elapsed = time.monotonic() - start
+        self.metrics.on_complete(request.kind, elapsed)
+        if elapsed >= self.config.slow_query_threshold:
+            self._log_slow(request, elapsed)
+        request.future.set_result(result)
+
+    def _log_slow(self, request: QueryRequest, elapsed: float) -> None:
+        plan = None
+        if request.kind == "query":
+            try:  # best effort: the plan is diagnostics, not the answer
+                with self.snapshots.read() as snap:
+                    plan = snap.warehouse.explain(
+                        request.payload["text"],
+                        rulebases=list(request.payload.get("rulebases", ())),
+                    )
+            except Exception:
+                plan = None
+        self.metrics.slow_queries.record(
+            SlowQuery(
+                request_id=request.request_id,
+                kind=request.kind,
+                statement=_statement_of(request.kind, request.payload),
+                elapsed=elapsed,
+                timestamp=time.time(),
+                plan=plan,
+            )
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop admitting, then stop the workers.
+
+        ``wait=True`` drains already-admitted requests first;
+        ``wait=False`` cancels queued requests (their futures fail with
+        :class:`ServiceClosed`) and interrupts running ones via their
+        tokens. Idempotent.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not wait:
+            drained: List[QueryRequest] = []
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _STOP:
+                    drained.append(item)
+            for request in drained:
+                request.token.cancel()
+                if request.future.set_running_or_notify_cancel():
+                    request.future.set_exception(ServiceClosed())
+        for _ in self._workers:
+            self._queue.put(_STOP)
+        for worker in self._workers:
+            worker.join(timeout=30)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(wait=exc_type is None)
+
+    # -- reporting ---------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        snap = self.metrics.snapshot(plan_cache=self.plan_cache)
+        snap["snapshots"] = self.snapshots.stats()
+        return snap
+
+    def metrics_report(self) -> str:
+        report = self.metrics.render(plan_cache=self.plan_cache)
+        stats = self.snapshots.stats()
+        report += (
+            f"\n  snapshots: generation {stats['generation']}, "
+            f"{stats['publications']} published, {stats['writes']} writes, "
+            f"{stats['active_pins']} pinned"
+        )
+        return report
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"<QueryService {self.config.name!r} {state} "
+            f"workers={self.config.max_workers} mode={self.config.worker_mode} "
+            f"queued={self._queue.qsize()}>"
+        )

@@ -1,0 +1,199 @@
+"""Snapshot-isolated reads versus writes for one warehouse.
+
+The productive MDW serves analysts' searches while release loads land.
+This module gives the reproduction the same property without a real
+MVCC storage engine, by exploiting how the warehouse is used: reads are
+frequent and short, writes are rare batches (SPARQL Update, ETL loads).
+
+The coordinator keeps a **published snapshot** — a frozen, generation-
+stamped copy of the model (plus its entailment indexes) wrapped in a
+read-only :class:`~repro.core.MetadataWarehouse` facade. Readers *pin*
+whatever snapshot is current when they start and keep using it for
+their whole query; they never touch the live graph. Writers serialize
+through an exclusive lock, mutate the live warehouse in place, and then
+publish a fresh copy as the next snapshot. A reader that started before
+the write keeps its old frozen graph — bit-identical results, no torn
+indexes — while later readers see the new state. Old snapshots are
+reclaimed by the garbage collector once the last pin drops.
+
+The copy is structural (:meth:`repro.rdf.Graph.copy` clones the int-id
+indexes, not term objects) so publication costs far less than the bulk
+load that triggered it, and happens once per write *epoch*, not per
+triple.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.rdf.store import TripleStore
+
+
+class Snapshot:
+    """One immutable, generation-stamped image of a warehouse model.
+
+    ``warehouse`` is a read-only facade over the frozen copy — its
+    ``query`` / ``search`` / ``lineage`` / ``sem_sql`` behave exactly
+    like the live warehouse's, answering as of the stamp. ``generation``
+    is the live graph's change counter at capture time; two snapshots
+    with equal generations hold bit-identical triples.
+    """
+
+    __slots__ = ("warehouse", "generation", "rulebases", "created_at", "_pins", "_pin_lock")
+
+    def __init__(self, warehouse, generation: int, rulebases: Tuple[str, ...]):
+        self.warehouse = warehouse
+        self.generation = generation
+        self.rulebases = rulebases
+        self.created_at = time.time()
+        self._pins = 0
+        self._pin_lock = threading.Lock()
+
+    @property
+    def pins(self) -> int:
+        """Readers currently holding this snapshot."""
+        return self._pins
+
+    def _pin(self) -> None:
+        with self._pin_lock:
+            self._pins += 1
+
+    def _unpin(self) -> None:
+        with self._pin_lock:
+            self._pins -= 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<Snapshot generation={self.generation} "
+            f"triples={len(self.warehouse.graph)} pins={self._pins}>"
+        )
+
+
+class SnapshotManager:
+    """The read-write coordinator over one live warehouse.
+
+    Readers::
+
+        with manager.read() as snap:
+            rows = snap.warehouse.query(text)
+
+    Writers::
+
+        manager.update("INSERT DATA { ... }")      # SPARQL Update
+        manager.write(lambda mdw: mdw.facts.add_instance(...))
+
+    Writes apply to the live warehouse under an exclusive lock and then
+    republish; anything mutating the live graph *outside* the manager
+    must call :meth:`refresh` afterwards (cheap no-op when nothing
+    changed).
+    """
+
+    def __init__(self, warehouse, plan_cache=None):
+        self._mdw = warehouse
+        # readers share the live warehouse's (thread-safe) plan cache so
+        # hot templates stay prepared across workers and snapshots
+        self._plan_cache = plan_cache if plan_cache is not None else warehouse.plan_cache
+        self._write_lock = threading.RLock()
+        self._publish_lock = threading.Lock()
+        self._writes = 0
+        self._publications = 0
+        self._current = self._capture()
+
+    # -- capture / publish ---------------------------------------------------
+
+    def _capture(self) -> Snapshot:
+        """Freeze the live model (and its indexes) into a new snapshot."""
+        live = self._mdw
+        frozen_store = TripleStore()
+        frozen = live.graph.copy(name=live.model_name)
+        frozen.freeze()
+        frozen_store.adopt_model(live.model_name, frozen)
+        rulebases: List[str] = []
+        for model, rulebase in live.store.index_names(live.model_name):
+            derived = live.store.index(model, rulebase)
+            if derived is not None:
+                # indexes are maintained in place by extend_closure, so
+                # they must be copied like the model itself
+                frozen_store.attach_index(live.model_name, rulebase, derived.copy().freeze())
+                rulebases.append(rulebase)
+        facade = type(live)(
+            model=live.model_name,
+            store=frozen_store,
+            schema_ns=live.schema.namespace,
+            instance_ns=live.facts.namespace,
+        )
+        facade.plan_cache = self._plan_cache
+        self._publications += 1
+        return Snapshot(facade, live.graph.generation, tuple(rulebases))
+
+    def refresh(self) -> Snapshot:
+        """Republish when the live graph changed out-of-band; returns the
+        current snapshot either way."""
+        with self._write_lock:
+            if self._current.generation != self._mdw.graph.generation:
+                fresh = self._capture()
+                with self._publish_lock:
+                    self._current = fresh
+            return self._current
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        return self._current.generation
+
+    def pin(self) -> Snapshot:
+        """Pin and return the current snapshot (pair with :meth:`release`)."""
+        with self._publish_lock:
+            snap = self._current
+            snap._pin()
+        return snap
+
+    def release(self, snapshot: Snapshot) -> None:
+        snapshot._unpin()
+
+    @contextmanager
+    def read(self):
+        """Context-managed pin: the snapshot stays valid inside the block."""
+        snap = self.pin()
+        try:
+            yield snap
+        finally:
+            self.release(snap)
+
+    # -- writing -------------------------------------------------------------
+
+    def write(self, fn: Callable, *args, **kwargs):
+        """Apply ``fn(live_warehouse, *args, **kwargs)`` exclusively, then
+        republish the snapshot. Returns ``fn``'s result."""
+        with self._write_lock:
+            result = fn(self._mdw, *args, **kwargs)
+            self._writes += 1
+            if self._current.generation != self._mdw.graph.generation:
+                fresh = self._capture()
+                with self._publish_lock:
+                    self._current = fresh
+            return result
+
+    def update(self, text: str):
+        """Run SPARQL Update against the live model and republish."""
+        return self.write(lambda mdw: mdw.update(text))
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        current = self._current
+        return {
+            "generation": current.generation,
+            "snapshot_triples": len(current.warehouse.graph),
+            "snapshot_rulebases": list(current.rulebases),
+            "active_pins": current.pins,
+            "writes": self._writes,
+            "publications": self._publications,
+        }
+
+    def __repr__(self) -> str:
+        return f"<SnapshotManager generation={self.generation} writes={self._writes}>"

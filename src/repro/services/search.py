@@ -23,6 +23,7 @@ widened with the thesaurus edges the DBpedia import materialized.
 from __future__ import annotations
 
 import re
+import threading
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
@@ -43,6 +44,10 @@ def _compiled_pattern(pattern_text: str) -> "re.Pattern":
     Search terms repeat heavily (users refine a query, synonym
     expansion re-emits the same thesaurus terms), so the compile cost
     is paid once per distinct pattern instead of once per search call.
+
+    ``lru_cache`` is internally locked, so concurrent query-service
+    workers can share this cache; at worst a contended miss compiles
+    the same pattern twice, never corrupting the cache.
     """
     return re.compile(pattern_text, re.IGNORECASE)
 
@@ -141,6 +146,9 @@ class SearchService:
         self._mdw = warehouse
         self._thesaurus = thesaurus
         self._index = None
+        # guards the lazy thesaurus build: concurrent first searches on a
+        # shared snapshot facade must not each rebuild it
+        self._thesaurus_lock = threading.Lock()
 
     def enable_index(self):
         """Build (and auto-maintain) the inverted name index.
@@ -164,7 +172,9 @@ class SearchService:
     def thesaurus(self) -> SynonymThesaurus:
         """The synonym thesaurus (lazily rebuilt from the graph)."""
         if self._thesaurus is None:
-            self._thesaurus = SynonymThesaurus.from_graph(self._mdw.graph)
+            with self._thesaurus_lock:
+                if self._thesaurus is None:
+                    self._thesaurus = SynonymThesaurus.from_graph(self._mdw.graph)
         return self._thesaurus
 
     def invalidate_thesaurus(self) -> None:

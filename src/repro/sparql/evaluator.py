@@ -51,6 +51,7 @@ from repro.sparql.algebra import (
     Union,
     ValuesPattern,
 )
+from repro.sparql.cancel import checked_iter, current_cancel
 from repro.sparql.errors import ExpressionError, SparqlEvalError
 from repro.sparql.expressions import (
     BinaryExpr,
@@ -279,6 +280,9 @@ def _eval_bgp(
     if piped is None:
         return
     slots, rows, extras = piped
+    token = current_cancel()
+    if token is not None:
+        rows = checked_iter(rows, token)
     term = dictionary.term
     names = list(slots)  # insertion order == slot order
     for id_row in rows:
@@ -305,7 +309,18 @@ def _recurse_paths(graph, paths: Sequence, i: int, current: Binding) -> Iterator
 
 
 def _eval_bgp_nested(graph, stages: List, binding: Binding) -> Iterator[Binding]:
+    token = current_cancel()
+    # one counter across the whole recursion: per-iterator counters would
+    # reset on every parent row and a deep nest of short inner scans
+    # could dodge the deadline check indefinitely
+    calls = 0
+
     def recurse(i: int, current: Binding) -> Iterator[Binding]:
+        nonlocal calls
+        if token is not None:
+            calls += 1
+            if not (calls & 255):
+                token.check()
         if i == len(stages):
             yield current
             return
@@ -360,8 +375,11 @@ def _run_id_pipeline(
         else:
             extras[name] = value
 
+    token = current_cancel()
     rows: List[IdRow] = [tuple(initial)]
     for pat in ordered:
+        if token is not None:
+            token.check()
         rows = _join_stage(graph, dictionary, pat, rows, slots, strategy)
         if not rows:
             return slots, [], extras
@@ -457,17 +475,23 @@ def _bind_join(
     triples_ids = graph.triples_ids
     s_const, p_const, o_const = const
     s_slot, p_slot, o_slot = bound_slot
+    token = current_cancel()
     if not eq_checks and len(ext_positions) == 1:
         # dominant shape (one new variable per pattern): skip the
         # per-triple genexpr tuple build
         ep = ext_positions[0]
-        for row in rows:
+        for row in rows if token is None else checked_iter(rows, token, 256):
             s = row[s_slot] if s_slot is not None else s_const
             p = row[p_slot] if p_slot is not None else p_const
             o = row[o_slot] if o_slot is not None else o_const
-            for t in triples_ids(s, p, o):
+            scan = triples_ids(s, p, o)
+            if token is not None:
+                scan = checked_iter(scan, token)
+            for t in scan:
                 append(row + (t[ep],))
         return out
+    if token is not None:
+        rows = checked_iter(rows, token, 256)
     for row in rows:
         s = row[s_slot] if s_slot is not None else s_const
         p = row[p_slot] if p_slot is not None else p_const
@@ -514,6 +538,9 @@ def _hash_join(
     table: Dict = {}
     setdefault = table.setdefault
     triples = graph.triples_ids(*const)
+    token = current_cancel()
+    if token is not None:
+        triples = checked_iter(triples, token)
     if single_key:
         kp = key_positions[0]
         if len(ext_positions) == 1:
@@ -538,6 +565,8 @@ def _hash_join(
     out: List[IdRow] = []
     append = out.append
     get = table.get
+    if token is not None:
+        rows = checked_iter(rows, token, 256)
     if single_key:
         ks = key_slots[0]
         for row in rows:

@@ -9,6 +9,7 @@ instead of failing the query.
 from __future__ import annotations
 
 import re
+import threading
 from typing import Callable, Dict, List, Optional
 
 from repro.rdf.terms import BNode, IRI, Literal, Term
@@ -284,6 +285,11 @@ def compile_regex(pattern: str, flag_text: str = "") -> "re.Pattern":
     pattern; the cache turns per-row compilation (including re's flag
     handling) into a dict hit. Raises :class:`ExpressionError` on bad
     patterns or flags.
+
+    The cache is module-level and shared by every concurrent query
+    worker, so eviction and insertion are guarded by a lock (the hit
+    path stays lock-free: a plain dict read is atomic under the GIL and
+    a stale hit is impossible because entries are immutable).
     """
     cached = _REGEX_CACHE.get((pattern, flag_text))
     if cached is not None:
@@ -298,14 +304,16 @@ def compile_regex(pattern: str, flag_text: str = "") -> "re.Pattern":
         compiled = re.compile(pattern, flags)
     except re.error as exc:
         raise ExpressionError(f"bad regex: {exc}") from None
-    if len(_REGEX_CACHE) >= _REGEX_CACHE_LIMIT:
-        _REGEX_CACHE.clear()
-    _REGEX_CACHE[(pattern, flag_text)] = compiled
+    with _REGEX_CACHE_LOCK:
+        if len(_REGEX_CACHE) >= _REGEX_CACHE_LIMIT:
+            _REGEX_CACHE.clear()
+        _REGEX_CACHE[(pattern, flag_text)] = compiled
     return compiled
 
 
 _REGEX_CACHE: Dict[tuple, "re.Pattern"] = {}
 _REGEX_CACHE_LIMIT = 512
+_REGEX_CACHE_LOCK = threading.Lock()
 
 
 def _fn_regex(args, binding):

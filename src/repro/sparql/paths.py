@@ -290,13 +290,21 @@ def _closure(
     include_start: bool,
     backward: bool = False,
 ) -> Iterator[Term]:
+    from repro.sparql.cancel import current_cancel
+
+    token = current_cancel()
     step = _backward if backward else _forward
     visited: Set[Term] = set()
     if include_start:
         visited.add(node)
         yield node
     frontier = [node]
+    expanded = 0
     while frontier:
+        if token is not None:
+            expanded += 1
+            if not (expanded & 255):
+                token.check()
         current = frontier.pop()
         for neighbour in set(step(graph, inner, current)):
             if neighbour not in visited:

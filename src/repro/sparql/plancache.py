@@ -25,6 +25,7 @@ layer is unchanged.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
@@ -51,7 +52,7 @@ def _generation_of(graph):
 class PreparedQuery:
     """A parsed query plus memoized join orders for one graph generation."""
 
-    __slots__ = ("text", "query", "generation", "_orders")
+    __slots__ = ("text", "query", "generation", "_orders", "_lock")
 
     def __init__(self, text: str, query: Query, generation):
         self.text = text
@@ -60,29 +61,38 @@ class PreparedQuery:
         # id(bgp) -> ordered triple patterns; the BGP nodes live as long
         # as self.query does, so ids are stable
         self._orders: Dict[int, List[Triple]] = {}
+        # a shared plan may be executed by several workers at once; the
+        # lock makes the memoized order visible exactly-once
+        self._lock = threading.Lock()
 
     def bgp_order(self, graph, bgp: BGP) -> List[Triple]:
         """The planner's join order for ``bgp``, computed once per plan."""
         key = id(bgp)
         order = self._orders.get(key)
         if order is None:
-            order = order_patterns(graph, list(bgp.patterns))
-            self._orders[key] = order
+            with self._lock:
+                order = self._orders.get(key)
+                if order is None:
+                    order = order_patterns(graph, list(bgp.patterns))
+                    self._orders[key] = order
         return order
 
 
 class PlanCache:
     """LRU parse + plan cache for repeated query templates.
 
-    Thread-unsafe by design (the warehouse is single-threaded, like one
-    Oracle session); callers needing sharing should lock around
-    :meth:`prepare`.
+    Thread-safe: the query service shares one instance across all its
+    workers, so a hot template is parsed and join-ordered once no matter
+    how many concurrent requests replay it. All cache state (both LRU
+    maps and the hit/miss counters) is guarded by one re-entrant lock;
+    evaluation itself happens outside the lock.
     """
 
     def __init__(self, maxsize: int = _DEFAULT_MAXSIZE):
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
+        self._lock = threading.RLock()
         self._parses: "OrderedDict[Tuple, Query]" = OrderedDict()
         self._plans: "OrderedDict[Tuple, PreparedQuery]" = OrderedDict()
         self.parse_hits = 0
@@ -94,16 +104,20 @@ class PlanCache:
 
     def parse(self, text: str, nsm=None) -> Query:
         key = (text, _nsm_fingerprint(nsm))
-        cached = self._parses.get(key)
-        if cached is not None:
-            self.parse_hits += 1
-            self._parses.move_to_end(key)
-            return cached
-        self.parse_misses += 1
+        with self._lock:
+            cached = self._parses.get(key)
+            if cached is not None:
+                self.parse_hits += 1
+                self._parses.move_to_end(key)
+                return cached
+            self.parse_misses += 1
+        # parse outside the lock: it is pure, and a duplicate parse under
+        # contention is cheaper than serializing every miss
         query = parse_query(text, nsm=nsm)
-        self._parses[key] = query
-        if len(self._parses) > self.maxsize:
-            self._parses.popitem(last=False)
+        with self._lock:
+            self._parses[key] = query
+            if len(self._parses) > self.maxsize:
+                self._parses.popitem(last=False)
         return query
 
     # -- plan level --------------------------------------------------------
@@ -112,16 +126,21 @@ class PlanCache:
         """A :class:`PreparedQuery` valid for the graph's current state."""
         generation = _generation_of(graph)
         key = (text, _nsm_fingerprint(nsm), generation)
-        cached = self._plans.get(key)
-        if cached is not None:
-            self.plan_hits += 1
-            self._plans.move_to_end(key)
-            return cached
-        self.plan_misses += 1
+        with self._lock:
+            cached = self._plans.get(key)
+            if cached is not None:
+                self.plan_hits += 1
+                self._plans.move_to_end(key)
+                return cached
+            self.plan_misses += 1
         plan = PreparedQuery(text, self.parse(text, nsm=nsm), generation)
-        self._plans[key] = plan
-        if len(self._plans) > self.maxsize:
-            self._plans.popitem(last=False)
+        with self._lock:
+            existing = self._plans.get(key)
+            if existing is not None:
+                return existing
+            self._plans[key] = plan
+            if len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
         return plan
 
     def execute(self, graph, text: str, nsm=None, bindings=None, strategy=None):
@@ -140,21 +159,30 @@ class PlanCache:
     # -- introspection -----------------------------------------------------
 
     def clear(self) -> None:
-        self._parses.clear()
-        self._plans.clear()
+        with self._lock:
+            self._parses.clear()
+            self._plans.clear()
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "parse_hits": self.parse_hits,
-            "parse_misses": self.parse_misses,
-            "plan_hits": self.plan_hits,
-            "plan_misses": self.plan_misses,
-            "parse_entries": len(self._parses),
-            "plan_entries": len(self._plans),
-        }
+        with self._lock:
+            return {
+                "parse_hits": self.parse_hits,
+                "parse_misses": self.parse_misses,
+                "plan_hits": self.plan_hits,
+                "plan_misses": self.plan_misses,
+                "parse_entries": len(self._parses),
+                "plan_entries": len(self._plans),
+            }
+
+    def hit_rate(self) -> float:
+        """Fraction of :meth:`prepare` calls answered from the cache."""
+        with self._lock:
+            total = self.plan_hits + self.plan_misses
+            return self.plan_hits / total if total else 0.0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __repr__(self) -> str:
         s = self.stats()

@@ -20,14 +20,21 @@ Entry points::
 from repro.synth.names import NamePool
 from repro.synth.landscape import Landscape, LandscapeConfig, generate_landscape
 from repro.synth.pipelines import generate_pipeline
-from repro.synth.workload import SearchWorkload, make_search_workload
+from repro.synth.workload import (
+    SearchWorkload,
+    ServiceOp,
+    make_search_workload,
+    make_service_workload,
+)
 
 __all__ = [
     "Landscape",
     "LandscapeConfig",
     "NamePool",
     "SearchWorkload",
+    "ServiceOp",
     "generate_landscape",
     "generate_pipeline",
     "make_search_workload",
+    "make_service_workload",
 ]

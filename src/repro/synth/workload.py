@@ -9,9 +9,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
-from repro.rdf.terms import IRI
+from repro.core.vocabulary import TERMS
+from repro.rdf.terms import IRI, Literal
 
 from repro.synth.landscape import Landscape
 from repro.synth.names import BUSINESS_ENTITIES
@@ -57,3 +58,108 @@ def make_search_workload(
         lineage_targets=targets[:n_lineage],
         lineage_sources=sources[:n_lineage],
     )
+
+
+# -- query-service workloads ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServiceOp:
+    """One request of a service workload: a kind plus its payload.
+
+    Shaped to feed :meth:`repro.server.QueryService.submit` directly:
+    ``service.submit(op.kind, **op.payload)``.
+    """
+
+    kind: str
+    payload: Dict[str, object]
+
+
+#: Listing 1's shape: find items whose name matches a term, via SEM_MATCH
+#: over the current model (regexp_like + GROUP BY, as in the paper).
+_LISTING1_SQL = """
+    SELECT object FROM TABLE(SEM_MATCH(
+        {{?object dm:hasName ?term}},
+        SEM_MODELS('DWH_CURR'),
+        null,
+        SEM_ALIASES(SEM_ALIAS('dm', 'http://www.credit-suisse.com/dwh/mdm/data_modeling#')),
+        null))
+    WHERE regexp_like(term, '{term}', 'i')
+    GROUP BY object
+"""
+
+#: Listing 2's question ("where does this item come from?") as SPARQL:
+#: one mapping hop upstream of a named item, with the mapping meta-data.
+_LISTING2_SPARQL = """
+    SELECT ?source ?sourceName WHERE {{
+        ?item dm:hasName "{name}" .
+        ?source dt:isMappedTo ?item .
+        ?source dm:hasName ?sourceName .
+    }}
+"""
+
+
+def make_service_workload(
+    warehouse,
+    n_ops: int = 100,
+    seed: int = 42,
+    include_sql: bool = True,
+) -> List[ServiceOp]:
+    """A deterministic mixed request stream for a query service.
+
+    Derived from the warehouse graph itself (``dm:hasName`` values), so
+    it works over a generated landscape *and* a store loaded from disk.
+    The mix mirrors the paper's use cases: Listing-1-shaped SEM_MATCH
+    searches and search-service calls with varying terms, Listing-2
+    -shaped lineage probes (as SPARQL one-hop queries and as full
+    lineage traces), and a periodic schema-browsing SPARQL query.
+
+    ``include_sql=False`` drops the SEM_SQL ops (for services without
+    the Oracle layer). The same (warehouse contents, ``n_ops``,
+    ``seed``) always produces the same list.
+    """
+    rng = random.Random(seed)
+    names = sorted(
+        o.lexical
+        for _, _, o in warehouse.graph.triples(None, TERMS.has_name, None)
+        if isinstance(o, Literal)
+    )
+    if not names:
+        raise ValueError("warehouse has no dm:hasName values to build a workload from")
+    # short fragments make good search terms (several hits each)
+    fragments = sorted({name[: max(3, len(name) // 2)] for name in rng.sample(names, min(20, len(names)))})
+
+    ops: List[ServiceOp] = []
+    for i in range(n_ops):
+        roll = rng.random()
+        if roll < 0.30 and include_sql:
+            term = rng.choice(fragments)
+            ops.append(ServiceOp("sql", {"sql": _LISTING1_SQL.format(term=term)}))
+        elif roll < 0.55:
+            name = rng.choice(names)
+            ops.append(
+                ServiceOp("query", {"text": _LISTING2_SPARQL.format(name=name)})
+            )
+        elif roll < 0.75:
+            ops.append(ServiceOp("search", {"term": rng.choice(fragments)}))
+        elif roll < 0.90:
+            direction = "upstream" if rng.random() < 0.7 else "downstream"
+            ops.append(
+                ServiceOp(
+                    "lineage",
+                    {"item": rng.choice(names), "direction": direction, "max_depth": 4},
+                )
+            )
+        else:
+            ops.append(
+                ServiceOp(
+                    "query",
+                    {
+                        "text": (
+                            "SELECT ?class (COUNT(?item) AS ?n) WHERE "
+                            "{ ?item rdf:type ?class } GROUP BY ?class ORDER BY ?class"
+                        )
+                    },
+                )
+            )
+    return ops
