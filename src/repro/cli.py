@@ -129,6 +129,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--timeout", type=float, default=None, help="per-statement deadline in seconds")
     serve.add_argument("--queue", type=int, default=64, help="admission queue bound")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="randomized crash/recover/verify loops over the resilient load path",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--iterations", type=int, default=5)
+    chaos.add_argument("--documents", type=int, default=4, help="release feeds per iteration")
+    chaos.add_argument("--instances", type=int, default=10, help="instances per feed")
+    chaos.add_argument("--workdir", default=None, help="directory for journals (default: a temp dir)")
+
     workload = sub.add_parser(
         "workload",
         help="drive a synthetic client mix against the query service",
@@ -505,6 +515,34 @@ def cmd_workload(args) -> None:
         raise CliError(f"{len(errors)} of {len(ops)} request(s) failed")
 
 
+def cmd_chaos(args) -> None:
+    """Kill the load at a random fault point, recover, verify convergence.
+
+    Exit 0 means every iteration converged to the bit-identical
+    reference state (model, entailment indexes, probe answers); any
+    divergence is a bug in the crash-recovery path and exits 2.
+    """
+    from repro.resilience.chaos import run_chaos
+
+    if args.iterations < 1:
+        raise CliError("--iterations must be positive")
+    report = run_chaos(
+        seed=args.seed,
+        iterations=args.iterations,
+        documents=args.documents,
+        instances=args.instances,
+        workdir=args.workdir,
+        log=print,
+    )
+    print(report.verdict())  # per-iteration lines already streamed live
+    if not report.ok:
+        diverged = sum(1 for it in report.iterations if not it.converged)
+        raise CliError(
+            f"{diverged} of {len(report.iterations)} iteration(s) "
+            "diverged from the reference state"
+        )
+
+
 _HANDLERS = {
     "generate": cmd_generate,
     "stats": cmd_stats,
@@ -521,6 +559,7 @@ _HANDLERS = {
     "update": cmd_update,
     "serve": cmd_serve,
     "workload": cmd_workload,
+    "chaos": cmd_chaos,
 }
 
 

@@ -4,12 +4,22 @@
 into the staging tables, bulk loads them into the target model,
 validates the loaded graph against Table I, and refreshes the entailment
 indexes — the complete release-load a production operator would run.
+
+With a :class:`ResilienceConfig`, the load becomes a **resumable
+transaction**: staged rows are written ahead to a load journal, applied
+in checkpointed batches, and malformed records are retried (backoff +
+jitter) then diverted to a persistent quarantine with reason codes
+instead of aborting the release. After a crash at any point,
+:meth:`EtlOrchestrator.recover` replays the journal to the exact state
+an uninterrupted load would have produced.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence, Union
 
 from repro.rdf.bulkload import BulkLoader, BulkLoadReport
 from repro.rdf.staging import StagingTable
@@ -20,6 +30,27 @@ from repro.etl.dbpedia import SynonymThesaurus
 from repro.etl.ontology_io import import_ontology
 from repro.etl.transformer import XmlToRdfTransformer
 from repro.etl.xml_source import MetadataDocument, parse_metadata_xml
+from repro.resilience import faults
+
+
+@dataclass
+class ResilienceConfig:
+    """Crash-safety knobs of an orchestrated load.
+
+    ``journal_path`` names the write-ahead load journal file (created on
+    first use). ``durable=True`` fsyncs every checkpoint so the journal
+    survives a process kill; turn it off only for throwaway stores.
+    ``quarantine_path`` persists diverted rows (in-memory when None).
+    ``sleep``/``seed`` make retry backoff deterministic under test.
+    """
+
+    journal_path: Union[str, Path]
+    quarantine_path: Optional[Union[str, Path]] = None
+    batch_size: int = 250
+    durable: bool = True
+    retry: Optional[object] = None  # RetryPolicy; library default when None
+    sleep: Callable[[float], None] = time.sleep
+    seed: int = 0
 
 
 @dataclass
@@ -38,12 +69,14 @@ class LoadResult:
         return (
             self.bulk_report is not None
             and not self.bulk_report.rejected
+            and not self.bulk_report.quarantined
             and (self.validation is None or self.validation.conformant)
         )
 
     def summary(self) -> str:
         parts = [f"{self.documents} document(s), {self.staged_rows} staged row(s)"]
         if self.bulk_report:
+            # includes rejected and quarantined counts
             parts.append(self.bulk_report.summary())
         if self.validation:
             parts.append(
@@ -55,11 +88,24 @@ class LoadResult:
 
 
 class EtlOrchestrator:
-    """Runs the Figure 4 pipeline against one warehouse."""
+    """Runs the Figure 4 pipeline against one warehouse.
 
-    def __init__(self, warehouse: MetadataWarehouse, validate: bool = True):
+    Pass ``resilience=ResilienceConfig(...)`` to run loads through the
+    journaled, quarantining :class:`~repro.resilience.ResilientBulkLoader`
+    instead of the plain in-memory loader.
+    """
+
+    def __init__(
+        self,
+        warehouse: MetadataWarehouse,
+        validate: bool = True,
+        resilience: Optional[ResilienceConfig] = None,
+    ):
         self._mdw = warehouse
         self._validate = validate
+        self._resilience = resilience
+        self._journal = None
+        self._quarantine = None
         self._transformer = XmlToRdfTransformer(
             schema_ns=warehouse.schema.namespace,
             instance_ns=warehouse.facts.namespace,
@@ -68,6 +114,43 @@ class EtlOrchestrator:
     @property
     def transformer(self) -> XmlToRdfTransformer:
         return self._transformer
+
+    @property
+    def quarantine(self):
+        """The persistent quarantine (resilient mode only, else None)."""
+        self._ensure_resilient_parts()
+        return self._quarantine
+
+    def _ensure_resilient_parts(self) -> None:
+        if self._resilience is None or self._journal is not None:
+            return
+        from repro.resilience import (
+            DEFAULT_LOAD_RETRY,
+            LoadJournal,
+            QuarantineStore,
+        )
+
+        config = self._resilience
+        self._journal = LoadJournal(config.journal_path, durable=config.durable)
+        self._quarantine = QuarantineStore(config.quarantine_path)
+        self._retry = config.retry if config.retry is not None else DEFAULT_LOAD_RETRY
+
+    def _loader(self):
+        if self._resilience is None:
+            return BulkLoader(self._mdw.store)
+        self._ensure_resilient_parts()
+        from repro.resilience import ResilientBulkLoader
+
+        config = self._resilience
+        return ResilientBulkLoader(
+            self._mdw.store,
+            self._journal,
+            quarantine=self._quarantine,
+            retry=self._retry,
+            batch_size=config.batch_size,
+            sleep=config.sleep,
+            seed=config.seed,
+        )
 
     def run(
         self,
@@ -84,21 +167,23 @@ class EtlOrchestrator:
         # hierarchies first — the ontology file and the facts share the
         # staging tables, exactly as in Figure 4
         if ontology_text is not None:
+            faults.fire("staging.stage")
             import_ontology(ontology_text, staging=staging)
 
         for xml_text in xml_documents:
+            faults.fire("staging.stage")
             document = parse_metadata_xml(xml_text)
             self._transformer.stage(document, staging)
             result.documents += 1
 
         result.staged_rows = len(staging)
-        loader = BulkLoader(self._mdw.store)
-        result.bulk_report = loader.load(staging, self._mdw.model_name)
+        result.bulk_report = self._loader().load(staging, self._mdw.model_name)
 
         if thesaurus is not None:
             result.thesaurus_edges = thesaurus.materialize(self._mdw.graph)
 
         if self._validate:
+            faults.fire("etl.validate")
             result.validation = validate_graph(self._mdw.graph, max_issues=25)
 
         if rebuild_indexes:
@@ -111,11 +196,44 @@ class EtlOrchestrator:
         result = LoadResult()
         staging = StagingTable(name="programmatic-load")
         for document in documents:
+            faults.fire("staging.stage")
             self._transformer.stage(document, staging)
             result.documents += 1
         result.staged_rows = len(staging)
-        loader = BulkLoader(self._mdw.store)
-        result.bulk_report = loader.load(staging, self._mdw.model_name)
+        result.bulk_report = self._loader().load(staging, self._mdw.model_name)
         if self._validate:
+            faults.fire("etl.validate")
             result.validation = validate_graph(self._mdw.graph, max_issues=25)
         return result
+
+    # -- crash recovery -----------------------------------------------------
+
+    def recover(self, from_checkpoint: bool = True):
+        """Finish (or void) the last crashed load from the journal.
+
+        Call after catching a crash mid-:meth:`run`: the journal's
+        write-ahead is replayed idempotently from the last checkpoint,
+        converging the model to exactly the state an uninterrupted load
+        would have reached, then the entailment indexes are refreshed.
+        Returns a :class:`~repro.resilience.RecoveryReport`. With no
+        resilience config (or a clean journal) it reports ``"none"``.
+        """
+        from repro.resilience import RecoveryReport, recover
+
+        if self._resilience is None:
+            return RecoveryReport(action="none")
+        self.close_journal()
+        config = self._resilience
+        report = recover(
+            self._mdw,
+            config.journal_path,
+            from_checkpoint=from_checkpoint,
+            durable=config.durable,
+        )
+        return report
+
+    def close_journal(self) -> None:
+        """Release the journal file handle (idempotent)."""
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None

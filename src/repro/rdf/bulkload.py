@@ -18,35 +18,64 @@ from repro.rdf.store import TripleStore
 
 
 class BulkLoadError(Exception):
-    """Raised in strict mode when any staged row fails to parse."""
+    """Raised in strict mode when any staged row fails to parse.
 
-    def __init__(self, rejected: Sequence[Tuple[StagingRow, str]]):
+    ``loaded`` is the number of rows already applied to the model before
+    the failure — 0 for a single-table strict load (it parses everything
+    up front), but a multi-table :meth:`BulkLoader.load_many` may have
+    committed whole earlier tables, and callers resuming or rolling back
+    need to know how far it got.
+    """
+
+    def __init__(
+        self,
+        rejected: Sequence[Tuple[StagingRow, str]],
+        loaded: int = 0,
+    ):
         self.rejected = list(rejected)
+        self.loaded = loaded
         preview = "; ".join(reason for _, reason in self.rejected[:3])
+        progress = f" after {loaded} row(s) loaded" if loaded else ""
         super().__init__(
-            f"bulk load rejected {len(self.rejected)} row(s): {preview}"
+            f"bulk load rejected {len(self.rejected)} row(s){progress}: {preview}"
         )
 
 
 @dataclass
 class BulkLoadReport:
-    """Outcome of one bulk load."""
+    """Outcome of one bulk load.
+
+    ``rejected`` holds rows a lenient in-memory load dropped;
+    ``quarantined`` holds rows the resilient (journaled) load path
+    diverted to the persistent quarantine — entries are
+    :class:`~repro.resilience.quarantine.QuarantinedRow` objects with
+    reason codes.
+    """
 
     model: str
     inserted: int = 0
     duplicates: int = 0
     rejected: List[Tuple[StagingRow, str]] = field(default_factory=list)
+    quarantined: List[object] = field(default_factory=list)
     per_source: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_rows(self) -> int:
-        return self.inserted + self.duplicates + len(self.rejected)
+        return (
+            self.inserted
+            + self.duplicates
+            + len(self.rejected)
+            + len(self.quarantined)
+        )
 
     def summary(self) -> str:
-        return (
+        text = (
             f"bulk load into {self.model!r}: {self.inserted} inserted, "
             f"{self.duplicates} duplicate, {len(self.rejected)} rejected"
         )
+        if self.quarantined:
+            text += f", {len(self.quarantined)} quarantined"
+        return text
 
 
 class BulkLoader:
@@ -101,13 +130,24 @@ class BulkLoader:
         tables: Sequence[StagingTable],
         model: str,
     ) -> BulkLoadReport:
-        """Load several staging tables into one model, merging reports."""
+        """Load several staging tables into one model, merging reports.
+
+        In strict mode a failing table aborts the remainder, but earlier
+        tables have already been committed — the re-raised
+        :class:`BulkLoadError` carries that progress in ``loaded``.
+        """
         merged = BulkLoadReport(model=model)
         for table in tables:
-            r = self.load(table, model)
+            try:
+                r = self.load(table, model)
+            except BulkLoadError as exc:
+                raise BulkLoadError(
+                    exc.rejected, loaded=merged.inserted + exc.loaded
+                ) from None
             merged.inserted += r.inserted
             merged.duplicates += r.duplicates
             merged.rejected.extend(r.rejected)
+            merged.quarantined.extend(r.quarantined)
             for src, n in r.per_source.items():
                 merged.per_source[src] = merged.per_source.get(src, 0) + n
         return merged

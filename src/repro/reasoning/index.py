@@ -14,6 +14,7 @@ from repro.rdf.store import TripleStore
 from repro.rdf.terms import Triple
 from repro.reasoning.engine import InferenceReport, closure, extend_closure
 from repro.reasoning.rulebase import get_rulebase
+from repro.resilience import faults
 
 
 def build_entailment_index(
@@ -27,6 +28,7 @@ def build_entailment_index(
     ``rulebase`` is resolved through the rulebase registry. Returns the
     inference report; the derived triples are attached to the store.
     """
+    faults.fire("index.refresh")
     rb = get_rulebase(rulebase)
     derived, report = closure(store.model(model), rb, max_rounds=max_rounds)
     store.attach_index(model, rb.name, derived)
@@ -46,7 +48,13 @@ class EntailmentIndexManager:
 
     def __init__(self, store: TripleStore):
         self._store = store
-        self._built_at_size: Dict[Tuple[str, str], int] = {}
+        # indexes already attached (a persisted store was saved with
+        # model and index in one atomic pass, so they open consistent)
+        # are fresh by construction; without this seed every restart
+        # would report them stale and health() would cry degraded
+        self._built_at_size: Dict[Tuple[str, str], int] = {
+            key: len(store.model(key[0])) for key in store.index_names()
+        }
 
     def build(self, model: str, rulebase: str = "OWLPRIME") -> InferenceReport:
         report = build_entailment_index(self._store, model, rulebase)
@@ -56,8 +64,12 @@ class EntailmentIndexManager:
     def is_stale(self, model: str, rulebase: str = "OWLPRIME") -> bool:
         key = (model, rulebase)
         if key not in self._built_at_size:
-            return True
-        return self._built_at_size[key] != len(self._store.model(model))
+            stale = True
+        else:
+            stale = self._built_at_size[key] != len(self._store.model(model))
+        # the chaos harness can corrupt this verdict (force-stale) to
+        # rehearse degraded-mode serving without mutating the model
+        return bool(faults.fire("index.staleness", stale))
 
     def refresh(self, model: str, rulebase: str = "OWLPRIME") -> Optional[InferenceReport]:
         """Rebuild the index when stale; returns None when fresh."""

@@ -1,0 +1,247 @@
+"""The chaos harness: randomized crash / recover / verify loops.
+
+Each iteration builds the same synthetic release twice: once cleanly
+(the reference), once with a seeded fault armed at a random point of
+the load path. After the injected crash, the standard recovery
+procedure runs — journal replay, then (when the load never reached its
+write-ahead) a plain re-run of the release — and the harness asserts
+**bit-identical convergence**: the recovered model, every entailment
+index, and a probe query's answers must equal the reference exactly.
+
+Everything derives from one seed, so a red chaos run is a repro recipe,
+not an anecdote: ``repro-mdw chaos --seed 1234`` replays it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional
+
+from repro.rdf.ntriples import serialize_ntriples
+
+from repro.resilience.faults import FaultInjector, InjectedFault, fault_scope
+from repro.resilience.loader import recover
+from repro.resilience.retry import RetryPolicy
+
+#: The load-path sites a chaos iteration may kill at.
+LOAD_SITES = [
+    "staging.stage",
+    "journal.begin",
+    "bulkload.batch",
+    "journal.checkpoint",
+    "bulkload.commit",
+    "index.refresh",
+    "etl.validate",
+]
+
+#: The probe query both sides answer after the dust settles (exercises
+#: the plan cache and, via the rulebase, the entailment index).
+PROBE_QUERY = "SELECT ?s ?name WHERE { ?s dm:hasName ?name }"
+
+_CLASS_POOL = ["Application", "Database", "Table", "Column", "Report"]
+
+
+def make_release_feeds(
+    rng: random.Random, documents: int = 4, instances: int = 10
+) -> List[str]:
+    """Deterministic synthetic XML release feeds (classes, instances,
+    links, mappings) — varied by the rng, stable for a given seed."""
+    feeds: List[str] = []
+    all_names: List[str] = []
+    for d in range(documents):
+        lines = [f'<metadata source="feed-{d}">']
+        for cls in _CLASS_POOL:
+            lines.append(f'  <class name="{cls}" world="technical"/>')
+        lines.append('  <property name="hasOwner" world="business"/>')
+        names = [f"item_{d}_{i}_{rng.randint(0, 999)}" for i in range(instances)]
+        for i, name in enumerate(names):
+            cls = _CLASS_POOL[rng.randrange(len(_CLASS_POOL))]
+            lines.append(f'  <instance name="{name}" class="{cls}" area="integration">')
+            lines.append(f'    <value property="hasOwner">owner_{rng.randint(0, 9)}</value>')
+            if all_names and rng.random() < 0.6:
+                target = all_names[rng.randrange(len(all_names))]
+                lines.append(
+                    f'    <mapping target="{target}" rule="rule-{d}-{i}" '
+                    f'condition="region=\'{rng.choice("ABC")}\'"/>'
+                )
+            lines.append("  </instance>")
+        all_names.extend(names)
+        lines.append("</metadata>")
+        feeds.append("\n".join(lines))
+    return feeds
+
+
+@dataclass
+class ChaosIteration:
+    """One crash/recover/verify round."""
+
+    index: int
+    seed: int
+    site: str
+    skip: int
+    crashed: bool = False
+    recovery_action: str = "none"
+    reran: bool = False
+    converged: bool = False
+    detail: str = ""
+
+    def summary(self) -> str:
+        crash = f"crashed at {self.site}(skip={self.skip})" if self.crashed else "no crash"
+        verdict = "converged" if self.converged else f"DIVERGED: {self.detail}"
+        rerun = ", reran load" if self.reran else ""
+        return (
+            f"iteration {self.index}: {crash}, "
+            f"recovery={self.recovery_action}{rerun} → {verdict}"
+        )
+
+
+@dataclass
+class ChaosReport:
+    seed: int
+    iterations: List[ChaosIteration] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(it.converged for it in self.iterations)
+
+    @property
+    def crashes(self) -> int:
+        return sum(1 for it in self.iterations if it.crashed)
+
+    def verdict(self) -> str:
+        verdict = "all converged" if self.ok else "DIVERGENCE DETECTED"
+        return (
+            f"chaos seed {self.seed}: {len(self.iterations)} iteration(s), "
+            f"{self.crashes} crash(es), {verdict}"
+        )
+
+    def summary(self) -> str:
+        return "\n".join([it.summary() for it in self.iterations] + [self.verdict()])
+
+
+def _fingerprint(mdw) -> dict:
+    """Bit-exact state: model + every entailment index, serialized."""
+    out = {"model": serialize_ntriples(mdw.graph)}
+    for model, rulebase in mdw.store.index_names(mdw.model_name):
+        out[f"index:{rulebase}"] = serialize_ntriples(mdw.store.index(model, rulebase))
+    return out
+
+
+def _probe(mdw) -> List[tuple]:
+    rows = mdw.query(PROBE_QUERY, rulebases=("OWLPRIME",))
+    return sorted(
+        tuple(str(binding.get(c)) for c in ("s", "name"))
+        for binding in rows.iter_bindings()
+    )
+
+
+def _build_and_load(journal_path: Path, feeds: List[str], resilience_kwargs: dict):
+    """A fresh warehouse with one release loaded through the resilient path."""
+    from repro.core.warehouse import MetadataWarehouse
+    from repro.etl.pipeline import EtlOrchestrator, ResilienceConfig
+
+    mdw = MetadataWarehouse()
+    mdw.build_entailment_index("OWLPRIME")
+    orchestrator = EtlOrchestrator(
+        mdw,
+        resilience=ResilienceConfig(journal_path=journal_path, **resilience_kwargs),
+    )
+    orchestrator.run(xml_documents=feeds)
+    return mdw, orchestrator
+
+
+def run_chaos(
+    seed: int = 0,
+    iterations: int = 5,
+    documents: int = 4,
+    instances: int = 10,
+    workdir: Optional[Path] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """The randomized kill/recover/verify loop (``repro-mdw chaos``)."""
+    import tempfile
+
+    report = ChaosReport(seed=seed)
+    say = log if log is not None else (lambda message: None)
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(workdir) if workdir is not None else Path(tmp)
+        fast = {
+            "batch_size": 7,
+            "durable": False,  # chaos kills via exception, not SIGKILL
+            "retry": RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+        }
+        for i in range(iterations):
+            iteration_seed = seed * 100_003 + i
+            rng = random.Random(iteration_seed)
+            feeds = make_release_feeds(rng, documents=documents, instances=instances)
+
+            # the reference run doubles as a census: an idle injector
+            # counts how often each fault point fires, so the armed
+            # fault below can always be placed where it will trigger
+            census = FaultInjector(seed=iteration_seed)
+            with fault_scope(census):
+                reference, _ = _build_and_load(root / f"ref-{i}.journal", feeds, fast)
+            expected = _fingerprint(reference)
+            expected_probe = _probe(reference)
+
+            injector = FaultInjector(seed=iteration_seed)
+            site = injector.choose_site(
+                [s for s in LOAD_SITES if census.hits(s) > 0] or LOAD_SITES
+            )
+            skip = rng.randint(0, max(0, census.hits(site) - 1))
+            injector.arm(site, "raise", times=1, skip=skip)
+            it = ChaosIteration(index=i, seed=iteration_seed, site=site, skip=skip)
+
+            journal_path = root / f"chaos-{i}.journal"
+            crashed_mdw = None
+            with fault_scope(injector):
+                try:
+                    crashed_mdw, _ = _build_and_load(journal_path, feeds, fast)
+                except InjectedFault:
+                    it.crashed = True
+            if crashed_mdw is None:
+                # the crash happened mid-build: reconstruct the survivor
+                # the way a restarted process would (fresh facade, same
+                # journal) — the in-memory graph of the dead "process" is
+                # deliberately NOT reused unless the crash left one
+                from repro.core.warehouse import MetadataWarehouse
+
+                crashed_mdw = MetadataWarehouse()
+                crashed_mdw.build_entailment_index("OWLPRIME")
+
+            if journal_path.exists():
+                recovery = recover(crashed_mdw, journal_path, durable=False)
+                it.recovery_action = recovery.action
+            else:
+                it.recovery_action = "none"
+            if it.recovery_action in ("none", "void"):
+                # the load never reached (or never survived to) its
+                # write-ahead: the sources are still there — re-run.
+                from repro.etl.pipeline import EtlOrchestrator, ResilienceConfig
+
+                EtlOrchestrator(
+                    crashed_mdw,
+                    resilience=ResilienceConfig(
+                        journal_path=root / f"rerun-{i}.journal", **fast
+                    ),
+                ).run(xml_documents=feeds)
+                it.reran = True
+
+            actual = _fingerprint(crashed_mdw)
+            actual_probe = _probe(crashed_mdw)
+            if actual != expected:
+                diverged = sorted(
+                    k
+                    for k in set(expected) | set(actual)
+                    if expected.get(k) != actual.get(k)
+                )
+                it.detail = f"state mismatch in {diverged}"
+            elif actual_probe != expected_probe:
+                it.detail = "probe query answers differ"
+            else:
+                it.converged = True
+            report.iterations.append(it)
+            say(it.summary())
+    return report

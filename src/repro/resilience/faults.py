@@ -1,0 +1,258 @@
+"""Deterministic fault injection.
+
+A production warehouse is hardened by *rehearsing* its failures, not by
+hoping they stay rare. This module gives the reproduction named **fault
+points** — hooks compiled into the load and serving paths — and a
+seedable :class:`FaultInjector` that can raise, delay, or corrupt at any
+of them. Because the injector's randomness comes from one seeded RNG,
+a chaos run is a pure function of its seed: every crash a test provokes
+can be replayed exactly.
+
+The hooks cost nothing when no injector is installed (one global ``is
+None`` check), so they stay in the production code path permanently —
+the same sites the chaos harness kills at are the sites the recovery
+tests cover.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: The fault-point catalog: every named site the injector can hit.
+#: (Also rendered in docs/resilience.md — keep the two in sync.)
+FAULT_POINTS: Dict[str, str] = {
+    "staging.stage": "while transforming one source document into staging rows",
+    "bulkload.parse": "while parsing one staged row into a triple (retryable)",
+    "bulkload.batch": "before applying one write-ahead batch to the model",
+    "bulkload.commit": "after the last batch, before the journal commit record",
+    "journal.begin": "before the write-ahead journal records the staged rows",
+    "journal.checkpoint": "before a batch checkpoint is made durable",
+    "persist.save": "mid store save, after data files, before the manifest",
+    "snapshot.publish": "while publishing a fresh read snapshot",
+    "worker.execute": "inside a query-service worker, before dispatch",
+    "index.refresh": "while (re)building an entailment index",
+    "index.staleness": "override the entailment-index staleness verdict",
+    "etl.validate": "before post-load graph validation",
+}
+
+
+class InjectedFault(RuntimeError):
+    """The error an armed ``raise`` fault point throws.
+
+    Deliberately *not* a subclass of any domain error: production code
+    must survive it the way it survives a segfaulting worker or a pulled
+    plug — via the journal and the breakers, not via ``except`` clauses
+    written for business errors.
+    """
+
+    def __init__(self, site: str, message: Optional[str] = None):
+        self.site = site
+        super().__init__(message or f"injected fault at {site!r}")
+
+    def __reduce__(self):
+        return (InjectedFault, (self.site, str(self)))
+
+
+class FaultPlan:
+    """One armed site: what to do and how often."""
+
+    __slots__ = ("site", "mode", "probability", "remaining", "skip", "delay", "value", "error")
+
+    def __init__(
+        self,
+        site: str,
+        mode: str,
+        probability: float = 1.0,
+        times: Optional[int] = None,
+        skip: int = 0,
+        delay: float = 0.0,
+        value: object = None,
+        error: Optional[Callable[[], BaseException]] = None,
+    ):
+        if mode not in ("raise", "delay", "corrupt"):
+            raise ValueError(f"unknown fault mode {mode!r}")
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if skip < 0:
+            raise ValueError("skip must be >= 0")
+        self.site = site
+        self.mode = mode
+        self.probability = probability
+        self.remaining = times  # None = unlimited
+        self.skip = skip        # hits to let through before firing
+        self.delay = delay
+        self.value = value
+        self.error = error
+
+
+class FaultInjector:
+    """A seedable registry of armed fault points.
+
+    >>> inj = FaultInjector(seed=7)
+    >>> inj.arm("bulkload.batch", "raise", times=1, skip=2)
+    >>> # the third time the load reaches the batch site, it crashes
+
+    Modes:
+
+    * ``raise`` — throw :class:`InjectedFault` (or ``error()`` when an
+      exception factory was supplied);
+    * ``delay`` — sleep ``delay`` seconds (through the injectable
+      ``sleep``, so tests stay fast);
+    * ``corrupt`` — return ``value`` instead of the site's real payload
+      (``value`` may be a callable applied to the payload).
+
+    ``times`` bounds firings, ``skip`` ignores the first N hits (so a
+    chaos run can kill at the *k-th* batch, not just the first), and
+    ``probability`` draws from the injector's own seeded RNG — the whole
+    schedule of a chaos run is reproducible from the seed.
+    """
+
+    def __init__(self, seed: int = 0, sleep: Callable[[float], None] = time.sleep):
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._plans: Dict[str, FaultPlan] = {}
+        self._hits: Dict[str, int] = {}
+        self.history: List[Tuple[str, str]] = []  # (site, mode) actually fired
+
+    # -- arming ------------------------------------------------------------
+
+    def arm(
+        self,
+        site: str,
+        mode: str = "raise",
+        *,
+        probability: float = 1.0,
+        times: Optional[int] = None,
+        skip: int = 0,
+        delay: float = 0.0,
+        value: object = None,
+        error: Optional[Callable[[], BaseException]] = None,
+    ) -> None:
+        """Arm one site; re-arming replaces the previous plan."""
+        if site not in FAULT_POINTS:
+            raise KeyError(
+                f"unknown fault point {site!r}; catalog: {sorted(FAULT_POINTS)}"
+            )
+        plan = FaultPlan(
+            site, mode, probability=probability, times=times, skip=skip,
+            delay=delay, value=value, error=error,
+        )
+        with self._lock:
+            self._plans[site] = plan
+
+    def disarm(self, site: Optional[str] = None) -> None:
+        """Disarm one site, or every site when ``site`` is None."""
+        with self._lock:
+            if site is None:
+                self._plans.clear()
+            else:
+                self._plans.pop(site, None)
+
+    def armed(self, site: str) -> bool:
+        with self._lock:
+            return site in self._plans
+
+    # -- firing ------------------------------------------------------------
+
+    def fire(self, site: str, value: object = None) -> object:
+        """Hit ``site``: maybe raise/delay/corrupt; returns the payload."""
+        with self._lock:
+            self._hits[site] = self._hits.get(site, 0) + 1
+            plan = self._plans.get(site)
+            if plan is None:
+                return value
+            if plan.skip > 0:
+                plan.skip -= 1
+                return value
+            if plan.remaining is not None and plan.remaining <= 0:
+                return value
+            if plan.probability < 1.0 and self._rng.random() >= plan.probability:
+                return value
+            if plan.remaining is not None:
+                plan.remaining -= 1
+            self.history.append((site, plan.mode))
+            mode, delay = plan.mode, plan.delay
+            corrupt, error = plan.value, plan.error
+        if mode == "raise":
+            raise error() if error is not None else InjectedFault(site)
+        if mode == "delay":
+            self._sleep(delay)
+            return value
+        # corrupt
+        if callable(corrupt):
+            return corrupt(value)
+        return corrupt
+
+    def hits(self, site: str) -> int:
+        """Times ``site`` was reached (fired or not) since construction."""
+        with self._lock:
+            return self._hits.get(site, 0)
+
+    def fired(self, site: Optional[str] = None) -> int:
+        """Times a plan actually fired (at ``site``, or anywhere)."""
+        with self._lock:
+            if site is None:
+                return len(self.history)
+            return sum(1 for s, _ in self.history if s == site)
+
+    def choose_site(self, candidates: Optional[List[str]] = None) -> str:
+        """Pick a fault point with the injector's seeded RNG."""
+        pool = sorted(candidates if candidates is not None else FAULT_POINTS)
+        return self._rng.choice(pool)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"<FaultInjector armed={sorted(self._plans)} "
+                f"fired={len(self.history)}>"
+            )
+
+
+# -- the ambient injector ----------------------------------------------------
+#
+# Production code calls the module-level ``fire``; when nothing is
+# installed it is a single attribute load and None check. The installer
+# is process-global on purpose: a chaos run must reach the fault points
+# of every worker thread, not just its own.
+
+_active: Optional[FaultInjector] = None
+
+
+def active_injector() -> Optional[FaultInjector]:
+    return _active
+
+
+def install(injector: FaultInjector) -> None:
+    """Install ``injector`` as the process-wide ambient injector."""
+    global _active
+    _active = injector
+
+
+def uninstall() -> None:
+    global _active
+    _active = None
+
+
+@contextmanager
+def fault_scope(injector: FaultInjector):
+    """Install ``injector`` for the duration of the block (test helper)."""
+    global _active
+    previous = _active
+    _active = injector
+    try:
+        yield injector
+    finally:
+        _active = previous
+
+
+def fire(site: str, value: object = None) -> object:
+    """Hit a fault point on the ambient injector (no-op when none)."""
+    injector = _active
+    if injector is None:
+        return value
+    return injector.fire(site, value)

@@ -1,0 +1,302 @@
+"""Crash-safe bulk loading and its recovery path.
+
+:class:`ResilientBulkLoader` is the journaled sibling of
+:class:`~repro.rdf.bulkload.BulkLoader`: same staging-table input, same
+:class:`~repro.rdf.bulkload.BulkLoadReport` output, but every load is a
+**resumable transaction**:
+
+* rows that fail to parse are retried under a backoff policy (transient
+  faults heal; malformed rows do not) and then diverted to the
+  persistent quarantine with a reason code — a bad record never aborts
+  a release;
+* all surviving rows are written ahead to the load journal *before* the
+  model is touched, then applied in checkpointed batches;
+* after a crash at any point, :func:`recover` replays the journal to
+  the exact state an uninterrupted load would have produced, or
+  :func:`rollback_to_snapshot` voids the half-load against a pinned
+  pre-load snapshot.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.rdf.bulkload import BulkLoadReport
+from repro.rdf.staging import StagingRow, StagingTable, row_to_triple
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import Triple
+
+from repro.resilience import faults
+from repro.resilience.journal import LoadJournal, LoadTransaction, pending_transaction
+from repro.resilience.quarantine import (
+    QuarantineStore,
+    TRANSIENT_EXHAUSTED,
+    classify_reason,
+)
+from repro.resilience.retry import DEFAULT_LOAD_RETRY, RetryExhausted, RetryPolicy
+
+_load_ids = itertools.count(1)
+
+
+def _lexical(row: StagingRow) -> List[str]:
+    return [row.subject, row.predicate, row.object, row.source]
+
+
+class ResilientBulkLoader:
+    """Journaled, retrying, quarantining bulk loads into one store.
+
+    ``sleep`` and ``seed`` make the retry backoff fully deterministic in
+    tests and chaos runs; production callers keep the defaults.
+    """
+
+    def __init__(
+        self,
+        store: TripleStore,
+        journal: LoadJournal,
+        quarantine: Optional[QuarantineStore] = None,
+        retry: RetryPolicy = DEFAULT_LOAD_RETRY,
+        batch_size: int = 250,
+        sleep: Callable[[float], None] = time.sleep,
+        seed: int = 0,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self._store = store
+        self._journal = journal
+        self._quarantine = quarantine if quarantine is not None else QuarantineStore()
+        self._retry = retry
+        self._batch_size = batch_size
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+
+    @property
+    def quarantine(self) -> QuarantineStore:
+        return self._quarantine
+
+    # -- the load transaction ----------------------------------------------
+
+    def load(
+        self,
+        staging: StagingTable,
+        model: str,
+        truncate_staging: bool = True,
+    ) -> BulkLoadReport:
+        """One journaled load of ``staging`` into ``model``.
+
+        Phases: parse (+retry, +quarantine) → write-ahead → apply in
+        checkpointed batches → commit. A crash after the write-ahead is
+        finishable by :func:`recover`; a crash before it voids cleanly
+        (the model was never touched).
+        """
+        rows = list(staging.rows())
+        graph = self._store.get_or_create_model(model)
+        load_id = f"load-{next(_load_ids)}-{model}"
+        report = BulkLoadReport(model=model)
+
+        parsed = self._parse_rows(rows, load_id, report)
+        batches: List[List[Tuple[StagingRow, Triple]]] = [
+            parsed[i : i + self._batch_size]
+            for i in range(0, len(parsed), self._batch_size)
+        ]
+
+        # write-ahead: after this returns the load is fully replayable
+        self._journal.begin(
+            load_id,
+            model,
+            graph.generation,
+            [[_lexical(row) for row, _ in batch] for batch in batches],
+        )
+        for entry in self._quarantine.entries(load_id=load_id):
+            self._journal.quarantine(
+                [entry.subject, entry.predicate, entry.object, entry.source],
+                entry.reason,
+                entry.code,
+            )
+
+        for index, batch in enumerate(batches):
+            faults.fire("bulkload.batch")
+            inserted = duplicates = 0
+            for row, triple in batch:
+                if graph.add(triple):
+                    inserted += 1
+                    key = row.source or "<unknown>"
+                    report.per_source[key] = report.per_source.get(key, 0) + 1
+                else:
+                    duplicates += 1
+            report.inserted += inserted
+            report.duplicates += duplicates
+            self._journal.checkpoint(index, inserted, duplicates)
+
+        faults.fire("bulkload.commit")
+        self._journal.commit(
+            report.inserted, report.duplicates, len(report.quarantined)
+        )
+        if truncate_staging:
+            staging.truncate()
+        return report
+
+    def load_many(
+        self, tables: Sequence[StagingTable], model: str
+    ) -> BulkLoadReport:
+        """Load several staging tables as consecutive transactions."""
+        merged = BulkLoadReport(model=model)
+        for table in tables:
+            r = self.load(table, model)
+            merged.inserted += r.inserted
+            merged.duplicates += r.duplicates
+            merged.rejected.extend(r.rejected)
+            merged.quarantined.extend(r.quarantined)
+            for src, n in r.per_source.items():
+                merged.per_source[src] = merged.per_source.get(src, 0) + n
+        return merged
+
+    # -- parsing with retry + quarantine -----------------------------------
+
+    def _parse_rows(
+        self, rows: Sequence[StagingRow], load_id: str, report: BulkLoadReport
+    ) -> List[Tuple[StagingRow, Triple]]:
+        parsed: List[Tuple[StagingRow, Triple]] = []
+        for index, row in enumerate(rows):
+
+            def attempt(row=row):
+                faults.fire("bulkload.parse")
+                return row_to_triple(row)
+
+            try:
+                triple = self._retry.call(
+                    attempt,
+                    retry_on=(ValueError, faults.InjectedFault),
+                    sleep=self._sleep,
+                    rng=self._rng,
+                )
+            except RetryExhausted as exc:
+                code = classify_reason(exc)
+                reason = str(exc.last_error)
+                if isinstance(exc.last_error, faults.InjectedFault):
+                    code = TRANSIENT_EXHAUSTED
+                entry = self._quarantine.divert(
+                    _lexical(row),
+                    reason,
+                    code,
+                    load_id=load_id,
+                    attempts=exc.attempts,
+                )
+                report.quarantined.append(entry)
+            else:
+                parsed.append((row, triple))
+        return parsed
+
+
+# -- recovery ----------------------------------------------------------------
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery found in the journal and what it did about it."""
+
+    action: str            # "none" | "void" | "replayed"
+    load_id: Optional[str] = None
+    model: Optional[str] = None
+    batches_replayed: int = 0
+    rows_replayed: int = 0
+    inserted: int = 0
+    duplicates: int = 0
+    refreshed_rulebases: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        if self.action == "none":
+            return "recovery: journal clean, nothing to do"
+        if self.action == "void":
+            return (
+                f"recovery: load {self.load_id} crashed before its "
+                "write-ahead completed; model untouched, transaction voided"
+            )
+        refreshed = (
+            f", indexes refreshed: {', '.join(self.refreshed_rulebases)}"
+            if self.refreshed_rulebases
+            else ""
+        )
+        return (
+            f"recovery: replayed load {self.load_id} into {self.model!r} "
+            f"({self.batches_replayed} batch(es), {self.rows_replayed} row(s), "
+            f"{self.inserted} inserted, {self.duplicates} duplicate){refreshed}"
+        )
+
+
+def _writeahead_complete(txn: LoadTransaction) -> bool:
+    return all(index in txn.batches for index in range(txn.expected_batches))
+
+
+def recover(
+    warehouse,
+    journal_path: Union[str, Path],
+    from_checkpoint: bool = False,
+    refresh_indexes: bool = True,
+    durable: bool = True,
+) -> RecoveryReport:
+    """Bring a warehouse to the post-load state after a crashed load.
+
+    Replays the last incomplete journaled transaction idempotently:
+    rows already applied before the crash are set-semantics no-ops, so
+    the result is **bit-identical** to a load that never crashed.
+    ``from_checkpoint=True`` skips batches already checkpointed — valid
+    only when recovering in the same process (the partial state is
+    still in memory); a fresh process must replay everything.
+
+    The journal gets a ``recovered`` seal, so a second recovery is a
+    no-op. Entailment indexes are refreshed unless told otherwise.
+    """
+    txn = pending_transaction(journal_path)
+    if txn is None:
+        return RecoveryReport(action="none")
+    if not _writeahead_complete(txn):
+        with LoadJournal(journal_path, durable=durable) as journal:
+            journal.recovered(txn.load_id, 0)
+        return RecoveryReport(action="void", load_id=txn.load_id, model=txn.model)
+
+    graph = warehouse.store.get_or_create_model(txn.model)
+    report = RecoveryReport(action="replayed", load_id=txn.load_id, model=txn.model)
+    start = txn.last_checkpoint + 1 if from_checkpoint else 0
+    for index in range(start, txn.expected_batches):
+        for lexical in txn.batches[index]:
+            triple = row_to_triple(StagingRow(*lexical))
+            if graph.add(triple):
+                report.inserted += 1
+            else:
+                report.duplicates += 1
+            report.rows_replayed += 1
+        report.batches_replayed += 1
+
+    if refresh_indexes and hasattr(warehouse, "refresh_indexes"):
+        report.refreshed_rulebases = sorted(warehouse.refresh_indexes())
+    with LoadJournal(journal_path, durable=durable) as journal:
+        journal.recovered(txn.load_id, report.batches_replayed)
+    return report
+
+
+def rollback_to_snapshot(warehouse, snapshot) -> int:
+    """Restore the live model to a pinned pre-load snapshot's content.
+
+    The alternative to replay: void the half-load entirely by diffing
+    the live graph against the frozen pre-load copy the
+    :class:`~repro.server.SnapshotManager` published before the load
+    began. Returns the number of triples changed; refreshes entailment
+    indexes when any were built.
+    """
+    live = warehouse.graph
+    baseline = snapshot.warehouse.graph
+    extra = [t for t in live if t not in baseline]
+    missing = [t for t in baseline if t not in live]
+    for t in extra:
+        live.discard(t)
+    for t in missing:
+        live.add(t)
+    changed = len(extra) + len(missing)
+    if changed and hasattr(warehouse, "refresh_indexes"):
+        warehouse.refresh_indexes()
+    return changed

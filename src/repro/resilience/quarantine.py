@@ -1,0 +1,164 @@
+"""The persistent quarantine for rows a load could not apply.
+
+A single malformed record must not abort a release, but it must not
+vanish either: operations triages the quarantine after every load,
+fixes the feed, and resubmits. Each entry keeps the raw lexical row,
+the feed that produced it, a human-readable reason, and a stable
+**reason code** so triage can be scripted (`grep`, group-by-code).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+# -- reason codes -------------------------------------------------------------
+
+#: Stable triage codes; the classifier maps parse errors onto these.
+MALFORMED_TERM = "malformed-term"
+BAD_LITERAL = "bad-literal"
+BAD_POSITION = "bad-position"
+EMPTY_TERM = "empty-term"
+TRANSIENT_EXHAUSTED = "transient-exhausted"
+UNKNOWN = "unknown"
+
+REASON_CODES = (
+    MALFORMED_TERM,
+    BAD_LITERAL,
+    BAD_POSITION,
+    EMPTY_TERM,
+    TRANSIENT_EXHAUSTED,
+    UNKNOWN,
+)
+
+
+def classify_reason(error: BaseException) -> str:
+    """Map a load-path error onto a stable reason code."""
+    from repro.resilience.retry import RetryExhausted
+
+    if isinstance(error, RetryExhausted):
+        inner = error.last_error
+        if isinstance(inner, ValueError):
+            return classify_reason(inner)
+        return TRANSIENT_EXHAUSTED
+    message = str(error).lower()
+    if "empty term" in message:
+        return EMPTY_TERM
+    if "literal" in message or "language tag" in message:
+        return BAD_LITERAL
+    if "subject" in message or "predicate" in message or "must be" in message:
+        return BAD_POSITION
+    if "unrecognized term" in message or "unterminated" in message:
+        return MALFORMED_TERM
+    return UNKNOWN
+
+
+@dataclass(frozen=True)
+class QuarantinedRow:
+    """One diverted row with its triage meta-data."""
+
+    subject: str
+    predicate: str
+    object: str
+    source: str
+    reason: str
+    code: str
+    load_id: str = ""
+    attempts: int = 1
+
+    def describe(self) -> str:
+        return (
+            f"[{self.code}] {self.source or '<unknown>'}: "
+            f"{self.subject} {self.predicate} {self.object} — {self.reason}"
+        )
+
+
+class QuarantineStore:
+    """A persistent, append-only set of quarantined rows.
+
+    File-backed (JSONL) when given a path, in-memory otherwise; both
+    modes share the API so the pipeline does not care. Existing entries
+    are loaded on open — the quarantine accumulates across releases
+    until triage drains it.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None):
+        self.path = Path(path) if path is not None else None
+        self._entries: List[QuarantinedRow] = []
+        if self.path is not None and self.path.exists():
+            for line in self.path.read_text(encoding="utf-8").splitlines():
+                line = line.strip()
+                if line:
+                    self._entries.append(QuarantinedRow(**json.loads(line)))
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+
+    def divert(
+        self,
+        row: Sequence[str],
+        reason: str,
+        code: str,
+        load_id: str = "",
+        attempts: int = 1,
+    ) -> QuarantinedRow:
+        """Quarantine one lexical ``(s, p, o, source)`` row."""
+        subject, predicate, obj = row[0], row[1], row[2]
+        source = row[3] if len(row) > 3 else ""
+        entry = QuarantinedRow(
+            subject=subject,
+            predicate=predicate,
+            object=obj,
+            source=source,
+            reason=reason,
+            code=code,
+            load_id=load_id,
+            attempts=attempts,
+        )
+        self._entries.append(entry)
+        if self._fh is not None:
+            self._fh.write(json.dumps(entry.__dict__, sort_keys=True) + "\n")
+            self._fh.flush()
+        return entry
+
+    def entries(
+        self, code: Optional[str] = None, load_id: Optional[str] = None
+    ) -> List[QuarantinedRow]:
+        return [
+            e
+            for e in self._entries
+            if (code is None or e.code == code)
+            and (load_id is None or e.load_id == load_id)
+        ]
+
+    def by_code(self) -> Dict[str, int]:
+        """Triage histogram: reason code → count."""
+        out: Dict[str, int] = {}
+        for entry in self._entries:
+            out[entry.code] = out.get(entry.code, 0) + 1
+        return out
+
+    def drain(self) -> List[QuarantinedRow]:
+        """Remove and return everything (post-triage reset)."""
+        drained, self._entries = self._entries, []
+        if self.path is not None:
+            if self._fh is not None:
+                self._fh.close()
+            self.path.write_text("", encoding="utf-8")
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return drained
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        where = str(self.path) if self.path else "memory"
+        return f"<QuarantineStore {where} entries={len(self._entries)}>"

@@ -1,0 +1,108 @@
+"""Retry with exponential backoff and jitter.
+
+Transient faults — a flaky feed mount, an injected I/O hiccup — deserve
+a few more attempts; permanent ones (a malformed row stays malformed)
+deserve the quarantine. The policy here is deliberately boring and
+fully injectable: the clock, the sleeper, and the RNG are parameters,
+so unit tests assert exact delay sequences and jitter bounds without
+sleeping a single real millisecond.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type
+
+
+class RetryExhausted(Exception):
+    """Every attempt failed; carries the count and the last error."""
+
+    def __init__(self, attempts: int, last_error: BaseException):
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"gave up after {attempts} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with symmetric jitter.
+
+    Attempt ``k`` (0-based) sleeps ``base_delay * multiplier**k`` capped
+    at ``max_delay``, then scaled by a uniform factor in
+    ``[1 - jitter, 1 + jitter]``. ``max_attempts`` counts *tries*, not
+    retries: ``max_attempts=1`` means no retry at all.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def backoff(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """The sleep before retry number ``attempt`` (0-based)."""
+        raw = min(self.max_delay, self.base_delay * (self.multiplier ** attempt))
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        r = rng.random() if rng is not None else random.random()
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * r)
+
+    def backoff_bounds(self, attempt: int) -> Tuple[float, float]:
+        """The (min, max) any jittered backoff for ``attempt`` can take."""
+        raw = min(self.max_delay, self.base_delay * (self.multiplier ** attempt))
+        return raw * (1.0 - self.jitter), raw * (1.0 + self.jitter)
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        *,
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    ):
+        """Run ``fn`` under this policy.
+
+        Exceptions not in ``retry_on`` propagate immediately (they are
+        permanent by definition); ``retry_on`` errors are retried with
+        backoff until the budget is spent, then wrapped in
+        :class:`RetryExhausted`. ``on_retry(attempt, error, delay)``
+        observes each scheduled retry — the loader uses it to journal
+        retry activity.
+        """
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except retry_on as exc:
+                last = exc
+                if attempt + 1 >= self.max_attempts:
+                    break
+                delay = self.backoff(attempt, rng)
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                if delay > 0:
+                    sleep(delay)
+        raise RetryExhausted(self.max_attempts, last)  # type: ignore[arg-type]
+
+
+#: The load path's default: three quick retries, bounded well under a
+#: second, so a bad feed of thousands of rows quarantines fast.
+DEFAULT_LOAD_RETRY = RetryPolicy(
+    max_attempts=3, base_delay=0.01, multiplier=2.0, max_delay=0.1, jitter=0.2
+)

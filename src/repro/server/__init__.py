@@ -10,6 +10,7 @@ service metrics. Entry point: ``warehouse.serve()`` or
 
 from repro.server.errors import (
     Cancelled,
+    CircuitOpen,
     DeadlineExceeded,
     Overloaded,
     QueryServiceError,
@@ -21,6 +22,7 @@ from repro.server.snapshot import Snapshot, SnapshotManager
 
 __all__ = [
     "Cancelled",
+    "CircuitOpen",
     "DeadlineExceeded",
     "LatencyHistogram",
     "Overloaded",

@@ -51,8 +51,29 @@ class ServiceClosed(QueryServiceError):
         return (ServiceClosed, (str(self),))
 
 
+class CircuitOpen(QueryServiceError):
+    """The endpoint's circuit breaker is open; the request was shed.
+
+    ``kind`` names the unhealthy endpoint and ``retry_after`` is the
+    seconds until the breaker's next half-open probe window — clients
+    should back off at least that long instead of hammering a known-sick
+    endpoint (the whole point of the breaker).
+    """
+
+    def __init__(self, kind: str, retry_after: float):
+        super().__init__(
+            f"circuit open for {kind!r}; retry after {retry_after:.1f}s"
+        )
+        self.kind = kind
+        self.retry_after = retry_after
+
+    def __reduce__(self):
+        return (CircuitOpen, (self.kind, self.retry_after))
+
+
 __all__ = [
     "Cancelled",
+    "CircuitOpen",
     "DeadlineExceeded",
     "Overloaded",
     "QueryServiceError",

@@ -162,6 +162,8 @@ class ServiceMetrics:
         self._cancelled = 0
         self._queue_depth = 0
         self._queue_high_water = 0
+        self._breaker_shed = 0
+        self._degraded = 0
 
     # -- recording ---------------------------------------------------------
 
@@ -205,6 +207,14 @@ class ServiceMetrics:
         with self._lock:
             self._cancelled += 1
 
+    def on_breaker_reject(self) -> None:
+        with self._lock:
+            self._breaker_shed += 1
+
+    def on_degraded(self) -> None:
+        with self._lock:
+            self._degraded += 1
+
     # -- reporting ---------------------------------------------------------
 
     def snapshot(self, plan_cache=None) -> Dict[str, object]:
@@ -218,6 +228,8 @@ class ServiceMetrics:
                 "cancelled": self._cancelled,
                 "queue_depth": self._queue_depth,
                 "queue_high_water": self._queue_high_water,
+                "breaker_shed": self._breaker_shed,
+                "degraded_responses": self._degraded,
             }
             endpoints = dict(self._latency)
         out["endpoints"] = {kind: h.summary() for kind, h in sorted(endpoints.items())}
@@ -240,6 +252,10 @@ class ServiceMetrics:
                 f"{snap['timeouts']} timeouts, {snap['cancelled']} cancelled, "
                 f"queue depth {snap['queue_depth']} "
                 f"(high water {snap['queue_high_water']})"
+            ),
+            (
+                f"  resilience: {snap['breaker_shed']} shed by breakers, "
+                f"{snap['degraded_responses']} degraded responses"
             ),
         ]
         for kind, summary in snap["endpoints"].items():

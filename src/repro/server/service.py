@@ -38,8 +38,11 @@ from typing import Dict, List, Optional
 
 from repro.core.vocabulary import TERMS
 from repro.rdf.terms import Literal, Term
+from repro.resilience import faults
+from repro.resilience.breaker import CLOSED, CircuitBreaker
 from repro.server.errors import (
     Cancelled,
+    CircuitOpen,
     DeadlineExceeded,
     Overloaded,
     QueryServiceError,
@@ -118,6 +121,11 @@ class ServiceConfig:
     names none; ``None`` disables the deadline. ``slow_query_threshold``
     is the latency (seconds) past which a request is captured in the
     slow-query log together with its evaluation plan.
+
+    ``breaker_threshold`` consecutive infrastructure failures on one
+    endpoint trip its circuit breaker; further submissions of that kind
+    are shed with :class:`~repro.server.errors.CircuitOpen` until a
+    half-open probe succeeds ``breaker_cooldown`` seconds later.
     """
 
     max_workers: int = 4
@@ -126,6 +134,8 @@ class ServiceConfig:
     slow_query_threshold: float = 0.25
     worker_mode: str = "thread"  # "thread" | "fork"
     name: str = "mdw"
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 30.0
 
     def __post_init__(self):
         if self.max_workers < 1:
@@ -136,6 +146,10 @@ class ServiceConfig:
             raise ValueError("worker_mode must be 'thread' or 'fork'")
         if self.default_timeout is not None and self.default_timeout <= 0:
             raise ValueError("default_timeout must be positive")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be positive")
+        if self.breaker_cooldown <= 0:
+            raise ValueError("breaker_cooldown must be positive")
 
 
 class QueryRequest:
@@ -214,6 +228,14 @@ class QueryService:
         self.plan_cache = warehouse.plan_cache
         self.snapshots = SnapshotManager(warehouse, plan_cache=self.plan_cache)
         self.metrics = ServiceMetrics()
+        self._breakers: Dict[str, CircuitBreaker] = {
+            kind: CircuitBreaker(
+                kind,
+                threshold=config.breaker_threshold,
+                cooldown=config.breaker_cooldown,
+            )
+            for kind in (*KINDS, "update")
+        }
         self._queue: "queue.Queue" = queue.Queue(maxsize=config.max_queue)
         self._closed = False
         self._close_lock = threading.Lock()
@@ -234,10 +256,12 @@ class QueryService:
     def submit(self, kind: str, *, timeout=_UNSET, **payload) -> QueryTicket:
         """Admit a read request; returns immediately with a ticket.
 
-        Raises :class:`Overloaded` when the admission queue is full and
-        :class:`ServiceClosed` after :meth:`close` — never blocks the
-        submitter. The deadline clock starts *now*: time spent waiting
-        in the queue counts against the request's budget.
+        Raises :class:`Overloaded` when the admission queue is full,
+        :class:`ServiceClosed` after :meth:`close`, and
+        :class:`CircuitOpen` while the endpoint's breaker is shedding —
+        never blocks the submitter. The deadline clock starts *now*:
+        time spent waiting in the queue counts against the request's
+        budget.
         """
         if kind not in KINDS:
             raise QueryServiceError(
@@ -245,6 +269,10 @@ class QueryService:
             )
         if self._closed:
             raise ServiceClosed()
+        breaker = self._breakers[kind]
+        if not breaker.allow():
+            self.metrics.on_breaker_reject()
+            raise CircuitOpen(kind, breaker.retry_after())
         if timeout is _UNSET:
             timeout = self.config.default_timeout
         token = CancelToken(timeout=timeout)
@@ -253,6 +281,7 @@ class QueryService:
         try:
             self._queue.put_nowait(request)
         except queue.Full:
+            breaker.release()  # the admitted probe never ran
             self.metrics.on_reject()
             raise Overloaded(self._queue.qsize(), self.config.max_queue) from None
         self.metrics.on_submit(self._queue.qsize())
@@ -310,6 +339,10 @@ class QueryService:
         """
         if self._closed:
             raise ServiceClosed()
+        breaker = self._breakers["update"]
+        if not breaker.allow():
+            self.metrics.on_breaker_reject()
+            raise CircuitOpen("update", breaker.retry_after())
         request_id = f"w-{next(self._write_seq)}"
         start = time.monotonic()
         self.metrics.on_submit(self._queue.qsize())
@@ -323,9 +356,14 @@ class QueryService:
 
         try:
             result = self.snapshots.write(apply)
-        except Exception:
+        except Exception as exc:
+            if self._breaker_counts(exc):
+                breaker.on_failure()
+            else:
+                breaker.release()
             self.metrics.on_failure("update", time.monotonic() - start)
             raise
+        breaker.on_success()
         self.metrics.on_complete("update", time.monotonic() - start)
         return result
 
@@ -340,6 +378,7 @@ class QueryService:
                     break
                 self.metrics.on_dequeue(self._queue.qsize())
                 if not request.future.set_running_or_notify_cancel():
+                    self._breakers[request.kind].release()
                     continue  # cancelled while queued
                 if self.config.worker_mode == "fork":
                     fork_worker = self._ensure_fork_worker(fork_worker)
@@ -364,10 +403,27 @@ class QueryService:
         with self.snapshots.read() as snap:
             return ForkWorker(snap, name=self.config.name)
 
+    @staticmethod
+    def _breaker_counts(exc: BaseException) -> bool:
+        """Does this failure indict the *endpoint* (vs. the caller)?
+
+        Deadline overruns and unexpected exceptions are the endpoint's
+        ill health; a client-initiated cancel or a typed service error
+        (bad syntax, unknown item) says nothing about it.
+        ``DeadlineExceeded`` subclasses ``Cancelled``, so check it first.
+        """
+        if isinstance(exc, DeadlineExceeded):
+            return True
+        if isinstance(exc, (Cancelled, QueryServiceError)):
+            return False
+        return True
+
     def _handle(self, request: QueryRequest, fork_worker) -> None:
         start = time.monotonic()
+        breaker = self._breakers[request.kind]
         try:
             request.token.check()  # deadline spent while queued
+            faults.fire("worker.execute")
             if fork_worker is not None:
                 result = fork_worker.run(request)
             else:
@@ -380,14 +436,33 @@ class QueryService:
                 self.metrics.on_timeout()
             elif isinstance(exc, Cancelled):
                 self.metrics.on_cancel()
+            if self._breaker_counts(exc):
+                breaker.on_failure()
+            else:
+                breaker.release()  # outcome says nothing about the endpoint
             self.metrics.on_failure(request.kind, elapsed)
             request.future.set_exception(exc)
             return
+        breaker.on_success()
         elapsed = time.monotonic() - start
         self.metrics.on_complete(request.kind, elapsed)
         if elapsed >= self.config.slow_query_threshold:
             self._log_slow(request, elapsed)
+        if request.kind in ("search", "lineage"):
+            self._flag_degraded(result)
         request.future.set_result(result)
+
+    def _flag_degraded(self, result) -> None:
+        """Mark a search/lineage answer served off stale entailment
+        indexes: the asserted triples answered, the derived ones may
+        lag — correct but possibly incomplete (degraded mode)."""
+        if not self._stale_indexes():
+            return
+        try:
+            result.degraded = True
+        except AttributeError:
+            return  # fork-mode results of older shape: best effort
+        self.metrics.on_degraded()
 
     def _log_slow(self, request: QueryRequest, elapsed: float) -> None:
         plan = None
@@ -453,11 +528,57 @@ class QueryService:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close(wait=exc_type is None)
 
+    # -- health ------------------------------------------------------------
+
+    def _stale_indexes(self) -> List[str]:
+        """Rulebases whose entailment index lags the live model."""
+        mdw = self.warehouse
+        pairs = set(mdw.indexes.built_indexes())
+        pairs.update(mdw.store.index_names(mdw.model_name))
+        return sorted(
+            rulebase
+            for model, rulebase in pairs
+            if model == mdw.model_name and mdw.indexes.is_stale(model, rulebase)
+        )
+
+    def health(self) -> Dict[str, object]:
+        """One self-describing health document for operators.
+
+        ``status`` is ``"ok"`` when the service accepts work, every
+        breaker is closed and no entailment index is stale;
+        ``"degraded"`` when it still serves but some endpoint is
+        shedding or answers come off stale indexes; ``"closed"`` after
+        shutdown.
+        """
+        breakers = {kind: b.snapshot() for kind, b in sorted(self._breakers.items())}
+        stale = self._stale_indexes()
+        if self._closed:
+            status = "closed"
+        elif stale or any(b["state"] != CLOSED for b in breakers.values()):
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "generation": self.snapshots.generation,
+            "queue_depth": self._queue.qsize(),
+            "workers": self.config.max_workers,
+            "breakers": breakers,
+            "stale_indexes": stale,
+        }
+
+    def breaker(self, kind: str) -> CircuitBreaker:
+        """The breaker guarding ``kind`` (operators may ``reset()`` it)."""
+        return self._breakers[kind]
+
     # -- reporting ---------------------------------------------------------
 
     def metrics_snapshot(self) -> Dict[str, object]:
         snap = self.metrics.snapshot(plan_cache=self.plan_cache)
         snap["snapshots"] = self.snapshots.stats()
+        snap["breakers"] = {
+            kind: b.snapshot() for kind, b in sorted(self._breakers.items())
+        }
         return snap
 
     def metrics_report(self) -> str:

@@ -30,6 +30,7 @@ from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.rdf.store import TripleStore
+from repro.resilience import faults
 
 
 class Snapshot:
@@ -106,6 +107,7 @@ class SnapshotManager:
 
     def _capture(self) -> Snapshot:
         """Freeze the live model (and its indexes) into a new snapshot."""
+        faults.fire("snapshot.publish")
         live = self._mdw
         frozen_store = TripleStore()
         frozen = live.graph.copy(name=live.model_name)

@@ -65,6 +65,9 @@ class LineageTrace:
     direction: str                      # "upstream" | "downstream"
     edges: List[LineageEdge] = field(default_factory=list)
     depth: Dict[Term, int] = field(default_factory=dict)
+    #: set by the query service when the trace was served while the
+    #: entailment indexes were stale (degraded mode)
+    degraded: bool = False
 
     def items(self) -> Set[Term]:
         """Every item in the trace (including the start)."""

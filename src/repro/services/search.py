@@ -103,6 +103,9 @@ class SearchResults:
         #: known homonyms of the search term — the results may mix
         #: meanings ("disentangling homonyms", Section VI)
         self.homonym_warnings = list(homonym_warnings or [])
+        #: set by the query service when the answer was served while the
+        #: entailment indexes were stale: correct but possibly incomplete
+        self.degraded = False
 
     def __len__(self) -> int:
         return len(self.hits)

@@ -1,0 +1,188 @@
+"""The durable log, the load journal, and the audit file sink."""
+
+import json
+
+import pytest
+
+from repro.core.audit import AuditJournal
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal, Triple
+from repro.resilience import (
+    DurableLog,
+    JournalError,
+    LoadJournal,
+    pending_transaction,
+    read_transactions,
+)
+
+EX = "http://example.org/"
+
+
+def triple(n):
+    return Triple(IRI(EX + f"s{n}"), IRI(EX + "p"), Literal(f"v{n}"))
+
+
+class TestDurableLog:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with DurableLog(path, durable=False) as log:
+            log.append({"type": "a", "n": 1})
+            log.append({"type": "b", "n": 2})
+            log.checkpoint()
+        assert DurableLog.read(path) == [{"type": "a", "n": 1}, {"type": "b", "n": 2}]
+
+    def test_append_after_close_raises(self, tmp_path):
+        log = DurableLog(tmp_path / "log.jsonl", durable=False)
+        log.close()
+        with pytest.raises(JournalError):
+            log.append({"type": "a"})
+
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"type": "a"}\n{"type": "b"}\n{"type": "c", "tru', encoding="utf-8")
+        assert DurableLog.read(path) == [{"type": "a"}, {"type": "b"}]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"type": "a"}\nGARBAGE\n{"type": "b"}\n', encoding="utf-8")
+        with pytest.raises(JournalError):
+            DurableLog.read(path)
+
+    def test_append_is_reopenable(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with DurableLog(path, durable=False) as log:
+            log.append({"n": 1})
+        with DurableLog(path, durable=False) as log:
+            log.append({"n": 2})
+        assert [r["n"] for r in DurableLog.read(path)] == [1, 2]
+
+    def test_counters(self, tmp_path):
+        log = DurableLog(tmp_path / "log.jsonl", durable=False)
+        log.append({"n": 1})
+        log.checkpoint()
+        log.checkpoint()
+        assert log.appended == 1
+        assert log.checkpoints == 2
+        log.close()
+
+
+ROWS = [
+    [f"<{EX}s{n}>", f"<{EX}p>", f'"v{n}"', "feed-a"] for n in range(6)
+]
+
+
+def journal_a_load(path, commit=True, checkpoints=2, durable=False):
+    """Write one transaction: begin(2 batches of 3) + checkpoints [+ commit]."""
+    journal = LoadJournal(path, durable=durable)
+    journal.begin("load-1-TEST", "TEST", 17, [ROWS[:3], ROWS[3:]])
+    journal.quarantine(["bad", "row", "here", "feed-b"], "no angle brackets", "malformed-term")
+    for index in range(checkpoints):
+        journal.checkpoint(index, inserted=3, duplicates=0)
+    if commit:
+        journal.commit(inserted=6, duplicates=0, quarantined=1)
+    journal.close()
+    return path
+
+
+class TestLoadJournal:
+    def test_committed_transaction_roundtrip(self, tmp_path):
+        path = journal_a_load(tmp_path / "load.journal")
+        (txn,) = read_transactions(path)
+        assert txn.load_id == "load-1-TEST"
+        assert txn.model == "TEST"
+        assert txn.generation == 17
+        assert txn.expected_batches == 2
+        assert txn.batches[0] == ROWS[:3]
+        assert txn.batches[1] == ROWS[3:]
+        assert txn.checkpointed == [0, 1]
+        assert txn.committed and txn.complete
+        assert [q["code"] for q in txn.quarantined] == ["malformed-term"]
+
+    def test_committed_load_is_not_pending(self, tmp_path):
+        path = journal_a_load(tmp_path / "load.journal")
+        assert pending_transaction(path) is None
+
+    def test_uncommitted_load_is_pending(self, tmp_path):
+        path = journal_a_load(tmp_path / "load.journal", commit=False, checkpoints=1)
+        txn = pending_transaction(path)
+        assert txn is not None
+        assert txn.last_checkpoint == 0
+
+    def test_replay_rows_full_and_from_checkpoint(self, tmp_path):
+        path = journal_a_load(tmp_path / "load.journal", commit=False, checkpoints=1)
+        txn = pending_transaction(path)
+        assert list(txn.replay_rows()) == ROWS
+        assert list(txn.replay_rows(from_checkpoint=True)) == ROWS[3:]
+
+    def test_recovered_seal_completes_the_transaction(self, tmp_path):
+        path = journal_a_load(tmp_path / "load.journal", commit=False)
+        with LoadJournal(path, durable=False) as journal:
+            journal.recovered("load-1-TEST", 2)
+        assert pending_transaction(path) is None
+
+    def test_record_before_begin_raises(self, tmp_path):
+        path = tmp_path / "load.journal"
+        path.write_text(json.dumps({"type": "checkpoint", "batch": 0}) + "\n")
+        with pytest.raises(JournalError):
+            read_transactions(path)
+
+    def test_multiple_transactions_only_last_pending(self, tmp_path):
+        path = tmp_path / "load.journal"
+        journal_a_load(path)  # committed
+        with LoadJournal(path, durable=False) as journal:
+            journal.begin("load-2-TEST", "TEST", 42, [ROWS[:2]])
+        txn = pending_transaction(path)
+        assert txn.load_id == "load-2-TEST"
+
+    def test_retry_records_are_diagnostics_only(self, tmp_path):
+        path = tmp_path / "load.journal"
+        with LoadJournal(path, durable=False) as journal:
+            journal.begin("load-3-TEST", "TEST", 0, [ROWS[:1]])
+            journal.retry(0, 0, "flaky mount", 0.05)
+        (txn,) = read_transactions(path)
+        assert not txn.complete  # retry records change nothing structural
+
+
+class TestAuditFileSink:
+    def test_changes_tail_to_the_sink(self, tmp_path):
+        graph = Graph(name="audited")
+        journal = AuditJournal(graph)
+        path = tmp_path / "audit.jsonl"
+        journal.attach_file_sink(path, durable=False)
+        graph.add(triple(1))
+        graph.add(triple(2))
+        graph.discard(triple(1))
+        journal.checkpoint()
+        journal.close()
+        records = DurableLog.read(path)
+        assert [r["action"] for r in records] == ["add", "add", "remove"]
+        assert [r["seq"] for r in records] == [1, 2, 3]
+        assert records[0]["epoch"] == "initial"
+
+    def test_second_sink_rejected(self, tmp_path):
+        journal = AuditJournal(Graph(name="audited"))
+        journal.attach_file_sink(tmp_path / "a.jsonl", durable=False)
+        with pytest.raises(ValueError):
+            journal.attach_file_sink(tmp_path / "b.jsonl", durable=False)
+        journal.close()
+
+    def test_sink_records_epoch_and_request_id(self, tmp_path):
+        graph = Graph(name="audited")
+        journal = AuditJournal(graph)
+        path = tmp_path / "audit.jsonl"
+        journal.attach_file_sink(path, durable=False)
+        journal.begin_epoch("release 2026.R2")
+        with journal.request_context("w-9"):
+            graph.add(triple(3))
+        journal.close()
+        (record,) = DurableLog.read(path)
+        assert record["epoch"] == "release 2026.R2"
+        assert record["request_id"] == "w-9"
+
+    def test_close_closes_the_sink(self, tmp_path):
+        graph = Graph(name="audited")
+        journal = AuditJournal(graph)
+        sink = journal.attach_file_sink(tmp_path / "audit.jsonl", durable=False)
+        journal.close()
+        with pytest.raises(JournalError):
+            sink.append({"n": 1})

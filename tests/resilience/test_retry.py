@@ -1,0 +1,134 @@
+"""Retry policy: backoff math, jitter bounds, exhaustion — no real sleeping."""
+
+import random
+
+import pytest
+
+from repro.resilience import RetryExhausted, RetryPolicy
+
+
+class FakeClock:
+    """A sleep that records instead of waiting."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class TestPolicyValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+
+    def test_rejects_shrinking_multiplier(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_rejects_full_jitter(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.0)
+        assert [policy.backoff(k) for k in range(4)] == [0.1, 0.2, 0.4, 0.8]
+
+    def test_capped_at_max_delay(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=5.0, jitter=0.0)
+        assert policy.backoff(3) == 5.0
+
+    def test_jittered_backoff_stays_within_bounds(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.25)
+        rng = random.Random(7)
+        for attempt in range(5):
+            lo, hi = policy.backoff_bounds(attempt)
+            for _ in range(200):
+                assert lo <= policy.backoff(attempt, rng) <= hi
+
+    def test_jitter_is_deterministic_under_seeded_rng(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.25)
+        a = [policy.backoff(k, random.Random(42)) for k in range(3)]
+        b = [policy.backoff(k, random.Random(42)) for k in range(3)]
+        assert a == b
+
+
+class TestCall:
+    def test_returns_first_success_without_sleeping(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.call(lambda: 42, sleep=clock.sleep) == 42
+        assert clock.sleeps == []
+
+    def test_retries_then_succeeds(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.0)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ValueError("transient")
+            return "ok"
+
+        assert policy.call(flaky, sleep=clock.sleep) == "ok"
+        assert len(attempts) == 3
+        assert clock.sleeps == [0.1, 0.2]
+
+    def test_exhaustion_wraps_last_error_and_counts_attempts(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+
+        def always():
+            raise ValueError("permanently malformed")
+
+        with pytest.raises(RetryExhausted) as err:
+            policy.call(always, sleep=clock.sleep)
+        assert err.value.attempts == 3
+        assert isinstance(err.value.last_error, ValueError)
+        # sleeps only between attempts, never after the last one
+        assert clock.sleeps == [0.1, 0.2]
+
+    def test_non_retryable_error_propagates_immediately(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1)
+        with pytest.raises(KeyError):
+            policy.call(
+                lambda: (_ for _ in ()).throw(KeyError("nope")),
+                retry_on=(ValueError,),
+                sleep=clock.sleep,
+            )
+        assert clock.sleeps == []
+
+    def test_max_attempts_one_means_no_retry(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=1)
+        with pytest.raises(RetryExhausted):
+            policy.call(lambda: 1 / 0, retry_on=(ZeroDivisionError,), sleep=clock.sleep)
+        assert clock.sleeps == []
+
+    def test_on_retry_observes_each_scheduled_retry(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+        observed = []
+
+        def always():
+            raise ValueError("boom")
+
+        with pytest.raises(RetryExhausted):
+            policy.call(
+                always,
+                sleep=clock.sleep,
+                on_retry=lambda attempt, exc, delay: observed.append(
+                    (attempt, type(exc).__name__, delay)
+                ),
+            )
+        assert observed == [(0, "ValueError", 0.1), (1, "ValueError", 0.2)]
