@@ -1,0 +1,212 @@
+"""I1 — incremental vs full-rebuild release application.
+
+The paper historizes each release as a complete graph (~130k nodes,
+1.2M edges, up to 8 releases/year) yet consecutive releases differ only
+by a small delta. This benchmark measures what the incremental loading
+path buys: converging the live warehouse (model + entailment index +
+published snapshot) to a new release state by delta application + DRed
+index maintenance + copy-on-write republication, versus clearing the
+model, reloading everything, and rebuilding every index from scratch.
+
+The release delta is a deterministic ~2 % churn over the synthetic
+landscape: a slice of items is renamed, and a batch of new typed+named
+instances arrives (so the entailment index genuinely changes). Both
+paths run through ``EtlOrchestrator.apply_release`` (graph-level
+``desired=`` entry point; validation is disabled since it costs the
+same on either path) followed by a snapshot republication.
+
+Before any timing, the two paths are cross-checked **bit-identically**
+at every scale: serialized model, serialized OWLPRIME index, the
+Listing 1 search answers, and a Listing 2-shaped lineage probe must be
+equal between a full rebuild and an incremental convergence to the same
+release. The ≥5x speedup acceptance assertion applies from ``medium``
+scale up (set ``MDW_BENCH_SCALE``); results land in
+``BENCH_incremental_release.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.core.vocabulary import TERMS
+from repro.core.warehouse import MetadataWarehouse
+from repro.etl.pipeline import EtlOrchestrator
+from repro.oracle import execute_sem_sql
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF
+from repro.rdf.ntriples import serialize_ntriples
+from repro.rdf.terms import IRI, Literal, Triple
+from repro.server.snapshot import SnapshotManager
+from repro.synth import LandscapeConfig, generate_landscape
+
+from benchmarks.queries import LINEAGE_TEMPLATE, LISTING_1_LANDSCAPE
+
+SCALE = os.environ.get("MDW_BENCH_SCALE", "small").lower()
+_ROUNDS = {"tiny": 3, "small": 5, "medium": 3, "paper": 2}
+_CONFIGS = {
+    "tiny": LandscapeConfig.tiny,
+    "small": LandscapeConfig.small,
+    "medium": LandscapeConfig.medium,
+    "paper": LandscapeConfig.paper_scale,
+}
+if SCALE not in _CONFIGS:
+    raise ValueError(f"MDW_BENCH_SCALE must be one of {sorted(_CONFIGS)}, got {SCALE!r}")
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_incremental_release.json"
+
+#: fraction of the model's triples churned by the synthetic release
+CHURN_FRACTION = 0.02
+
+_NEW_NS = "http://www.credit-suisse.com/dwh/release_delta/"
+
+
+@pytest.fixture(scope="module")
+def landscape():
+    scape = generate_landscape(_CONFIGS[SCALE](seed=2009))
+    scape.warehouse.build_entailment_index()
+    return scape
+
+
+def _make_release(graph: Graph) -> Graph:
+    """The next release's desired state: ``graph`` with ~2 % churn.
+
+    Deterministic (sorted selection, no RNG): a slice of items is
+    renamed and a batch of new instances of existing classes arrives,
+    each typed and named — so the delta touches the name index, the
+    hierarchy's instance memberships, and the entailment index.
+    """
+    desired = graph.copy(name="release-desired")
+    budget = max(2, int(len(graph) * CHURN_FRACTION))
+
+    names = sorted(
+        (t for t in graph.triples(None, TERMS.has_name, None)),
+        key=lambda t: t.subject.sort_key(),
+    )
+    renames = names[: budget // 4]
+    for t in renames:
+        desired.discard(t)
+        desired.add(Triple(t.subject, t.predicate, Literal(f"{t.object.lexical}_r2")))
+
+    classes = sorted(
+        {t.object for t in graph.triples(None, RDF.type, None)},
+        key=lambda c: c.sort_key(),
+    )
+    assert classes, "landscape has no typed instances"
+    new_items = budget // 4
+    for i in range(new_items):
+        item = IRI(f"{_NEW_NS}item_{i}")
+        desired.add(Triple(item, RDF.type, classes[i % len(classes)]))
+        desired.add(Triple(item, TERMS.has_name, Literal(f"release_delta_item_{i}")))
+    return desired
+
+
+def _probe_rows(store, sql: str) -> List[tuple]:
+    return sorted(
+        tuple(sorted(r.asdict().items())) for r in execute_sem_sql(store, sql)
+    )
+
+
+def _converge(base: Graph, desired: Graph, mode: str) -> MetadataWarehouse:
+    """A fresh warehouse holding ``base`` + index, converged to ``desired``."""
+    mdw = MetadataWarehouse()
+    mdw.graph.add_all(base)
+    mdw.build_entailment_index()
+    EtlOrchestrator(mdw, validate=False).apply_release(desired=desired, mode=mode)
+    return mdw
+
+
+def _lineage_probe(graph: Graph) -> str:
+    sources = sorted(
+        {t.subject.value for t in graph.triples(None, TERMS.is_mapped_to, None)}
+    )
+    assert sources, "landscape has no isMappedTo edges"
+    return LINEAGE_TEMPLATE.format(source=sources[len(sources) // 2])
+
+
+def test_incremental_release_bit_identical_and_fast(landscape, record):
+    original = landscape.warehouse.graph
+    desired = _make_release(original)
+    lineage_sql = _lineage_probe(original)
+
+    # -- bit-identical cross-check (every scale) ---------------------------
+    full = _converge(original, desired, "full")
+    incremental = _converge(original, desired, "incremental")
+    crosscheck = {
+        "model": serialize_ntriples(full.graph) == serialize_ntriples(incremental.graph),
+        "entailment_index": serialize_ntriples(
+            full.store.index("DWH_CURR", "OWLPRIME")
+        )
+        == serialize_ntriples(incremental.store.index("DWH_CURR", "OWLPRIME")),
+        "listing1": _probe_rows(full.store, LISTING_1_LANDSCAPE)
+        == _probe_rows(incremental.store, LISTING_1_LANDSCAPE),
+        "listing2": _probe_rows(full.store, lineage_sql)
+        == _probe_rows(incremental.store, lineage_sql),
+    }
+    assert all(crosscheck.values()), f"paths diverge: {crosscheck}"
+
+    # -- timings -----------------------------------------------------------
+    # one warehouse, alternating releases: every incremental application
+    # is a fresh same-sized delta; every full application pays the
+    # complete clear + reload + index rebuild regardless of start state
+    rounds = _ROUNDS[SCALE]
+    mdw = MetadataWarehouse()
+    mdw.graph.add_all(original)
+    mdw.build_entailment_index()
+    manager = SnapshotManager(mdw)
+    orchestrator = EtlOrchestrator(mdw, validate=False)
+    baseline = original.copy(name="release-original")
+
+    def apply(state: Graph, mode: str) -> float:
+        start = time.perf_counter()
+        orchestrator.apply_release(desired=state, mode=mode)
+        manager.refresh()
+        return time.perf_counter() - start
+
+    incremental_best = float("inf")
+    for _ in range(rounds):
+        incremental_best = min(incremental_best, apply(desired, "incremental"))
+        incremental_best = min(incremental_best, apply(baseline, "incremental"))
+    full_best = float("inf")
+    for _ in range(rounds):
+        full_best = min(full_best, apply(desired, "full"))
+    speedup = full_best / incremental_best if incremental_best > 0 else float("inf")
+
+    delta_added = len(desired) - sum(1 for t in desired if t in original)
+    delta_removed = len(original) - sum(1 for t in original if t in desired)
+    payload: Dict[str, object] = {
+        "scale": SCALE,
+        "model_triples": len(original),
+        "churn": {"added": delta_added, "removed": delta_removed},
+        "rounds": rounds,
+        "seconds": {
+            "incremental": round(incremental_best, 6),
+            "full_rebuild": round(full_best, 6),
+        },
+        "speedup_incremental_vs_full": round(speedup, 2),
+        "crosscheck": crosscheck,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    record(
+        "I1",
+        f"Incremental vs full-rebuild release application ({SCALE})",
+        [
+            ("model triples", str(len(original))),
+            ("release delta", f"+{delta_added} / -{delta_removed}"),
+            ("incremental apply", f"{incremental_best * 1000:.2f} ms"),
+            ("full rebuild", f"{full_best * 1000:.2f} ms"),
+            ("speedup", f"{speedup:.1f}x"),
+            ("bit-identical cross-check", "pass"),
+        ],
+    )
+    if SCALE in ("medium", "paper"):
+        assert speedup >= 5.0, (
+            f"incremental release application only {speedup:.1f}x faster "
+            f"than full rebuild at {SCALE} scale (acceptance floor: 5x)"
+        )

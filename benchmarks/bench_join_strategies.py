@@ -38,7 +38,7 @@ from repro.oracle import execute_sem_sql
 from repro.sparql import PlanCache
 from repro.synth import LandscapeConfig, generate_landscape
 
-from benchmarks.bench_listing1_search_query import LISTING_1_LANDSCAPE
+from benchmarks.queries import LINEAGE_TEMPLATE, LISTING_1_LANDSCAPE
 
 SCALE = os.environ.get("MDW_BENCH_SCALE", "small").lower()
 _ROUNDS = {"small": 5, "medium": 3, "paper": 2}
@@ -51,25 +51,6 @@ if SCALE not in _CONFIGS:
     raise ValueError(f"MDW_BENCH_SCALE must be one of {sorted(_CONFIGS)}, got {SCALE!r}")
 
 RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_join_engine.json"
-
-# Listing 2's shape over the generated landscape: the bound-source
-# lineage probe (the landscape's items are not named Application1_*, so
-# the class narrowing is by hierarchy membership via the rdf:type join)
-LINEAGE_TEMPLATE = """
-SELECT source_id, target_id, target_name
-FROM TABLE (SEM_MATCH(
-    {{?source_id dt:isMappedTo ?target_id .
-    ?target_id rdf:type ?c .
-    ?target_id dm:hasName ?target_name}}
-    SEM_MODELS('DWH_CURR'),
-    SEM_RULEBASES('OWLPRIME'),
-    SEM_ALIASES(
-        SEM_ALIAS('dm', 'http://www.credit-suisse.com/dwh/mdm/data_modeling#'),
-        SEM_ALIAS('dt', 'http://www.credit-suisse.com/dwh/mdm/data_transfer#')),
-        null)
-WHERE source_id = '{source}'
-GROUP BY source_id, target_id, target_name
-"""
 
 
 @pytest.fixture(scope="module")

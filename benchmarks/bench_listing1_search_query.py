@@ -5,30 +5,7 @@ included) runs against the synthetic landscape; its results must agree
 with the native search service for the same narrowing.
 """
 
-LISTING_1 = """
-SELECT class, object
-FROM TABLE(
-  SEM_MATCH(
-    {?object rdf:type ?c .
-    ?c rdfs:label ?class .
-    ?c rdfs:subClassOf dm:Application1_Item .
-    ?c rdfs:subClassOf dm:Interface_Item .
-    ?object dm:hasName ?term} ,
-    SEM_MODELS('DWH_CURR') ,
-    SEM_RULEBASES('OWLPRIME') ,
-    SEM_ALIASES( SEM_ALIAS('dm', 'http://www.credit-suisse.com/dwh/mdm/data_modeling#') ,
-                 SEM_ALIAS('owl', 'http://www.w3.org/2002/07/owl#')) ,
-    null )
-WHERE regexp_like(term, 'customer', 'i')
-GROUP BY class, object
-"""
-
-# the same listing without the per-application narrowing, usable over the
-# generated landscape (whose classes are not named Application1_*)
-LISTING_1_LANDSCAPE = LISTING_1.replace(
-    "?c rdfs:subClassOf dm:Application1_Item .\n    ?c rdfs:subClassOf dm:Interface_Item .\n    ",
-    "",
-)
+from benchmarks.queries import LISTING_1, LISTING_1_LANDSCAPE  # noqa: F401
 
 
 def test_listing1_verbatim_on_snippet(benchmark, record):

@@ -10,6 +10,7 @@ directory (see :mod:`repro.rdf.persist`)::
     repro-mdw lineage ./wh customer_id --direction upstream
     repro-mdw flows ./wh --granularity 2
     repro-mdw index ./wh
+    repro-mdw load ./wh release/*.xml --version 2026.R2
     repro-mdw snapshot ./wh 2026.R1
     repro-mdw versions ./wh
     repro-mdw sql ./wh query.sql
@@ -91,6 +92,25 @@ def build_parser() -> argparse.ArgumentParser:
     flows.add_argument("--granularity", type=int, default=0, help="containment levels to lift both sides")
     flows.add_argument("--rows", type=int, default=20)
 
+    load = sub.add_parser(
+        "load",
+        help="apply a complete release (XML feeds + optional ontology) to the store",
+    )
+    load.add_argument("store")
+    load.add_argument("files", nargs="+", help="XML metadata feed files describing the full release state")
+    load.add_argument("--ontology", default=None, help="ontology file staged alongside the feeds")
+    load_mode = load.add_mutually_exclusive_group()
+    load_mode.add_argument(
+        "--incremental", action="store_true",
+        help="force delta application (default: auto — incremental when a prior version exists)",
+    )
+    load_mode.add_argument(
+        "--full-rebuild", action="store_true",
+        help="escape hatch: clear the model, reload everything, rebuild all indexes",
+    )
+    load.add_argument("--version", default=None, help="historize the result under this version name")
+    load.add_argument("--no-validate", action="store_true", help="skip Table I validation")
+
     index = sub.add_parser("index", help="build/refresh an entailment index")
     index.add_argument("store")
     index.add_argument("--rulebase", default="OWLPRIME")
@@ -138,6 +158,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--documents", type=int, default=4, help="release feeds per iteration")
     chaos.add_argument("--instances", type=int, default=10, help="instances per feed")
     chaos.add_argument("--workdir", default=None, help="directory for journals (default: a temp dir)")
+    chaos.add_argument(
+        "--incremental", action="store_true",
+        help="crash/recover through the incremental release-application path",
+    )
 
     workload = sub.add_parser(
         "workload",
@@ -276,6 +300,52 @@ def cmd_flows(args) -> None:
             max_rows=args.rows,
         )
     )
+
+
+def cmd_load(args) -> None:
+    """Apply a complete release to the store (auto-incremental)."""
+    from repro.etl.pipeline import EtlOrchestrator
+
+    mdw = _open(args)
+    documents = []
+    for name in args.files:
+        path = Path(name)
+        if not path.exists():
+            raise CliError(f"no such file: {path}")
+        documents.append(path.read_text(encoding="utf-8"))
+    ontology = None
+    if args.ontology is not None:
+        ontology_path = Path(args.ontology)
+        if not ontology_path.exists():
+            raise CliError(f"no such file: {ontology_path}")
+        ontology = ontology_path.read_text(encoding="utf-8")
+    mode = "auto"
+    if args.incremental:
+        mode = "incremental"
+    elif args.full_rebuild:
+        mode = "full"
+    historizer = None
+    if args.version is not None:
+        from repro.history import Historizer
+
+        historizer = Historizer(mdw.store, model=mdw.model_name)
+    from repro.etl.xml_source import XmlSourceError
+
+    orchestrator = EtlOrchestrator(mdw, validate=not args.no_validate)
+    try:
+        result = orchestrator.apply_release(
+            documents,
+            ontology_text=ontology,
+            mode=mode,
+            version=args.version,
+            historizer=historizer,
+        )
+    except XmlSourceError as exc:
+        raise CliError(str(exc)) from None
+    print(result.summary())
+    if not result.ok:
+        raise CliError("release load failed; store NOT saved")
+    mdw.save(args.store)
 
 
 def cmd_index(args) -> None:
@@ -533,6 +603,7 @@ def cmd_chaos(args) -> None:
         instances=args.instances,
         workdir=args.workdir,
         log=print,
+        incremental=args.incremental,
     )
     print(report.verdict())  # per-iteration lines already streamed live
     if not report.ok:
@@ -551,6 +622,7 @@ _HANDLERS = {
     "lineage": cmd_lineage,
     "flows": cmd_flows,
     "index": cmd_index,
+    "load": cmd_load,
     "snapshot": cmd_snapshot,
     "versions": cmd_versions,
     "sql": cmd_sql,

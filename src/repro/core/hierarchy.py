@@ -15,20 +15,83 @@ from typing import Callable, Dict, List, Set, Tuple
 from repro.rdf.namespace import RDF, RDFS
 from repro.rdf.terms import IRI, Term
 
+#: More per-instance invalidations pending than this and a flush just
+#: clears the whole cache — tracking stops paying for itself.
+_DIRTY_LIMIT = 1024
+
 
 class HierarchyManager:
     """Transitive navigation over ``rdfs:subClassOf`` / ``subPropertyOf``.
 
-    Reachability results are memoized against the graph's generation
-    counter: the search algorithm asks for the same subclass closures
-    and instance memberships once per hit, so repeated BFS walks are
-    answered from the cache until the graph changes.
+    Reachability results are memoized: the search algorithm asks for the
+    same subclass closures and instance memberships once per hit, so
+    repeated BFS walks are answered from the cache until the graph
+    changes. Invalidation is **delta-aware**: the manager subscribes to
+    the graph's change events and, on the next lookup, drops only the
+    entries the changed triples can affect — an incremental release that
+    retypes a handful of instances leaves every reach set cached, and
+    fact-level changes (names, areas, mappings) evict nothing at all.
+    Graphs without change notification (duck-typed doubles) fall back to
+    wholesale clearing on generation change.
     """
 
     def __init__(self, graph):
         self._graph = graph
         self._cache: Dict[Tuple, Set] = {}
         self._cache_generation = None
+        self._dirty_preds: Set = set()
+        self._dirty_instances: Set = set()
+        self._dirty_all = False
+        self._tracked = False
+        subscribe = getattr(graph, "subscribe", None)
+        if callable(subscribe):
+            subscribe(self._on_change)
+            self._tracked = True
+
+    def close(self) -> None:
+        """Detach from the graph (stops delta tracking)."""
+        if self._tracked:
+            self._graph.unsubscribe(self._on_change)
+            self._tracked = False
+
+    def _on_change(self, action, triple) -> None:
+        if self._dirty_all:
+            return
+        predicate = triple.predicate
+        if predicate == RDF.type:
+            self._dirty_instances.add(triple.subject)
+            if len(self._dirty_instances) > _DIRTY_LIMIT:
+                self._dirty_all = True
+                self._dirty_instances.clear()
+                self._dirty_preds.clear()
+        else:
+            # only reach keys over this predicate (and, for subClassOf,
+            # the classes_of expansions) can be affected
+            self._dirty_preds.add(predicate)
+
+    def _flush_dirty(self) -> None:
+        """Evict exactly the entries the pending delta can affect."""
+        if self._dirty_all:
+            self._cache.clear()
+        elif self._dirty_preds or self._dirty_instances:
+            preds = self._dirty_preds
+            classes_dirty = RDFS.subClassOf in preds
+            doomed = [
+                key
+                for key in self._cache
+                if (
+                    (key[0] == "reach" and key[2] in preds)
+                    or (
+                        key[0] == "classes_of"
+                        and (classes_dirty or key[1] in self._dirty_instances)
+                    )
+                )
+            ]
+            for key in doomed:
+                del self._cache[key]
+        self._dirty_all = False
+        self._dirty_preds.clear()
+        self._dirty_instances.clear()
 
     def _cached(self, key: Tuple, compute: Callable[[], Set]) -> Set:
         """Memoize ``compute()`` under ``key`` until the graph mutates.
@@ -41,7 +104,10 @@ class HierarchyManager:
         if generation is None:
             return compute()
         if generation != self._cache_generation:
-            self._cache.clear()
+            if self._tracked:
+                self._flush_dirty()
+            else:
+                self._cache.clear()
             self._cache_generation = generation
         result = self._cache.get(key)
         if result is None:

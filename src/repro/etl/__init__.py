@@ -25,12 +25,13 @@ from repro.etl.xml_source import (
 from repro.etl.transformer import XmlToRdfTransformer
 from repro.etl.ontology_io import export_ontology, import_ontology
 from repro.etl.dbpedia import SynonymThesaurus, load_thesaurus_ntriples
-from repro.etl.pipeline import EtlOrchestrator, LoadResult
+from repro.etl.pipeline import EtlOrchestrator, LoadResult, ReleaseLoadResult
 
 __all__ = [
     "EtlOrchestrator",
     "InstanceSpec",
     "LoadResult",
+    "ReleaseLoadResult",
     "MetadataDocument",
     "SynonymThesaurus",
     "XmlSourceError",

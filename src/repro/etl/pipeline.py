@@ -22,7 +22,9 @@ from pathlib import Path
 from typing import Callable, Iterable, List, Optional, Sequence, Union
 
 from repro.rdf.bulkload import BulkLoader, BulkLoadReport
+from repro.rdf.graph import Graph
 from repro.rdf.staging import StagingTable
+from repro.rdf.store import TripleStore
 
 from repro.core.validation import ValidationReport, validate_graph
 from repro.core.warehouse import MetadataWarehouse
@@ -30,6 +32,7 @@ from repro.etl.dbpedia import SynonymThesaurus
 from repro.etl.ontology_io import import_ontology
 from repro.etl.transformer import XmlToRdfTransformer
 from repro.etl.xml_source import MetadataDocument, parse_metadata_xml
+from repro.history.diff import diff_graphs
 from repro.resilience import faults
 
 
@@ -84,6 +87,54 @@ class LoadResult:
             )
         if self.refreshed_rulebases:
             parts.append(f"indexes refreshed: {', '.join(self.refreshed_rulebases)}")
+        return "; ".join(parts)
+
+
+@dataclass
+class ReleaseLoadResult:
+    """Outcome of one complete-release application (:meth:`apply_release`).
+
+    ``mode`` records the resolved strategy (``"incremental"`` or
+    ``"full"``); ``added``/``removed`` are the effective triples changed
+    on the live model — for an incremental apply that is the release
+    delta, for a full rebuild the whole model.
+    """
+
+    mode: str = "full"
+    documents: int = 0
+    staged_rows: int = 0
+    added: int = 0
+    removed: int = 0
+    bulk_report: Optional[BulkLoadReport] = None
+    validation: Optional[ValidationReport] = None
+    refreshed_rulebases: List[str] = field(default_factory=list)
+    thesaurus_edges: int = 0
+    version: Optional[str] = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        # bulk_report is None on the graph-level (``desired=``) path,
+        # where there is no staging and nothing can be rejected
+        return (
+            self.bulk_report is None
+            or (not self.bulk_report.rejected and not self.bulk_report.quarantined)
+        ) and (self.validation is None or self.validation.conformant)
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.mode} release apply: {self.documents} document(s), "
+            f"+{self.added} / -{self.removed} triples"
+        ]
+        if self.validation:
+            parts.append(
+                f"validation: {self.validation.violation_count} violation(s)"
+            )
+        if self.refreshed_rulebases:
+            parts.append(f"indexes refreshed: {', '.join(self.refreshed_rulebases)}")
+        if self.version:
+            parts.append(f"historized as {self.version}")
+        parts.append(f"{self.seconds:.3f}s")
         return "; ".join(parts)
 
 
@@ -189,6 +240,119 @@ class EtlOrchestrator:
         if rebuild_indexes:
             # covers session-built AND store-loaded indexes alike
             result.refreshed_rulebases = sorted(self._mdw.refresh_indexes())
+        return result
+
+    def apply_release(
+        self,
+        xml_documents: Sequence[str] = (),
+        ontology_text: Optional[str] = None,
+        thesaurus: Optional[SynonymThesaurus] = None,
+        mode: str = "auto",
+        version: Optional[str] = None,
+        historizer=None,
+        desired: Optional[Graph] = None,
+    ) -> ReleaseLoadResult:
+        """Converge the live model to a *complete* release state.
+
+        Unlike :meth:`run` (which is additive), the documents here
+        describe the **full desired content** of the model — exactly the
+        paper's release semantics, where each release delivers the whole
+        meta-data graph.
+
+        ``mode``:
+
+        * ``"full"`` — clear the model, reload everything, rebuild every
+          entailment index from scratch (the escape hatch);
+        * ``"incremental"`` — stage the release into a scratch model
+          sharing the live term dictionary, diff it against the live
+          model in id space, and apply only the delta in place. The
+          entailment indexes then refresh by DRed maintenance, caches
+          patch instead of clearing, and snapshot republication is
+          copy-on-write — the whole load is O(delta);
+        * ``"auto"`` (default) — incremental when a prior version is
+          loaded (the live model is non-empty), else full.
+
+        Incremental application is convergent: re-running the same
+        release after a mid-apply crash finishes the job (the chaos
+        harness exercises exactly this). With ``historizer`` and
+        ``version`` the converged state is historized afterwards.
+
+        A release whose state is already RDF (a historized version, a
+        replica catch-up, a benchmark scenario) can be passed directly
+        as ``desired`` instead of XML sources — staging is skipped and
+        the graph *is* the desired model content.
+        """
+        if mode not in ("auto", "incremental", "full"):
+            raise ValueError(f"unknown release mode {mode!r}")
+        if desired is not None and (
+            xml_documents or ontology_text is not None or thesaurus is not None
+        ):
+            raise ValueError("desired graph and staged sources are mutually exclusive")
+        started = time.perf_counter()
+        live = self._mdw.graph
+        resolved = mode if mode != "auto" else ("incremental" if live else "full")
+        result = ReleaseLoadResult(mode=resolved)
+
+        if desired is None:
+            staging = StagingTable(name=f"release-{version or 'load'}")
+            if ontology_text is not None:
+                faults.fire("staging.stage")
+                import_ontology(ontology_text, staging=staging)
+            for xml_text in xml_documents:
+                faults.fire("staging.stage")
+                document = parse_metadata_xml(xml_text)
+                self._transformer.stage(document, staging)
+                result.documents += 1
+            result.staged_rows = len(staging)
+        else:
+            staging = None
+
+        if resolved == "full":
+            result.removed = len(live)
+            live.clear()
+            if staging is not None:
+                result.bulk_report = self._loader().load(
+                    staging, self._mdw.model_name
+                )
+                if thesaurus is not None:
+                    result.thesaurus_edges = thesaurus.materialize(live)
+            else:
+                live.add_all(desired)
+            result.added = len(live)
+        else:
+            if staging is not None:
+                # materialize the desired state off to the side, sharing
+                # the live dictionary so the diff below runs on interned ids
+                scratch = TripleStore()
+                desired = Graph(dictionary=live.dictionary)
+                scratch.adopt_model(self._mdw.model_name, desired)
+                result.bulk_report = BulkLoader(scratch).load(
+                    staging, self._mdw.model_name
+                )
+                if thesaurus is not None:
+                    result.thesaurus_edges = thesaurus.materialize(desired)
+            delta = diff_graphs(live, desired)
+            faults.fire("release.apply")
+            result.added, result.removed = delta.apply_in_place(live)
+
+        if self._validate:
+            faults.fire("etl.validate")
+            result.validation = validate_graph(live, max_issues=25)
+
+        pairs = set(self._mdw.indexes.built_indexes())
+        pairs.update(self._mdw.store.index_names(self._mdw.model_name))
+        if resolved == "full":
+            for model, rulebase in sorted(pairs):
+                if model == self._mdw.model_name:
+                    self._mdw.indexes.build(model, rulebase)
+                    result.refreshed_rulebases.append(rulebase)
+        else:
+            result.refreshed_rulebases = sorted(self._mdw.refresh_indexes())
+
+        if historizer is not None and version is not None:
+            historizer.snapshot(version)
+            result.version = version
+        result.seconds = time.perf_counter() - started
         return result
 
     def load_documents(self, documents: Iterable[MetadataDocument]) -> LoadResult:

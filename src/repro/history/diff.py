@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Tuple
 
 from repro.rdf.graph import Graph
+from repro.rdf.terms import Triple
 
 if TYPE_CHECKING:  # pragma: no cover
     pass
@@ -39,6 +40,20 @@ class VersionDiff:
         out.add_all(self.added)
         return out
 
+    def apply_in_place(self, graph: Graph) -> Tuple[int, int]:
+        """Apply the diff directly to ``graph``; returns (added, removed)
+        effective counts.
+
+        This is the O(delta) release-application path: the live model is
+        mutated instead of rebuilt, so graph listeners (entailment-index
+        delta trackers, text-index maintenance, audit) see exactly the
+        changed triples. Convergent: re-applying after a partial crash
+        finishes the job — triples already removed/added are no-ops.
+        """
+        removed = sum(1 for t in self.removed if graph.discard(t))
+        added = graph.add_all(self.added)
+        return added, removed
+
     def invert(self) -> "VersionDiff":
         """The reverse delta (rolls the change back)."""
         return VersionDiff(added=self.removed, removed=self.added)
@@ -48,7 +63,25 @@ class VersionDiff:
 
 
 def diff_graphs(old: Graph, new: Graph) -> VersionDiff:
-    """Compute the delta from ``old`` to ``new``."""
+    """Compute the delta from ``old`` to ``new``.
+
+    When both graphs intern into the same dictionary the comparison runs
+    entirely in id space (int probes, no term hashing) and only the
+    delta's triples are ever materialized — the hot path of incremental
+    release loading, where consecutive releases are near-identical.
+    """
+    dictionary = old.dictionary
+    if dictionary is new.dictionary:
+        term = dictionary.term
+        added = Graph(name="added", dictionary=dictionary)
+        removed = Graph(name="removed", dictionary=dictionary)
+        for s, p, o in new.triples_ids():
+            if not old.has_ids(s, p, o):
+                added.add(Triple(term(s), term(p), term(o)))
+        for s, p, o in old.triples_ids():
+            if not new.has_ids(s, p, o):
+                removed.add(Triple(term(s), term(p), term(o)))
+        return VersionDiff(added=added, removed=removed)
     return VersionDiff(
         added=Graph((t for t in new if t not in old), name="added"),
         removed=Graph((t for t in old if t not in new), name="removed"),

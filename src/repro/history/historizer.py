@@ -83,9 +83,13 @@ class Historizer:
             raise HistorizationError(f"version {name!r} already exists")
         current = self._store.model(self._model)
         hist_model = self.HIST_PREFIX + name
-        frozen = self._store.create_model(hist_model)
-        frozen.add_all(current)
+        # copy-on-write capture: O(distinct terms) instead of O(triples),
+        # and the frozen side never privatizes — the live model pays a
+        # small privatization cost only for subtrees the next release's
+        # delta actually touches
+        frozen = current.cow_copy(hist_model)
         frozen.freeze()
+        self._store.adopt_model(hist_model, frozen)
         version = Version(
             sequence=len(self._order) + 1,
             name=name,
@@ -170,8 +174,12 @@ class Historizer:
         return MetadataWarehouse(model=self.HIST_PREFIX + name, store=self._store)
 
     def restore(self, name: str) -> None:
-        """Replace the live model's content with a historized version."""
+        """Replace the live model's content with a historized version.
+
+        Delta-driven: only the triples that differ are touched, so
+        change listeners (entailment delta trackers, the name index)
+        see the restore as a small release delta, not a full reload.
+        """
         version = self.get(name)
         current = self._store.model(self._model)
-        current.clear()
-        current.add_all(version.graph)
+        diff_graphs(current, version.graph).apply_in_place(current)

@@ -56,6 +56,10 @@ class Graph:
         "_generation",
         "_count_cache",
         "_count_cache_gen",
+        "_cow",
+        "_owned_s",
+        "_owned_p",
+        "_owned_o",
         "name",
     )
 
@@ -75,6 +79,13 @@ class Graph:
         self._generation = 0
         self._count_cache: Dict[tuple, int] = {}
         self._count_cache_gen = 0
+        # copy-on-write state: after cow_copy() the inner dicts/sets may
+        # be shared with another graph; a mutator privatizes the touched
+        # subtrees first (see _privatize)
+        self._cow = False
+        self._owned_s: Set[int] = set()
+        self._owned_p: Set[int] = set()
+        self._owned_o: Set[int] = set()
         self.name = name
         if triples is not None:
             for t in triples:
@@ -122,6 +133,8 @@ class Graph:
         intern = self._dict.intern
         s, p, o = triple
         si, pi, oi = intern(s), intern(p), intern(o)
+        if self._cow:
+            self._privatize(si, pi, oi)
         objs = self._spo.setdefault(si, {}).setdefault(pi, set())
         if oi in objs:
             return False
@@ -152,6 +165,8 @@ class Graph:
         si, pi, oi = lookup(triple[0]), lookup(triple[1]), lookup(triple[2])
         if si is None or pi is None or oi is None:
             return False
+        if self._cow:
+            self._privatize(si, pi, oi)
         try:
             self._spo[si][pi].remove(oi)
         except KeyError:
@@ -182,10 +197,18 @@ class Graph:
             return
         if self._size:
             self._generation += 1
+        # outer index dicts are never shared (cow_copy shallow-copies
+        # them), so clearing them drops every shared inner structure at
+        # once — afterwards nothing is shared and CoW mode can end
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
         self._size = 0
+        if self._cow:
+            self._cow = False
+            self._owned_s.clear()
+            self._owned_p.clear()
+            self._owned_o.clear()
 
     def freeze(self) -> "Graph":
         """Make the graph immutable (used by historized snapshots)."""
@@ -199,6 +222,30 @@ class Graph:
     def _check_writable(self) -> None:
         if self._frozen:
             raise ReadOnlyGraphError(f"graph {self.name!r} is frozen")
+
+    def _privatize(self, si: int, pi: int, oi: int) -> None:
+        """Unshare the index subtrees a mutation of (si, pi, oi) touches.
+
+        After :meth:`cow_copy` the *inner* dicts and sets may be shared
+        with the other graph; cloning just the three touched subtrees
+        (cost O(degree of the term)) keeps a delta-sized write after a
+        CoW publication proportional to the delta, not the graph.
+        """
+        if si not in self._owned_s:
+            self._owned_s.add(si)
+            by_p = self._spo.get(si)
+            if by_p is not None:
+                self._spo[si] = {p: set(objs) for p, objs in by_p.items()}
+        if pi not in self._owned_p:
+            self._owned_p.add(pi)
+            by_o = self._pos.get(pi)
+            if by_o is not None:
+                self._pos[pi] = {o: set(subs) for o, subs in by_o.items()}
+        if oi not in self._owned_o:
+            self._owned_o.add(oi)
+            by_s = self._osp.get(oi)
+            if by_s is not None:
+                self._osp[oi] = {s: set(preds) for s, preds in by_s.items()}
 
     # -- id-space access ----------------------------------------------------
 
@@ -275,6 +322,15 @@ class Graph:
                 for pred, objs in by_p.items():
                     for obj in objs:
                         yield (subj, pred, obj)
+
+    def has_ids(self, s: int, p: int, o: int) -> bool:
+        """Membership test over dictionary ids (no term hashing).
+
+        The release differ iterates one graph in id space and probes the
+        other with this — sharing a dictionary makes the whole diff run
+        on ints.
+        """
+        return o in self._spo.get(s, {}).get(p, ())
 
     def count_ids(self, s=None, p=None, o=None) -> int:
         """Like :meth:`count` but over dictionary ids."""
@@ -486,6 +542,31 @@ class Graph:
             for o, by_s in self._osp.items()
         }
         g._size = self._size
+        return g
+
+    def cow_copy(self, name: str = "") -> "Graph":
+        """A copy-on-write copy: O(distinct subjects/predicates/objects)
+        instead of O(triples).
+
+        Only the three *outer* index dicts are copied; the inner dicts
+        and sets stay shared until one side mutates the corresponding
+        subtree (see :meth:`_privatize`). Both graphs enter CoW mode —
+        the source's previous ownership knowledge is reset because every
+        inner structure is now shared again. Snapshot publication
+        freezes the copy, so in practice only the live side ever pays
+        privatization cost, and only for subtrees the next delta
+        touches. Listeners and frozen-ness are not carried over.
+        """
+        g = Graph(name=name or self.name, dictionary=self._dict)
+        g._spo = dict(self._spo)
+        g._pos = dict(self._pos)
+        g._osp = dict(self._osp)
+        g._size = self._size
+        g._cow = True
+        self._cow = True
+        self._owned_s.clear()
+        self._owned_p.clear()
+        self._owned_o.clear()
         return g
 
     def union(self, other: Iterable[Triple], name: str = "") -> "Graph":

@@ -11,9 +11,10 @@ replicates that design:
 * :mod:`repro.reasoning.rulebase` — the ``RDFS`` and ``OWLPRIME``
   rulebases, plus user-defined rulebase registration;
 * :mod:`repro.reasoning.engine` — semi-naive forward chaining to a
-  fixpoint, producing only the *derived* triples;
+  fixpoint, producing only the *derived* triples, plus DRed
+  (delete/rederive) incremental maintenance of an existing closure;
 * :mod:`repro.reasoning.index` — building and refreshing the entailment
-  index of a store model.
+  index of a store model, with O(1) delta-tracked staleness.
 """
 
 from repro.reasoning.rules import Rule, RuleParseError, rule
@@ -25,10 +26,20 @@ from repro.reasoning.rulebase import (
     register_rulebase,
     rulebase_names,
 )
-from repro.reasoning.engine import InferenceReport, closure, extend_closure
-from repro.reasoning.index import EntailmentIndexManager, build_entailment_index
+from repro.reasoning.engine import (
+    InferenceReport,
+    closure,
+    extend_closure,
+    maintain_closure,
+)
+from repro.reasoning.index import (
+    DeltaTracker,
+    EntailmentIndexManager,
+    build_entailment_index,
+)
 
 __all__ = [
+    "DeltaTracker",
     "EntailmentIndexManager",
     "InferenceReport",
     "OWLPRIME",
@@ -40,6 +51,7 @@ __all__ = [
     "closure",
     "extend_closure",
     "get_rulebase",
+    "maintain_closure",
     "register_rulebase",
     "rule",
     "rulebase_names",

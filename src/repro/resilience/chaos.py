@@ -36,6 +36,16 @@ LOAD_SITES = [
     "etl.validate",
 ]
 
+#: The sites an *incremental* release application passes through
+#: (``EtlOrchestrator.apply_release``): staging, the delta apply itself,
+#: DRed index maintenance, and validation.
+INCREMENTAL_SITES = [
+    "staging.stage",
+    "release.apply",
+    "index.refresh",
+    "etl.validate",
+]
+
 #: The probe query both sides answer after the dust settles (exercises
 #: the plan cache and, via the rulebase, the entailment index).
 PROBE_QUERY = "SELECT ?s ?name WHERE { ?s dm:hasName ?name }"
@@ -152,6 +162,90 @@ def _build_and_load(journal_path: Path, feeds: List[str], resilience_kwargs: dic
     return mdw, orchestrator
 
 
+def _build_release_base(feeds: List[str]):
+    """A fresh warehouse with ``feeds`` applied as a full release."""
+    from repro.core.warehouse import MetadataWarehouse
+    from repro.etl.pipeline import EtlOrchestrator
+
+    mdw = MetadataWarehouse()
+    mdw.build_entailment_index("OWLPRIME")
+    EtlOrchestrator(mdw).apply_release(feeds, mode="full")
+    return mdw
+
+
+def _run_incremental_iteration(
+    i: int,
+    iteration_seed: int,
+    rng: random.Random,
+    documents: int,
+    instances: int,
+) -> ChaosIteration:
+    """One crash/recover/verify round through the *incremental* path.
+
+    Release 2 drops one feed of release 1 and brings a fresh one, so the
+    delta has both adds and removes. The reference applies release 2 as
+    a **full rebuild**; the victim applies it incrementally, crashes at
+    an armed fault site, and recovers by simply re-applying the release
+    (delta application is convergent). Convergence is asserted
+    bit-identically against the full-rebuild reference — so the check
+    doubles as an incremental-vs-full equivalence proof under crashes.
+    """
+    from repro.etl.pipeline import EtlOrchestrator
+
+    feeds1 = make_release_feeds(rng, documents=documents, instances=instances)
+    feeds2 = feeds1[:-1] + make_release_feeds(rng, documents=1, instances=instances)
+
+    reference = _build_release_base(feeds1)
+    EtlOrchestrator(reference).apply_release(feeds2, mode="full")
+    expected = _fingerprint(reference)
+    expected_probe = _probe(reference)
+
+    # census pass: count how often each fault point fires during a clean
+    # incremental apply, so the armed fault below always triggers
+    census = FaultInjector(seed=iteration_seed)
+    clean = _build_release_base(feeds1)
+    with fault_scope(census):
+        EtlOrchestrator(clean).apply_release(feeds2, mode="incremental")
+
+    injector = FaultInjector(seed=iteration_seed)
+    site = injector.choose_site(
+        [s for s in INCREMENTAL_SITES if census.hits(s) > 0] or INCREMENTAL_SITES
+    )
+    skip = rng.randint(0, max(0, census.hits(site) - 1))
+    injector.arm(site, "raise", times=1, skip=skip)
+    it = ChaosIteration(index=i, seed=iteration_seed, site=site, skip=skip)
+
+    victim = _build_release_base(feeds1)
+    with fault_scope(injector):
+        try:
+            EtlOrchestrator(victim).apply_release(feeds2, mode="incremental")
+        except InjectedFault:
+            it.crashed = True
+    # recovery for an incremental apply is a plain re-apply: the diff of
+    # desired-vs-live shrinks to whatever the crash left unapplied, and a
+    # torn index refresh has poisoned its tracker into a full rebuild
+    EtlOrchestrator(victim).apply_release(feeds2, mode="incremental")
+    it.recovery_action = "reapply"
+    it.reran = True
+
+    if _fingerprint(clean) != expected:
+        it.detail = "clean incremental apply diverged from full rebuild"
+    else:
+        actual = _fingerprint(victim)
+        if actual != expected:
+            diverged = sorted(
+                k
+                for k in set(expected) | set(actual)
+                if expected.get(k) != actual.get(k)
+            )
+            it.detail = f"state mismatch in {diverged}"
+        elif _probe(victim) != expected_probe:
+            it.detail = "probe query answers differ"
+        else:
+            it.converged = True
+    return it
+
+
 def run_chaos(
     seed: int = 0,
     iterations: int = 5,
@@ -159,12 +253,30 @@ def run_chaos(
     instances: int = 10,
     workdir: Optional[Path] = None,
     log: Optional[Callable[[str], None]] = None,
+    incremental: bool = False,
 ) -> ChaosReport:
-    """The randomized kill/recover/verify loop (``repro-mdw chaos``)."""
+    """The randomized kill/recover/verify loop (``repro-mdw chaos``).
+
+    ``incremental=True`` exercises the delta release-application path
+    (``apply_release``) instead of the journaled additive load — crashes
+    land mid-diff-apply or mid-DRed-maintenance and recovery is a
+    convergent re-apply, verified bit-identically against a full-rebuild
+    reference.
+    """
     import tempfile
 
     report = ChaosReport(seed=seed)
     say = log if log is not None else (lambda message: None)
+    if incremental:
+        for i in range(iterations):
+            iteration_seed = seed * 100_003 + i
+            rng = random.Random(iteration_seed)
+            it = _run_incremental_iteration(
+                i, iteration_seed, rng, documents, instances
+            )
+            report.iterations.append(it)
+            say(it.summary())
+        return report
     with tempfile.TemporaryDirectory() as tmp:
         root = Path(workdir) if workdir is not None else Path(tmp)
         fast = {

@@ -34,6 +34,7 @@ FAULT_POINTS: Dict[str, str] = {
     "persist.save": "mid store save, after data files, before the manifest",
     "snapshot.publish": "while publishing a fresh read snapshot",
     "worker.execute": "inside a query-service worker, before dispatch",
+    "release.apply": "before applying a release delta to the live model",
     "index.refresh": "while (re)building an entailment index",
     "index.staleness": "override the entailment-index staleness verdict",
     "etl.validate": "before post-load graph validation",

@@ -16,9 +16,13 @@ the write keeps its old frozen graph — bit-identical results, no torn
 indexes — while later readers see the new state. Old snapshots are
 reclaimed by the garbage collector once the last pin drops.
 
-The copy is structural (:meth:`repro.rdf.Graph.copy` clones the int-id
-indexes, not term objects) so publication costs far less than the bulk
-load that triggered it, and happens once per write *epoch*, not per
+Publication is **copy-on-write** (:meth:`repro.rdf.Graph.cow_copy`):
+capturing a snapshot shallow-copies only the outer index dicts of the
+model and its entailment indexes, sharing the inner structures with the
+live graph. The snapshot side is frozen, so only the live side ever
+privatizes — and only the subtrees the *next* delta touches. Republish
+cost after an incremental release load is therefore proportional to the
+delta, not the model, and happens once per write *epoch*, not per
 triple.
 """
 
@@ -110,16 +114,16 @@ class SnapshotManager:
         faults.fire("snapshot.publish")
         live = self._mdw
         frozen_store = TripleStore()
-        frozen = live.graph.copy(name=live.model_name)
+        frozen = live.graph.cow_copy(name=live.model_name)
         frozen.freeze()
         frozen_store.adopt_model(live.model_name, frozen)
         rulebases: List[str] = []
         for model, rulebase in live.store.index_names(live.model_name):
             derived = live.store.index(model, rulebase)
             if derived is not None:
-                # indexes are maintained in place by extend_closure, so
-                # they must be copied like the model itself
-                frozen_store.attach_index(live.model_name, rulebase, derived.copy().freeze())
+                # indexes are maintained in place by DRed maintenance, so
+                # they must be captured like the model itself
+                frozen_store.attach_index(live.model_name, rulebase, derived.cow_copy().freeze())
                 rulebases.append(rulebase)
         facade = type(live)(
             model=live.model_name,

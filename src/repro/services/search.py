@@ -152,6 +152,16 @@ class SearchService:
         # guards the lazy thesaurus build: concurrent first searches on a
         # shared snapshot facade must not each rebuild it
         self._thesaurus_lock = threading.Lock()
+        # delta-aware invalidation: a graph-built thesaurus only goes
+        # stale when a synonym/homonym edge changes, so an incremental
+        # release that touches no thesaurus edges keeps it cached
+        subscribe = getattr(warehouse.graph, "subscribe", None)
+        if thesaurus is None and callable(subscribe):
+            subscribe(self._on_graph_change)
+
+    def _on_graph_change(self, action, triple) -> None:
+        if triple.predicate in (TERMS.synonym_of, TERMS.homonym_of):
+            self._thesaurus = None
 
     def enable_index(self):
         """Build (and auto-maintain) the inverted name index.

@@ -1,0 +1,28 @@
+"""Chaos harness, incremental release path (``repro-mdw chaos --incremental``).
+
+Crashes land mid-delta-apply or mid-DRed-maintenance; recovery is a
+plain re-apply (delta application is convergent) and the final state is
+compared bit-identically against a full-rebuild reference.
+"""
+
+from repro.resilience.chaos import INCREMENTAL_SITES, run_chaos
+
+
+class TestIncrementalChaos:
+    def test_iterations_converge(self):
+        report = run_chaos(
+            seed=5, iterations=3, documents=2, instances=5, incremental=True
+        )
+        assert len(report.iterations) == 3
+        assert report.ok, report.summary()
+
+    def test_crashes_actually_fire_and_recover_by_reapply(self):
+        # enough iterations that at least one armed fault triggers
+        report = run_chaos(
+            seed=1, iterations=4, documents=2, instances=5, incremental=True
+        )
+        assert report.ok, report.summary()
+        assert report.crashes > 0
+        for it in report.iterations:
+            assert it.site in INCREMENTAL_SITES
+            assert it.recovery_action == "reapply"

@@ -164,3 +164,46 @@ class TestGroups:
     def test_distinct_hits_not_double_counted(self, snippet):
         results = snippet.warehouse.search.search("id")
         assert len(results) == 3  # client_information_id, partner_id, customer_id
+
+
+class TestThesaurusDeltaInvalidation:
+    """A graph-built thesaurus only goes stale on thesaurus-edge changes."""
+
+    @pytest.fixture
+    def mdw(self):
+        mdw = MetadataWarehouse()
+        col = mdw.schema.declare_class("Column")
+        mdw.facts.add_instance("client_number", col, display_name="client_number")
+        thesaurus = SynonymThesaurus()
+        thesaurus.add_synonym("customer", "client")
+        thesaurus.materialize(mdw.graph)
+        return mdw
+
+    def test_unrelated_change_keeps_cached_thesaurus(self, mdw):
+        service = SearchService(mdw)
+        cached = service.thesaurus
+        mdw.facts.add_instance(
+            "partner_code",
+            mdw.schema.namespace.term("Column"),
+            display_name="partner_code",
+        )
+        assert service.thesaurus is cached
+
+    def test_synonym_edge_invalidates(self, mdw):
+        service = SearchService(mdw)
+        cached = service.thesaurus
+        extra = SynonymThesaurus()
+        extra.add_synonym("customer", "partner")
+        extra.materialize(mdw.graph)
+        rebuilt = service.thesaurus
+        assert rebuilt is not cached
+        assert "partner" in rebuilt.synonyms("customer")
+
+    def test_explicit_thesaurus_is_never_auto_invalidated(self, mdw):
+        explicit = SynonymThesaurus()
+        explicit.add_synonym("customer", "konto")
+        service = SearchService(mdw, thesaurus=explicit)
+        extra = SynonymThesaurus()
+        extra.add_synonym("customer", "partner")
+        extra.materialize(mdw.graph)
+        assert service.thesaurus is explicit

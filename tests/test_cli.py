@@ -227,3 +227,79 @@ class TestSearchServiceLevelFlags:
 
         assert hits(out_fresh) <= hits(out_all)
         assert hits(out_quality) <= hits(out_all)
+
+
+class TestLoad:
+    """`repro-mdw load`: complete-release application to a saved store."""
+
+    def write_feed(self, tmp_path, name, items):
+        lines = ['<metadata source="cli-feed">']
+        lines.append('  <class name="Application" world="technical"/>')
+        for item in items:
+            lines.append(f'  <instance name="{item}" class="Application"/>')
+        lines.append("</metadata>")
+        path = tmp_path / name
+        path.write_text("\n".join(lines), encoding="utf-8")
+        return path
+
+    @pytest.fixture
+    def wh(self, tmp_path, capsys):
+        path = tmp_path / "wh"
+        assert main(["generate", str(path), "--scale", "tiny", "--with-index"]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_full_then_incremental_with_versions(self, wh, tmp_path, capsys):
+        r1 = self.write_feed(tmp_path, "r1.xml", ["app_alpha", "app_beta"])
+        code = main(
+            ["load", str(wh), str(r1), "--full-rebuild", "--version", "2026.R1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0 and "full release apply" in out
+
+        r2 = self.write_feed(tmp_path, "r2.xml", ["app_alpha", "app_gamma"])
+        code = main(["load", str(wh), str(r2), "--version", "2026.R2"])
+        out = capsys.readouterr().out
+        assert code == 0 and "incremental release apply" in out
+
+        assert main(["versions", str(wh)]) == 0
+        out = capsys.readouterr().out
+        assert "2026.R1" in out and "2026.R2" in out
+        assert main(["search", str(wh), "app_gamma"]) == 0
+        assert "app_gamma" in capsys.readouterr().out
+        assert main(["search", str(wh), "app_beta"]) == 0
+        assert "no results" in capsys.readouterr().out
+
+    def test_reapply_is_noop(self, wh, tmp_path, capsys):
+        feed = self.write_feed(tmp_path, "r.xml", ["app_one"])
+        assert main(["load", str(wh), str(feed), "--full-rebuild"]) == 0
+        capsys.readouterr()
+        assert main(["load", str(wh), str(feed)]) == 0
+        out = capsys.readouterr().out
+        assert "incremental release apply" in out and "+0 / -0" in out
+
+    def test_incremental_and_full_are_exclusive(self, wh, tmp_path, capsys):
+        feed = self.write_feed(tmp_path, "r.xml", ["app_one"])
+        with pytest.raises(SystemExit):
+            main(["load", str(wh), str(feed), "--incremental", "--full-rebuild"])
+
+    def test_missing_feed_file(self, wh, capsys):
+        assert main(["load", str(wh), "nope.xml"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_bad_xml_rejected(self, wh, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("not xml at all", encoding="utf-8")
+        assert main(["load", str(wh), str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestChaosIncremental:
+    def test_chaos_incremental_converges(self, capsys):
+        code = main(
+            ["chaos", "--seed", "5", "--iterations", "1", "--documents", "2",
+             "--instances", "4", "--incremental"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all converged" in out
