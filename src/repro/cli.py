@@ -57,8 +57,18 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--extended", action="store_true", help="include the Figure 9 extended scope")
     generate.add_argument("--with-index", action="store_true", help="build the OWLPRIME entailment index")
 
-    stats = sub.add_parser("stats", help="node/edge composition (Table I)")
+    stats = sub.add_parser(
+        "stats", help="node/edge composition (Table I) and process metrics"
+    )
     stats.add_argument("store")
+    stats.add_argument(
+        "--metrics", action="store_true",
+        help="also print the process metrics registry as JSON",
+    )
+    stats.add_argument(
+        "--prometheus", action="store_true",
+        help="also print the metrics registry in Prometheus text format",
+    )
 
     validate = sub.add_parser("validate", help="audit the graph against Table I")
     validate.add_argument("store")
@@ -138,6 +148,10 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("store")
     explain.add_argument("query", help="the query text, or a path to a .rq file")
     explain.add_argument("--rulebase", action="append", default=[], help="include an entailment index")
+    explain.add_argument(
+        "--analyze", action="store_true",
+        help="execute the query and append the runtime profile (EXPLAIN ANALYZE)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -174,6 +188,35 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--mode", choices=["thread", "fork"], default="thread")
     workload.add_argument("--timeout", type=float, default=None, help="per-request deadline in seconds")
     workload.add_argument("--seed", type=int, default=42)
+    workload.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="trace the run and write a Chrome trace JSON here",
+    )
+    workload.add_argument(
+        "--sample", type=float, default=1.0,
+        help="trace sampling rate in [0, 1] (with --trace-out)",
+    )
+    workload.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the process metrics registry as JSON here",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="drive a traced service workload and export the Chrome trace",
+    )
+    trace.add_argument("store")
+    trace.add_argument("--out", default="trace.json", help="Chrome trace JSON output file")
+    trace.add_argument("--requests", type=int, default=50)
+    trace.add_argument("--clients", type=int, default=4)
+    trace.add_argument("--workers", type=int, default=4)
+    trace.add_argument("--mode", choices=["thread", "fork"], default="thread")
+    trace.add_argument("--sample", type=float, default=1.0, help="root-span sampling rate in [0, 1]")
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument(
+        "--prometheus-out", default=None, metavar="FILE",
+        help="also write a Prometheus scrape of the metrics registry",
+    )
 
     return parser
 
@@ -239,6 +282,16 @@ def cmd_generate(args) -> None:
 def cmd_stats(args) -> None:
     mdw = _open(args)
     print(mdw.statistics().render_table_i())
+    if args.metrics:
+        import json
+
+        from repro.obs import snapshot_json
+
+        print(json.dumps(snapshot_json(), indent=2, sort_keys=True))
+    if args.prometheus:
+        from repro.obs import render_prometheus
+
+        print(render_prometheus(), end="")
 
 
 def cmd_validate(args) -> None:
@@ -487,7 +540,7 @@ def cmd_explain(args) -> None:
     from repro.sparql import SparqlParseError
 
     try:
-        print(mdw.explain(text, rulebases=args.rulebase))
+        print(mdw.explain(text, rulebases=args.rulebase, analyze=args.analyze))
     except SparqlParseError as exc:
         raise CliError(str(exc)) from None
 
@@ -532,23 +585,22 @@ def cmd_serve(args) -> None:
         raise CliError(f"{failures} of {len(statements)} statement(s) failed")
 
 
-def cmd_workload(args) -> None:
-    """Drive a deterministic mixed workload with concurrent clients."""
+def _drive_workload(mdw, *, workers, clients, requests, mode, timeout, seed):
+    """Run the synthetic client mix; returns (ops, errors, elapsed, report)."""
     import threading
     import time
 
-    mdw = _open(args)
     from repro.server import QueryServiceError, ServiceConfig
     from repro.synth import make_service_workload
 
     config = ServiceConfig(
-        max_workers=args.workers,
-        max_queue=max(64, args.requests),
-        default_timeout=args.timeout,
-        worker_mode=args.mode,
+        max_workers=workers,
+        max_queue=max(64, requests),
+        default_timeout=timeout,
+        worker_mode=mode,
     )
-    ops = make_service_workload(mdw, n_ops=args.requests, seed=args.seed)
-    shards = [ops[i :: args.clients] for i in range(args.clients)]
+    ops = make_service_workload(mdw, n_ops=requests, seed=seed)
+    shards = [ops[i::clients] for i in range(clients)]
     errors: List[str] = []
     errors_lock = threading.Lock()
 
@@ -573,12 +625,99 @@ def cmd_workload(args) -> None:
         for thread in threads:
             thread.join()
         elapsed = time.perf_counter() - started
-        print(
-            f"{len(ops)} request(s), {args.clients} client(s), "
-            f"{args.workers} {args.mode} worker(s): "
-            f"{elapsed:.2f}s ({len(ops) / elapsed:.1f} req/s)"
+        report = service.metrics_report()
+    return ops, errors, elapsed, report
+
+
+def _write_chrome_trace(tracer, path: str) -> int:
+    """Export the tracer's spans as Chrome trace JSON; returns the event count."""
+    import json
+
+    data = tracer.to_chrome()
+    Path(path).write_text(json.dumps(data), encoding="utf-8")
+    return len(data["traceEvents"])
+
+
+def cmd_workload(args) -> None:
+    """Drive a deterministic mixed workload with concurrent clients."""
+    from contextlib import ExitStack
+
+    mdw = _open(args)
+    tracer = None
+    with ExitStack() as stack:
+        if args.trace_out is not None:
+            from repro.obs import Tracer, trace_scope
+
+            tracer = Tracer(sample_rate=args.sample)
+            stack.enter_context(trace_scope(tracer))
+        ops, errors, elapsed, report = _drive_workload(
+            mdw,
+            workers=args.workers,
+            clients=args.clients,
+            requests=args.requests,
+            mode=args.mode,
+            timeout=args.timeout,
+            seed=args.seed,
         )
-        print(service.metrics_report())
+    print(
+        f"{len(ops)} request(s), {args.clients} client(s), "
+        f"{args.workers} {args.mode} worker(s): "
+        f"{elapsed:.2f}s ({len(ops) / elapsed:.1f} req/s)"
+    )
+    print(report)
+    if tracer is not None:
+        events = _write_chrome_trace(tracer, args.trace_out)
+        print(f"wrote {events} trace event(s) to {args.trace_out}")
+    if args.metrics_out is not None:
+        import json
+
+        from repro.obs import snapshot_json
+
+        Path(args.metrics_out).write_text(
+            json.dumps(snapshot_json(), indent=2, sort_keys=True), encoding="utf-8"
+        )
+        print(f"wrote metrics snapshot to {args.metrics_out}")
+    if errors:
+        for line in errors[:10]:
+            print(f"  failed {line}", file=sys.stderr)
+        raise CliError(f"{len(errors)} of {len(ops)} request(s) failed")
+
+
+def cmd_trace(args) -> None:
+    """Run a traced ``serve()`` workload and export the Chrome trace.
+
+    The CI observability job drives this command: it produces a Chrome
+    trace JSON (and optionally a Prometheus scrape) from a short mixed
+    workload, then validates that both artifacts parse.
+    """
+    if not 0.0 <= args.sample <= 1.0:
+        raise CliError("--sample must be in [0, 1]")
+    mdw = _open(args)
+    from repro.obs import Tracer, trace_scope
+
+    tracer = Tracer(sample_rate=args.sample)
+    with trace_scope(tracer):
+        ops, errors, elapsed, _ = _drive_workload(
+            mdw,
+            workers=args.workers,
+            clients=args.clients,
+            requests=args.requests,
+            mode=args.mode,
+            timeout=None,
+            seed=args.seed,
+        )
+    events = _write_chrome_trace(tracer, args.out)
+    roots = sum(1 for s in tracer.spans() if s.parent_id is None)
+    print(
+        f"{len(ops)} request(s) in {elapsed:.2f}s: {events} span(s), "
+        f"{roots} root span(s), sample rate {args.sample:g}"
+    )
+    print(f"wrote Chrome trace to {args.out}")
+    if args.prometheus_out is not None:
+        from repro.obs import render_prometheus
+
+        Path(args.prometheus_out).write_text(render_prometheus(), encoding="utf-8")
+        print(f"wrote Prometheus scrape to {args.prometheus_out}")
     if errors:
         for line in errors[:10]:
             print(f"  failed {line}", file=sys.stderr)
@@ -631,6 +770,7 @@ _HANDLERS = {
     "update": cmd_update,
     "serve": cmd_serve,
     "workload": cmd_workload,
+    "trace": cmd_trace,
     "chaos": cmd_chaos,
 }
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Set, Tuple
 
+from repro.obs.profile import current_profile
 from repro.rdf.namespace import RDF, RDFS
 from repro.rdf.terms import IRI, Term
 
@@ -110,9 +111,14 @@ class HierarchyManager:
                 self._cache.clear()
             self._cache_generation = generation
         result = self._cache.get(key)
+        prof = current_profile()
         if result is None:
+            if prof is not None:
+                prof.count("hierarchy_cache_misses")
             result = compute()
             self._cache[key] = result
+        elif prof is not None:
+            prof.count("hierarchy_cache_hits")
         return set(result)
 
     # -- class hierarchy ----------------------------------------------------

@@ -140,10 +140,16 @@ class MetadataWarehouse:
         text: str,
         rulebases: Sequence[str] = (),
         strategy: str = "auto",
+        analyze: bool = False,
     ) -> str:
         """The evaluation plan of a SPARQL query against the current
         model (join order, cardinality estimates, physical strategy),
-        plus the plan-cache state for the query text."""
+        plus the plan-cache state for the query text.
+
+        ``analyze=True`` additionally *runs* the query under a
+        :class:`~repro.obs.profile.QueryProfile` and appends the actual
+        runtime profile (operators run, rows in/out, cache hits) —
+        EXPLAIN ANALYZE for the warehouse."""
         from repro.sparql import explain as sparql_explain
 
         view = self.store.view([self.model_name], rulebases=list(rulebases))
@@ -155,6 +161,12 @@ class MetadataWarehouse:
             f"(hits={stats['plan_hits']} misses={stats['plan_misses']} "
             f"entries={stats['plan_entries']})"
         )
+        if analyze:
+            from repro.obs.profile import profile_scope
+
+            with profile_scope() as prof:
+                self.query(text, rulebases=rulebases, strategy=strategy)
+            rendered += "\n" + prof.render(indent="  ")
         return rendered
 
     def sem_sql(self, sql: str):

@@ -33,6 +33,7 @@ from repro.etl.ontology_io import import_ontology
 from repro.etl.transformer import XmlToRdfTransformer
 from repro.etl.xml_source import MetadataDocument, parse_metadata_xml
 from repro.history.diff import diff_graphs
+from repro.obs.trace import span
 from repro.resilience import faults
 
 
@@ -212,35 +213,41 @@ class EtlOrchestrator:
     ) -> LoadResult:
         """One full load: transform → stage → bulk load → validate →
         refresh indexes."""
-        result = LoadResult()
-        staging = StagingTable(name="release-load")
+        with span("etl.load", "etl", documents=len(xml_documents)) as load_attrs:
+            result = LoadResult()
+            staging = StagingTable(name="release-load")
 
-        # hierarchies first — the ontology file and the facts share the
-        # staging tables, exactly as in Figure 4
-        if ontology_text is not None:
-            faults.fire("staging.stage")
-            import_ontology(ontology_text, staging=staging)
+            with span("etl.stage", "etl"):
+                # hierarchies first — the ontology file and the facts share
+                # the staging tables, exactly as in Figure 4
+                if ontology_text is not None:
+                    faults.fire("staging.stage")
+                    import_ontology(ontology_text, staging=staging)
 
-        for xml_text in xml_documents:
-            faults.fire("staging.stage")
-            document = parse_metadata_xml(xml_text)
-            self._transformer.stage(document, staging)
-            result.documents += 1
+                for xml_text in xml_documents:
+                    faults.fire("staging.stage")
+                    document = parse_metadata_xml(xml_text)
+                    self._transformer.stage(document, staging)
+                    result.documents += 1
 
-        result.staged_rows = len(staging)
-        result.bulk_report = self._loader().load(staging, self._mdw.model_name)
+            result.staged_rows = len(staging)
+            with span("etl.bulkload", "etl", rows=len(staging)):
+                result.bulk_report = self._loader().load(staging, self._mdw.model_name)
 
-        if thesaurus is not None:
-            result.thesaurus_edges = thesaurus.materialize(self._mdw.graph)
+            if thesaurus is not None:
+                result.thesaurus_edges = thesaurus.materialize(self._mdw.graph)
 
-        if self._validate:
-            faults.fire("etl.validate")
-            result.validation = validate_graph(self._mdw.graph, max_issues=25)
+            if self._validate:
+                with span("etl.validate", "etl"):
+                    faults.fire("etl.validate")
+                    result.validation = validate_graph(self._mdw.graph, max_issues=25)
 
-        if rebuild_indexes:
-            # covers session-built AND store-loaded indexes alike
-            result.refreshed_rulebases = sorted(self._mdw.refresh_indexes())
-        return result
+            if rebuild_indexes:
+                with span("etl.index-refresh", "etl"):
+                    # covers session-built AND store-loaded indexes alike
+                    result.refreshed_rulebases = sorted(self._mdw.refresh_indexes())
+            load_attrs["staged_rows"] = result.staged_rows
+            return result
 
     def apply_release(
         self,
@@ -293,66 +300,79 @@ class EtlOrchestrator:
         resolved = mode if mode != "auto" else ("incremental" if live else "full")
         result = ReleaseLoadResult(mode=resolved)
 
-        if desired is None:
-            staging = StagingTable(name=f"release-{version or 'load'}")
-            if ontology_text is not None:
-                faults.fire("staging.stage")
-                import_ontology(ontology_text, staging=staging)
-            for xml_text in xml_documents:
-                faults.fire("staging.stage")
-                document = parse_metadata_xml(xml_text)
-                self._transformer.stage(document, staging)
-                result.documents += 1
-            result.staged_rows = len(staging)
-        else:
-            staging = None
-
-        if resolved == "full":
-            result.removed = len(live)
-            live.clear()
-            if staging is not None:
-                result.bulk_report = self._loader().load(
-                    staging, self._mdw.model_name
-                )
-                if thesaurus is not None:
-                    result.thesaurus_edges = thesaurus.materialize(live)
+        with span("etl.release", "etl", mode=resolved, version=version or "") as rel:
+            if desired is None:
+                staging = StagingTable(name=f"release-{version or 'load'}")
+                with span("etl.stage", "etl"):
+                    if ontology_text is not None:
+                        faults.fire("staging.stage")
+                        import_ontology(ontology_text, staging=staging)
+                    for xml_text in xml_documents:
+                        faults.fire("staging.stage")
+                        document = parse_metadata_xml(xml_text)
+                        self._transformer.stage(document, staging)
+                        result.documents += 1
+                result.staged_rows = len(staging)
             else:
-                live.add_all(desired)
-            result.added = len(live)
-        else:
-            if staging is not None:
-                # materialize the desired state off to the side, sharing
-                # the live dictionary so the diff below runs on interned ids
-                scratch = TripleStore()
-                desired = Graph(dictionary=live.dictionary)
-                scratch.adopt_model(self._mdw.model_name, desired)
-                result.bulk_report = BulkLoader(scratch).load(
-                    staging, self._mdw.model_name
-                )
-                if thesaurus is not None:
-                    result.thesaurus_edges = thesaurus.materialize(desired)
-            delta = diff_graphs(live, desired)
-            faults.fire("release.apply")
-            result.added, result.removed = delta.apply_in_place(live)
+                staging = None
 
-        if self._validate:
-            faults.fire("etl.validate")
-            result.validation = validate_graph(live, max_issues=25)
+            if resolved == "full":
+                result.removed = len(live)
+                live.clear()
+                with span("etl.bulkload", "etl"):
+                    if staging is not None:
+                        result.bulk_report = self._loader().load(
+                            staging, self._mdw.model_name
+                        )
+                        if thesaurus is not None:
+                            result.thesaurus_edges = thesaurus.materialize(live)
+                    else:
+                        live.add_all(desired)
+                result.added = len(live)
+            else:
+                if staging is not None:
+                    # materialize the desired state off to the side, sharing
+                    # the live dictionary so the diff below runs on interned ids
+                    with span("etl.bulkload", "etl", target="scratch"):
+                        scratch = TripleStore()
+                        desired = Graph(dictionary=live.dictionary)
+                        scratch.adopt_model(self._mdw.model_name, desired)
+                        result.bulk_report = BulkLoader(scratch).load(
+                            staging, self._mdw.model_name
+                        )
+                        if thesaurus is not None:
+                            result.thesaurus_edges = thesaurus.materialize(desired)
+                with span("etl.diff", "etl") as diff_attrs:
+                    delta = diff_graphs(live, desired)
+                    diff_attrs["added"] = len(delta.added)
+                    diff_attrs["removed"] = len(delta.removed)
+                with span("etl.apply", "etl"):
+                    faults.fire("release.apply")
+                    result.added, result.removed = delta.apply_in_place(live)
 
-        pairs = set(self._mdw.indexes.built_indexes())
-        pairs.update(self._mdw.store.index_names(self._mdw.model_name))
-        if resolved == "full":
-            for model, rulebase in sorted(pairs):
-                if model == self._mdw.model_name:
-                    self._mdw.indexes.build(model, rulebase)
-                    result.refreshed_rulebases.append(rulebase)
-        else:
-            result.refreshed_rulebases = sorted(self._mdw.refresh_indexes())
+            if self._validate:
+                with span("etl.validate", "etl"):
+                    faults.fire("etl.validate")
+                    result.validation = validate_graph(live, max_issues=25)
 
-        if historizer is not None and version is not None:
-            historizer.snapshot(version)
-            result.version = version
-        result.seconds = time.perf_counter() - started
+            with span("etl.index-refresh", "etl", mode=resolved):
+                pairs = set(self._mdw.indexes.built_indexes())
+                pairs.update(self._mdw.store.index_names(self._mdw.model_name))
+                if resolved == "full":
+                    for model, rulebase in sorted(pairs):
+                        if model == self._mdw.model_name:
+                            self._mdw.indexes.build(model, rulebase)
+                            result.refreshed_rulebases.append(rulebase)
+                else:
+                    result.refreshed_rulebases = sorted(self._mdw.refresh_indexes())
+
+            if historizer is not None and version is not None:
+                with span("etl.historize", "etl", version=version):
+                    historizer.snapshot(version)
+                result.version = version
+            result.seconds = time.perf_counter() - started
+            rel["added"] = result.added
+            rel["removed"] = result.removed
         return result
 
     def load_documents(self, documents: Iterable[MetadataDocument]) -> LoadResult:

@@ -1,0 +1,210 @@
+"""Metric exposition: Prometheus text format and JSON snapshots.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.registry.MetricsRegistry`
+into the Prometheus text exposition format (version 0.0.4) — the scrape
+document an operator's monitoring stack ingests. Histograms render as
+cumulative ``_bucket`` series with ``le`` labels plus ``_sum`` and
+``_count``, exactly as a native Prometheus client would.
+
+:func:`parse_exposition` is the matching validator: a small, strict
+parser of the same format used by the test suite and the CI
+observability job to prove a scrape is well-formed (line grammar, TYPE
+declarations, cumulative bucket monotonicity, ``+Inf`` terminal
+bucket). It is intentionally not a full client — it validates and
+extracts, nothing more.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(names: Tuple[str, ...], values: Tuple[str, ...], extra: str = "") -> str:
+    parts = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry's scrape document in Prometheus text format."""
+    registry = registry if registry is not None else get_registry()
+    lines: List[str] = []
+    for family in registry.collect():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for values, child in family.samples():
+            if family.kind == "histogram":
+                state = child.state()
+                cumulative = 0
+                for bound, count in zip(state["bounds"], state["counts"]):
+                    cumulative += count
+                    labels = _labels_text(
+                        family.label_names, values, f'le="{_format_value(float(bound))}"'
+                    )
+                    lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                cumulative += state["counts"][-1]
+                labels = _labels_text(family.label_names, values, 'le="+Inf"')
+                lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                plain = _labels_text(family.label_names, values)
+                lines.append(f"{family.name}_sum{plain} {_format_value(state['sum'])}")
+                lines.append(f"{family.name}_count{plain} {state['count']}")
+            else:
+                labels = _labels_text(family.label_names, values)
+                lines.append(f"{family.name}{labels} {_format_value(child.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_json(registry: Optional[MetricsRegistry] = None) -> Dict[str, object]:
+    """The registry's structured JSON snapshot (alias for convenience)."""
+    registry = registry if registry is not None else get_registry()
+    return registry.snapshot()
+
+
+class ExpositionError(ValueError):
+    """The scrape document violates the exposition format."""
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ExpositionError(f"unparsable sample value {text!r}") from None
+
+
+def _unescape_label(value: str) -> str:
+    return value.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse + validate a Prometheus text-format document.
+
+    Returns ``{metric name: {"type": ..., "samples": [(labels, value), ...]}}``
+    where histogram series are grouped under their family name. Raises
+    :class:`ExpositionError` on any format violation:
+
+    * a sample line that does not match the line grammar;
+    * a sample without a preceding ``# TYPE`` declaration;
+    * an unknown TYPE;
+    * histogram bucket series that are not cumulative, or that lack the
+      terminal ``+Inf`` bucket or the ``_sum`` / ``_count`` series.
+    """
+    types: Dict[str, str] = {}
+    metrics: Dict[str, Dict[str, object]] = {}
+
+    def family_of(sample_name: str) -> Optional[str]:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if types.get(base) == "histogram":
+                    return base
+        return sample_name if sample_name in types else None
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                raise ExpositionError(f"line {lineno}: malformed TYPE declaration")
+            _, _, name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ExpositionError(f"line {lineno}: unknown metric type {kind!r}")
+            types[name] = kind
+            metrics.setdefault(name, {"type": kind, "samples": []})
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ExpositionError(f"line {lineno}: unparsable sample {line!r}")
+        sample_name = match.group("name")
+        base = family_of(sample_name)
+        if base is None:
+            raise ExpositionError(
+                f"line {lineno}: sample {sample_name!r} has no TYPE declaration"
+            )
+        labels: Dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            consumed = 0
+            for m in _LABEL_RE.finditer(raw):
+                labels[m.group(1)] = _unescape_label(m.group(2))
+                consumed = m.end()
+            rest = raw[consumed:].strip().strip(",")
+            if rest:
+                raise ExpositionError(f"line {lineno}: malformed labels {raw!r}")
+        value = _parse_value(match.group("value"))
+        metrics[base]["samples"].append((sample_name, labels, value))
+
+    _validate_histograms(metrics)
+    return metrics
+
+
+def _validate_histograms(metrics: Dict[str, Dict[str, object]]) -> None:
+    for name, family in metrics.items():
+        if family["type"] != "histogram":
+            continue
+        series: Dict[Tuple, List[Tuple[float, float]]] = {}
+        sums: Dict[Tuple, float] = {}
+        counts: Dict[Tuple, float] = {}
+        for sample_name, labels, value in family["samples"]:
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            if sample_name == f"{name}_bucket":
+                if "le" not in labels:
+                    raise ExpositionError(f"{name}: bucket sample without le label")
+                series.setdefault(key, []).append((_parse_value(labels["le"]), value))
+            elif sample_name == f"{name}_sum":
+                sums[key] = value
+            elif sample_name == f"{name}_count":
+                counts[key] = value
+        for key, buckets in series.items():
+            buckets.sort(key=lambda pair: pair[0])
+            if not buckets or not math.isinf(buckets[-1][0]):
+                raise ExpositionError(f"{name}: histogram lacks a +Inf bucket")
+            previous = -math.inf
+            for _, cumulative in buckets:
+                if cumulative < previous:
+                    raise ExpositionError(f"{name}: bucket counts are not cumulative")
+                previous = cumulative
+            if key not in counts or key not in sums:
+                raise ExpositionError(f"{name}: histogram lacks _sum/_count series")
+            if counts[key] != buckets[-1][1]:
+                raise ExpositionError(f"{name}: _count disagrees with the +Inf bucket")

@@ -1,0 +1,208 @@
+"""Per-query execution statistics.
+
+A :class:`QueryProfile` rides along with one query's evaluation in a
+context variable and collects what the static plan cannot show: rows in
+and out of every join/path operator, which join strategy actually ran,
+how often the dictionary/plan/regex/hierarchy caches hit, and how many
+cancellation checks the evaluator performed. The serving tier attaches
+the profile to ``explain``-style output (``EXPLAIN ANALYZE``) and to
+slow-query log entries, so an offending Listing-1/Listing-2 query
+captures its actual runtime behaviour at the moment it was slow.
+
+The instrumentation contract that keeps this cheap: hooks fire at
+**stage granularity** (once per BGP, once per join stage, once per
+cache probe), never per row — row counts come from ``len()`` on
+materialized id-row lists or from one :func:`count_rows` wrapper around
+a lazily-consumed stream. With no profile installed every hook is one
+contextvar read returning None.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterable, Iterator, List, Optional
+
+_CURRENT: ContextVar[Optional["QueryProfile"]] = ContextVar(
+    "repro_obs_profile", default=None
+)
+
+
+class OperatorStats:
+    """One executed operator: a join stage, a path step, a filter."""
+
+    __slots__ = ("op", "detail", "rows_in", "rows_out", "seconds")
+
+    def __init__(self, op: str, detail: str = "", rows_in: int = 0,
+                 rows_out: int = 0, seconds: float = 0.0):
+        self.op = op
+        self.detail = detail
+        self.rows_in = rows_in
+        self.rows_out = rows_out
+        self.seconds = seconds
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "op": self.op,
+            "detail": self.detail,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "seconds": self.seconds,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<OperatorStats {self.op} {self.detail!r} "
+            f"{self.rows_in}->{self.rows_out} rows {self.seconds * 1e3:.2f}ms>"
+        )
+
+
+class QueryProfile:
+    """Counters for one query evaluation (picklable snapshot via
+    :meth:`snapshot`; fork workers ship the snapshot dict back)."""
+
+    __slots__ = (
+        "_lock", "operators", "bgps", "rows_out",
+        "parse_cache_hits", "parse_cache_misses",
+        "plan_cache_hits", "plan_cache_misses",
+        "regex_cache_hits", "regex_cache_misses",
+        "hierarchy_cache_hits", "hierarchy_cache_misses",
+        "dict_lookups", "cancel_checks",
+    )
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.operators: List[OperatorStats] = []
+        self.bgps = 0
+        self.rows_out = 0
+        self.parse_cache_hits = 0
+        self.parse_cache_misses = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.regex_cache_hits = 0
+        self.regex_cache_misses = 0
+        self.hierarchy_cache_hits = 0
+        self.hierarchy_cache_misses = 0
+        self.dict_lookups = 0
+        self.cancel_checks = 0
+
+    # -- recording hooks (all rare-path; see module docstring) -------------
+
+    def operator(self, op: str, detail: str = "", rows_in: int = 0,
+                 rows_out: int = 0, seconds: float = 0.0) -> OperatorStats:
+        stats = OperatorStats(op, detail, rows_in, rows_out, seconds)
+        with self._lock:
+            self.operators.append(stats)
+        return stats
+
+    def count(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    # -- views -------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "bgps": self.bgps,
+                "rows_out": self.rows_out,
+                "operators": [op.snapshot() for op in self.operators],
+                "caches": {
+                    "parse": {"hits": self.parse_cache_hits,
+                              "misses": self.parse_cache_misses},
+                    "plan": {"hits": self.plan_cache_hits,
+                             "misses": self.plan_cache_misses},
+                    "regex": {"hits": self.regex_cache_hits,
+                              "misses": self.regex_cache_misses},
+                    "hierarchy": {"hits": self.hierarchy_cache_hits,
+                                  "misses": self.hierarchy_cache_misses},
+                },
+                "dict_lookups": self.dict_lookups,
+                "cancel_checks": self.cancel_checks,
+            }
+
+    def merge_snapshot(self, data: Dict[str, object]) -> None:
+        """Fold a snapshot dict (e.g. shipped back from a fork worker)
+        into this profile."""
+        with self._lock:
+            self.bgps += data.get("bgps", 0)
+            self.rows_out += data.get("rows_out", 0)
+            for op in data.get("operators", ()):
+                self.operators.append(OperatorStats(
+                    op.get("op", "?"), op.get("detail", ""),
+                    op.get("rows_in", 0), op.get("rows_out", 0),
+                    op.get("seconds", 0.0),
+                ))
+            caches = data.get("caches", {})
+            for cache, attr in (("parse", "parse_cache"), ("plan", "plan_cache"),
+                                ("regex", "regex_cache"), ("hierarchy", "hierarchy_cache")):
+                entry = caches.get(cache, {})
+                setattr(self, f"{attr}_hits",
+                        getattr(self, f"{attr}_hits") + entry.get("hits", 0))
+                setattr(self, f"{attr}_misses",
+                        getattr(self, f"{attr}_misses") + entry.get("misses", 0))
+            self.dict_lookups += data.get("dict_lookups", 0)
+            self.cancel_checks += data.get("cancel_checks", 0)
+
+    def render(self, indent: str = "  ") -> str:
+        """Human-readable block appended to EXPLAIN ANALYZE output and
+        slow-query reports."""
+        snap = self.snapshot()
+        lines = [f"runtime profile ({snap['bgps']} BGP(s), {snap['rows_out']} row(s) out):"]
+        for op in snap["operators"]:
+            detail = f" {op['detail']}" if op["detail"] else ""
+            lines.append(
+                f"{indent}{op['op']}{detail}: "
+                f"{op['rows_in']} -> {op['rows_out']} rows "
+                f"in {op['seconds'] * 1e3:.2f} ms"
+            )
+        caches = snap["caches"]
+        cache_bits = ", ".join(
+            f"{name} {entry['hits']}/{entry['hits'] + entry['misses']}"
+            for name, entry in caches.items()
+            if entry["hits"] or entry["misses"]
+        )
+        if cache_bits:
+            lines.append(f"{indent}cache hits: {cache_bits}")
+        lines.append(
+            f"{indent}dictionary lookups: {snap['dict_lookups']}, "
+            f"cancel checks: {snap['cancel_checks']}"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryProfile bgps={self.bgps} operators={len(self.operators)} "
+            f"rows_out={self.rows_out}>"
+        )
+
+
+def current_profile() -> Optional[QueryProfile]:
+    """The profile riding with this evaluation, or None (the fast path:
+    one contextvar read)."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def profile_scope(profile: Optional[QueryProfile] = None) -> Iterator[QueryProfile]:
+    """Install a profile for the duration of the block; yields it."""
+    profile = profile if profile is not None else QueryProfile()
+    token = _CURRENT.set(profile)
+    try:
+        yield profile
+    finally:
+        _CURRENT.reset(token)
+
+
+def count_rows(rows: Iterable, stats: OperatorStats) -> Iterator:
+    """Wrap a lazily-consumed row stream, recording how many rows pass
+    through in ``stats.rows_out`` — including on early exit (LIMIT,
+    cancellation), thanks to the finally clause."""
+    n = 0
+    try:
+        for row in rows:
+            n += 1
+            yield row
+    finally:
+        stats.rows_out = n

@@ -1,0 +1,360 @@
+"""Contextvar-based tracing with Chrome-trace export.
+
+A :class:`Tracer` records **nested spans**: a served request opens a
+``request`` span, evaluation opens a ``plan`` span under it, every join
+stage an ``operator`` span under that; ETL releases nest staging, diff,
+DRed maintenance, and publish the same way. Span parentage travels in a
+:mod:`contextvars` context variable, so nesting is correct across the
+worker pool's threads, and — via :func:`capture`/:func:`adopt` —
+survives a hop through the fork-mode process pool.
+
+Design constraints, in order:
+
+1. **Near-zero overhead when disabled.** The module-level :func:`span`
+   helper is the only call production code makes; with no tracer
+   installed it is one global load, one ``is None`` check, and the
+   return of a shared no-op context manager. No allocation, no clock
+   read, no contextvar access.
+2. **Cheap when sampling says no.** The sampling decision is made once
+   at the *root* span; descendants of an unsampled root see a sentinel
+   in the context variable and take the same no-op path.
+3. **Exportable.** :meth:`Tracer.to_chrome` emits the Chrome trace
+   event format (``chrome://tracing`` / Perfetto JSON): complete
+   events (``ph: "X"``) with microsecond timestamps, one row per
+   thread, span attributes under ``args``.
+
+Timestamps come from ``time.monotonic()``, which on Linux is
+system-wide — spans adopted from a fork child line up with the
+parent's on the same timeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterable, List, Optional
+
+_CLOCK = time.monotonic
+
+
+class Span:
+    """One completed (or in-flight) span. Picklable, so fork-mode
+    workers can ship their spans back to the serving process."""
+
+    __slots__ = (
+        "span_id", "parent_id", "name", "category",
+        "start", "end", "pid", "tid", "attrs",
+    )
+
+    def __init__(
+        self,
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        category: str,
+        start: float,
+        pid: int,
+        tid: int,
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end: Optional[float] = None
+        self.pid = pid
+        self.tid = tid
+        self.attrs: Dict[str, object] = {}
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span {self.name!r} id={self.span_id} parent={self.parent_id} "
+            f"dur={self.duration * 1e3:.2f}ms>"
+        )
+
+
+class TraceContext:
+    """The propagatable identity of an active span (what :func:`capture`
+    hands to another thread or process so child spans nest correctly)."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __getstate__(self):
+        return (self.trace_id, self.span_id)
+
+    def __setstate__(self, state):
+        self.trace_id, self.span_id = state
+
+    def __repr__(self) -> str:
+        return f"<TraceContext trace={self.trace_id} span={self.span_id}>"
+
+
+class _Suppressed:
+    """Sentinel marking 'inside an unsampled trace' in the context var."""
+
+    __repr__ = lambda self: "<suppressed>"  # noqa: E731
+
+
+_SUPPRESSED = _Suppressed()
+
+#: The active span's context (TraceContext), _SUPPRESSED inside an
+#: unsampled trace, or None outside any trace.
+_CURRENT: ContextVar[object] = ContextVar("repro_obs_trace", default=None)
+
+
+class Tracer:
+    """Collects spans for one tracing session.
+
+    ``sample_rate`` is the probability a *root* span (one opened with no
+    active parent) starts a recorded trace; descendants inherit the
+    decision. ``capacity`` bounds memory: once full, new spans are
+    dropped (counted in ``dropped``) rather than evicting old ones — a
+    trace's beginning explains its end.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 1.0,
+        capacity: int = 100_000,
+        seed: Optional[int] = None,
+    ):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        self.sample_rate = sample_rate
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._ids = itertools.count(1)
+        self.dropped = 0
+
+    def _next_id(self) -> str:
+        # pid-qualified so ids from fork children never collide with ours
+        return f"{os.getpid():x}-{next(self._ids):x}"
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) >= self.capacity:
+                self.dropped += 1
+                return
+            self._spans.append(span)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        category: str = "",
+        parent: Optional[TraceContext] = None,
+        **attrs: object,
+    ):
+        """Open a nested span; yields the span's mutable ``attrs`` dict
+        so callers can attach results decided during the block (rows
+        produced, join strategy chosen, cache verdicts)."""
+        if parent is not None:
+            current: object = parent
+        else:
+            current = _CURRENT.get()
+        if current is None:
+            # root span: the sampling decision for the whole trace
+            if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+                token = _CURRENT.set(_SUPPRESSED)
+                try:
+                    yield _DISCARD
+                finally:
+                    _CURRENT.reset(token)
+                return
+            trace_id = self._next_id()
+            parent_id = None
+        elif current is _SUPPRESSED:
+            yield _DISCARD
+            return
+        else:
+            trace_id = current.trace_id  # type: ignore[union-attr]
+            parent_id = current.span_id  # type: ignore[union-attr]
+        span = Span(
+            span_id=self._next_id(),
+            parent_id=parent_id,
+            name=name,
+            category=category,
+            start=_CLOCK(),
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+        )
+        if attrs:
+            span.attrs.update(attrs)
+        token = _CURRENT.set(TraceContext(trace_id, span.span_id))
+        try:
+            yield span.attrs
+        finally:
+            _CURRENT.reset(token)
+            span.end = _CLOCK()
+            self._record(span)
+
+    # -- collection --------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self) -> List[Span]:
+        """Remove and return every collected span (fork children ship
+        their drained spans back in the worker response)."""
+        with self._lock:
+            spans, self._spans = self._spans, []
+            return spans
+
+    def adopt(self, spans: Iterable[Span]) -> None:
+        """Merge spans recorded elsewhere (another process) into this
+        tracer; parentage is preserved because ids are pid-qualified."""
+        for span in spans:
+            self._record(span)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+    # -- export ------------------------------------------------------------
+
+    def to_chrome(self) -> Dict[str, object]:
+        """The collected spans as Chrome trace-event JSON
+        (load in ``chrome://tracing`` or https://ui.perfetto.dev)."""
+        events: List[Dict[str, object]] = []
+        for span in self.spans():
+            if span.end is None:
+                continue
+            args: Dict[str, object] = {"span_id": span.span_id}
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            for key, value in span.attrs.items():
+                args[key] = value if isinstance(value, (int, float, bool)) else str(value)
+            events.append({
+                "name": span.name,
+                "cat": span.category or "default",
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": args,
+            })
+        events.sort(key=lambda e: e["ts"])
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"<Tracer sample_rate={self.sample_rate} "
+                f"spans={len(self._spans)} dropped={self.dropped}>"
+            )
+
+
+class _NoopSpan:
+    """The shared disabled-path context manager: no state, no clock."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return _DISCARD
+
+    def __exit__(self, *exc):
+        return False
+
+
+class _DiscardAttrs(dict):
+    """The attrs dict handed out by no-op spans; accepts writes, keeps
+    nothing (shared instance, so it must never accumulate state)."""
+
+    def __setitem__(self, key, value):
+        pass
+
+    def update(self, *args, **kwargs):
+        pass
+
+
+_NOOP = _NoopSpan()
+_DISCARD = _DiscardAttrs()
+
+
+# -- the ambient tracer -------------------------------------------------------
+#
+# Production code calls the module-level helpers; with no tracer
+# installed, ``span()`` is a global load, a None check, and the shared
+# no-op context manager. Installation is process-global on purpose: one
+# trace session must see every worker thread's spans.
+
+_active: Optional[Tracer] = None
+
+
+def active_tracer() -> Optional[Tracer]:
+    return _active
+
+
+def tracing() -> bool:
+    """True when a tracer is installed (not necessarily sampling)."""
+    return _active is not None
+
+
+def install_tracer(tracer: Tracer) -> None:
+    global _active
+    _active = tracer
+
+
+def uninstall_tracer() -> None:
+    global _active
+    _active = None
+
+
+def span(name: str, category: str = "", parent: Optional[TraceContext] = None, **attrs):
+    """Open a span on the ambient tracer (shared no-op when none)."""
+    tracer = _active
+    if tracer is None:
+        return _NOOP
+    return tracer.span(name, category, parent=parent, **attrs)
+
+
+def capture() -> Optional[TraceContext]:
+    """The active span's context, for handing to another thread or
+    process; None when not tracing or inside an unsampled trace."""
+    if _active is None:
+        return None
+    current = _CURRENT.get()
+    if current is None or current is _SUPPRESSED:
+        return None
+    return current  # type: ignore[return-value]
+
+
+@contextmanager
+def trace_scope(tracer: Optional[Tracer] = None):
+    """Install a tracer for the duration of the block (test helper);
+    yields the tracer."""
+    global _active
+    tracer = tracer if tracer is not None else Tracer()
+    previous = _active
+    _active = tracer
+    try:
+        yield tracer
+    finally:
+        _active = previous

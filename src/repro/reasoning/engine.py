@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
 
+from repro.obs.trace import span
 from repro.rdf.graph import Graph, GraphView
 from repro.rdf.terms import Literal, Triple, Variable
 from repro.reasoning.rulebase import Rulebase
@@ -90,22 +91,27 @@ def closure(
 
     delta: Graph = base
     first_round = True
-    while True:
-        if max_rounds is not None and report.rounds >= max_rounds:
-            break
-        new = Graph()
-        for r in rulebase:
-            fired = _fire_rule(r, delta, full, base, derived, new, first_round)
-            if fired:
-                report.per_rule[r.name] = report.per_rule.get(r.name, 0) + fired
-        report.rounds += 1
-        first_round = False
-        if not new:
-            break
-        derived.add_all(new)
-        delta = new
+    with span(
+        "reasoning.closure", "reasoning", rulebase=rulebase.name, base=len(base)
+    ) as attrs:
+        while True:
+            if max_rounds is not None and report.rounds >= max_rounds:
+                break
+            new = Graph()
+            for r in rulebase:
+                fired = _fire_rule(r, delta, full, base, derived, new, first_round)
+                if fired:
+                    report.per_rule[r.name] = report.per_rule.get(r.name, 0) + fired
+            report.rounds += 1
+            first_round = False
+            if not new:
+                break
+            derived.add_all(new)
+            delta = new
 
-    report.derived_triples = len(derived)
+        report.derived_triples = len(derived)
+        attrs["rounds"] = report.rounds
+        attrs["derived"] = report.derived_triples
     report.seconds = time.perf_counter() - started
     return derived, report
 
@@ -147,82 +153,94 @@ def maintain_closure(
     dictionary = base.dictionary
     added_g = Graph(added, dictionary=dictionary)
     removed_g = Graph(removed, dictionary=dictionary)
-
-    # An added base triple that was previously *derived* is now asserted;
-    # the index stays derived-only, so it leaves the index (exactly what
-    # a rebuild would do — closure() never emits triples in the base).
-    for t in [t for t in added_g if t in derived]:
-        derived.discard(t)
-
-    # -- phase 1: overdeletion ------------------------------------------------
-    # Propagate retractions semi-naively. Premises are matched against a
-    # superset of the *old* database (new base + old derived + removed);
-    # matching a superset can only overdelete more, and rederivation puts
-    # back anything still supported, so correctness is preserved.
-    overdeleted = Graph(dictionary=dictionary)
-    if removed_g:
-        old_full = GraphView([base, derived, removed_g])
-        delta = removed_g
-        while delta:
-            doomed = Graph(dictionary=dictionary)
-            for r in rulebase:
-                for delta_position in range(len(r.premises)):
-                    assignments = [
-                        (premise, delta if i == delta_position else old_full)
-                        for i, premise in enumerate(r.premises)
-                    ]
-                    assignments.sort(key=lambda pg: pg[1] is not delta)
-                    for binding in _match_all(assignments, {}):
-                        try:
-                            conclusion = r.instantiate(binding)
-                        except TypeError:
-                            continue
-                        if (
-                            conclusion in derived
-                            and conclusion not in overdeleted
-                            and conclusion not in doomed
-                        ):
-                            doomed.add(conclusion)
-            report.rounds += 1
-            overdeleted.add_all(doomed)
-            delta = doomed
-        for t in overdeleted:
+    with span(
+        "dred.maintain",
+        "reasoning",
+        rulebase=rulebase.name,
+        added=len(added_g),
+        removed=len(removed_g),
+    ) as attrs:
+        # An added base triple that was previously *derived* is now asserted;
+        # the index stays derived-only, so it leaves the index (exactly what
+        # a rebuild would do — closure() never emits triples in the base).
+        for t in [t for t in added_g if t in derived]:
             derived.discard(t)
-        report.overdeleted = len(overdeleted)
 
-    # -- phase 2: rederivation ------------------------------------------------
-    # Overdeleted triples with a surviving one-step derivation come back;
-    # so do retracted base triples that are still entailed (a rebuild
-    # would include them in the derived-only closure now that they are
-    # no longer asserted). Anything they support is recovered in phase 3.
-    rederived = Graph(dictionary=dictionary)
-    if overdeleted or removed_g:
-        current = GraphView([base, derived])
-        for candidate in list(overdeleted) + list(removed_g):
-            if candidate in base or candidate in derived:
-                continue
-            if not _storable(candidate):
-                continue
-            if _derivable(candidate, current, rulebase):
-                derived.add(candidate)
-                rederived.add(candidate)
-        report.rederived = len(rederived)
+        # -- phase 1: overdeletion --------------------------------------------
+        # Propagate retractions semi-naively. Premises are matched against a
+        # superset of the *old* database (new base + old derived + removed);
+        # matching a superset can only overdelete more, and rederivation puts
+        # back anything still supported, so correctness is preserved.
+        overdeleted = Graph(dictionary=dictionary)
+        if removed_g:
+            with span("dred.overdelete", "reasoning"):
+                old_full = GraphView([base, derived, removed_g])
+                delta = removed_g
+                while delta:
+                    doomed = Graph(dictionary=dictionary)
+                    for r in rulebase:
+                        for delta_position in range(len(r.premises)):
+                            assignments = [
+                                (premise, delta if i == delta_position else old_full)
+                                for i, premise in enumerate(r.premises)
+                            ]
+                            assignments.sort(key=lambda pg: pg[1] is not delta)
+                            for binding in _match_all(assignments, {}):
+                                try:
+                                    conclusion = r.instantiate(binding)
+                                except TypeError:
+                                    continue
+                                if (
+                                    conclusion in derived
+                                    and conclusion not in overdeleted
+                                    and conclusion not in doomed
+                                ):
+                                    doomed.add(conclusion)
+                    report.rounds += 1
+                    overdeleted.add_all(doomed)
+                    delta = doomed
+                for t in overdeleted:
+                    derived.discard(t)
+                report.overdeleted = len(overdeleted)
 
-    # -- phase 3: semi-naive insertion ---------------------------------------
-    full = GraphView([base, derived])
-    delta = Graph(dictionary=dictionary)
-    delta.add_all(t for t in added_g if t in base)
-    delta.add_all(rederived)
-    while delta:
-        new = Graph(dictionary=dictionary)
-        for r in rulebase:
-            fired = _fire_rule(r, delta, full, base, derived, new, False)
-            if fired:
-                report.per_rule[r.name] = report.per_rule.get(r.name, 0) + fired
-        report.rounds += 1
-        derived.add_all(new)
-        delta = new
-    report.derived_triples = len(derived)
+        # -- phase 2: rederivation --------------------------------------------
+        # Overdeleted triples with a surviving one-step derivation come back;
+        # so do retracted base triples that are still entailed (a rebuild
+        # would include them in the derived-only closure now that they are
+        # no longer asserted). Anything they support is recovered in phase 3.
+        rederived = Graph(dictionary=dictionary)
+        if overdeleted or removed_g:
+            with span("dred.rederive", "reasoning"):
+                current = GraphView([base, derived])
+                for candidate in list(overdeleted) + list(removed_g):
+                    if candidate in base or candidate in derived:
+                        continue
+                    if not _storable(candidate):
+                        continue
+                    if _derivable(candidate, current, rulebase):
+                        derived.add(candidate)
+                        rederived.add(candidate)
+                report.rederived = len(rederived)
+
+        # -- phase 3: semi-naive insertion ------------------------------------
+        with span("dred.insert", "reasoning"):
+            full = GraphView([base, derived])
+            delta = Graph(dictionary=dictionary)
+            delta.add_all(t for t in added_g if t in base)
+            delta.add_all(rederived)
+            while delta:
+                new = Graph(dictionary=dictionary)
+                for r in rulebase:
+                    fired = _fire_rule(r, delta, full, base, derived, new, False)
+                    if fired:
+                        report.per_rule[r.name] = report.per_rule.get(r.name, 0) + fired
+                report.rounds += 1
+                derived.add_all(new)
+                delta = new
+        report.derived_triples = len(derived)
+        attrs["overdeleted"] = report.overdeleted
+        attrs["rederived"] = report.rederived
+        attrs["derived"] = report.derived_triples
     report.seconds = time.perf_counter() - started
     return report
 

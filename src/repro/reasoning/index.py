@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.trace import span
 from repro.rdf.graph import Graph
 from repro.rdf.store import TripleStore
 from repro.rdf.terms import Triple
@@ -111,10 +112,11 @@ def build_entailment_index(
     ``rulebase`` is resolved through the rulebase registry. Returns the
     inference report; the derived triples are attached to the store.
     """
-    faults.fire("index.refresh")
-    rb = get_rulebase(rulebase)
-    derived, report = closure(store.model(model), rb, max_rounds=max_rounds)
-    store.attach_index(model, rb.name, derived)
+    with span("index.build", "reasoning", model=model, rulebase=rulebase):
+        faults.fire("index.refresh")
+        rb = get_rulebase(rulebase)
+        derived, report = closure(store.model(model), rb, max_rounds=max_rounds)
+        store.attach_index(model, rb.name, derived)
     return report
 
 
@@ -176,15 +178,16 @@ class EntailmentIndexManager:
             return self.build(model, rulebase)
         added, removed = tracker.peek()
         base = self._store.model(model)
-        faults.fire("index.refresh")
-        try:
-            report = maintain_closure(base, derived, added, removed, rb)
-        except BaseException:
-            # a fault (or bug) mid-maintenance leaves the index torn:
-            # poison the tracker so the next refresh rebuilds from scratch
-            tracker._overflown = True
-            tracker._net.clear()
-            raise
+        with span("index.refresh", "reasoning", model=model, rulebase=rulebase):
+            faults.fire("index.refresh")
+            try:
+                report = maintain_closure(base, derived, added, removed, rb)
+            except BaseException:
+                # a fault (or bug) mid-maintenance leaves the index torn:
+                # poison the tracker so the next refresh rebuilds from scratch
+                tracker._overflown = True
+                tracker._net.clear()
+                raise
         tracker.mark()
         # re-attach to refresh the store's disjointness stamp (the index
         # object is unchanged; only its base-generation bookkeeping moves)

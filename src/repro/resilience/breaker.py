@@ -19,9 +19,25 @@ import threading
 import time
 from typing import Callable, Dict
 
+from repro.obs.registry import get_registry
+
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
+
+
+def _note_transition(name: str, to: str) -> None:
+    """Record a state transition in the process-global registry.
+
+    Transitions are rare by construction (trips need ``threshold``
+    consecutive failures; recoveries need a cooldown), so this never
+    shows up on the request hot path. Called outside the breaker lock.
+    """
+    get_registry().counter(
+        "mdw_breaker_transitions_total",
+        "Circuit-breaker state transitions, by breaker and target state",
+        labels=("name", "to"),
+    ).inc(name=name, to=to)
 
 
 class CircuitBreaker:
@@ -69,21 +85,27 @@ class CircuitBreaker:
         reserves a probe slot; while half-open, at most
         ``half_open_probes`` calls are admitted concurrently.
         """
-        with self._lock:
-            if self._state == CLOSED:
-                return True
-            if self._state == OPEN:
-                if self._clock() - self._opened_at < self.cooldown:
+        probing = False
+        try:
+            with self._lock:
+                if self._state == CLOSED:
+                    return True
+                if self._state == OPEN:
+                    if self._clock() - self._opened_at < self.cooldown:
+                        self._shed += 1
+                        return False
+                    self._state = HALF_OPEN
+                    self._probes_in_flight = 0
+                    probing = True
+                # half-open: ration the probes
+                if self._probes_in_flight >= self.half_open_probes:
                     self._shed += 1
                     return False
-                self._state = HALF_OPEN
-                self._probes_in_flight = 0
-            # half-open: ration the probes
-            if self._probes_in_flight >= self.half_open_probes:
-                self._shed += 1
-                return False
-            self._probes_in_flight += 1
-            return True
+                self._probes_in_flight += 1
+                return True
+        finally:
+            if probing:
+                _note_transition(self.name, HALF_OPEN)
 
     def retry_after(self) -> float:
         """Seconds until the next half-open probe window (0 when closed)."""
@@ -95,21 +117,33 @@ class CircuitBreaker:
     # -- outcomes ----------------------------------------------------------
 
     def on_success(self) -> None:
+        closed = False
         with self._lock:
             if self._state == HALF_OPEN:
                 self._state = CLOSED
                 self._probes_in_flight = 0
+                closed = True
             self._consecutive_failures = 0
+        if closed:
+            _note_transition(self.name, CLOSED)
 
     def on_failure(self) -> None:
+        tripped = False
         with self._lock:
             if self._state == HALF_OPEN:
                 # the probe failed: straight back to open, cooldown restarts
                 self._trip()
-                return
-            self._consecutive_failures += 1
-            if self._state == CLOSED and self._consecutive_failures >= self.threshold:
-                self._trip()
+                tripped = True
+            else:
+                self._consecutive_failures += 1
+                if (
+                    self._state == CLOSED
+                    and self._consecutive_failures >= self.threshold
+                ):
+                    self._trip()
+                    tripped = True
+        if tripped:
+            _note_transition(self.name, OPEN)
 
     def release(self) -> None:
         """Give back an ``allow()`` admission without recording an outcome.

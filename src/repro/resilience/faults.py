@@ -22,6 +22,8 @@ import time
 from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.registry import get_registry
+
 #: The fault-point catalog: every named site the injector can hit.
 #: (Also rendered in docs/resilience.md — keep the two in sync.)
 FAULT_POINTS: Dict[str, str] = {
@@ -39,6 +41,20 @@ FAULT_POINTS: Dict[str, str] = {
     "index.staleness": "override the entailment-index staleness verdict",
     "etl.validate": "before post-load graph validation",
 }
+
+
+def _fired_counter():
+    """The process-global fault-activation counter family.
+
+    Resolved through :func:`get_registry` on every (rare) activation so
+    a fork-reinitialised or test-swapped registry is always the one
+    being incremented.
+    """
+    return get_registry().counter(
+        "mdw_fault_injections_total",
+        "Fault-injection plans fired, by site and mode",
+        labels=("site", "mode"),
+    )
 
 
 class InjectedFault(RuntimeError):
@@ -179,6 +195,9 @@ class FaultInjector:
             self.history.append((site, plan.mode))
             mode, delay = plan.mode, plan.delay
             corrupt, error = plan.value, plan.error
+        # only reached when a plan actually fired — rare by construction,
+        # so a registry bump here never touches the unfaulted hot path
+        _fired_counter().inc(site=site, mode=mode)
         if mode == "raise":
             raise error() if error is not None else InjectedFault(site)
         if mode == "delay":

@@ -15,6 +15,24 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Type
 
+from repro.obs.registry import get_registry
+
+
+def _retries_counter():
+    return get_registry().counter(
+        "mdw_retry_retries_total",
+        "Retries scheduled by RetryPolicy.call, by retried error type",
+        labels=("error",),
+    )
+
+
+def _exhausted_counter():
+    return get_registry().counter(
+        "mdw_retry_exhausted_total",
+        "RetryPolicy.call invocations that exhausted every attempt",
+        labels=("error",),
+    )
+
 
 class RetryExhausted(Exception):
     """Every attempt failed; carries the count and the last error."""
@@ -90,14 +108,18 @@ class RetryPolicy:
             try:
                 return fn()
             except retry_on as exc:
+                # only failing attempts reach the registry; the
+                # first-try success path stays a bare fn() call
                 last = exc
                 if attempt + 1 >= self.max_attempts:
                     break
+                _retries_counter().inc(error=type(exc).__name__)
                 delay = self.backoff(attempt, rng)
                 if on_retry is not None:
                     on_retry(attempt, exc, delay)
                 if delay > 0:
                     sleep(delay)
+        _exhausted_counter().inc(error=type(last).__name__)
         raise RetryExhausted(self.max_attempts, last)  # type: ignore[arg-type]
 
 

@@ -5,8 +5,18 @@ problems before analysts do, so the service keeps its own counters
 rather than relying on external tooling: per-endpoint latency
 histograms with percentile estimates, admission-queue gauges, rejection
 and timeout counts, the shared plan cache's hit rate, and a slow-query
-log that captures the evaluation plan of offenders while the evidence
-is still fresh.
+log that captures the evaluation plan — and, when available, the
+runtime profile — of offenders while the evidence is still fresh.
+
+The latency histogram itself lives in :mod:`repro.obs.registry`
+(re-exported here for compatibility); every :class:`ServiceMetrics`
+event is **mirrored** into the process-global metrics registry under a
+``service`` label, so the Prometheus exporter and ``snapshot()`` tell
+one consistent story. The private per-instance counters remain the
+source of truth for ``snapshot()`` — a fresh service instance starts
+its report at zero even though the process-global families (shared
+across instances with the same name) keep accumulating, which is
+exactly the Prometheus counter contract.
 
 Everything here is thread-safe and cheap on the hot path (a lock, a few
 integer bumps); the analysis work — percentiles, rendering — happens
@@ -16,91 +26,26 @@ only when someone asks.
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
-#: Histogram bucket upper bounds in seconds (log-spaced, ~1ms .. 60s).
-#: The last implicit bucket is +inf.
-_BUCKET_BOUNDS: Tuple[float, ...] = (
-    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
-    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+from repro.obs.registry import (
+    LATENCY_BUCKETS,
+    LatencyHistogram,
+    MetricsRegistry,
+    get_registry,
 )
 
+#: Backwards-compatible alias; the canonical layout lives in repro.obs.
+_BUCKET_BOUNDS: Tuple[float, ...] = LATENCY_BUCKETS
 
-class LatencyHistogram:
-    """Fixed-bucket latency histogram with percentile estimation.
-
-    Log-spaced buckets keep the memory constant and the percentile
-    error proportional to bucket width — plenty for "p99 jumped from
-    20ms to 2s" style observations.
-    """
-
-    __slots__ = ("_lock", "_counts", "_count", "_sum", "_min", "_max")
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._counts = [0] * (len(_BUCKET_BOUNDS) + 1)
-        self._count = 0
-        self._sum = 0.0
-        self._min: Optional[float] = None
-        self._max: Optional[float] = None
-
-    def observe(self, seconds: float) -> None:
-        idx = 0
-        for bound in _BUCKET_BOUNDS:
-            if seconds <= bound:
-                break
-            idx += 1
-        with self._lock:
-            self._counts[idx] += 1
-            self._count += 1
-            self._sum += seconds
-            if self._min is None or seconds < self._min:
-                self._min = seconds
-            if self._max is None or seconds > self._max:
-                self._max = seconds
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    def mean(self) -> float:
-        with self._lock:
-            return self._sum / self._count if self._count else 0.0
-
-    def percentile(self, q: float) -> float:
-        """Estimated latency at quantile ``q`` in [0, 1] (bucket upper bound)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        with self._lock:
-            if not self._count:
-                return 0.0
-            rank = q * self._count
-            seen = 0
-            for idx, n in enumerate(self._counts):
-                seen += n
-                if seen >= rank:
-                    if idx < len(_BUCKET_BOUNDS):
-                        return _BUCKET_BOUNDS[idx]
-                    return self._max if self._max is not None else _BUCKET_BOUNDS[-1]
-            return self._max if self._max is not None else 0.0
-
-    def summary(self) -> Dict[str, float]:
-        with self._lock:
-            count, total = self._count, self._sum
-            lo = self._min if self._min is not None else 0.0
-            hi = self._max if self._max is not None else 0.0
-        return {
-            "count": count,
-            "mean": total / count if count else 0.0,
-            "min": lo,
-            "max": hi,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "p99": self.percentile(0.99),
-        }
+__all__ = [
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "SlowQuery",
+    "SlowQueryLog",
+]
 
 
 @dataclass(frozen=True)
@@ -113,14 +58,16 @@ class SlowQuery:
     elapsed: float
     timestamp: float
     plan: Optional[str] = None  # evaluator explain() output, when available
+    profile: Optional[str] = None  # rendered runtime profile, when collected
 
 
 class SlowQueryLog:
     """Bounded ring of the slowest offenders, newest last.
 
-    The service appends a record (with the query's evaluation plan) for
-    every request whose latency exceeds the configured threshold; the
-    ring keeps the investigation material bounded.
+    The service appends a record (with the query's evaluation plan and
+    runtime profile) for every request whose latency exceeds the
+    configured threshold; the ring keeps the investigation material
+    bounded.
     """
 
     def __init__(self, capacity: int = 50):
@@ -148,12 +95,21 @@ class ServiceMetrics:
     ``lineage`` / ``update``), admission counters, and the slow-query
     log. ``snapshot()`` returns a plain dict (JSON-friendly, used by the
     benchmark); ``render()`` a human report for the CLI.
+
+    ``name`` labels the mirrored registry samples (``service="mdw"`` by
+    default); ``registry`` defaults to the process-global one.
     """
 
-    def __init__(self, slow_query_capacity: int = 50):
+    def __init__(
+        self,
+        slow_query_capacity: int = 50,
+        name: str = "mdw",
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self._lock = threading.Lock()
         self._latency: Dict[str, LatencyHistogram] = {}
         self.slow_queries = SlowQueryLog(slow_query_capacity)
+        self.name = name
         self._submitted = 0
         self._completed = 0
         self._failed = 0
@@ -164,6 +120,31 @@ class ServiceMetrics:
         self._queue_high_water = 0
         self._breaker_shed = 0
         self._degraded = 0
+        registry = registry if registry is not None else get_registry()
+        self._registry = registry
+        self._events = registry.counter(
+            "mdw_service_requests_total",
+            "Request lifecycle events by service and event",
+            labels=("service", "event"),
+        )
+        self._latency_family = registry.histogram(
+            "mdw_request_latency_seconds",
+            "End-to-end request latency by endpoint kind",
+            labels=("service", "kind"),
+        )
+        self._queue_gauge = registry.gauge(
+            "mdw_queue_depth",
+            "Admission queue depth",
+            labels=("service",),
+        )
+        self._queue_hw_gauge = registry.gauge(
+            "mdw_queue_high_water",
+            "Admission queue high-water mark",
+            labels=("service",),
+        )
+
+    def _event(self, event: str) -> None:
+        self._events.inc(service=self.name, event=event)
 
     # -- recording ---------------------------------------------------------
 
@@ -180,40 +161,54 @@ class ServiceMetrics:
             self._queue_depth = queue_depth
             if queue_depth > self._queue_high_water:
                 self._queue_high_water = queue_depth
+            high_water = self._queue_high_water
+        self._event("submitted")
+        self._queue_gauge.set(queue_depth, service=self.name)
+        self._queue_hw_gauge.set(high_water, service=self.name)
 
     def on_dequeue(self, queue_depth: int) -> None:
         with self._lock:
             self._queue_depth = queue_depth
+        self._queue_gauge.set(queue_depth, service=self.name)
 
     def on_complete(self, kind: str, seconds: float) -> None:
         with self._lock:
             self._completed += 1
         self.endpoint(kind).observe(seconds)
+        self._event("completed")
+        self._latency_family.observe(seconds, service=self.name, kind=kind)
 
     def on_failure(self, kind: str, seconds: float) -> None:
         with self._lock:
             self._failed += 1
         self.endpoint(kind).observe(seconds)
+        self._event("failed")
+        self._latency_family.observe(seconds, service=self.name, kind=kind)
 
     def on_reject(self) -> None:
         with self._lock:
             self._rejected += 1
+        self._event("rejected")
 
     def on_timeout(self) -> None:
         with self._lock:
             self._timeouts += 1
+        self._event("timeout")
 
     def on_cancel(self) -> None:
         with self._lock:
             self._cancelled += 1
+        self._event("cancelled")
 
     def on_breaker_reject(self) -> None:
         with self._lock:
             self._breaker_shed += 1
+        self._event("breaker_shed")
 
     def on_degraded(self) -> None:
         with self._lock:
             self._degraded += 1
+        self._event("degraded")
 
     # -- reporting ---------------------------------------------------------
 

@@ -35,14 +35,36 @@ from repro.server.errors import Cancelled, DeadlineExceeded, QueryServiceError
 _POLL = 0.05
 
 
+def _child_extras(tracer, prof):
+    """Observability payload shipped back with a response: the spans the
+    child recorded (pid-qualified ids, so they graft into the parent's
+    trace) and the query-profile snapshot. None when neither is on."""
+    extras = {}
+    if tracer is not None:
+        extras["spans"] = tracer.drain()
+    if prof is not None:
+        extras["profile"] = prof.snapshot()
+    return extras or None
+
+
 def _child_main(warehouse, request_queue, response_queue) -> None:
     """The forked child's request loop.
 
     ``warehouse`` is the snapshot facade inherited through fork. The
     parent's locks may have been held by unrelated threads at fork
     time, so every lock-bearing structure the child touches is replaced
-    with a fresh one before serving.
+    with a fresh one before serving. (The metrics registry reinstalls
+    its own locks through ``os.register_at_fork``.)
+
+    Each request message carries the parent's trace context and a
+    profiling flag; the child traces/profiles locally and ships the
+    spans and profile snapshot back in the response — the parent's
+    tracer adopts them, so span parentage survives the process hop.
     """
+    from contextlib import ExitStack
+
+    from repro.obs.profile import QueryProfile, profile_scope
+    from repro.obs.trace import Tracer, install_tracer, uninstall_tracer
     from repro.sparql.cancel import CancelToken, cancel_scope
     from repro.sparql.plancache import PlanCache
     import repro.sparql.expressions as _expressions
@@ -56,25 +78,47 @@ def _child_main(warehouse, request_queue, response_queue) -> None:
         message = request_queue.get()
         if message is None:
             break
-        kind, payload, budget = message
+        kind, payload, budget, trace_ctx, profiling = message
         token = CancelToken(timeout=budget)
+        tracer = None
+        if trace_ctx is not None:
+            tracer = Tracer()
+            install_tracer(tracer)
+        prof = QueryProfile() if profiling else None
         try:
             from repro.server.service import dispatch
 
-            with cancel_scope(token):
+            with ExitStack() as stack:
+                stack.enter_context(cancel_scope(token))
+                if prof is not None:
+                    stack.enter_context(profile_scope(prof))
+                if tracer is not None:
+                    # the bridge span: parents this process's spans to
+                    # the request span in the serving process
+                    stack.enter_context(
+                        tracer.span("fork-dispatch", "service", parent=trace_ctx)
+                    )
                 result = dispatch(warehouse, kind, payload)
         except BaseException as exc:
+            if tracer is not None:
+                uninstall_tracer()
+            extras = _child_extras(tracer, prof)
             try:
-                response_queue.put((False, exc))
+                response_queue.put((False, exc, extras))
             except Exception:
                 # the error itself would not pickle; degrade to a typed
                 # service error carrying its repr
-                response_queue.put((False, QueryServiceError(repr(exc))))
+                response_queue.put((False, QueryServiceError(repr(exc)), None))
             continue
+        if tracer is not None:
+            uninstall_tracer()
+        extras = _child_extras(tracer, prof)
         try:
-            response_queue.put((True, result))
+            response_queue.put((True, result, extras))
         except Exception as exc:
-            response_queue.put((False, QueryServiceError(f"unpicklable result: {exc!r}")))
+            response_queue.put(
+                (False, QueryServiceError(f"unpicklable result: {exc!r}"), None)
+            )
 
 
 class ForkWorker:
@@ -110,11 +154,21 @@ class ForkWorker:
         point), the parent kills it and raises the same typed error the
         cooperative path would have.
         """
+        from repro.obs.trace import capture
+
         token = request.token
-        self._request_queue.put((request.kind, request.payload, token.remaining()))
+        # capture() here (not request.trace_ctx): run() executes inside
+        # the worker's request span, so the child's spans nest under it
+        self._request_queue.put((
+            request.kind,
+            request.payload,
+            token.remaining(),
+            capture(),
+            getattr(request, "profile", None) is not None,
+        ))
         while True:
             try:
-                ok, value = self._response_queue.get(timeout=_POLL)
+                ok, value, extras = self._response_queue.get(timeout=_POLL)
             except _queue.Empty:
                 if token.cancelled:
                     self._kill()
@@ -131,9 +185,27 @@ class ForkWorker:
                         f"forked worker died (exit code {self._process.exitcode})"
                     )
                 continue
+            self._absorb(request, extras)
             if ok:
                 return value
             raise value
+
+    @staticmethod
+    def _absorb(request, extras) -> None:
+        """Graft the child's observability payload into this process."""
+        if not extras:
+            return
+        spans = extras.get("spans")
+        if spans:
+            from repro.obs.trace import active_tracer
+
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.adopt(spans)
+        profile_data = extras.get("profile")
+        profile = getattr(request, "profile", None)
+        if profile_data is not None and profile is not None:
+            profile.merge_snapshot(profile_data)
 
     def stop(self, grace: float = 2.0) -> None:
         """Shut the child down, forcefully after ``grace`` seconds."""

@@ -37,9 +37,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.vocabulary import TERMS
+from repro.obs.profile import QueryProfile, profile_scope
+from repro.obs.registry import get_registry
+from repro.obs.trace import capture, span
 from repro.rdf.terms import Literal, Term
 from repro.resilience import faults
-from repro.resilience.breaker import CLOSED, CircuitBreaker
+from repro.resilience.breaker import CLOSED, HALF_OPEN, CircuitBreaker
 from repro.server.errors import (
     Cancelled,
     CircuitOpen,
@@ -136,6 +139,10 @@ class ServiceConfig:
     name: str = "mdw"
     breaker_threshold: int = 5
     breaker_cooldown: float = 30.0
+    #: Collect a per-request QueryProfile (operator row counts, cache
+    #: hits); attached to slow-query log entries. Stage-granularity
+    #: hooks keep the cost a few counter bumps per BGP stage.
+    profile_queries: bool = True
 
     def __post_init__(self):
         if self.max_workers < 1:
@@ -153,9 +160,18 @@ class ServiceConfig:
 
 
 class QueryRequest:
-    """One admitted request travelling from queue to worker."""
+    """One admitted request travelling from queue to worker.
 
-    __slots__ = ("request_id", "kind", "payload", "token", "future", "submitted_at")
+    ``trace_ctx`` is the submitter's span context captured at admission
+    (so the worker's request span nests under the caller's trace even
+    across the thread handoff); ``profile`` is populated by the worker
+    when per-query profiling is on.
+    """
+
+    __slots__ = (
+        "request_id", "kind", "payload", "token", "future",
+        "submitted_at", "trace_ctx", "profile",
+    )
 
     def __init__(self, request_id, kind, payload, token, future):
         self.request_id = request_id
@@ -164,6 +180,8 @@ class QueryRequest:
         self.token = token
         self.future = future
         self.submitted_at = time.monotonic()
+        self.trace_ctx = capture()
+        self.profile: Optional[QueryProfile] = None
 
 
 class QueryTicket:
@@ -227,7 +245,7 @@ class QueryService:
         self.warehouse = warehouse
         self.plan_cache = warehouse.plan_cache
         self.snapshots = SnapshotManager(warehouse, plan_cache=self.plan_cache)
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics(name=config.name)
         self._breakers: Dict[str, CircuitBreaker] = {
             kind: CircuitBreaker(
                 kind,
@@ -236,6 +254,7 @@ class QueryService:
             )
             for kind in (*KINDS, "update")
         }
+        self._register_gauges()
         self._queue: "queue.Queue" = queue.Queue(maxsize=config.max_queue)
         self._closed = False
         self._close_lock = threading.Lock()
@@ -250,6 +269,45 @@ class QueryService:
             )
             worker.start()
             self._workers.append(worker)
+
+    def _register_gauges(self) -> None:
+        """Expose scrape-time computed gauges through the global registry.
+
+        Callback gauges are resolved at collection time, so the exporter
+        always reports the live plan-cache hit rate, snapshot
+        generation/pin counts, and breaker states without any hot-path
+        bookkeeping. Last registration wins: a newer service instance
+        with the same name simply takes over the series.
+        """
+        registry = get_registry()
+        name = self.config.name
+        registry.gauge(
+            "mdw_plan_cache_hit_rate",
+            "Fraction of plan-cache prepare() calls answered from cache",
+            labels=("service",),
+        ).set_function(self.plan_cache.hit_rate, service=name)
+        registry.gauge(
+            "mdw_snapshot_generation",
+            "Generation of the published read snapshot",
+            labels=("service",),
+        ).set_function(lambda: self.snapshots.generation, service=name)
+        registry.gauge(
+            "mdw_snapshot_pins",
+            "Read snapshots currently pinned by in-flight requests",
+            labels=("service",),
+        ).set_function(lambda: self.snapshots.stats()["active_pins"], service=name)
+        states = {CLOSED: 0.0, HALF_OPEN: 1.0}
+        breaker_gauge = registry.gauge(
+            "mdw_breaker_state",
+            "Circuit-breaker state per endpoint (0 closed, 1 half-open, 2 open)",
+            labels=("service", "endpoint"),
+        )
+        for kind, breaker in self._breakers.items():
+            breaker_gauge.set_function(
+                lambda b=breaker: states.get(b.snapshot()["state"], 2.0),
+                service=name,
+                endpoint=kind,
+            )
 
     # -- admission ---------------------------------------------------------
 
@@ -421,36 +479,52 @@ class QueryService:
     def _handle(self, request: QueryRequest, fork_worker) -> None:
         start = time.monotonic()
         breaker = self._breakers[request.kind]
-        try:
-            request.token.check()  # deadline spent while queued
-            faults.fire("worker.execute")
-            if fork_worker is not None:
-                result = fork_worker.run(request)
-            else:
-                with self.snapshots.read() as snap:
-                    with cancel_scope(request.token):
-                        result = dispatch(snap.warehouse, request.kind, request.payload)
-        except BaseException as exc:  # typed errors travel to the caller
+        if self.config.profile_queries:
+            request.profile = QueryProfile()
+        with span(
+            "request", "service",
+            parent=request.trace_ctx,
+            kind=request.kind,
+            request_id=request.request_id,
+        ) as span_attrs:
+            try:
+                request.token.check()  # deadline spent while queued
+                faults.fire("worker.execute")
+                if fork_worker is not None:
+                    result = fork_worker.run(request)
+                else:
+                    with self.snapshots.read() as snap:
+                        with cancel_scope(request.token):
+                            result = self._dispatch_profiled(snap, request)
+            except BaseException as exc:  # typed errors travel to the caller
+                elapsed = time.monotonic() - start
+                span_attrs["error"] = type(exc).__name__
+                if isinstance(exc, DeadlineExceeded):
+                    self.metrics.on_timeout()
+                elif isinstance(exc, Cancelled):
+                    self.metrics.on_cancel()
+                if self._breaker_counts(exc):
+                    breaker.on_failure()
+                else:
+                    breaker.release()  # outcome says nothing about the endpoint
+                self.metrics.on_failure(request.kind, elapsed)
+                request.future.set_exception(exc)
+                return
+            breaker.on_success()
             elapsed = time.monotonic() - start
-            if isinstance(exc, DeadlineExceeded):
-                self.metrics.on_timeout()
-            elif isinstance(exc, Cancelled):
-                self.metrics.on_cancel()
-            if self._breaker_counts(exc):
-                breaker.on_failure()
-            else:
-                breaker.release()  # outcome says nothing about the endpoint
-            self.metrics.on_failure(request.kind, elapsed)
-            request.future.set_exception(exc)
-            return
-        breaker.on_success()
-        elapsed = time.monotonic() - start
-        self.metrics.on_complete(request.kind, elapsed)
-        if elapsed >= self.config.slow_query_threshold:
-            self._log_slow(request, elapsed)
-        if request.kind in ("search", "lineage"):
-            self._flag_degraded(result)
-        request.future.set_result(result)
+            self.metrics.on_complete(request.kind, elapsed)
+            if elapsed >= self.config.slow_query_threshold:
+                self._log_slow(request, elapsed)
+            if request.kind in ("search", "lineage"):
+                self._flag_degraded(result)
+            request.future.set_result(result)
+
+    def _dispatch_profiled(self, snap, request: QueryRequest):
+        """Dispatch in this thread, collecting the request's profile."""
+        if request.profile is None:
+            return dispatch(snap.warehouse, request.kind, request.payload)
+        with profile_scope(request.profile):
+            return dispatch(snap.warehouse, request.kind, request.payload)
 
     def _flag_degraded(self, result) -> None:
         """Mark a search/lineage answer served off stale entailment
@@ -475,6 +549,9 @@ class QueryService:
                     )
             except Exception:
                 plan = None
+        profile = None
+        if request.profile is not None and request.profile.operators:
+            profile = request.profile.render()
         self.metrics.slow_queries.record(
             SlowQuery(
                 request_id=request.request_id,
@@ -483,6 +560,7 @@ class QueryService:
                 elapsed=elapsed,
                 timestamp=time.time(),
                 plan=plan,
+                profile=profile,
             )
         )
 

@@ -33,6 +33,7 @@ import time
 from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.trace import span
 from repro.rdf.store import TripleStore
 from repro.resilience import faults
 
@@ -111,6 +112,12 @@ class SnapshotManager:
 
     def _capture(self) -> Snapshot:
         """Freeze the live model (and its indexes) into a new snapshot."""
+        with span(
+            "snapshot.publish", "service", generation=self._mdw.graph.generation
+        ):
+            return self._capture_inner()
+
+    def _capture_inner(self) -> Snapshot:
         faults.fire("snapshot.publish")
         live = self._mdw
         frozen_store = TripleStore()

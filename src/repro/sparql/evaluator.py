@@ -30,8 +30,11 @@ unspecified without ORDER BY).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs.profile import count_rows, current_profile
+from repro.obs.trace import span, tracing
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Literal, Term, Triple, Variable
 from repro.sparql.algebra import (
@@ -95,18 +98,19 @@ def evaluate(
     """
     strategy = _check_strategy(strategy)
     initial = dict(initial_bindings or {})
-    if isinstance(query, SelectQuery):
-        return _evaluate_select(graph, query, initial, strategy, plan)
-    if isinstance(query, AskQuery):
-        return any(
-            True for _ in eval_pattern(graph, query.pattern, initial, strategy, plan)
-        )
-    if isinstance(query, ConstructQuery):
-        return _evaluate_construct(graph, query, initial, strategy, plan)
-    from repro.sparql.algebra import DescribeQuery
+    with span("plan", "sparql", strategy=strategy, query=type(query).__name__):
+        if isinstance(query, SelectQuery):
+            return _evaluate_select(graph, query, initial, strategy, plan)
+        if isinstance(query, AskQuery):
+            return any(
+                True for _ in eval_pattern(graph, query.pattern, initial, strategy, plan)
+            )
+        if isinstance(query, ConstructQuery):
+            return _evaluate_construct(graph, query, initial, strategy, plan)
+        from repro.sparql.algebra import DescribeQuery
 
-    if isinstance(query, DescribeQuery):
-        return _evaluate_describe(graph, query, initial, strategy, plan)
+        if isinstance(query, DescribeQuery):
+            return _evaluate_describe(graph, query, initial, strategy, plan)
     raise SparqlEvalError(f"unknown query type {type(query).__name__}")
 
 
@@ -271,20 +275,43 @@ def _eval_bgp(
     else:
         ordered = order_patterns(graph, list(patterns))
 
+    prof = current_profile()
+    if prof is not None:
+        prof.count("bgps")
+
     dictionary = getattr(graph, "dictionary", None)
     if strategy == "nested-loop" or dictionary is None:
-        yield from _eval_bgp_nested(graph, list(ordered) + list(paths), binding)
+        produced = _eval_bgp_nested(graph, list(ordered) + list(paths), binding)
+        if prof is not None:
+            stats = prof.operator(
+                "nested-loop", detail=f"{len(ordered) + len(paths)} stage(s)"
+            )
+            produced = count_rows(produced, stats)
+        yield from produced
         return
 
-    piped = _run_id_pipeline(graph, dictionary, ordered, binding, strategy)
+    piped = _run_id_pipeline(graph, dictionary, ordered, binding, strategy, prof)
     if piped is None:
         return
     slots, rows, extras = piped
+    if prof is not None:
+        prof.count("rows_out", len(rows))
     token = current_cancel()
     if token is not None:
         rows = checked_iter(rows, token)
     term = dictionary.term
     names = list(slots)  # insertion order == slot order
+    if paths and prof is not None:
+        def decode() -> Iterator[Binding]:
+            for id_row in rows:
+                decoded = dict(extras)
+                for name, tid in zip(names, id_row):
+                    decoded[name] = term(tid)
+                yield from _recurse_paths(graph, paths, 0, decoded)
+
+        stats = prof.operator("path", detail=f"{len(paths)} step(s)")
+        yield from count_rows(decode(), stats)
+        return
     for id_row in rows:
         decoded = dict(extras)
         for name, tid in zip(names, id_row):
@@ -347,12 +374,20 @@ IdRow = Tuple[int, ...]
 
 
 def _run_id_pipeline(
-    graph, dictionary, ordered: Sequence[Triple], binding: Binding, strategy: str
+    graph,
+    dictionary,
+    ordered: Sequence[Triple],
+    binding: Binding,
+    strategy: str,
+    prof=None,
 ) -> Optional[Tuple[Dict[str, int], List[IdRow], Binding]]:
     """Execute the ordered triple stages over interned ids.
 
     Returns (variable slot map, id rows, pass-through term bindings), or
     None when the initial binding already rules out every solution.
+    ``prof`` is the active :class:`~repro.obs.profile.QueryProfile` (or
+    None); per-stage operator statistics and spans are recorded only
+    when profiling or tracing is on.
     """
     pattern_vars = set()
     for pat in ordered:
@@ -375,15 +410,50 @@ def _run_id_pipeline(
         else:
             extras[name] = value
 
+    if prof is not None and slots:
+        prof.count("dict_lookups", len(slots))
+
     token = current_cancel()
     rows: List[IdRow] = [tuple(initial)]
+    instrumented = prof is not None or tracing()
     for pat in ordered:
         if token is not None:
             token.check()
-        rows = _join_stage(graph, dictionary, pat, rows, slots, strategy)
+            if prof is not None:
+                prof.count("cancel_checks")
+        if not instrumented:
+            rows, _ = _join_stage(graph, dictionary, pat, rows, slots, strategy)
+            if not rows:
+                return slots, [], extras
+            continue
+        detail = _pattern_detail(pat)
+        rows_in = len(rows)
+        if prof is not None:
+            consts = sum(1 for t in pat if not isinstance(t, Variable))
+            if consts:
+                prof.count("dict_lookups", consts)
+        started = perf_counter()
+        with span("operator", "sparql", pattern=detail) as attrs:
+            rows, op = _join_stage(graph, dictionary, pat, rows, slots, strategy)
+            attrs["op"] = op
+            attrs["rows_in"] = rows_in
+            attrs["rows_out"] = len(rows)
+        if prof is not None:
+            prof.operator(
+                op, detail=detail, rows_in=rows_in, rows_out=len(rows),
+                seconds=perf_counter() - started,
+            )
         if not rows:
             return slots, [], extras
     return slots, rows, extras
+
+
+def _pattern_detail(pattern: Triple) -> str:
+    """Compact one-line rendering of a triple pattern for stats/spans."""
+    parts = []
+    for t in pattern:
+        parts.append(f"?{t.name}" if isinstance(t, Variable) else t.n3())
+    return " ".join(parts)
 
 
 def _join_stage(
@@ -393,11 +463,14 @@ def _join_stage(
     rows: List[IdRow],
     slots: Dict[str, int],
     strategy: str,
-) -> List[IdRow]:
+) -> Tuple[List[IdRow], str]:
     """Join ``rows`` with one triple pattern, picking the operator.
 
     Extends ``slots`` in place with the pattern's new variables (their
-    values occupy the appended tuple positions).
+    values occupy the appended tuple positions). Returns the joined
+    rows and the operator actually run (``"hash-join"``,
+    ``"bind-join"``, ``"scan"`` for a shared-variable-free stage, or
+    ``"no-match"`` when a constant term is absent from the dictionary).
     """
     # per position: the constant id, the bound row slot, or a new name
     const: List[Optional[int]] = [None, None, None]
@@ -410,7 +483,7 @@ def _join_stage(
         else:
             tid = dictionary.lookup(t)
             if tid is None:
-                return []
+                return [], "no-match"
             const[i] = tid
 
     # new variables in first-occurrence order; repeated occurrences of
@@ -433,18 +506,20 @@ def _join_stage(
         {names[i] for i in range(3) if names[i] is not None and bound_slot[i] is not None}
     )
     if shared and _use_hash_join(graph, dictionary, const, rows, strategy):
+        op = "hash-join"
         out = _hash_join(
             graph, const, names, bound_slot, slots,
             ext_positions, eq_checks, rows,
         )
     else:
+        op = "bind-join" if shared else "scan"
         out = _bind_join(
             graph, const, bound_slot, ext_positions, eq_checks, rows
         )
     base = len(slots)
     for offset, name in enumerate(new_names):
         slots[name] = base + offset
-    return out
+    return out, op
 
 
 def _use_hash_join(graph, dictionary, const, rows, strategy: str) -> bool:

@@ -39,11 +39,17 @@ def explain(
     query,
     nsm: Optional[NamespaceManager] = None,
     strategy: str = "auto",
+    profile=None,
 ) -> str:
     """Render the evaluation plan of ``query`` (text or algebra) against
     ``graph``. ``strategy`` is the physical BGP execution the caller
     will run with (see :data:`repro.sparql.evaluator.STRATEGIES`); it is
-    echoed per BGP so plans read unambiguously."""
+    echoed per BGP so plans read unambiguously.
+
+    ``profile`` optionally attaches a collected
+    :class:`~repro.obs.profile.QueryProfile` (EXPLAIN ANALYZE style):
+    the static plan is followed by the operators that actually ran,
+    their row counts, and the cache verdicts."""
     if isinstance(query, str):
         query = parse_query(query, nsm=nsm)
     lines: List[str] = []
@@ -80,6 +86,8 @@ def explain(
             _explain_pattern(graph, query.pattern, lines, depth=1, strategy=strategy)
     else:
         lines.append(f"<{type(query).__name__}>")
+    if profile is not None:
+        lines.append(profile.render(indent="  "))
     return "\n".join(lines)
 
 

@@ -12,6 +12,7 @@ import re
 import threading
 from typing import Callable, Dict, List, Optional
 
+from repro.obs.profile import current_profile
 from repro.rdf.terms import BNode, IRI, Literal, Term
 from repro.sparql.errors import ExpressionError
 
@@ -293,7 +294,13 @@ def compile_regex(pattern: str, flag_text: str = "") -> "re.Pattern":
     """
     cached = _REGEX_CACHE.get((pattern, flag_text))
     if cached is not None:
+        prof = current_profile()
+        if prof is not None:
+            prof.count("regex_cache_hits")
         return cached
+    prof = current_profile()
+    if prof is not None:
+        prof.count("regex_cache_misses")
     flags = 0
     mapping = {"i": re.IGNORECASE, "s": re.DOTALL, "m": re.MULTILINE, "x": re.VERBOSE}
     for ch in flag_text:

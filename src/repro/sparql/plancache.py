@@ -29,6 +29,8 @@ import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.profile import current_profile
+from repro.obs.trace import span
 from repro.rdf.terms import Triple
 from repro.sparql.algebra import BGP, Query
 from repro.sparql.parser import parse_query
@@ -109,11 +111,18 @@ class PlanCache:
             if cached is not None:
                 self.parse_hits += 1
                 self._parses.move_to_end(key)
+                prof = current_profile()
+                if prof is not None:
+                    prof.count("parse_cache_hits")
                 return cached
             self.parse_misses += 1
+        prof = current_profile()
+        if prof is not None:
+            prof.count("parse_cache_misses")
         # parse outside the lock: it is pure, and a duplicate parse under
         # contention is cheaper than serializing every miss
-        query = parse_query(text, nsm=nsm)
+        with span("parse", "sparql"):
+            query = parse_query(text, nsm=nsm)
         with self._lock:
             self._parses[key] = query
             if len(self._parses) > self.maxsize:
@@ -131,8 +140,14 @@ class PlanCache:
             if cached is not None:
                 self.plan_hits += 1
                 self._plans.move_to_end(key)
+                prof = current_profile()
+                if prof is not None:
+                    prof.count("plan_cache_hits")
                 return cached
             self.plan_misses += 1
+        prof = current_profile()
+        if prof is not None:
+            prof.count("plan_cache_misses")
         plan = PreparedQuery(text, self.parse(text, nsm=nsm), generation)
         with self._lock:
             existing = self._plans.get(key)

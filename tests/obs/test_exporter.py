@@ -1,0 +1,127 @@
+"""Prometheus exposition rendering and the validating parser."""
+
+import math
+
+import pytest
+
+from repro.obs.exporter import (
+    ExpositionError,
+    parse_exposition,
+    render_prometheus,
+    snapshot_json,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry()
+    counter = reg.counter("mdw_events_total", "Lifecycle events", labels=("event",))
+    counter.inc(3, event="completed")
+    counter.inc(event="failed")
+    gauge = reg.gauge("mdw_depth", "Queue depth")
+    gauge.set(4)
+    hist = reg.histogram("mdw_latency_seconds", "Latency", labels=("kind",))
+    for value in (0.002, 0.002, 0.04, 3.0):
+        hist.observe(value, kind="query")
+    return reg
+
+
+def test_round_trip_parses_and_validates(registry):
+    text = render_prometheus(registry)
+    families = parse_exposition(text)
+    assert set(families) == {"mdw_events_total", "mdw_depth", "mdw_latency_seconds"}
+    assert families["mdw_events_total"]["type"] == "counter"
+    samples = {
+        sample[1]["event"]: sample[2]
+        for sample in families["mdw_events_total"]["samples"]
+    }
+    assert samples == {"completed": 3.0, "failed": 1.0}
+    assert families["mdw_depth"]["samples"][0][2] == 4.0
+
+
+def test_histogram_buckets_are_cumulative_with_terminal_inf(registry):
+    text = render_prometheus(registry)
+    families = parse_exposition(text)
+    buckets = [
+        (float(labels["le"]) if labels["le"] != "+Inf" else math.inf, value)
+        for name, labels, value in families["mdw_latency_seconds"]["samples"]
+        if name == "mdw_latency_seconds_bucket"
+    ]
+    buckets.sort(key=lambda pair: pair[0])
+    assert math.isinf(buckets[-1][0])
+    assert buckets[-1][1] == 4  # _count == +Inf bucket
+    counts = [count for _, count in buckets]
+    assert counts == sorted(counts)  # cumulative
+    # the two 2ms observations are visible at the 0.0025 bound already
+    at_25ms = dict(buckets)[0.0025]
+    assert at_25ms == 2
+    count = [
+        value
+        for name, _, value in families["mdw_latency_seconds"]["samples"]
+        if name == "mdw_latency_seconds_count"
+    ]
+    assert count == [4]
+
+
+def test_help_and_label_escaping_round_trips():
+    reg = MetricsRegistry()
+    reg.counter("mdw_tricky_total", 'help with \\ and\nnewline', labels=("q",)).inc(
+        q='va"lue\nwith\\stuff'
+    )
+    families = parse_exposition(render_prometheus(reg))
+    _, labels, value = families["mdw_tricky_total"]["samples"][0]
+    assert labels["q"] == 'va"lue\nwith\\stuff'
+    assert value == 1.0
+
+
+def test_integer_values_render_bare(registry):
+    text = render_prometheus(registry)
+    assert "mdw_depth 4\n" in text  # not 4.0
+
+
+def test_parser_rejects_malformed_documents():
+    with pytest.raises(ExpositionError):
+        parse_exposition("mdw_orphan_total 1\n")  # no TYPE declaration
+    with pytest.raises(ExpositionError):
+        parse_exposition("# TYPE mdw_x banana\nmdw_x 1\n")
+    with pytest.raises(ExpositionError):
+        parse_exposition("# TYPE mdw_x counter\nmdw_x{oops} 1\n")
+    with pytest.raises(ExpositionError):
+        parse_exposition("# TYPE mdw_x counter\nmdw_x not-a-number\n")
+
+
+def test_parser_rejects_broken_histograms():
+    base = "# TYPE mdw_h histogram\n"
+    # no +Inf bucket
+    with pytest.raises(ExpositionError):
+        parse_exposition(
+            base + 'mdw_h_bucket{le="0.1"} 1\nmdw_h_sum 0.05\nmdw_h_count 1\n'
+        )
+    # non-cumulative buckets
+    with pytest.raises(ExpositionError):
+        parse_exposition(
+            base
+            + 'mdw_h_bucket{le="0.1"} 5\nmdw_h_bucket{le="+Inf"} 3\n'
+            + "mdw_h_sum 0.05\nmdw_h_count 3\n"
+        )
+    # missing _sum/_count
+    with pytest.raises(ExpositionError):
+        parse_exposition(base + 'mdw_h_bucket{le="+Inf"} 1\n')
+    # _count disagrees with +Inf
+    with pytest.raises(ExpositionError):
+        parse_exposition(
+            base + 'mdw_h_bucket{le="+Inf"} 2\nmdw_h_sum 0.1\nmdw_h_count 3\n'
+        )
+
+
+def test_empty_registry_renders_empty_document():
+    reg = MetricsRegistry()
+    assert render_prometheus(reg) == "\n"
+    assert parse_exposition(render_prometheus(reg)) == {}
+
+
+def test_snapshot_json_matches_registry(registry):
+    snap = snapshot_json(registry)
+    assert snap["mdw_latency_seconds"]["type"] == "histogram"
+    assert snap["mdw_latency_seconds"]["samples"][0]["count"] == 4

@@ -1,0 +1,189 @@
+"""The metrics registry: families, children, and the latency histogram."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    LATENCY_BUCKETS,
+    LatencyHistogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+class TestLatencyHistogram:
+    def test_empty_percentile_and_mean_are_zero(self):
+        hist = LatencyHistogram()
+        assert hist.mean() == 0.0
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert hist.percentile(q) == 0.0
+        summary = hist.summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+        assert summary["p50"] == 0.0
+        assert summary["min"] == 0.0 and summary["max"] == 0.0
+
+    def test_quantile_out_of_range_raises(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError):
+            hist.percentile(-0.1)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_observation_exactly_on_bucket_boundary(self):
+        # bucket membership is "seconds <= bound": a boundary observation
+        # lands in the bucket it names, not the next one
+        hist = LatencyHistogram()
+        for bound in LATENCY_BUCKETS:
+            hist.observe(bound)
+        state = hist.state()
+        # one observation per finite bucket, none in +Inf
+        assert state["counts"][:-1] == [1] * len(LATENCY_BUCKETS)
+        assert state["counts"][-1] == 0
+        assert state["count"] == len(LATENCY_BUCKETS)
+
+    def test_observation_just_past_boundary_goes_to_next_bucket(self):
+        hist = LatencyHistogram()
+        hist.observe(LATENCY_BUCKETS[0] * 1.0001)
+        state = hist.state()
+        assert state["counts"][0] == 0
+        assert state["counts"][1] == 1
+
+    def test_percentile_zero_reports_first_occupied_bucket(self):
+        hist = LatencyHistogram()
+        hist.observe(0.3)  # falls in the 0.5 bucket
+        assert hist.percentile(0.0) == 0.5
+        assert hist.percentile(1.0) == 0.5  # bucket upper bound, not raw max
+
+    def test_percentiles_on_known_distribution(self):
+        hist = LatencyHistogram()
+        for _ in range(90):
+            hist.observe(0.002)  # 0.0025 bucket
+        for _ in range(10):
+            hist.observe(0.2)  # 0.25 bucket
+        assert hist.percentile(0.5) == 0.0025
+        assert hist.percentile(0.95) == 0.25
+        assert hist.mean() == pytest.approx((90 * 0.002 + 10 * 0.2) / 100)
+
+    def test_observation_beyond_last_bound_lands_in_inf_bucket(self):
+        hist = LatencyHistogram()
+        hist.observe(120.0)
+        state = hist.state()
+        assert state["counts"][-1] == 1
+        # p100 comes back as the recorded max, not a bucket bound
+        assert hist.percentile(1.0) == 120.0
+
+    def test_bounds_must_be_sorted_and_non_empty(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=())
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=(0.5, 0.1))
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_lifecycle(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("t_total", "help", labels=("kind",))
+        counter.inc(kind="a")
+        counter.inc(2, kind="a")
+        counter.inc(kind="b")
+        gauge = reg.gauge("t_gauge", "help", labels=())
+        gauge.set(7)
+        hist = reg.histogram("t_seconds", "help", labels=("kind",))
+        hist.observe(0.004, kind="a")
+        snap = reg.snapshot()
+        assert snap["t_total"]["type"] == "counter"
+        by_labels = {
+            tuple(sorted(s["labels"].items())): s for s in snap["t_total"]["samples"]
+        }
+        assert by_labels[(("kind", "a"),)]["value"] == 3.0
+        assert by_labels[(("kind", "b"),)]["value"] == 1.0
+        assert snap["t_gauge"]["samples"][0]["value"] == 7.0
+        assert snap["t_seconds"]["samples"][0]["count"] == 1
+
+    def test_registration_is_idempotent_but_mismatch_raises(self):
+        reg = MetricsRegistry()
+        first = reg.counter("t_total", "help", labels=("a",))
+        assert reg.counter("t_total", "other help", labels=("a",)) is first
+        with pytest.raises(ValueError):
+            reg.gauge("t_total", labels=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("t_total", labels=("b",))
+
+    def test_counters_only_go_up(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("t_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("0bad")
+        with pytest.raises(ValueError):
+            reg.counter("ok_total", labels=("0bad",))
+
+    def test_wrong_label_set_rejected(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("t_total", labels=("kind",))
+        with pytest.raises(ValueError):
+            counter.inc(other="x")
+        with pytest.raises(ValueError):
+            counter.inc()  # missing the label entirely
+
+    def test_callback_gauge_and_broken_callback(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("t_gauge", labels=("which",))
+        gauge.set_function(lambda: 42.0, which="ok")
+        gauge.set_function(lambda: 1 / 0, which="broken")
+        samples = {s["labels"]["which"]: s["value"] for s in
+                   reg.snapshot()["t_gauge"]["samples"]}
+        assert samples["ok"] == 42.0
+        assert math.isnan(samples["broken"])  # broken callback -> NaN, no raise
+
+    def test_callback_gauge_last_registration_wins(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("t_gauge")
+        gauge.set_function(lambda: 1.0)
+        gauge.set_function(lambda: 2.0)
+        assert reg.snapshot()["t_gauge"]["samples"][0]["value"] == 2.0
+        gauge.set(9.0)  # a plain set clears the callback
+        assert reg.snapshot()["t_gauge"]["samples"][0]["value"] == 9.0
+
+    def test_reset_drops_families(self):
+        reg = MetricsRegistry()
+        reg.counter("t_total").inc()
+        reg.reset()
+        assert reg.snapshot() == {}
+
+    def test_after_fork_reinstalls_locks(self):
+        reg = MetricsRegistry()
+        family = reg.counter("t_total", labels=("k",))
+        child = family.child(k="x")
+        old_locks = (reg._lock, family._lock, child._lock)
+        reg._after_fork()
+        assert reg._lock is not old_locks[0]
+        assert family._lock is not old_locks[1]
+        assert child._lock is not old_locks[2]
+        child.inc()  # still functional
+        assert child.value == 1.0
+
+    def test_concurrent_increments_are_not_lost(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("t_total", labels=("k",))
+
+        def hammer():
+            for _ in range(500):
+                counter.inc(k="x")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.child(k="x").value == 4000.0
+
+    def test_global_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
