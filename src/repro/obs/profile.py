@@ -30,17 +30,34 @@ _CURRENT: ContextVar[Optional["QueryProfile"]] = ContextVar(
 
 
 class OperatorStats:
-    """One executed operator: a join stage, a path step, a filter."""
+    """One executed operator: a join stage, a path step, a filter.
 
-    __slots__ = ("op", "detail", "rows_in", "rows_out", "seconds")
+    ``est_rows_out`` is the planner's cardinality estimate for the
+    stage (None when the operator ran without a cost-based plan); the
+    estimate-vs-actual pair is what EXPLAIN ANALYZE renders and what
+    the re-costing feedback loop is judged by.
+    """
+
+    __slots__ = ("op", "detail", "rows_in", "rows_out", "seconds", "est_rows_out")
 
     def __init__(self, op: str, detail: str = "", rows_in: int = 0,
-                 rows_out: int = 0, seconds: float = 0.0):
+                 rows_out: int = 0, seconds: float = 0.0,
+                 est_rows_out: Optional[float] = None):
         self.op = op
         self.detail = detail
         self.rows_in = rows_in
         self.rows_out = rows_out
         self.seconds = seconds
+        self.est_rows_out = est_rows_out
+
+    def estimate_error(self) -> Optional[float]:
+        """Estimate-vs-actual row ratio (>= 1.0; 1.0 = perfect), or
+        None when the stage ran without an estimate."""
+        if self.est_rows_out is None:
+            return None
+        worse = max(self.est_rows_out, self.rows_out)
+        better = min(self.est_rows_out, self.rows_out)
+        return (worse + 1.0) / (better + 1.0)
 
     def snapshot(self) -> Dict[str, object]:
         return {
@@ -49,6 +66,7 @@ class OperatorStats:
             "rows_in": self.rows_in,
             "rows_out": self.rows_out,
             "seconds": self.seconds,
+            "est_rows_out": self.est_rows_out,
         }
 
     def __repr__(self) -> str:
@@ -68,7 +86,7 @@ class QueryProfile:
         "plan_cache_hits", "plan_cache_misses",
         "regex_cache_hits", "regex_cache_misses",
         "hierarchy_cache_hits", "hierarchy_cache_misses",
-        "dict_lookups", "cancel_checks",
+        "dict_lookups", "cancel_checks", "replans",
     )
 
     def __init__(self):
@@ -86,12 +104,14 @@ class QueryProfile:
         self.hierarchy_cache_misses = 0
         self.dict_lookups = 0
         self.cancel_checks = 0
+        self.replans = 0
 
     # -- recording hooks (all rare-path; see module docstring) -------------
 
     def operator(self, op: str, detail: str = "", rows_in: int = 0,
-                 rows_out: int = 0, seconds: float = 0.0) -> OperatorStats:
-        stats = OperatorStats(op, detail, rows_in, rows_out, seconds)
+                 rows_out: int = 0, seconds: float = 0.0,
+                 est_rows_out: Optional[float] = None) -> OperatorStats:
+        stats = OperatorStats(op, detail, rows_in, rows_out, seconds, est_rows_out)
         with self._lock:
             self.operators.append(stats)
         return stats
@@ -120,6 +140,7 @@ class QueryProfile:
                 },
                 "dict_lookups": self.dict_lookups,
                 "cancel_checks": self.cancel_checks,
+                "replans": self.replans,
             }
 
     def merge_snapshot(self, data: Dict[str, object]) -> None:
@@ -132,7 +153,7 @@ class QueryProfile:
                 self.operators.append(OperatorStats(
                     op.get("op", "?"), op.get("detail", ""),
                     op.get("rows_in", 0), op.get("rows_out", 0),
-                    op.get("seconds", 0.0),
+                    op.get("seconds", 0.0), op.get("est_rows_out"),
                 ))
             caches = data.get("caches", {})
             for cache, attr in (("parse", "parse_cache"), ("plan", "plan_cache"),
@@ -144,6 +165,7 @@ class QueryProfile:
                         getattr(self, f"{attr}_misses") + entry.get("misses", 0))
             self.dict_lookups += data.get("dict_lookups", 0)
             self.cancel_checks += data.get("cancel_checks", 0)
+            self.replans += data.get("replans", 0)
 
     def render(self, indent: str = "  ") -> str:
         """Human-readable block appended to EXPLAIN ANALYZE output and
@@ -152,9 +174,17 @@ class QueryProfile:
         lines = [f"runtime profile ({snap['bgps']} BGP(s), {snap['rows_out']} row(s) out):"]
         for op in snap["operators"]:
             detail = f" {op['detail']}" if op["detail"] else ""
+            est = op.get("est_rows_out")
+            if est is None:
+                est_bit = ""
+            else:
+                actual = op["rows_out"]
+                error = (max(est, actual) + 1.0) / (min(est, actual) + 1.0)
+                est_bit = f" (est {est:.0f}"
+                est_bit += f", {error:.1f}x off)" if error >= 1.05 else ")"
             lines.append(
                 f"{indent}{op['op']}{detail}: "
-                f"{op['rows_in']} -> {op['rows_out']} rows "
+                f"{op['rows_in']} -> {op['rows_out']} rows{est_bit} "
                 f"in {op['seconds'] * 1e3:.2f} ms"
             )
         caches = snap["caches"]
@@ -169,6 +199,8 @@ class QueryProfile:
             f"{indent}dictionary lookups: {snap['dict_lookups']}, "
             f"cancel checks: {snap['cancel_checks']}"
         )
+        if snap.get("replans"):
+            lines.append(f"{indent}plan re-costed {snap['replans']} time(s) this query")
         return "\n".join(lines)
 
     def __repr__(self) -> str:

@@ -31,6 +31,7 @@ from repro.rdf.namespace import (
 )
 from repro.rdf.dictionary import DEFAULT_DICTIONARY, TermDictionary
 from repro.rdf.graph import Graph, GraphView, ReadOnlyGraphError
+from repro.rdf.stats import CombinedStats, PredicateStats, StatsCatalog, stats_of
 from repro.rdf.store import ModelNotFoundError, TripleStore
 from repro.rdf.staging import StagingRow, StagingTable
 from repro.rdf.bulkload import BulkLoader, BulkLoadError, BulkLoadReport
@@ -60,12 +61,15 @@ __all__ = [
     "NamespaceManager",
     "NTriplesParseError",
     "OWL",
+    "CombinedStats",
+    "PredicateStats",
     "PersistenceError",
     "RDF",
     "RDFS",
     "ReadOnlyGraphError",
     "StagingRow",
     "StagingTable",
+    "StatsCatalog",
     "Term",
     "TermDictionary",
     "Triple",
@@ -80,4 +84,5 @@ __all__ = [
     "serialize_ntriples",
     "serialize_rdfxml",
     "serialize_turtle",
+    "stats_of",
 ]

@@ -60,6 +60,7 @@ class Graph:
         "_owned_s",
         "_owned_p",
         "_owned_o",
+        "_stats",
         "name",
     )
 
@@ -86,6 +87,7 @@ class Graph:
         self._owned_s: Set[int] = set()
         self._owned_p: Set[int] = set()
         self._owned_o: Set[int] = set()
+        self._stats = None
         self.name = name
         if triples is not None:
             for t in triples:
@@ -409,6 +411,31 @@ class Graph:
             self._count_cache[key] = cached
         return cached
 
+    def stats(self):
+        """The graph's :class:`~repro.rdf.stats.StatsCatalog` (created
+        lazily; it subscribes to change events from then on).
+
+        Copies (:meth:`copy` / :meth:`cow_copy`) do not inherit the
+        catalog — each graph collects its own on first use.
+        """
+        if self._stats is None:
+            from repro.rdf.stats import StatsCatalog
+
+            self._stats = StatsCatalog(self)
+        return self._stats
+
+    def distinct_subject_count(self) -> int:
+        """Number of distinct subjects over all triples — O(1)."""
+        return len(self._spo)
+
+    def distinct_predicate_count(self) -> int:
+        """Number of distinct predicates over all triples — O(1)."""
+        return len(self._pos)
+
+    def distinct_object_count(self) -> int:
+        """Number of distinct objects over all triples — O(1)."""
+        return len(self._osp)
+
     def __contains__(self, triple) -> bool:
         lookup = self._dict.lookup
         s, p, o = triple
@@ -698,6 +725,24 @@ class GraphView:
         """Layer-cached cardinality; exact when disjoint, an upper bound
         otherwise (good enough for join ordering)."""
         return sum(layer.cached_count(s, p, o) for layer in self._layers)
+
+    def stats(self):
+        """Combined per-predicate statistics over the layers (see
+        :class:`~repro.rdf.stats.CombinedStats`)."""
+        from repro.rdf.stats import CombinedStats
+
+        if len(self._layers) == 1:
+            return self._layers[0].stats()
+        return CombinedStats(layer.stats() for layer in self._layers)
+
+    def distinct_subject_count(self) -> int:
+        return sum(layer.distinct_subject_count() for layer in self._layers)
+
+    def distinct_predicate_count(self) -> int:
+        return sum(layer.distinct_predicate_count() for layer in self._layers)
+
+    def distinct_object_count(self) -> int:
+        return sum(layer.distinct_object_count() for layer in self._layers)
 
     def subjects(self, p=None, o=None) -> Iterator[Term]:
         seen = set()

@@ -1,0 +1,391 @@
+"""Index statistics for the cost-based query optimizer.
+
+Oracle's optimizer orders SEM_MATCH triple patterns from statistics it
+gathers over the RDF model tables; this module is that catalog for the
+in-memory graph. Per predicate it records the triple count, the number
+of distinct subjects and objects, and a top-k heavy-hitter histogram of
+the most frequent subjects/objects — enough for the planner to turn
+"``?x dm:isMappedTo ?y`` with ``?x`` already bound" into a per-binding
+probe estimate instead of a full wildcard scan (the Koch meta-level
+indexing idea from PAPERS.md, applied to our own planner).
+
+Collection walks the POS and SPO indexes once (O(triples)) at
+index-build time. Between rebuilds the catalog subscribes to the
+graph's change events and nets per-predicate drift: triple *counts*
+stay exact (built count + net drift), while distinct counts and heavy
+hitters are served stale until the accumulated churn crosses
+``refresh_threshold`` × the size at build — then the next consumer
+triggers a rebuild (``mdw_planner_stats_refreshes_total``). The DRed
+delta trackers drive the same refresh eagerly after incremental
+release maintenance, so query time rarely pays for it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+#: Keep this many heavy hitters per predicate and position.
+DEFAULT_TOP_K = 8
+
+#: Rebuild when net churn exceeds this fraction of the size at build.
+DEFAULT_REFRESH_THRESHOLD = 0.25
+
+
+def _planner_metrics():
+    """The mdw_planner_* stats families (memoized; off every hot path)."""
+    from repro.obs.registry import get_registry
+
+    registry = get_registry()
+    return registry.counter(
+        "mdw_planner_stats_refreshes_total",
+        help="Statistics catalog rebuilds, by trigger",
+        labels=("trigger",),
+    )
+
+
+class PredicateStats:
+    """Statistics of one predicate: cardinality, distincts, heavy hitters.
+
+    ``top_subjects`` / ``top_objects`` are ``(term id, frequency)``
+    pairs sorted by descending frequency — the selectivity histogram's
+    heavy-hitter buckets; everything below them is assumed uniform.
+    """
+
+    __slots__ = (
+        "predicate_id", "count", "distinct_subjects", "distinct_objects",
+        "top_subjects", "top_objects", "_wsub", "_wobj",
+    )
+
+    def __init__(
+        self,
+        predicate_id: int,
+        count: int,
+        distinct_subjects: int,
+        distinct_objects: int,
+        top_subjects: Tuple[Tuple[int, int], ...] = (),
+        top_objects: Tuple[Tuple[int, int], ...] = (),
+    ):
+        self.predicate_id = predicate_id
+        self.count = count
+        self.distinct_subjects = distinct_subjects
+        self.distinct_objects = distinct_objects
+        self.top_subjects = top_subjects
+        self.top_objects = top_objects
+        self._wsub: Optional[float] = None
+        self._wobj: Optional[float] = None
+
+    def subject_fanout(self) -> float:
+        """Mean triples per distinct subject (uniform assumption)."""
+        return self.count / self.distinct_subjects if self.distinct_subjects else 0.0
+
+    def object_fanout(self) -> float:
+        """Mean triples per distinct object (uniform assumption)."""
+        return self.count / self.distinct_objects if self.distinct_objects else 0.0
+
+    def _weighted(self, top: Tuple[Tuple[int, int], ...], distinct: int) -> float:
+        """Expected matches for a probe value drawn frequency-weighted
+        (sum f_i^2 / count): heavy hitters exact, the tail uniform."""
+        if not self.count or not distinct:
+            return 0.0
+        head_sq = sum(f * f for _, f in top)
+        head_total = sum(f for _, f in top)
+        tail_values = distinct - len(top)
+        tail_total = self.count - head_total
+        tail_sq = (tail_total * tail_total / tail_values) if tail_values > 0 else 0.0
+        return (head_sq + tail_sq) / self.count
+
+    def weighted_subject_fanout(self) -> float:
+        """Skew-aware per-subject fanout: what a probe should *expect*
+        when its bindings are correlated with the data (worst common case)."""
+        if self._wsub is None:
+            self._wsub = self._weighted(self.top_subjects, self.distinct_subjects)
+        return self._wsub
+
+    def weighted_object_fanout(self) -> float:
+        if self._wobj is None:
+            self._wobj = self._weighted(self.top_objects, self.distinct_objects)
+        return self._wobj
+
+    def skew(self) -> float:
+        """Ratio of the heaviest subject/object frequency to the mean;
+        1.0 means perfectly uniform."""
+        peaks = []
+        if self.top_subjects and self.distinct_subjects:
+            peaks.append(self.top_subjects[0][1] / self.subject_fanout())
+        if self.top_objects and self.distinct_objects:
+            peaks.append(self.top_objects[0][1] / self.object_fanout())
+        return max(peaks) if peaks else 1.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "distinct_subjects": self.distinct_subjects,
+            "distinct_objects": self.distinct_objects,
+            "top_subjects": list(self.top_subjects),
+            "top_objects": list(self.top_objects),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<PredicateStats p={self.predicate_id} n={self.count} "
+            f"ds={self.distinct_subjects} do={self.distinct_objects}>"
+        )
+
+
+class StatsCatalog:
+    """The per-graph statistics catalog the planner costs plans from.
+
+    Created lazily via :attr:`Graph.stats`; subscribes to the graph's
+    change events from then on. Every event is an O(1) drift bump —
+    the O(triples) collection pass only runs on first use and when the
+    churn since the last build crosses the refresh threshold.
+    """
+
+    _serials = itertools.count(1)
+
+    def __init__(
+        self,
+        graph,
+        refresh_threshold: float = DEFAULT_REFRESH_THRESHOLD,
+        top_k: int = DEFAULT_TOP_K,
+    ):
+        if refresh_threshold <= 0:
+            raise ValueError("refresh_threshold must be positive")
+        self._serial = next(StatsCatalog._serials)
+        self._graph = graph
+        self.refresh_threshold = refresh_threshold
+        self.top_k = top_k
+        self._predicates: Dict[int, PredicateStats] = {}
+        self._built = False
+        self._built_size = 0
+        self._built_generation: Optional[int] = None
+        # net triple drift per predicate id since the last build, plus
+        # the total event churn (adds + removes, never netted: two
+        # compensating events still age the distinct counts)
+        self._drift: Dict[int, int] = {}
+        self._churn = 0
+        self.refreshes = 0
+        graph.subscribe(self._on_change)
+
+    # -- change tracking ----------------------------------------------------
+
+    def _on_change(self, action: str, triple) -> None:
+        pid = self._graph.dictionary.lookup(triple.predicate)
+        if pid is None:  # removal of a term-interned triple always resolves
+            return
+        self._drift[pid] = self._drift.get(pid, 0) + (1 if action == "add" else -1)
+        self._churn += 1
+
+    def close(self) -> None:
+        self._graph.unsubscribe(self._on_change)
+
+    # -- freshness ----------------------------------------------------------
+
+    @property
+    def built(self) -> bool:
+        return self._built
+
+    @property
+    def churn(self) -> int:
+        """Change events since the last build (adds + removes, unnetted)."""
+        return self._churn
+
+    def is_stale(self) -> bool:
+        """True when enough churn accumulated that the distinct counts
+        and histograms can no longer be trusted."""
+        if not self._built:
+            return True
+        budget = max(1.0, self.refresh_threshold * max(self._built_size, 1))
+        return self._churn > budget
+
+    def ensure_fresh(self, trigger: str = "drift") -> bool:
+        """Rebuild when stale; returns True when a rebuild ran."""
+        if not self._built:
+            self.rebuild(trigger="initial")
+            return True
+        if self.is_stale():
+            self.rebuild(trigger=trigger)
+            return True
+        return False
+
+    def rebuild(self, trigger: str = "forced") -> None:
+        """Recollect every per-predicate statistic from the indexes."""
+        graph = self._graph
+        top_k = self.top_k
+        predicates: Dict[int, PredicateStats] = {}
+        # one POS pass: counts, distinct objects, object heavy hitters,
+        # distinct subjects via union of the per-object subject sets
+        for pid, by_o in graph._pos.items():
+            count = 0
+            subjects: Dict[int, int] = {}
+            obj_freq: List[Tuple[int, int]] = []
+            for oid, subs in by_o.items():
+                n = len(subs)
+                count += n
+                obj_freq.append((n, oid))
+                for sid in subs:
+                    subjects[sid] = subjects.get(sid, 0) + 1
+            obj_freq.sort(key=lambda t: (-t[0], t[1]))
+            subj_freq = sorted(
+                ((n, sid) for sid, n in subjects.items()),
+                key=lambda t: (-t[0], t[1]),
+            )
+            predicates[pid] = PredicateStats(
+                pid,
+                count,
+                distinct_subjects=len(subjects),
+                distinct_objects=len(by_o),
+                top_subjects=tuple((sid, n) for n, sid in subj_freq[:top_k]),
+                top_objects=tuple((oid, n) for n, oid in obj_freq[:top_k]),
+            )
+        self._predicates = predicates
+        self._built = True
+        self._built_size = len(graph)
+        self._built_generation = getattr(graph, "generation", None)
+        self._drift.clear()
+        self._churn = 0
+        self.refreshes += 1
+        _planner_metrics().inc(trigger=trigger)
+
+    # -- lookups ------------------------------------------------------------
+
+    def predicate(self, predicate_id: int) -> Optional[PredicateStats]:
+        """Stats for a predicate id, building the catalog on first use.
+
+        Counts stay exact while stale (built count + net drift);
+        distinct counts and histograms are the as-built values until
+        the churn threshold forces a rebuild.
+        """
+        self.ensure_fresh()
+        stats = self._predicates.get(predicate_id)
+        drift = self._drift.get(predicate_id, 0)
+        if stats is None:
+            if drift <= 0:
+                return None
+            # predicate appeared entirely after the last build
+            return PredicateStats(
+                predicate_id, drift,
+                distinct_subjects=max(1, drift), distinct_objects=max(1, drift),
+            )
+        if not drift:
+            return stats
+        corrected = max(0, stats.count + drift)
+        return PredicateStats(
+            predicate_id,
+            corrected,
+            distinct_subjects=min(stats.distinct_subjects, corrected) or (1 if corrected else 0),
+            distinct_objects=min(stats.distinct_objects, corrected) or (1 if corrected else 0),
+            top_subjects=stats.top_subjects,
+            top_objects=stats.top_objects,
+        )
+
+    def predicate_count(self) -> int:
+        self.ensure_fresh()
+        return len(self._predicates)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly view (CLI / debugging)."""
+        self.ensure_fresh()
+        term = self._graph.dictionary.term
+        return {
+            "built_size": self._built_size,
+            "churn": self._churn,
+            "refreshes": self.refreshes,
+            "predicates": {
+                term(pid).n3(): stats.snapshot()
+                for pid, stats in sorted(self._predicates.items())
+            },
+        }
+
+    def __repr__(self) -> str:
+        state = f"predicates={len(self._predicates)}" if self._built else "unbuilt"
+        return f"<StatsCatalog {self._graph.name!r} {state} churn={self._churn}>"
+
+
+class CombinedStats:
+    """Per-predicate statistics merged over a :class:`GraphView`'s layers.
+
+    Counts add exactly; heavy hitters merge by id. Distinct counts take
+    the **max** across layers (a union lower bound): the usual layering
+    is the base model plus its entailment index, which share nearly all
+    their subjects, so summing would double-count terms and halve every
+    estimated fanout — the classic way an optimizer talks itself into a
+    cheap-looking anchor that explodes downstream. Undercounting skews
+    the other way (overestimated fanouts), which only makes plans more
+    conservative.
+    """
+
+    # Merged results cached across instances: GraphView.stats() builds a
+    # fresh CombinedStats per call, so the cache must outlive any one
+    # wrapper. Keyed by catalog identity (monotonic serial, never a
+    # reusable id()) plus each layer's rebuild/churn counters — any
+    # change that could alter a layer's answer changes the key.
+    _merge_cache: Dict[tuple, Optional[PredicateStats]] = {}
+    _MERGE_CACHE_CAP = 4096
+
+    def __init__(self, catalogs):
+        self._catalogs = tuple(catalogs)
+
+    def predicate(self, predicate_id: int) -> Optional[PredicateStats]:
+        for catalog in self._catalogs:
+            catalog.ensure_fresh()
+        key = (predicate_id,) + tuple(
+            (c._serial, c.refreshes, c._churn) for c in self._catalogs
+        )
+        cache = CombinedStats._merge_cache
+        if key in cache:
+            return cache[key]
+        merged = self._merge(predicate_id)
+        if len(cache) >= CombinedStats._MERGE_CACHE_CAP:
+            cache.clear()
+        cache[key] = merged
+        return merged
+
+    def _merge(self, predicate_id: int) -> Optional[PredicateStats]:
+        parts = [
+            stats
+            for catalog in self._catalogs
+            if (stats := catalog.predicate(predicate_id)) is not None
+        ]
+        if not parts:
+            return None
+        if len(parts) == 1:
+            return parts[0]
+        merged_subjects: Dict[int, int] = {}
+        merged_objects: Dict[int, int] = {}
+        for stats in parts:
+            for sid, n in stats.top_subjects:
+                merged_subjects[sid] = merged_subjects.get(sid, 0) + n
+            for oid, n in stats.top_objects:
+                merged_objects[oid] = merged_objects.get(oid, 0) + n
+        top_k = max(len(p.top_subjects) for p in parts)
+        top_subjects = tuple(
+            sorted(merged_subjects.items(), key=lambda t: (-t[1], t[0]))[:top_k]
+        )
+        top_objects = tuple(
+            sorted(merged_objects.items(), key=lambda t: (-t[1], t[0]))[:top_k]
+        )
+        return PredicateStats(
+            predicate_id,
+            sum(p.count for p in parts),
+            distinct_subjects=max(p.distinct_subjects for p in parts),
+            distinct_objects=max(p.distinct_objects for p in parts),
+            top_subjects=top_subjects,
+            top_objects=top_objects,
+        )
+
+    def ensure_fresh(self, trigger: str = "drift") -> bool:
+        return any([c.ensure_fresh(trigger) for c in self._catalogs])
+
+    def __repr__(self) -> str:
+        return f"<CombinedStats layers={len(self._catalogs)}>"
+
+
+def stats_of(graph):
+    """The statistics provider for a Graph or GraphView (or None when
+    the object supports neither — e.g. a bare mock in tests)."""
+    getter = getattr(graph, "stats", None)
+    if getter is None:
+        return None
+    return getter() if callable(getter) else getter

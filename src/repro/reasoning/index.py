@@ -189,6 +189,10 @@ class EntailmentIndexManager:
                 tracker._net.clear()
                 raise
         tracker.mark()
+        # the same netted delta that drove DRed also drifted the planner's
+        # statistics catalogs; refresh them past their staleness threshold
+        # now, while the release apply is already paying maintenance cost
+        base.stats().ensure_fresh(trigger="dred-refresh")
         # re-attach to refresh the store's disjointness stamp (the index
         # object is unchanged; only its base-generation bookkeeping moves)
         self._store.attach_index(model, rb.name, derived)
@@ -217,6 +221,7 @@ class EntailmentIndexManager:
             derived.discard(t)
         report.derived_triples = len(derived)
         self._mark_fresh(model, rulebase)
+        base.stats().ensure_fresh(trigger="dred-extend")
         self._store.attach_index(model, rb.name, derived)
         return report
 

@@ -287,6 +287,11 @@ class QueryService:
             labels=("service",),
         ).set_function(self.plan_cache.hit_rate, service=name)
         registry.gauge(
+            "mdw_planner_replans",
+            "Plans re-costed after estimate-vs-actual drift (live count)",
+            labels=("service",),
+        ).set_function(lambda: float(self.plan_cache.replans), service=name)
+        registry.gauge(
             "mdw_snapshot_generation",
             "Generation of the published read snapshot",
             labels=("service",),

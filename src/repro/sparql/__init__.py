@@ -66,7 +66,13 @@ from repro.sparql.explain import explain
 from repro.sparql.plancache import PlanCache, PreparedQuery
 from repro.sparql.update import UpdateResult, execute_update, parse_update
 from repro.sparql.results import Row, SolutionSequence
-from repro.sparql.planner import order_patterns, pattern_selectivity
+from repro.sparql.planner import (
+    BGPPlan,
+    order_patterns,
+    pattern_selectivity,
+    plan_bgp,
+    planner_mode,
+)
 
 
 def execute(graph, query_text, nsm=None, bindings=None, strategy=None, plan_cache=None):
@@ -94,6 +100,7 @@ __all__ = [
     "Aggregate",
     "AskQuery",
     "BGP",
+    "BGPPlan",
     "DEFAULT_STRATEGY",
     "STRATEGIES",
     "BinaryExpr",
@@ -139,5 +146,7 @@ __all__ = [
     "order_patterns",
     "parse_query",
     "pattern_selectivity",
+    "plan_bgp",
+    "planner_mode",
     "tokenize",
 ]

@@ -63,7 +63,7 @@ from repro.sparql.expressions import (
     UnaryExpr,
     effective_boolean_value,
 )
-from repro.sparql.planner import order_patterns
+from repro.sparql.planner import HASH_MIN_ROWS, PROBE_COST, plan_bgp
 from repro.sparql.results import Row, SolutionSequence
 
 Binding = Dict[str, Term]
@@ -75,9 +75,10 @@ DEFAULT_STRATEGY = "auto"
 
 # Auto-strategy knobs: below _HASH_MIN_ROWS intermediate rows a bind-join
 # always wins (the hash table would cost more than the probes); above it,
-# hash-join is chosen when scanning the pattern once is no more expensive
-# than probing per row (estimate <= rows * factor).
-_HASH_MIN_ROWS = 16
+# hash-join is chosen when the build scan plus per-row lookups undercuts
+# per-row index probes (see _pick_hash_join). The floor is shared with
+# the planner so estimate-time operator choices match the runtime.
+_HASH_MIN_ROWS = HASH_MIN_ROWS
 _HASH_SCAN_FACTOR = 2
 
 
@@ -270,10 +271,15 @@ def _eval_bgp(
     if not patterns and not paths:
         yield dict(binding)
         return
+    # variables bound by the caller (initial bindings, enclosing joins)
+    # seed the planner's probe estimates; the plan memo is keyed on the
+    # bound-name set, which is stable across rows of one template
+    bound_names = frozenset(binding) if binding else frozenset()
     if plan is not None:
-        ordered = plan.bgp_order(graph, bgp)
+        bgp_plan = plan.bgp_plan(graph, bgp, bound_names)
     else:
-        ordered = order_patterns(graph, list(patterns))
+        bgp_plan = plan_bgp(graph, list(patterns), bound=bound_names)
+    ordered = bgp_plan.order
 
     prof = current_profile()
     if prof is not None:
@@ -290,7 +296,9 @@ def _eval_bgp(
         yield from produced
         return
 
-    piped = _run_id_pipeline(graph, dictionary, ordered, binding, strategy, prof)
+    piped = _run_id_pipeline(
+        graph, dictionary, ordered, binding, strategy, prof, bgp_plan
+    )
     if piped is None:
         return
     slots, rows, extras = piped
@@ -380,6 +388,7 @@ def _run_id_pipeline(
     binding: Binding,
     strategy: str,
     prof=None,
+    bgp_plan=None,
 ) -> Optional[Tuple[Dict[str, int], List[IdRow], Binding]]:
     """Execute the ordered triple stages over interned ids.
 
@@ -388,6 +397,12 @@ def _run_id_pipeline(
     ``prof`` is the active :class:`~repro.obs.profile.QueryProfile` (or
     None); per-stage operator statistics and spans are recorded only
     when profiling or tracing is on.
+
+    ``bgp_plan`` carries the cost-based per-stage estimates: each stage
+    follows the plan's hash/bind decision (re-checked against the actual
+    intermediate row count), and the actual per-stage row counts are fed
+    back via :meth:`~repro.sparql.planner.BGPPlan.observe` — always, not
+    just under profiling, because the re-costing loop depends on them.
     """
     pattern_vars = set()
     for pat in ordered:
@@ -413,17 +428,39 @@ def _run_id_pipeline(
     if prof is not None and slots:
         prof.count("dict_lookups", len(slots))
 
+    # cost-based stage estimates, aligned with the executed order; the
+    # legacy planner mode leaves operator choice to the runtime heuristic
+    stages = None
+    if (
+        bgp_plan is not None
+        and bgp_plan.uses_cost_decisions
+        and len(bgp_plan.stages) == len(ordered)
+    ):
+        stages = bgp_plan.stages
+    actuals: Optional[List[Tuple[int, int]]] = [] if stages is not None else None
+
+    def feed_back() -> None:
+        if actuals:
+            bgp_plan.observe(actuals)
+
     token = current_cancel()
     rows: List[IdRow] = [tuple(initial)]
     instrumented = prof is not None or tracing()
-    for pat in ordered:
+    for stage_index, pat in enumerate(ordered):
+        estimate = stages[stage_index] if stages is not None else None
         if token is not None:
             token.check()
             if prof is not None:
                 prof.count("cancel_checks")
         if not instrumented:
-            rows, _ = _join_stage(graph, dictionary, pat, rows, slots, strategy)
+            rows_in = len(rows)
+            rows, _ = _join_stage(
+                graph, dictionary, pat, rows, slots, strategy, estimate
+            )
+            if actuals is not None:
+                actuals.append((rows_in, len(rows)))
             if not rows:
+                feed_back()
                 return slots, [], extras
             continue
         detail = _pattern_detail(pat)
@@ -434,7 +471,9 @@ def _run_id_pipeline(
                 prof.count("dict_lookups", consts)
         started = perf_counter()
         with span("operator", "sparql", pattern=detail) as attrs:
-            rows, op = _join_stage(graph, dictionary, pat, rows, slots, strategy)
+            rows, op = _join_stage(
+                graph, dictionary, pat, rows, slots, strategy, estimate
+            )
             attrs["op"] = op
             attrs["rows_in"] = rows_in
             attrs["rows_out"] = len(rows)
@@ -442,9 +481,14 @@ def _run_id_pipeline(
             prof.operator(
                 op, detail=detail, rows_in=rows_in, rows_out=len(rows),
                 seconds=perf_counter() - started,
+                est_rows_out=estimate.rows_out if estimate is not None else None,
             )
+        if actuals is not None:
+            actuals.append((rows_in, len(rows)))
         if not rows:
+            feed_back()
             return slots, [], extras
+    feed_back()
     return slots, rows, extras
 
 
@@ -463,6 +507,7 @@ def _join_stage(
     rows: List[IdRow],
     slots: Dict[str, int],
     strategy: str,
+    estimate=None,
 ) -> Tuple[List[IdRow], str]:
     """Join ``rows`` with one triple pattern, picking the operator.
 
@@ -471,6 +516,12 @@ def _join_stage(
     rows and the operator actually run (``"hash-join"``,
     ``"bind-join"``, ``"scan"`` for a shared-variable-free stage, or
     ``"no-match"`` when a constant term is absent from the dictionary).
+
+    ``estimate`` is the planner's :class:`StageEstimate` for this stage;
+    under the ``auto`` strategy the hash/bind decision then comes from
+    the cost model (scan cardinality vs. skew-weighted probe fanout,
+    re-evaluated against the exact intermediate row count) instead of
+    the legacy rule of thumb.
     """
     # per position: the constant id, the bound row slot, or a new name
     const: List[Optional[int]] = [None, None, None]
@@ -505,7 +556,9 @@ def _join_stage(
     shared = sorted(
         {names[i] for i in range(3) if names[i] is not None and bound_slot[i] is not None}
     )
-    if shared and _use_hash_join(graph, dictionary, const, rows, strategy):
+    if shared and _pick_hash_join(
+        graph, dictionary, const, rows, strategy, estimate
+    ):
         op = "hash-join"
         out = _hash_join(
             graph, const, names, bound_slot, slots,
@@ -520,6 +573,29 @@ def _join_stage(
     for offset, name in enumerate(new_names):
         slots[name] = base + offset
     return out, op
+
+
+def _pick_hash_join(
+    graph, dictionary, const, rows, strategy: str, estimate=None
+) -> bool:
+    """Hash-vs-bind decision for one joining stage.
+
+    With a cost-based :class:`StageEstimate` the decision compares what
+    the two operators pay beyond the rows they both emit: a hash join
+    pays the build scan plus one lookup per input row, a bind join pays
+    :data:`~repro.sparql.planner.PROBE_COST` index accesses per input
+    row. Only the scan is an estimate-time number — the row count is
+    exact at this point — so a mis-planned upstream cardinality cannot
+    flip the choice the wrong way. Without an estimate (legacy mode, no
+    plan) the historical rule of thumb applies.
+    """
+    if strategy == "hash-join":
+        return True
+    if len(rows) < _HASH_MIN_ROWS:
+        return False
+    if estimate is not None and strategy == "auto":
+        return estimate.scan + len(rows) <= len(rows) * PROBE_COST
+    return _use_hash_join(graph, dictionary, const, rows, strategy)
 
 
 def _use_hash_join(graph, dictionary, const, rows, strategy: str) -> bool:

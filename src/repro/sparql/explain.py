@@ -31,7 +31,7 @@ from repro.sparql.algebra import (
     ValuesPattern,
 )
 from repro.sparql.parser import parse_query
-from repro.sparql.planner import order_patterns, pattern_selectivity
+from repro.sparql.planner import plan_bgp
 
 
 def explain(
@@ -96,21 +96,26 @@ def _explain_pattern(
 ) -> None:
     pad = "  " * depth
     if isinstance(pattern, BGP):
-        ordered = order_patterns(graph, list(pattern.patterns))
+        plan = plan_bgp(graph, list(pattern.patterns))
         lines.append(
-            f"{pad}BGP ({len(ordered)} pattern(s), planner order, "
-            f"strategy={strategy}):"
+            f"{pad}BGP ({len(plan.order)} pattern(s), planner order, "
+            f"method={plan.method}, strategy={strategy}, "
+            f"cost={plan.cost:.1f}):"
         )
-        bound: set = set()
-        for i, triple in enumerate(ordered, start=1):
-            estimate = pattern_selectivity(graph, triple, bound)
-            marker = "index-joined" if _shares_variable(triple, bound) or not bound else "first"
-            if bound and not _shares_variable(triple, bound):
+        for i, stage in enumerate(plan.stages, start=1):
+            if i == 1:
+                marker = "first"
+            elif stage.connected:
+                marker = "index-joined"
+            else:
                 marker = "CARTESIAN"
+            operator = ""
+            if i > 1 and stage.operator in ("hash-join", "bind-join"):
+                operator = f" via {stage.operator}"
             lines.append(
-                f"{pad}  {i}. {_pattern_text(triple)}   ~{estimate} row(s), {marker}"
+                f"{pad}  {i}. {_pattern_text(stage.pattern)}   "
+                f"~{_fmt_rows(stage.rows_out)} row(s), {marker}{operator}"
             )
-            bound |= {t.name for t in triple if isinstance(t, Variable)}
         for path_triple in pattern.paths:
             lines.append(
                 f"{pad}  PATH {_term_text(path_triple.subject)} "
@@ -147,8 +152,12 @@ def _explain_pattern(
         lines.append(f"{pad}<{type(pattern).__name__}>")
 
 
-def _shares_variable(triple: Triple, bound: set) -> bool:
-    return any(isinstance(t, Variable) and t.name in bound for t in triple)
+def _fmt_rows(estimate: float) -> str:
+    """Row estimates render as integers when whole, one decimal when a
+    per-binding probe pushed them fractional."""
+    if estimate == int(estimate):
+        return str(int(estimate))
+    return f"{estimate:.1f}"
 
 
 def _pattern_text(triple: Triple) -> str:

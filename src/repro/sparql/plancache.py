@@ -34,9 +34,32 @@ from repro.obs.trace import span
 from repro.rdf.terms import Triple
 from repro.sparql.algebra import BGP, Query
 from repro.sparql.parser import parse_query
-from repro.sparql.planner import order_patterns
+from repro.sparql.planner import BGPPlan, plan_bgp
 
 _DEFAULT_MAXSIZE = 128
+
+#: A plan that keeps mis-estimating is re-costed at most this many
+#: times; beyond that the corrections have plainly stopped converging
+#: and replanning every execution would only churn the cache.
+MAX_REPLAN_ROUNDS = 5
+
+_METRIC_CACHE = None
+
+
+def _replans_counter():
+    """mdw_planner_replans_total, re-resolved if the registry is swapped."""
+    global _METRIC_CACHE
+    from repro.obs.registry import get_registry
+
+    registry = get_registry()
+    if _METRIC_CACHE is None or _METRIC_CACHE[0] is not registry:
+        family = registry.counter(
+            "mdw_planner_replans_total",
+            help="Cached plans re-costed after estimate-vs-actual drift",
+            labels=("reason",),
+        )
+        _METRIC_CACHE = (registry, family)
+    return _METRIC_CACHE[1]
 
 
 def _nsm_fingerprint(nsm) -> Tuple:
@@ -52,32 +75,81 @@ def _generation_of(graph):
 
 
 class PreparedQuery:
-    """A parsed query plus memoized join orders for one graph generation."""
+    """A parsed query plus memoized cost-based plans for one graph
+    generation.
 
-    __slots__ = ("text", "query", "generation", "_orders", "_lock")
+    Per BGP (and per bound-variable combination — an enclosing join or
+    initial binding changes the probe estimates) one
+    :class:`~repro.sparql.planner.BGPPlan` is computed lazily and
+    reused. The executor reports actual row counts back into those
+    plans; :attr:`needs_recost` then tells the cache the estimates blew
+    past the replan threshold, and :meth:`corrections` hands the
+    observed fanouts to the next planning round.
+    """
 
-    def __init__(self, text: str, query: Query, generation):
+    __slots__ = (
+        "text", "query", "generation", "replan_round",
+        "_plans", "_corrections", "_lock",
+    )
+
+    def __init__(self, text: str, query: Query, generation,
+                 corrections: Optional[Dict] = None, replan_round: int = 0):
         self.text = text
         self.query = query
         self.generation = generation
-        # id(bgp) -> ordered triple patterns; the BGP nodes live as long
+        self.replan_round = replan_round
+        # (id(bgp), bound names) -> BGPPlan; the BGP nodes live as long
         # as self.query does, so ids are stable
-        self._orders: Dict[int, List[Triple]] = {}
+        self._plans: Dict[Tuple, BGPPlan] = {}
+        self._corrections: Dict = dict(corrections) if corrections else {}
         # a shared plan may be executed by several workers at once; the
-        # lock makes the memoized order visible exactly-once
+        # lock makes the memoized plan visible exactly-once
         self._lock = threading.Lock()
 
-    def bgp_order(self, graph, bgp: BGP) -> List[Triple]:
-        """The planner's join order for ``bgp``, computed once per plan."""
-        key = id(bgp)
-        order = self._orders.get(key)
-        if order is None:
+    def bgp_plan(self, graph, bgp: BGP, bound=frozenset()) -> BGPPlan:
+        """The cost-based plan for ``bgp`` with ``bound`` variable names
+        already bound by the caller, computed once per combination."""
+        key = (id(bgp), bound)
+        plan = self._plans.get(key)
+        if plan is None:
             with self._lock:
-                order = self._orders.get(key)
-                if order is None:
-                    order = order_patterns(graph, list(bgp.patterns))
-                    self._orders[key] = order
-        return order
+                plan = self._plans.get(key)
+                if plan is None:
+                    plan = plan_bgp(
+                        graph, list(bgp.patterns), bound=bound,
+                        corrections=self._corrections or None,
+                    )
+                    self._plans[key] = plan
+        return plan
+
+    def bgp_order(self, graph, bgp: BGP) -> List[Triple]:
+        """The planner's join order for ``bgp`` (legacy accessor)."""
+        return self.bgp_plan(graph, bgp).order
+
+    @property
+    def needs_recost(self) -> bool:
+        """True when an executed BGP's estimates were off by more than
+        the replan threshold (and the replan budget is not exhausted)."""
+        if self.replan_round >= MAX_REPLAN_ROUNDS:
+            return False
+        return any(plan.mis_estimated for plan in list(self._plans.values()))
+
+    def corrections(self) -> Dict:
+        """The corrections the next planning round should start from:
+        what this plan was given, overlaid with what it observed."""
+        merged = dict(self._corrections)
+        for plan in list(self._plans.values()):
+            merged.update(plan.observed)
+        return merged
+
+    def max_error(self) -> float:
+        """Worst estimate-vs-actual ratio any of this query's BGPs saw."""
+        errors = [plan.max_error for plan in list(self._plans.values())]
+        return max(errors) if errors else 1.0
+
+    def plan_snapshots(self) -> List[Dict]:
+        """Per-BGP plan summaries (EXPLAIN / debugging)."""
+        return [plan.snapshot() for plan in list(self._plans.values())]
 
 
 class PlanCache:
@@ -101,6 +173,7 @@ class PlanCache:
         self.parse_misses = 0
         self.plan_hits = 0
         self.plan_misses = 0
+        self.replans = 0
 
     # -- parse level -------------------------------------------------------
 
@@ -132,19 +205,49 @@ class PlanCache:
     # -- plan level --------------------------------------------------------
 
     def prepare(self, graph, text: str, nsm=None) -> PreparedQuery:
-        """A :class:`PreparedQuery` valid for the graph's current state."""
+        """A :class:`PreparedQuery` valid for the graph's current state.
+
+        A cached entry whose executed estimates drifted past the replan
+        threshold is **re-costed** instead of returned: a fresh
+        :class:`PreparedQuery` takes its place, seeded with the observed
+        per-stage fanouts as correction factors, so the next execution
+        plans from actuals (``mdw_planner_replans_total``).
+        """
         generation = _generation_of(graph)
         key = (text, _nsm_fingerprint(nsm), generation)
+        replaced = None
         with self._lock:
             cached = self._plans.get(key)
             if cached is not None:
-                self.plan_hits += 1
-                self._plans.move_to_end(key)
-                prof = current_profile()
-                if prof is not None:
-                    prof.count("plan_cache_hits")
-                return cached
-            self.plan_misses += 1
+                if cached.needs_recost:
+                    self.replans += 1
+                    replaced = PreparedQuery(
+                        cached.text, cached.query, generation,
+                        corrections=cached.corrections(),
+                        replan_round=cached.replan_round + 1,
+                    )
+                    self._plans[key] = replaced
+                    self._plans.move_to_end(key)
+                else:
+                    self.plan_hits += 1
+                    self._plans.move_to_end(key)
+                    prof = current_profile()
+                    if prof is not None:
+                        prof.count("plan_cache_hits")
+                    return cached
+            else:
+                self.plan_misses += 1
+        if replaced is not None:
+            # metrics outside the cache lock: the registry's exporters
+            # run callbacks of their own and must not nest under us
+            try:
+                _replans_counter().inc(reason="estimate-error")
+            except Exception:
+                pass
+            prof = current_profile()
+            if prof is not None:
+                prof.count("replans")
+            return replaced
         prof = current_profile()
         if prof is not None:
             prof.count("plan_cache_misses")
@@ -185,6 +288,7 @@ class PlanCache:
                 "parse_misses": self.parse_misses,
                 "plan_hits": self.plan_hits,
                 "plan_misses": self.plan_misses,
+                "replans": self.replans,
                 "parse_entries": len(self._parses),
                 "plan_entries": len(self._plans),
             }

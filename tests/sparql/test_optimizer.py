@@ -1,0 +1,266 @@
+"""The cost-based optimizer v2: statistics-driven join reordering, the
+skew-aware cost model, plan memoization, and the profile-driven
+re-costing feedback loop (estimate >10x off -> replan with actuals)."""
+
+import random
+
+import pytest
+
+from repro.core.warehouse import MetadataWarehouse
+from repro.etl import EtlOrchestrator
+from repro.rdf import Graph, Namespace, Triple, Variable
+from repro.resilience.chaos import make_release_feeds
+from repro.sparql import (
+    PlanCache,
+    execute,
+    pattern_selectivity,
+    plan_bgp,
+    planner_mode,
+)
+from repro.sparql.planner import REPLAN_ERROR_FACTOR, _bind_emission
+
+EX = Namespace("http://opt.test/")
+
+
+def hub_graph(hubs=20, fanout=100, singles=2000, rare_tags=0):
+    """Skewed link predicate: a few hub subjects own most of the edges.
+
+    The hub subjects are exactly the ones ``isHub`` selects — the
+    correlated-predicate trap a uniform cost model walks straight into.
+    """
+    g = Graph()
+    for h in range(hubs):
+        g.add(Triple(EX[f"hub{h}"], EX.isHub, EX.yes))
+        for j in range(fanout):
+            g.add(Triple(EX[f"hub{h}"], EX.links, EX[f"spoke_{h}_{j}"]))
+    for k in range(singles):
+        g.add(Triple(EX[f"single{k}"], EX.links, EX[f"leaf{k}"]))
+    for k in range(rare_tags):
+        g.add(Triple(EX[f"leaf{k}"], EX.tag, EX.Rare))
+    return g
+
+
+class TestBoundVariableSelectivity:
+    def test_unbound_is_exact_count(self):
+        g = hub_graph(hubs=2, fanout=5, singles=10)
+        pattern = Triple(Variable("h"), EX.links, Variable("x"))
+        assert pattern_selectivity(g, pattern, set()) == 20
+
+    def test_bound_subject_divides_by_distinct_subjects(self):
+        g = hub_graph(hubs=2, fanout=5, singles=10)
+        pattern = Triple(Variable("h"), EX.links, Variable("x"))
+        # 20 triples over 12 distinct subjects: a per-binding probe
+        estimate = pattern_selectivity(g, pattern, {"h"})
+        assert estimate == pytest.approx(20 / 12)
+
+    def test_bound_object_divides_by_distinct_objects(self):
+        g = hub_graph(hubs=2, fanout=5, singles=10)
+        pattern = Triple(Variable("h"), EX.links, Variable("x"))
+        assert pattern_selectivity(g, pattern, {"x"}) == pytest.approx(1.0)
+
+
+class TestBindEmissionCap:
+    def test_no_histogram_charges_skew_expectation(self):
+        assert _bind_emission(10.0, 2.0, 50.0, None, 0.0) == 500.0
+
+    def test_histogram_caps_many_near_distinct_probes(self):
+        # 8 heavy hitters of 100 plus a uniform tail of 2: 90 distinct
+        # probes can emit at most the top-8 sum plus 82 tail probes,
+        # far below the frequency-weighted expectation
+        prefix = tuple(float(100 * i) for i in range(9))
+        capped = _bind_emission(90.0, 2.0, 60.0, prefix, 2.0)
+        assert capped == pytest.approx(800.0 + 82.0 * 2.0)
+        assert capped < 90.0 * 60.0
+
+    def test_few_probes_still_pay_heavy_hitter_price(self):
+        # 5 probes against 5 hitters of 1000: the worst case (5000)
+        # does not cap the skew expectation (3000) — the hub trap
+        # stays expensive
+        prefix = (0.0, 1000.0, 2000.0, 3000.0, 4000.0, 5000.0)
+        assert _bind_emission(5.0, 2.0, 600.0, prefix, 1.0) == 3000.0
+
+    def test_never_below_uniform_expectation(self):
+        prefix = (0.0, 1.0, 2.0)
+        assert _bind_emission(10.0, 3.0, 4.0, prefix, 0.0) >= 30.0
+
+
+class TestHubTrapAvoidance:
+    def test_cost_planner_anchors_off_the_hub(self):
+        g = hub_graph(hubs=5, fanout=200, singles=1000, rare_tags=6)
+        patterns = [
+            Triple(Variable("h"), EX.isHub, EX.yes),
+            Triple(Variable("h"), EX.links, Variable("x")),
+            Triple(Variable("x"), EX.tag, EX.Rare),
+        ]
+        with planner_mode("legacy"):
+            legacy = plan_bgp(g, patterns)
+        cost = plan_bgp(g, patterns)
+        # greedy anchors on the smallest scan (isHub, 5 triples) and
+        # then probes links from the five heaviest subjects in the
+        # graph; the histogram-aware cost model starts from the rare
+        # tag side instead
+        assert legacy.order[0].predicate == EX.isHub
+        assert cost.order[0].predicate == EX.tag
+
+    def test_both_orders_agree_on_results(self):
+        g = hub_graph(hubs=5, fanout=200, singles=1000, rare_tags=6)
+        text = (
+            "SELECT ?h ?x WHERE { "
+            f"?h <{EX.isHub.value}> <{EX.yes.value}> . "
+            f"?h <{EX.links.value}> ?x . "
+            f"?x <{EX.tag.value}> <{EX.Rare.value}> }}"
+        )
+        with planner_mode("legacy"):
+            legacy_rows = execute(g, text).to_dicts()
+        cost_rows = execute(g, text).to_dicts()
+        assert sorted(cost_rows, key=repr) == sorted(legacy_rows, key=repr)
+
+
+class TestDeterministicTieBreak:
+    def two_symmetric(self, g):
+        return [
+            Triple(Variable("x"), EX.p1, Variable("a")),
+            Triple(Variable("x"), EX.p2, Variable("b")),
+        ]
+
+    def symmetric_graph(self):
+        g = Graph()
+        for i in range(6):
+            g.add(Triple(EX[f"s{i}"], EX.p1, EX[f"a{i}"]))
+            g.add(Triple(EX[f"s{i}"], EX.p2, EX[f"b{i}"]))
+        return g
+
+    def test_equal_cost_keeps_original_positions(self):
+        g = self.symmetric_graph()
+        plan = plan_bgp(g, self.two_symmetric(g))
+        assert [p.predicate for p in plan.order] == [EX.p1, EX.p2]
+
+    def test_reversed_input_keeps_its_own_positions(self):
+        g = self.symmetric_graph()
+        plan = plan_bgp(g, list(reversed(self.two_symmetric(g))))
+        assert [p.predicate for p in plan.order] == [EX.p2, EX.p1]
+
+    def test_replanning_is_stable(self):
+        g = self.symmetric_graph()
+        patterns = self.two_symmetric(g)
+        orders = {tuple(map(id, plan_bgp(g, patterns).order)) for _ in range(5)}
+        assert len(orders) == 1
+
+
+class TestPlanMemo:
+    def patterns(self):
+        return [
+            Triple(Variable("h"), EX.isHub, EX.yes),
+            Triple(Variable("h"), EX.links, Variable("x")),
+        ]
+
+    def test_memo_hits_return_independent_plans(self):
+        g = hub_graph(hubs=3, fanout=10, singles=50)
+        patterns = self.patterns()
+        first = plan_bgp(g, patterns)
+        second = plan_bgp(g, patterns)
+        assert first is not second
+        assert [p for p in first.order] == [p for p in second.order]
+        # feedback state must never be shared through the memo
+        first.observe([(1, 1000), (1, 1000)])
+        assert first.mis_estimated
+        assert not second.mis_estimated
+        assert not plan_bgp(g, patterns).mis_estimated
+
+    def test_graph_mutation_invalidates_memo(self):
+        g = hub_graph(hubs=3, fanout=10, singles=50)
+        patterns = self.patterns()
+        before = plan_bgp(g, patterns)
+        g.add(Triple(EX.hub99, EX.isHub, EX.yes))
+        after = plan_bgp(g, patterns)
+        anchor = next(s for s in after.stages if s.detail.endswith("> " + EX.yes.n3()))
+        assert anchor.scan == before.stages[0].scan + 1
+
+    def test_corrections_bypass_memo(self):
+        g = hub_graph(hubs=3, fanout=10, singles=50)
+        patterns = self.patterns()
+        plain = plan_bgp(g, patterns)
+        from repro.sparql.planner import _correction_key
+
+        key = _correction_key(patterns[1], frozenset({"h"}))
+        corrected = plan_bgp(g, patterns, corrections={key: 10.0})
+        assert corrected.stages[-1].rows_out > plain.stages[-1].rows_out
+
+
+class TestReplanFeedback:
+    QUERY = (
+        "SELECT ?h ?x WHERE { "
+        f"?h <{EX.isHub.value}> <{EX.yes.value}> . "
+        f"?h <{EX.links.value}> ?x }}"
+    )
+
+    def test_misestimate_triggers_recost_with_actuals(self):
+        g = hub_graph()  # links fanout: estimated ~2, actual 100
+        cache = PlanCache()
+        rows1 = execute(g, self.QUERY, plan_cache=cache).to_dicts()
+        assert len(rows1) == 2000
+        assert cache.replans == 0
+        prepared1 = cache.prepare(g, self.QUERY)
+        # ...which IS the replan: the executed plan blew the threshold
+        assert cache.replans == 1
+        assert prepared1.replan_round == 1
+        assert prepared1.max_error() == 1.0  # fresh plans, not yet run
+
+        rows2 = execute(g, self.QUERY, plan_cache=cache).to_dicts()
+        assert sorted(rows2, key=repr) == sorted(rows1, key=repr)
+        # re-costed from observed fanouts: estimates now match actuals,
+        # so the second execution stays inside the replan threshold
+        assert cache.replans == 1
+        prepared2 = cache.prepare(g, self.QUERY)
+        assert prepared2 is prepared1
+        assert prepared1.max_error() < REPLAN_ERROR_FACTOR
+
+    def test_observe_marks_plan_past_threshold(self):
+        g = hub_graph(hubs=3, fanout=10, singles=50)
+        plan = plan_bgp(
+            g,
+            [
+                Triple(Variable("h"), EX.isHub, EX.yes),
+                Triple(Variable("h"), EX.links, Variable("x")),
+            ],
+        )
+        worst = plan.observe([(1, 3), (3, 3000)])
+        assert worst > REPLAN_ERROR_FACTOR
+        assert plan.mis_estimated
+        assert plan.observed  # per-stage fanouts recorded as corrections
+
+
+class TestStaleStatsRecost:
+    def test_incremental_release_recosts_cached_plan(self):
+        rng = random.Random(11)
+        release1 = make_release_feeds(rng)
+        mdw = MetadataWarehouse()
+        mdw.build_entailment_index("OWLPRIME")
+        EtlOrchestrator(mdw).apply_release(release1, mode="full")
+        text = "SELECT ?s ?name WHERE { ?s rdf:type ?c . ?s dm:hasName ?name }"
+
+        rows1 = mdw.query(text, rulebases=("OWLPRIME",))
+        assert len(rows1) > 0
+        catalog = mdw.graph.stats()
+        refreshes = catalog.refreshes
+        misses = mdw.plan_cache.stats()["plan_misses"]
+
+        # replace one document: the delta shifts hasName/type counts
+        # past the stats refresh threshold
+        release2 = release1[:-1] + make_release_feeds(rng, documents=1)
+        result = EtlOrchestrator(mdw).apply_release(release2, mode="incremental")
+        assert result.ok and result.added > 0 and result.removed > 0
+
+        rows2 = mdw.query(text, rulebases=("OWLPRIME",))
+        # the generation moved: the cached plan was re-planned against
+        # refreshed statistics, not reused
+        assert mdw.plan_cache.stats()["plan_misses"] > misses
+        assert catalog.refreshes > refreshes
+        assert not catalog.is_stale()
+
+        # bit-identical with a plan-cache-free evaluation of the view
+        view = mdw.store.view([mdw.model_name], rulebases=["OWLPRIME"])
+        fresh = execute(view, text, nsm=mdw.namespaces)
+        assert sorted(rows2.to_dicts(), key=repr) == sorted(
+            fresh.to_dicts(), key=repr
+        )
