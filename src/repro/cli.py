@@ -125,9 +125,48 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("store")
     index.add_argument("--rulebase", default="OWLPRIME")
 
-    snapshot = sub.add_parser("snapshot", help="historize the current model")
-    snapshot.add_argument("store")
-    snapshot.add_argument("version", help="version name, e.g. 2026.R1")
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="binary snapshot files, delta segments, and historized versions",
+    )
+    snap_sub = snapshot.add_subparsers(dest="snapshot_command", required=True)
+
+    s_hist = snap_sub.add_parser(
+        "historize", help="historize the current model under a version name"
+    )
+    s_hist.add_argument("store")
+    s_hist.add_argument("version", help="version name, e.g. 2026.R1")
+
+    s_save = snap_sub.add_parser(
+        "save", help="write the store as one mmap-able binary snapshot file"
+    )
+    s_save.add_argument("store", help="store directory (or snapshot file) to read")
+    s_save.add_argument("file", help="snapshot file to write, e.g. wh.mdws")
+
+    s_attach = snap_sub.add_parser(
+        "attach", help="attach (mmap) a snapshot file and print what it serves"
+    )
+    s_attach.add_argument("file", help="snapshot file to attach")
+    s_attach.add_argument(
+        "--segment", action="append", default=[], metavar="FILE",
+        help="delta segment to replay on top (repeatable, chain order)",
+    )
+
+    s_info = snap_sub.add_parser(
+        "info", help="header and table of contents of a snapshot file"
+    )
+    s_info.add_argument("file", help="snapshot file to inspect")
+    s_info.add_argument(
+        "--verify", action="store_true",
+        help="also recompute every section checksum",
+    )
+
+    s_migrate = snap_sub.add_parser(
+        "migrate",
+        help="convert a legacy N-Triples store directory to a snapshot file",
+    )
+    s_migrate.add_argument("old", help="legacy store directory (manifest.json)")
+    s_migrate.add_argument("new", help="snapshot file to write")
 
     versions = sub.add_parser("versions", help="list historized versions")
     versions.add_argument("store")
@@ -172,9 +211,15 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--documents", type=int, default=4, help="release feeds per iteration")
     chaos.add_argument("--instances", type=int, default=10, help="instances per feed")
     chaos.add_argument("--workdir", default=None, help="directory for journals (default: a temp dir)")
-    chaos.add_argument(
+    chaos_path = chaos.add_mutually_exclusive_group()
+    chaos_path.add_argument(
         "--incremental", action="store_true",
         help="crash/recover through the incremental release-application path",
+    )
+    chaos_path.add_argument(
+        "--snapshot", action="store_true",
+        help="crash/recover through the snapshot storage path "
+        "(save/attach fault sites)",
     )
 
     workload = sub.add_parser(
@@ -221,14 +266,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: ``snapshot`` sub-subcommands; anything else after ``snapshot`` is the
+#: legacy ``snapshot <store> <version>`` spelling, rewritten to
+#: ``snapshot historize <store> <version>``.
+_SNAPSHOT_CMDS = ("historize", "save", "attach", "info", "migrate")
+
+
+def _rewrite_legacy(argv: List[str]) -> List[str]:
+    if (
+        len(argv) >= 2
+        and argv[0] == "snapshot"
+        and argv[1] not in _SNAPSHOT_CMDS
+        and not argv[1].startswith("-")
+    ):
+        return [argv[0], "historize", *argv[1:]]
+    return argv
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.storage import StorageError
+
+    argv = _rewrite_legacy(list(sys.argv[1:] if argv is None else argv))
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         handler = _HANDLERS[args.command]
         handler(args)
         return 0
-    except (CliError, PersistenceError) as exc:
+    except (CliError, PersistenceError, StorageError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -240,6 +305,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _open(args) -> MetadataWarehouse:
     path = Path(args.store)
+    if path.is_file():
+        # a snapshot file: attach it (read-only, mmap) instead of loading
+        return MetadataWarehouse.attach_snapshot(path)
     if not (path / "manifest.json").exists():
         raise CliError(f"{path} is not a store directory (run 'generate' first)")
     return MetadataWarehouse.load(path)
@@ -412,6 +480,16 @@ def cmd_index(args) -> None:
 
 
 def cmd_snapshot(args) -> None:
+    {
+        "historize": _snapshot_historize,
+        "save": _snapshot_save,
+        "attach": _snapshot_attach,
+        "info": _snapshot_info,
+        "migrate": _snapshot_migrate,
+    }[args.snapshot_command](args)
+
+
+def _snapshot_historize(args) -> None:
     from repro.history import HistorizationError, Historizer
 
     mdw = _open(args)
@@ -422,6 +500,70 @@ def cmd_snapshot(args) -> None:
         raise CliError(str(exc)) from None
     mdw.save(args.store)
     print(version.summary())
+
+
+def _snapshot_save(args) -> None:
+    mdw = _open(args)
+    path = mdw.save_snapshot(args.file)
+    triples = mdw.store.total_triples(include_indexes=True)
+    print(
+        f"saved {triples} triple(s) "
+        f"({len(mdw.store.model_names())} model(s)) "
+        f"to {path} ({path.stat().st_size} bytes)"
+    )
+
+
+def _snapshot_attach(args) -> None:
+    if not Path(args.file).is_file():
+        raise CliError(f"no such snapshot file: {args.file}")
+    for seg in args.segment:
+        if not Path(seg).is_file():
+            raise CliError(f"no such segment file: {seg}")
+    mdw = MetadataWarehouse.attach_snapshot(args.file, segments=args.segment)
+    for name in mdw.store.model_names():
+        print(f"model {name:<16} {len(mdw.store.model(name)):>10} triple(s)")
+    for model, rulebase in mdw.store.index_names():
+        derived = mdw.store.index(model, rulebase)
+        print(f"index {model}[{rulebase}] {len(derived):>10} triple(s)")
+    print(mdw.statistics().render_table_i())
+
+
+def _snapshot_info(args) -> None:
+    import json
+
+    from repro.storage import MappedSnapshot
+
+    if not Path(args.file).is_file():
+        raise CliError(f"no such snapshot file: {args.file}")
+    snap = MappedSnapshot.open(args.file)
+    try:
+        info = snap.info()
+        if args.verify:
+            info["checksums"] = "ok" if snap.verify() else "MISMATCH"
+        print(json.dumps(info, indent=2, sort_keys=True))
+        if info.get("checksums") == "MISMATCH":
+            raise CliError(f"{args.file}: section checksum mismatch")
+    finally:
+        snap.close()
+
+
+def _snapshot_migrate(args) -> None:
+    import warnings
+
+    from repro.storage import get_engine
+
+    old = Path(args.old)
+    if not (old / "manifest.json").exists():
+        raise CliError(f"{old} is not a legacy store directory")
+    with warnings.catch_warnings():
+        # migration IS the deprecation remedy; no need to warn about it
+        warnings.simplefilter("ignore", DeprecationWarning)
+        store = get_engine("memory").load(old)
+    path = get_engine("mmap").save(store, args.new)
+    print(
+        f"migrated {store.total_triples(include_indexes=True)} triple(s) "
+        f"from {old} to {path} ({Path(path).stat().st_size} bytes)"
+    )
 
 
 def cmd_versions(args) -> None:
@@ -731,19 +873,29 @@ def cmd_chaos(args) -> None:
     reference state (model, entailment indexes, probe answers); any
     divergence is a bug in the crash-recovery path and exits 2.
     """
-    from repro.resilience.chaos import run_chaos
+    from repro.resilience.chaos import run_chaos, run_snapshot_chaos
 
     if args.iterations < 1:
         raise CliError("--iterations must be positive")
-    report = run_chaos(
-        seed=args.seed,
-        iterations=args.iterations,
-        documents=args.documents,
-        instances=args.instances,
-        workdir=args.workdir,
-        log=print,
-        incremental=args.incremental,
-    )
+    if args.snapshot:
+        report = run_snapshot_chaos(
+            seed=args.seed,
+            iterations=args.iterations,
+            documents=args.documents,
+            instances=args.instances,
+            workdir=args.workdir,
+            log=print,
+        )
+    else:
+        report = run_chaos(
+            seed=args.seed,
+            iterations=args.iterations,
+            documents=args.documents,
+            instances=args.instances,
+            workdir=args.workdir,
+            log=print,
+            incremental=args.incremental,
+        )
     print(report.verdict())  # per-iteration lines already streamed live
     if not report.ok:
         diverged = sum(1 for it in report.iterations if not it.converged)

@@ -233,19 +233,65 @@ class MetadataWarehouse:
 
     # -- persistence and history ------------------------------------------------
 
-    def save(self, directory) -> None:
+    def save(self, directory, engine: str = "memory") -> None:
         """Persist the whole store (current model, historized versions,
-        entailment indexes) to a directory. See :mod:`repro.rdf.persist`."""
-        from repro.rdf.persist import save_store
+        entailment indexes) through a storage engine.
 
-        save_store(self.store, directory)
+        ``engine="memory"`` writes the legacy N-Triples directory (the
+        historical default, kept for compatibility); ``engine="mmap"``
+        writes one binary snapshot file (see :meth:`save_snapshot`).
+        """
+        from repro.storage import get_engine
+
+        get_engine(engine).save(self.store, directory, generation=self.graph.generation)
 
     @classmethod
-    def load(cls, directory, model: str = DEFAULT_MODEL) -> "MetadataWarehouse":
-        """Open a warehouse saved with :meth:`save`."""
-        from repro.rdf.persist import load_store
+    def load(cls, path, model: str = DEFAULT_MODEL) -> "MetadataWarehouse":
+        """Open a warehouse saved with :meth:`save`, either format.
 
-        store = load_store(directory)
+        The on-disk shape picks the engine: a manifest directory loads
+        through the (deprecated) legacy path, a snapshot file attaches.
+        """
+        from repro.storage import detect_engine
+
+        store = detect_engine(path).load(path)
+        return cls(model=model, store=store)
+
+    def save_snapshot(self, path, generation: Optional[int] = None):
+        """Write the whole store as one mmap-able binary snapshot file.
+
+        Atomic and checksummed; ``generation`` defaults to the current
+        model's change counter (the stamp delta segments chain on).
+        """
+        from repro.storage import save_snapshot_store
+
+        gen = self.graph.generation if generation is None else generation
+        return save_snapshot_store(self.store, path, generation=gen)
+
+    @classmethod
+    def attach_snapshot(
+        cls,
+        path,
+        model: str = DEFAULT_MODEL,
+        segments: Sequence = (),
+        mutable_models: Optional[Sequence[str]] = (),
+    ) -> "MetadataWarehouse":
+        """Open a warehouse over a mapped snapshot file — the fast cold
+        start: nothing is deserialized up front, queries read pages
+        straight from the mapping.
+
+        ``segments`` is a chain of delta-segment paths to replay on top
+        of the base (their base generations are verified against the
+        snapshot's stamp). ``mutable_models`` materializes the named
+        models for writing; the default keeps everything mapped and
+        read-only.
+        """
+        from repro.storage import MappedSnapshot, apply_segments
+
+        snap = MappedSnapshot.open(path)
+        store = snap.store(mutable_models=mutable_models)
+        if segments:
+            apply_segments(store, list(segments), base_generation=snap.generation)
         return cls(model=model, store=store)
 
     def as_of(self, version_name: str) -> "MetadataWarehouse":

@@ -177,6 +177,14 @@ class EntailmentIndexManager:
         if derived is None or tracker is None or tracker.overflown:
             return self.build(model, rulebase)
         added, removed = tracker.peek()
+        # an index that arrived read-only (mapped snapshot, frozen copy)
+        # must become writable before DRed maintenance mutates it; the
+        # re-attach below registers the writable replacement
+        materialize = getattr(derived, "materialize", None)
+        if materialize is not None:
+            derived = materialize()
+        elif derived.frozen:
+            derived = derived.copy()
         base = self._store.model(model)
         with span("index.refresh", "reasoning", model=model, rulebase=rulebase):
             faults.fire("index.refresh")

@@ -48,6 +48,7 @@ from repro.resilience.journal import (
 from repro.resilience.loader import (
     RecoveryReport,
     ResilientBulkLoader,
+    attach_and_recover,
     recover,
     rollback_to_snapshot,
 )
@@ -80,6 +81,7 @@ __all__ = [
     "RetryExhausted",
     "RetryPolicy",
     "active_injector",
+    "attach_and_recover",
     "classify_reason",
     "fault_scope",
     "fire",

@@ -46,6 +46,14 @@ INCREMENTAL_SITES = [
     "etl.validate",
 ]
 
+#: The storage-tier sites a snapshot chaos iteration may kill at: mid
+#: snapshot-file save (after fsync, before the atomic rename) and while
+#: opening (mmap + validate) a snapshot file.
+SNAPSHOT_SITES = [
+    "snapshot.save",
+    "snapshot.attach",
+]
+
 #: The probe query both sides answer after the dust settles (exercises
 #: the plan cache and, via the rulebase, the entailment index).
 PROBE_QUERY = "SELECT ?s ?name WHERE { ?s dm:hasName ?name }"
@@ -244,6 +252,125 @@ def _run_incremental_iteration(
         else:
             it.converged = True
     return it
+
+
+def _attach_fingerprint(path):
+    """Fingerprint + probe of a warehouse attached from ``path``."""
+    from repro.core.warehouse import MetadataWarehouse
+
+    mdw = MetadataWarehouse.attach_snapshot(path)
+    return _fingerprint(mdw), _probe(mdw)
+
+
+def _run_snapshot_iteration(
+    i: int,
+    iteration_seed: int,
+    rng: random.Random,
+    documents: int,
+    instances: int,
+    root: Path,
+) -> ChaosIteration:
+    """One crash/recover/verify round through the *storage* path.
+
+    A base release is saved as a snapshot file; a second release then
+    tries to republish over it with a fault armed at a storage site. A
+    crash mid-save must leave the previous snapshot file **bit
+    identical** and attachable (the atomic temp + fsync + rename
+    contract); a crash mid-attach must leave the file untouched and a
+    retry must succeed. Either way, the retried publish must attach to
+    exactly the evolved state.
+    """
+    feeds1 = make_release_feeds(rng, documents=documents, instances=instances)
+    feeds2 = feeds1[:-1] + make_release_feeds(rng, documents=1, instances=instances)
+
+    base = _build_release_base(feeds1)
+    path = root / f"snap-{i}.mdws"
+    base.save_snapshot(path)
+    base_bytes = path.read_bytes()
+    expected_base = _fingerprint(base)
+
+    evolved = _build_release_base(feeds2)
+    expected = _fingerprint(evolved)
+    expected_probe = _probe(evolved)
+
+    injector = FaultInjector(seed=iteration_seed)
+    site = injector.choose_site(SNAPSHOT_SITES)
+    injector.arm(site, "raise", times=1)
+    it = ChaosIteration(index=i, seed=iteration_seed, site=site, skip=0)
+
+    if site == "snapshot.save":
+        with fault_scope(injector):
+            try:
+                evolved.save_snapshot(path)
+            except InjectedFault:
+                it.crashed = True
+        # the crash landed between fsync and rename: the previous
+        # snapshot must still be there, byte for byte, and attachable
+        if path.read_bytes() != base_bytes:
+            it.detail = "crashed save mutated the previous snapshot file"
+            return it
+        survived, _ = _attach_fingerprint(path)
+        if survived != expected_base:
+            it.detail = "previous snapshot no longer attaches to base state"
+            return it
+        it.recovery_action = "retry-save"
+    else:
+        evolved.save_snapshot(path)
+        published_bytes = path.read_bytes()
+        with fault_scope(injector):
+            try:
+                _attach_fingerprint(path)
+            except InjectedFault:
+                it.crashed = True
+        if path.read_bytes() != published_bytes:
+            it.detail = "failed attach mutated the snapshot file"
+            return it
+        it.recovery_action = "retry-attach"
+
+    # recovery: re-run the interrupted step without faults
+    if site == "snapshot.save":
+        evolved.save_snapshot(path)
+    it.reran = True
+    actual, actual_probe = _attach_fingerprint(path)
+    if actual != expected:
+        diverged = sorted(
+            k
+            for k in set(expected) | set(actual)
+            if expected.get(k) != actual.get(k)
+        )
+        it.detail = f"state mismatch in {diverged}"
+    elif actual_probe != expected_probe:
+        it.detail = "probe query answers differ"
+    else:
+        it.converged = True
+    return it
+
+
+def run_snapshot_chaos(
+    seed: int = 0,
+    iterations: int = 5,
+    documents: int = 4,
+    instances: int = 10,
+    workdir: Optional[Path] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Randomized crash/recover/verify over the snapshot storage tier
+    (``repro-mdw chaos --snapshot``)."""
+    import tempfile
+
+    report = ChaosReport(seed=seed)
+    say = log if log is not None else (lambda message: None)
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(workdir) if workdir is not None else Path(tmp)
+        for i in range(iterations):
+            iteration_seed = seed * 100_003 + i
+            rng = random.Random(iteration_seed)
+            it = _run_snapshot_iteration(
+                i, iteration_seed, rng, documents, instances, root
+            )
+            report.iterations.append(it)
+            say(it.summary())
+    return report
 
 
 def run_chaos(

@@ -35,6 +35,8 @@ FAULT_POINTS: Dict[str, str] = {
     "journal.checkpoint": "before a batch checkpoint is made durable",
     "persist.save": "mid store save, after data files, before the manifest",
     "snapshot.publish": "while publishing a fresh read snapshot",
+    "snapshot.save": "mid snapshot-file save, after fsync, before the atomic rename",
+    "snapshot.attach": "while opening (mmap + validate) a snapshot file",
     "worker.execute": "inside a query-service worker, before dispatch",
     "release.apply": "before applying a release delta to the live model",
     "index.refresh": "while (re)building an entailment index",

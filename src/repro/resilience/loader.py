@@ -279,6 +279,47 @@ def recover(
     return report
 
 
+def attach_and_recover(
+    snapshot_path: Union[str, Path],
+    journal_path: Union[str, Path],
+    model: str = "DWH_CURR",
+    refresh_indexes: bool = True,
+    durable: bool = True,
+) -> Tuple[object, RecoveryReport]:
+    """The fast cold start: attach a snapshot file, then replay only the
+    journal tail.
+
+    A full restart used to mean re-running the ETL or replaying every
+    journaled load. With a published snapshot the sequence collapses to
+    *attach-then-replay-tail*: mmap the snapshot (milliseconds, nothing
+    deserialized), inspect the journal, and replay just the one
+    transaction — if any — that was in flight when the process died.
+    The attached store stays fully mapped unless a replay is actually
+    needed; only then is the affected model materialized for writing.
+
+    Returns ``(warehouse, report)`` — the same :class:`RecoveryReport`
+    :func:`recover` produces, so callers can log one consistent story.
+    """
+    from repro.core.warehouse import MetadataWarehouse
+
+    journal_path = Path(journal_path)
+    txn = pending_transaction(journal_path) if journal_path.exists() else None
+    needs_replay = txn is not None and _writeahead_complete(txn)
+    mutable = (txn.model,) if needs_replay else ()
+    warehouse = MetadataWarehouse.attach_snapshot(
+        snapshot_path, model=model, mutable_models=mutable
+    )
+    if txn is None:
+        return warehouse, RecoveryReport(action="none")
+    report = recover(
+        warehouse,
+        journal_path,
+        refresh_indexes=refresh_indexes,
+        durable=durable,
+    )
+    return warehouse, report
+
+
 def rollback_to_snapshot(warehouse, snapshot) -> int:
     """Restore the live model to a pinned pre-load snapshot's content.
 

@@ -120,6 +120,9 @@ class ServiceMetrics:
         self._queue_high_water = 0
         self._breaker_shed = 0
         self._degraded = 0
+        # fork-worker spawns by mode ("attach" | "cow"): how children got
+        # their warehouse — mapped snapshot file vs CoW-inherited objects
+        self._fork_workers: Dict[str, int] = {}
         registry = registry if registry is not None else get_registry()
         self._registry = registry
         self._events = registry.counter(
@@ -210,6 +213,14 @@ class ServiceMetrics:
             self._degraded += 1
         self._event("degraded")
 
+    def on_fork_worker(self, mode: str) -> None:
+        """A fork-mode child was spawned; ``mode`` says how it got its
+        warehouse (``attach`` = mapped snapshot file, ``cow`` = inherited
+        copy-on-write objects)."""
+        with self._lock:
+            self._fork_workers[mode] = self._fork_workers.get(mode, 0) + 1
+        self._event(f"fork_worker_{mode}")
+
     # -- reporting ---------------------------------------------------------
 
     def snapshot(self, plan_cache=None) -> Dict[str, object]:
@@ -225,6 +236,7 @@ class ServiceMetrics:
                 "queue_high_water": self._queue_high_water,
                 "breaker_shed": self._breaker_shed,
                 "degraded_responses": self._degraded,
+                "fork_workers": dict(self._fork_workers),
             }
             endpoints = dict(self._latency)
         out["endpoints"] = {kind: h.summary() for kind, h in sorted(endpoints.items())}

@@ -23,9 +23,11 @@ default thread mode.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as _queue
 import threading
 import time
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.server.errors import Cancelled, DeadlineExceeded, QueryServiceError
@@ -33,6 +35,39 @@ from repro.server.errors import Cancelled, DeadlineExceeded, QueryServiceError
 #: How often the parent polls the response queue while also watching the
 #: request's cancel token (seconds).
 _POLL = 0.05
+
+
+@dataclass
+class _AttachSpec:
+    """Everything a child needs to attach a published snapshot file.
+
+    When the snapshot manager also published a binary snapshot file
+    (``ServiceConfig.snapshot_dir``), the child opens it by ``mmap``
+    instead of working on the CoW-inherited Python object graph: the
+    kernel shares the page cache across every child, nothing is
+    privatized by reference-count writes, and a respawn after a write
+    epoch costs an attach (milliseconds) rather than re-faulting the
+    whole heap.
+    """
+
+    path: str
+    model: str
+    schema_ns: object
+    instance_ns: object
+
+    def attach(self):
+        from repro.core.warehouse import MetadataWarehouse
+        from repro.storage import MappedSnapshot
+
+        snap = MappedSnapshot.open(self.path)
+        # () = keep every graph mapped and read-only: children only read
+        store = snap.store(mutable_models=())
+        return MetadataWarehouse(
+            model=self.model,
+            store=store,
+            schema_ns=self.schema_ns,
+            instance_ns=self.instance_ns,
+        )
 
 
 def _child_extras(tracer, prof):
@@ -70,6 +105,8 @@ def _child_main(warehouse, request_queue, response_queue) -> None:
     import repro.sparql.expressions as _expressions
 
     _expressions._REGEX_CACHE_LOCK = threading.Lock()
+    if isinstance(warehouse, _AttachSpec):
+        warehouse = warehouse.attach()
     warehouse.plan_cache = PlanCache()
     warehouse._search = None  # rebuild lazily with fresh locks
     warehouse._lineage = None
@@ -126,17 +163,33 @@ class ForkWorker:
 
     Owned by exactly one parent worker thread; not itself thread-safe.
     ``generation`` records which snapshot the child inherited, so the
-    owner can detect staleness after a write and respawn.
+    owner can detect staleness after a write and respawn. ``mode`` says
+    how the child got its warehouse: ``"attach"`` when the snapshot was
+    published to a storage file the child could mmap, ``"cow"`` when it
+    inherited the copy-on-write Python objects through fork.
     """
 
     def __init__(self, snapshot, name: str = "mdw"):
         ctx = multiprocessing.get_context("fork")
         self.generation = snapshot.generation
+        storage_path = getattr(snapshot, "storage_path", None)
+        if storage_path is not None and os.path.exists(storage_path):
+            self.mode = "attach"
+            mdw = snapshot.warehouse
+            target = _AttachSpec(
+                path=str(storage_path),
+                model=mdw.model_name,
+                schema_ns=mdw.schema.namespace,
+                instance_ns=mdw.facts.namespace,
+            )
+        else:
+            self.mode = "cow"
+            target = snapshot.warehouse
         self._request_queue = ctx.Queue()
         self._response_queue = ctx.Queue()
         self._process = ctx.Process(
             target=_child_main,
-            args=(snapshot.warehouse, self._request_queue, self._response_queue),
+            args=(target, self._request_queue, self._response_queue),
             name=f"{name}-forked",
             daemon=True,
         )
@@ -226,4 +279,4 @@ class ForkWorker:
 
     def __repr__(self) -> str:
         state = "alive" if self.alive else "dead"
-        return f"<ForkWorker generation={self.generation} {state}>"
+        return f"<ForkWorker generation={self.generation} mode={self.mode} {state}>"

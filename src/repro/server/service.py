@@ -137,6 +137,10 @@ class ServiceConfig:
     slow_query_threshold: float = 0.25
     worker_mode: str = "thread"  # "thread" | "fork"
     name: str = "mdw"
+    #: When set, every snapshot publication also writes a binary
+    #: snapshot file here; fork workers then *attach* that file (mmap)
+    #: instead of inheriting the CoW-pickled Python object graph.
+    snapshot_dir: Optional[str] = None
     breaker_threshold: int = 5
     breaker_cooldown: float = 30.0
     #: Collect a per-request QueryProfile (operator row counts, cache
@@ -244,7 +248,11 @@ class QueryService:
         self.config = config
         self.warehouse = warehouse
         self.plan_cache = warehouse.plan_cache
-        self.snapshots = SnapshotManager(warehouse, plan_cache=self.plan_cache)
+        self.snapshots = SnapshotManager(
+            warehouse,
+            plan_cache=self.plan_cache,
+            snapshot_dir=config.snapshot_dir,
+        )
         self.metrics = ServiceMetrics(name=config.name)
         self._breakers: Dict[str, CircuitBreaker] = {
             kind: CircuitBreaker(
@@ -464,7 +472,9 @@ class QueryService:
         if fork_worker is not None:
             fork_worker.stop()
         with self.snapshots.read() as snap:
-            return ForkWorker(snap, name=self.config.name)
+            worker = ForkWorker(snap, name=self.config.name)
+        self.metrics.on_fork_worker(worker.mode)
+        return worker
 
     @staticmethod
     def _breaker_counts(exc: BaseException) -> bool:

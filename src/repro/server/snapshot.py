@@ -31,6 +31,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.obs.trace import span
@@ -48,13 +49,30 @@ class Snapshot:
     with equal generations hold bit-identical triples.
     """
 
-    __slots__ = ("warehouse", "generation", "rulebases", "created_at", "_pins", "_pin_lock")
+    __slots__ = (
+        "warehouse",
+        "generation",
+        "rulebases",
+        "created_at",
+        "storage_path",
+        "_pins",
+        "_pin_lock",
+    )
 
-    def __init__(self, warehouse, generation: int, rulebases: Tuple[str, ...]):
+    def __init__(
+        self,
+        warehouse,
+        generation: int,
+        rulebases: Tuple[str, ...],
+        storage_path=None,
+    ):
         self.warehouse = warehouse
         self.generation = generation
         self.rulebases = rulebases
         self.created_at = time.time()
+        # when the manager publishes to disk, the snapshot file backing
+        # this image — fork workers attach it instead of CoW-pickling
+        self.storage_path = storage_path
         self._pins = 0
         self._pin_lock = threading.Lock()
 
@@ -97,11 +115,14 @@ class SnapshotManager:
     changed).
     """
 
-    def __init__(self, warehouse, plan_cache=None):
+    def __init__(self, warehouse, plan_cache=None, snapshot_dir=None):
         self._mdw = warehouse
         # readers share the live warehouse's (thread-safe) plan cache so
         # hot templates stay prepared across workers and snapshots
         self._plan_cache = plan_cache if plan_cache is not None else warehouse.plan_cache
+        # when set, every publication also writes a binary snapshot file
+        # (snapshot-<generation>.mdws) that fork workers can attach
+        self._snapshot_dir = Path(snapshot_dir) if snapshot_dir is not None else None
         self._write_lock = threading.RLock()
         self._publish_lock = threading.Lock()
         self._writes = 0
@@ -140,7 +161,20 @@ class SnapshotManager:
         )
         facade.plan_cache = self._plan_cache
         self._publications += 1
-        return Snapshot(facade, live.graph.generation, tuple(rulebases))
+        storage_path = None
+        if self._snapshot_dir is not None:
+            from repro.storage import save_snapshot_store
+
+            self._snapshot_dir.mkdir(parents=True, exist_ok=True)
+            storage_path = self._snapshot_dir / (
+                f"snapshot-{live.graph.generation}.mdws"
+            )
+            save_snapshot_store(
+                frozen_store, storage_path, generation=live.graph.generation
+            )
+        return Snapshot(
+            facade, live.graph.generation, tuple(rulebases), storage_path=storage_path
+        )
 
     def refresh(self) -> Snapshot:
         """Republish when the live graph changed out-of-band; returns the

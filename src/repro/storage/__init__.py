@@ -1,0 +1,57 @@
+"""Persistent storage tier: mmap-able binary snapshots and delta segments.
+
+The in-memory substrate (:mod:`repro.rdf`) is RAM-bound and cold start
+replays a full ETL or journal load. This package adds a compact binary
+snapshot format — sorted id-triple runs with delta encoding, SPO/POS/OSP
+index pages, and the term dictionary as a shared offset-indexed string
+pool — written atomically and loaded via ``mmap`` with lazy
+materialization, so point lookups and index scans read pages without
+deserializing the whole graph. Per-release delta segments (built on
+:mod:`repro.history.diff`) make publishing release N+1 an O(delta)
+write, and :mod:`repro.storage.engine` puts the legacy N-Triples
+directory format and the new snapshot format behind one
+:class:`StorageEngine` interface.
+"""
+
+from repro.storage.codec import SnapshotFormatError, StorageError
+from repro.storage.engine import (
+    MemoryEngine,
+    MmapEngine,
+    StorageEngine,
+    detect_engine,
+    get_engine,
+)
+from repro.storage.segments import (
+    SegmentEntry,
+    apply_segments,
+    diff_stores,
+    publish_segment,
+    read_segment,
+    write_segment,
+)
+from repro.storage.snapshot import (
+    MappedGraph,
+    MappedSnapshot,
+    MappedTermDictionary,
+    save_snapshot_store,
+)
+
+__all__ = [
+    "MappedGraph",
+    "MappedSnapshot",
+    "MappedTermDictionary",
+    "MemoryEngine",
+    "MmapEngine",
+    "SegmentEntry",
+    "SnapshotFormatError",
+    "StorageEngine",
+    "StorageError",
+    "apply_segments",
+    "detect_engine",
+    "diff_stores",
+    "get_engine",
+    "publish_segment",
+    "read_segment",
+    "save_snapshot_store",
+    "write_segment",
+]

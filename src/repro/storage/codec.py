@@ -1,0 +1,303 @@
+"""Binary codec for snapshot files: varints, delta-encoded triple runs.
+
+A *run* is one sort order of one graph's id-triples (SPO, POS, or OSP
+rows, each a strictly increasing sequence of ``(a, b, c)`` int tuples).
+Runs are cut into pages of :data:`PAGE_TRIPLES` triples. Each page is
+delta-encoded varints; a fixed-width directory in front of the pages
+records every page's first triple, so point lookups and prefix scans
+binary-search the directory and decode only the touched pages —
+:class:`RunReader` never materializes a whole run.
+
+Per-triple encoding within a page, against the previous row
+``(pa, pb, pc)`` (initially ``(0, 0, 0)``)::
+
+    da = a - pa                  # >= 0, rows are sorted
+    da > 0  -> emit da, b, c     # b and c absolute
+    da == 0 -> emit 0, b-pb, ...
+       b-pb > 0  -> c absolute
+       b-pb == 0 -> c-pc         # > 0, rows are distinct
+
+The decoder needs no flags: ``b`` is absolute exactly when ``da > 0``
+and ``c`` is absolute exactly when ``da > 0 or db > 0``.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, bisect_right
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+#: Triples per page; ~3-6 bytes/triple encoded, so pages are a few KiB.
+PAGE_TRIPLES = 1024
+
+#: Directory entry: first triple (a, b, c), page offset, count, length.
+_DIR = struct.Struct("<QQQQII")
+
+_U32 = struct.Struct("<I")
+
+#: Sentinel above any real term id (ids are dense, far below 2**63).
+_INF = (1 << 63) - 1
+
+#: Decoded pages kept per reader (LRU); a page is ~1k small tuples.
+_PAGE_CACHE_CAP = 32
+
+Row = Tuple[int, int, int]
+
+
+class StorageError(Exception):
+    """A storage-tier failure (I/O, format, or misuse)."""
+
+
+class SnapshotFormatError(StorageError):
+    """A corrupt, truncated, or incompatible snapshot/segment file."""
+
+
+def encode_varint(value: int, out: bytearray) -> None:
+    """Append ``value`` (unsigned) to ``out`` as a LEB128 varint."""
+    if value < 0:
+        raise StorageError(f"varint cannot encode negative value {value}")
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def decode_varint(buf, pos: int) -> Tuple[int, int]:
+    """Decode one varint at ``pos``; returns ``(value, next_pos)``."""
+    result = 0
+    shift = 0
+    while True:
+        try:
+            byte = buf[pos]
+        except IndexError:
+            raise SnapshotFormatError("truncated varint") from None
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if byte < 0x80:
+            return result, pos
+        shift += 7
+
+
+def _encode_page(rows: Sequence[Row]) -> bytes:
+    out = bytearray()
+    pa = pb = pc = 0
+    for a, b, c in rows:
+        da = a - pa
+        encode_varint(da, out)
+        if da > 0:
+            encode_varint(b, out)
+            encode_varint(c, out)
+        else:
+            db = b - pb
+            encode_varint(db, out)
+            encode_varint(c if db > 0 else c - pc, out)
+        pa, pb, pc = a, b, c
+    return bytes(out)
+
+
+def _decode_page(buf, pos: int, end: int, count: int) -> List[Row]:
+    rows: List[Row] = []
+    append = rows.append
+    a = b = c = 0
+    for _ in range(count):
+        da, pos = decode_varint(buf, pos)
+        x, pos = decode_varint(buf, pos)
+        y, pos = decode_varint(buf, pos)
+        if da > 0:
+            a += da
+            b = x
+            c = y
+        elif x > 0:
+            b += x
+            c = y
+        else:
+            c += y
+        append((a, b, c))
+    if pos != end:
+        raise SnapshotFormatError("page length disagrees with its directory entry")
+    return rows
+
+
+def encode_run(rows: Sequence[Row]) -> bytes:
+    """Encode a sorted run of id-triples: page count, directory, pages."""
+    pages: List[bytes] = []
+    entries = bytearray()
+    offset = 0
+    for start in range(0, len(rows), PAGE_TRIPLES):
+        chunk = rows[start : start + PAGE_TRIPLES]
+        body = _encode_page(chunk)
+        first = chunk[0]
+        entries += _DIR.pack(first[0], first[1], first[2], offset, len(chunk), len(body))
+        pages.append(body)
+        offset += len(body)
+    return _U32.pack(len(pages)) + bytes(entries) + b"".join(pages)
+
+
+class RunReader:
+    """Lazy reader over one encoded run inside a mapped buffer.
+
+    The directory is parsed on first access; pages decode on demand
+    into a small per-reader LRU. All queries (``scan`` / ``has`` /
+    ``count``) touch only the pages the answer lives in.
+    """
+
+    __slots__ = ("_buf", "_off", "_len", "count_total", "_dir", "_cum", "_pages_off", "_cache")
+
+    def __init__(self, buf, offset: int, length: int, count: int):
+        self._buf = buf
+        self._off = offset
+        self._len = length
+        self.count_total = count
+        self._dir: Optional[List[Tuple[int, int, int, int, int, int]]] = None
+        self._cum: Optional[List[int]] = None
+        self._pages_off = 0
+        self._cache: "OrderedDict[int, List[Row]]" = OrderedDict()
+
+    # -- directory ---------------------------------------------------------
+
+    def _directory(self) -> List[Tuple[int, int, int, int, int, int]]:
+        if self._dir is None:
+            if self._len < _U32.size:
+                raise SnapshotFormatError("run section too short for its header")
+            (n_pages,) = _U32.unpack_from(self._buf, self._off)
+            dir_end = self._off + _U32.size + n_pages * _DIR.size
+            if dir_end > self._off + self._len:
+                raise SnapshotFormatError("run directory exceeds its section")
+            self._dir = list(_DIR.iter_unpack(self._buf[self._off + _U32.size : dir_end]))
+            self._pages_off = dir_end
+            cum = [0]
+            for entry in self._dir:
+                cum.append(cum[-1] + entry[4])
+            self._cum = cum
+            if cum[-1] != self.count_total:
+                raise SnapshotFormatError(
+                    f"run holds {cum[-1]} triples, TOC says {self.count_total}"
+                )
+        return self._dir
+
+    def _page(self, idx: int) -> List[Row]:
+        cached = self._cache.get(idx)
+        if cached is not None:
+            self._cache.move_to_end(idx)
+            return cached
+        entry = self._directory()[idx]
+        start = self._pages_off + entry[3]
+        end = start + entry[5]
+        if end > self._off + self._len:
+            raise SnapshotFormatError("run page exceeds its section")
+        rows = _decode_page(self._buf, start, end, entry[4])
+        if len(self._cache) >= _PAGE_CACHE_CAP:
+            self._cache.popitem(last=False)
+        self._cache[idx] = rows
+        return rows
+
+    def _first_keys(self) -> List[Row]:
+        return [(e[0], e[1], e[2]) for e in self._directory()]
+
+    def _locate(self, target: Row) -> Tuple[int, int]:
+        """Global index of the first row >= ``target`` as (page, in-page)."""
+        directory = self._directory()
+        if not directory:
+            return 0, 0
+        page = bisect_right(self._first_keys(), target) - 1
+        if page < 0:
+            return 0, 0
+        rows = self._page(page)
+        pos = bisect_left(rows, target)
+        if pos == len(rows) and page + 1 < len(directory):
+            return page + 1, 0
+        return page, pos
+
+    # -- queries -----------------------------------------------------------
+
+    def scan(self, prefix: Sequence[int] = ()) -> Iterator[Row]:
+        """Yield rows whose first ``len(prefix)`` components equal it."""
+        directory = self._directory()
+        if not directory:
+            return
+        k = len(prefix)
+        if k == 0:
+            for idx in range(len(directory)):
+                yield from self._page(idx)
+            return
+        lo = (
+            prefix[0],
+            prefix[1] if k > 1 else 0,
+            prefix[2] if k > 2 else 0,
+        )
+        page, pos = self._locate(lo)
+        prefix = tuple(prefix)
+        while page < len(directory):
+            rows = self._page(page)
+            for i in range(pos, len(rows)):
+                row = rows[i]
+                if row[:k] != prefix:
+                    return
+                yield row
+            page += 1
+            pos = 0
+
+    def has(self, row: Row) -> bool:
+        directory = self._directory()
+        if not directory:
+            return False
+        page = bisect_right(self._first_keys(), row) - 1
+        if page < 0:
+            return False
+        rows = self._page(page)
+        pos = bisect_left(rows, row)
+        return pos < len(rows) and rows[pos] == row
+
+    def _global_index(self, target: Row) -> int:
+        """Number of rows strictly below ``target``."""
+        directory = self._directory()
+        if not directory:
+            return 0
+        page, pos = self._locate(target)
+        assert self._cum is not None
+        return self._cum[page] + pos
+
+    def count(self, prefix: Sequence[int] = ()) -> int:
+        """Number of rows matching ``prefix``; touches at most two pages."""
+        k = len(prefix)
+        if k == 0:
+            return self.count_total
+        lo = (
+            prefix[0],
+            prefix[1] if k > 1 else 0,
+            prefix[2] if k > 2 else 0,
+        )
+        hi = (
+            prefix[0],
+            prefix[1] if k > 1 else _INF,
+            prefix[2] if k > 2 else _INF,
+        )
+        if k == 3:
+            return 1 if self.has(lo) else 0
+        return self._global_index((hi[0], hi[1], hi[2] + 1)) - self._global_index(lo)
+
+    def distinct_first(self) -> int:
+        """Number of distinct leading components, skipping interior pages.
+
+        A page whose first row and successor page's first row share one
+        leading component lies entirely inside that component's group
+        (rows are sorted), so it contributes nothing new and is never
+        decoded.
+        """
+        directory = self._directory()
+        n = len(directory)
+        count = 0
+        current: Optional[int] = None
+        for idx in range(n):
+            if (
+                directory[idx][0] == current
+                and idx + 1 < n
+                and directory[idx + 1][0] == current
+            ):
+                continue
+            for row in self._page(idx):
+                if row[0] != current:
+                    current = row[0]
+                    count += 1
+        return count

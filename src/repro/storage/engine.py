@@ -1,0 +1,162 @@
+"""Pluggable storage engines behind one interface.
+
+Two implementations:
+
+* :class:`MemoryEngine` (``"memory"``) — the legacy N-Triples
+  directory format of :mod:`repro.rdf.persist`. Still written for
+  greppability, but **deprecated for loading**: everything it can do,
+  the snapshot format does faster, so loads emit a
+  :class:`DeprecationWarning` pointing at ``repro-mdw snapshot
+  migrate``.
+* :class:`MmapEngine` (``"mmap"``) — the binary snapshot format of
+  :mod:`repro.storage.snapshot`: one mmap-able file, lazy graphs,
+  checksummed.
+
+:func:`detect_engine` recognizes either on-disk shape, so callers that
+accept "a saved store path" (the CLI, ``MetadataWarehouse.load``) work
+with both transparently.
+"""
+
+from __future__ import annotations
+
+import warnings
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.rdf.store import TripleStore
+from repro.storage.codec import StorageError
+from repro.storage.snapshot import MAGIC, MappedSnapshot, save_snapshot_store
+
+
+class StorageEngine(ABC):
+    """Save/load/inspect a :class:`TripleStore` in one on-disk format."""
+
+    name: str = ""
+
+    @abstractmethod
+    def save(
+        self, store: TripleStore, path: Union[str, Path], generation: int = 0
+    ) -> Path:
+        """Persist ``store`` at ``path``; returns the path written."""
+
+    @abstractmethod
+    def load(self, path: Union[str, Path]) -> TripleStore:
+        """Load a store previously written by :meth:`save`."""
+
+    @abstractmethod
+    def info(self, path: Union[str, Path]) -> Dict[str, object]:
+        """Cheap inspection of a saved store (no full load)."""
+
+
+class MemoryEngine(StorageEngine):
+    """The legacy N-Triples directory format (fully in-memory load)."""
+
+    name = "memory"
+
+    def save(
+        self, store: TripleStore, path: Union[str, Path], generation: int = 0
+    ) -> Path:
+        from repro.rdf.persist import save_store
+
+        return save_store(store, path)
+
+    def load(self, path: Union[str, Path]) -> TripleStore:
+        from repro.rdf.persist import load_store
+
+        warnings.warn(
+            "loading the legacy N-Triples store format; convert it with "
+            "'repro-mdw snapshot migrate <old> <new>' to get mmap attach "
+            "and checksummed durability",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return load_store(path)
+
+    def info(self, path: Union[str, Path]) -> Dict[str, object]:
+        import json
+
+        from repro.rdf.persist import PersistenceError
+
+        manifest_path = Path(path) / "manifest.json"
+        if not manifest_path.exists():
+            raise PersistenceError(f"no manifest.json in {path}")
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        return {
+            "path": str(path),
+            "engine": self.name,
+            "format_version": manifest.get("format_version"),
+            "models": {
+                name: entry.get("triples")
+                for name, entry in manifest.get("models", {}).items()
+            },
+            "indexes": [
+                {
+                    "model": e.get("model"),
+                    "rulebase": e.get("rulebase"),
+                    "triples": e.get("triples"),
+                }
+                for e in manifest.get("indexes", [])
+            ],
+        }
+
+
+class MmapEngine(StorageEngine):
+    """The binary snapshot format (mmap attach, lazy materialization)."""
+
+    name = "mmap"
+
+    def save(
+        self, store: TripleStore, path: Union[str, Path], generation: int = 0
+    ) -> Path:
+        return save_snapshot_store(store, path, generation=generation)
+
+    def load(self, path: Union[str, Path]) -> TripleStore:
+        # mutable_models=None: models saved unfrozen come back mutable
+        # (materialized); frozen graphs stay lazily mapped
+        return MappedSnapshot.open(path).store(mutable_models=None)
+
+    def info(self, path: Union[str, Path]) -> Dict[str, object]:
+        snap = MappedSnapshot.open(path)
+        try:
+            out = snap.info()
+        finally:
+            snap.close()
+        out["engine"] = self.name
+        return out
+
+
+_ENGINES: Dict[str, StorageEngine] = {
+    MemoryEngine.name: MemoryEngine(),
+    MmapEngine.name: MmapEngine(),
+}
+
+
+def get_engine(name: str) -> StorageEngine:
+    """The engine registered under ``name`` (``"memory"`` / ``"mmap"``)."""
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        raise StorageError(
+            f"unknown storage engine {name!r}; available: {sorted(_ENGINES)}"
+        ) from None
+
+
+def detect_engine(path: Union[str, Path]) -> StorageEngine:
+    """The engine that owns the on-disk shape at ``path``.
+
+    A directory with a ``manifest.json`` is the legacy format; a file
+    starting with the snapshot magic is the mmap format.
+    """
+    p = Path(path)
+    if p.is_dir():
+        if (p / "manifest.json").exists():
+            return _ENGINES["memory"]
+        raise StorageError(f"{p}: directory has no manifest.json (not a saved store)")
+    if p.is_file():
+        with open(p, "rb") as f:
+            head = f.read(len(MAGIC))
+        if head == MAGIC:
+            return _ENGINES["mmap"]
+        raise StorageError(f"{p}: not a snapshot file (bad magic)")
+    raise StorageError(f"{p}: no such file or directory")

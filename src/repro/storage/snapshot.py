@@ -1,0 +1,929 @@
+"""Binary snapshot files: atomic save, mmap attach, lazy graphs.
+
+File layout::
+
+    [48-byte header][sections...][JSON table of contents]
+
+The header (``<8sIIQQQII``) carries the magic, format version, flags,
+generation stamp, the TOC's offset/length/CRC, and its own CRC — enough
+to reject truncation, corruption, and version skew before trusting a
+byte of the body. Sections are the shared string pool (pool / offsets /
+hash, see :mod:`repro.storage.stringpool`) plus three delta-encoded
+triple runs (SPO, POS, OSP) per graph; the TOC names every section with
+its offset, length, and CRC32, and describes every graph (model or
+entailment index, triple and distinct counts, frozen flag).
+
+Saves go to a sibling temp file, ``fsync``, then ``os.replace`` — a
+crash mid-save leaves the previous snapshot untouched (the
+``snapshot.save`` fault site fires between fsync and rename, and the
+chaos harness asserts exactly this).
+
+Attach (:meth:`MappedSnapshot.open`) maps the file and hands out
+:class:`MappedGraph` objects that answer the full read API of
+:class:`~repro.rdf.graph.Graph` straight from the mapped pages —
+nothing is deserialized up front, and term ids are shared across every
+graph through one :class:`MappedTermDictionary`, so the id-space join
+operators and ``GraphView`` disjointness reasoning keep working.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.rdf.dictionary import TermDictionary
+from repro.rdf.graph import Graph, GraphView, ReadOnlyGraphError
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import Term, Triple
+from repro.resilience import faults
+from repro.storage.codec import RunReader, SnapshotFormatError, encode_run
+from repro.storage.stringpool import MappedStringPool, build_pool
+
+MAGIC = b"MDWSNAP\x01"
+FORMAT_VERSION = 1
+
+#: magic, format_version, flags, generation, toc_offset, toc_length,
+#: toc_crc32, header_crc32
+_HEADER = struct.Struct("<8sIIQQQII")
+HEADER_SIZE = _HEADER.size
+
+_COUNT_CACHE_LIMIT = 4096
+
+
+# ---------------------------------------------------------------------------
+# save
+
+
+def _graph_entries(store: TripleStore) -> List[Tuple[str, str, str, Optional[str], Graph]]:
+    """Deterministic (key, kind, model, rulebase, graph) list of a store."""
+    out: List[Tuple[str, str, str, Optional[str], Graph]] = []
+    for name in store.model_names():
+        out.append((f"model:{name}", "model", name, None, store.model(name)))
+    for model, rulebase in store.index_names():
+        graph = store.index(model, rulebase)
+        out.append((f"index:{model}:{rulebase}", "index", model, rulebase, graph))
+    return out
+
+
+def save_snapshot_store(
+    store: TripleStore, path: Union[str, Path], generation: int = 0
+) -> Path:
+    """Write ``store`` (models and entailment indexes) as one snapshot file.
+
+    The write is atomic (temp + fsync + rename) and deterministic: the
+    same logical store content always produces byte-identical files, so
+    delta-segment replay can be verified against a full save.
+    """
+    path = Path(path)
+    entries = _graph_entries(store)
+
+    # Remap every dictionary id to a dense, sort_key-ordered id space
+    # shared by all graphs; this is what makes saves deterministic even
+    # when stores were built in different interning orders.
+    unique: Dict[Term, None] = {}
+    per_graph_ids: List[List[Tuple[int, int, int]]] = []
+    for _, _, _, _, graph in entries:
+        rows = list(graph.triples_ids())
+        per_graph_ids.append(rows)
+        term = graph.dictionary.term
+        for s, p, o in rows:
+            unique.setdefault(term(s), None)
+            unique.setdefault(term(p), None)
+            unique.setdefault(term(o), None)
+    terms = sorted(unique, key=lambda t: t.sort_key())
+    new_id = {t: i for i, t in enumerate(terms)}
+    pool, offsets, hashes = build_pool(terms)
+
+    tmp = path.with_name(path.name + ".tmp")
+    toc_sections: Dict[str, Dict[str, int]] = {}
+    toc_graphs: List[Dict[str, object]] = []
+    try:
+        with open(tmp, "wb") as f:
+            f.write(b"\0" * HEADER_SIZE)
+
+            def section(name: str, data: bytes) -> None:
+                toc_sections[name] = {
+                    "offset": f.tell(),
+                    "length": len(data),
+                    "crc32": zlib.crc32(data),
+                }
+                f.write(data)
+
+            section("pool", pool)
+            section("offsets", offsets)
+            section("hash", hashes)
+
+            for (key, kind, model, rulebase, graph), old_rows in zip(
+                entries, per_graph_ids
+            ):
+                term = graph.dictionary.term
+                remap: Dict[int, int] = {}
+
+                def rid(old: int) -> int:
+                    tid = remap.get(old)
+                    if tid is None:
+                        tid = remap[old] = new_id[term(old)]
+                    return tid
+
+                rows = [(rid(s), rid(p), rid(o)) for s, p, o in old_rows]
+                spo = sorted(rows)
+                pos = sorted((p, o, s) for s, p, o in rows)
+                osp = sorted((o, s, p) for s, p, o in rows)
+                section(f"{key}/spo", encode_run(spo))
+                section(f"{key}/pos", encode_run(pos))
+                section(f"{key}/osp", encode_run(osp))
+                toc_graphs.append(
+                    {
+                        "key": key,
+                        "kind": kind,
+                        "model": model,
+                        "rulebase": rulebase,
+                        "frozen": bool(graph.frozen),
+                        "triples": len(rows),
+                        "distinct": [
+                            _distinct_first(spo),
+                            _distinct_first(pos),
+                            _distinct_first(osp),
+                        ],
+                    }
+                )
+
+            toc = json.dumps(
+                {
+                    "terms": len(terms),
+                    "sections": toc_sections,
+                    "graphs": toc_graphs,
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            ).encode("utf-8")
+            toc_offset = f.tell()
+            f.write(toc)
+
+            header = _HEADER.pack(
+                MAGIC,
+                FORMAT_VERSION,
+                0,
+                generation,
+                toc_offset,
+                len(toc),
+                zlib.crc32(toc),
+                0,
+            )
+            header = header[:-4] + struct.pack("<I", zlib.crc32(header[:-4]))
+            f.seek(0)
+            f.write(header)
+            f.flush()
+            os.fsync(f.fileno())
+        faults.fire("snapshot.save")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    _fsync_dir(path.parent)
+    return path
+
+
+def _distinct_first(rows: Sequence[Tuple[int, int, int]]) -> int:
+    count = 0
+    current: Optional[int] = None
+    for row in rows:
+        if row[0] != current:
+            current = row[0]
+            count += 1
+    return count
+
+
+def _fsync_dir(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+# ---------------------------------------------------------------------------
+# mapped dictionary
+
+
+class MappedTermDictionary(TermDictionary):
+    """A term dictionary whose base ids live in the mapped string pool.
+
+    Ids ``[0, len(pool))`` decode lazily from the pool (memoized);
+    :meth:`intern` still works — new terms get overlay ids above the
+    base range, so an attached store can accept writes into
+    materialized models without disturbing the mapped graphs.
+    """
+
+    __slots__ = ("_pool", "_base", "_cache")
+
+    def __init__(self, pool: MappedStringPool):
+        super().__init__()
+        self._pool = pool
+        self._base = len(pool)
+        self._cache: List[Optional[Term]] = [None] * self._base
+
+    def intern(self, term: Term) -> int:
+        tid = self._ids.get(term)
+        if tid is None:
+            tid = self._pool.find(term)
+            if tid is None:
+                tid = self._base + len(self._terms)
+                self._terms.append(term)
+            self._ids[term] = tid
+        return tid
+
+    def lookup(self, term: Term) -> Optional[int]:
+        tid = self._ids.get(term)
+        if tid is None:
+            tid = self._pool.find(term)
+            if tid is not None:
+                self._ids[term] = tid
+        return tid
+
+    def term(self, tid: int) -> Term:
+        if tid < self._base:
+            cached = self._cache[tid]
+            if cached is None:
+                cached = self._cache[tid] = self._pool.term(tid)
+            return cached
+        return self._terms[tid - self._base]
+
+    def __len__(self) -> int:
+        return self._base + len(self._terms)
+
+    def __contains__(self, term: Term) -> bool:
+        return self.lookup(term) is not None
+
+    def __repr__(self) -> str:
+        return f"<MappedTermDictionary base={self._base} overlay={len(self._terms)}>"
+
+
+# ---------------------------------------------------------------------------
+# mapped graph
+
+
+class MappedGraph:
+    """Read-only :class:`~repro.rdf.graph.Graph` drop-in over mapped runs.
+
+    Implements the full read API (term- and id-space iteration, counts,
+    distinct counts, stats, convenience accessors) by binary-searching
+    the three run directories and decoding only the touched pages.
+    Mutators raise :class:`~repro.rdf.graph.ReadOnlyGraphError`; callers
+    that need a writable graph call :meth:`materialize`.
+    """
+
+    __slots__ = (
+        "_snapshot",
+        "_dict",
+        "_spo",
+        "_pos",
+        "_osp",
+        "_size",
+        "_distinct",
+        "_stats",
+        "_count_cache",
+        "_frozen",
+        "name",
+    )
+
+    def __init__(
+        self,
+        snapshot: "MappedSnapshot",
+        dictionary: MappedTermDictionary,
+        spo: RunReader,
+        pos: RunReader,
+        osp: RunReader,
+        size: int,
+        distinct: Tuple[int, int, int],
+        name: str = "",
+        frozen: bool = True,
+    ):
+        self._snapshot = snapshot  # keeps the mmap alive
+        self._dict = dictionary
+        self._spo = spo
+        self._pos = pos
+        self._osp = osp
+        self._size = size
+        self._distinct = distinct
+        self._stats = None
+        self._count_cache: Dict[tuple, int] = {}
+        self._frozen = frozen
+        self.name = name
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        return self._dict
+
+    @property
+    def generation(self) -> int:
+        """The snapshot's generation stamp; constant — mapped graphs
+        never mutate, so caches keyed on it stay valid forever."""
+        return self._snapshot.generation
+
+    @property
+    def frozen(self) -> bool:
+        """The *saved* frozen flag — round-trips through re-save. The
+        graph itself refuses mutation regardless (it is mapped)."""
+        return self._frozen
+
+    def freeze(self) -> "MappedGraph":
+        self._frozen = True
+        return self
+
+    def subscribe(self, listener) -> None:
+        """Accepted and ignored: a mapped graph never emits changes."""
+
+    def unsubscribe(self, listener) -> None:
+        pass
+
+    # -- mutation (refused) ------------------------------------------------
+
+    def _read_only(self, *_args, **_kwargs):
+        raise ReadOnlyGraphError(
+            f"graph {self.name!r} is a mapped snapshot (read-only); "
+            "materialize() it for a writable copy"
+        )
+
+    add = add_all = remove = discard = remove_pattern = clear = _read_only
+
+    # -- id-space access ----------------------------------------------------
+
+    def triples_ids(self, s=None, p=None, o=None) -> Iterator[Tuple[int, int, int]]:
+        if s is not None:
+            if p is not None:
+                if o is not None:
+                    if self._spo.has((s, p, o)):
+                        yield (s, p, o)
+                    return
+                yield from self._spo.scan((s, p))
+                return
+            if o is not None:
+                for oo, ss, pp in self._osp.scan((o, s)):
+                    yield (ss, pp, oo)
+                return
+            yield from self._spo.scan((s,))
+            return
+        if p is not None:
+            if o is not None:
+                for pp, oo, ss in self._pos.scan((p, o)):
+                    yield (ss, pp, oo)
+                return
+            for pp, oo, ss in self._pos.scan((p,)):
+                yield (ss, pp, oo)
+            return
+        if o is not None:
+            for oo, ss, pp in self._osp.scan((o,)):
+                yield (ss, pp, oo)
+            return
+        yield from self._spo.scan(())
+
+    def has_ids(self, s: int, p: int, o: int) -> bool:
+        return self._spo.has((s, p, o))
+
+    def count_ids(self, s=None, p=None, o=None) -> int:
+        if s is not None:
+            if p is not None:
+                if o is not None:
+                    return 1 if self._spo.has((s, p, o)) else 0
+                return self._spo.count((s, p))
+            if o is not None:
+                return self._osp.count((o, s))
+            return self._spo.count((s,))
+        if p is not None:
+            if o is not None:
+                return self._pos.count((p, o))
+            return self._pos.count((p,))
+        if o is not None:
+            return self._osp.count((o,))
+        return self._size
+
+    # -- matching ----------------------------------------------------------
+
+    def _encode_pattern(self, s, p, o):
+        lookup = self._dict.lookup
+        if s is not None:
+            s = lookup(s)
+            if s is None:
+                return None
+        if p is not None:
+            p = lookup(p)
+            if p is None:
+                return None
+        if o is not None:
+            o = lookup(o)
+            if o is None:
+                return None
+        return s, p, o
+
+    def triples(self, s=None, p=None, o=None) -> Iterator[Triple]:
+        encoded = self._encode_pattern(s, p, o)
+        if encoded is None:
+            return
+        term = self._dict.term
+        for si, pi, oi in self.triples_ids(*encoded):
+            yield Triple(term(si), term(pi), term(oi))
+
+    def count(self, s=None, p=None, o=None) -> int:
+        encoded = self._encode_pattern(s, p, o)
+        if encoded is None:
+            return 0
+        return self.count_ids(*encoded)
+
+    def cached_count(self, s=None, p=None, o=None) -> int:
+        key = (s, p, o)
+        cached = self._count_cache.get(key)
+        if cached is None:
+            if len(self._count_cache) >= _COUNT_CACHE_LIMIT:
+                self._count_cache.clear()
+            cached = self.count(s, p, o)
+            self._count_cache[key] = cached
+        return cached
+
+    def stats(self):
+        if self._stats is None:
+            self._stats = MappedStatsCatalog(self)
+        return self._stats
+
+    def distinct_subject_count(self) -> int:
+        return self._distinct[0]
+
+    def distinct_predicate_count(self) -> int:
+        return self._distinct[1]
+
+    def distinct_object_count(self) -> int:
+        return self._distinct[2]
+
+    def __contains__(self, triple) -> bool:
+        lookup = self._dict.lookup
+        s, p, o = triple
+        si, pi, oi = lookup(s), lookup(p), lookup(o)
+        if si is None or pi is None or oi is None:
+            return False
+        return self._spo.has((si, pi, oi))
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, (Graph, GraphView, MappedGraph)):
+            return NotImplemented
+        return len(self) == len(other) and all(t in other for t in self)
+
+    def __hash__(self):
+        raise TypeError("MappedGraph is unhashable (compared by content)")
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<MappedGraph{label} size={self._size}>"
+
+    # -- convenience accessors ----------------------------------------------
+
+    def subjects(self, p=None, o=None) -> Iterator[Term]:
+        term = self._dict.term
+        if p is not None and o is not None:
+            encoded = self._encode_pattern(None, p, o)
+            if encoded is None:
+                return
+            for _, oo, ss in self._pos.scan((encoded[1], encoded[2])):
+                yield term(ss)
+            return
+        seen: Set[int] = set()
+        for si, _, _ in self._pattern_ids(None, p, o):
+            if si not in seen:
+                seen.add(si)
+                yield term(si)
+
+    def _pattern_ids(self, s, p, o) -> Iterator[Tuple[int, int, int]]:
+        encoded = self._encode_pattern(s, p, o)
+        if encoded is None:
+            return iter(())
+        return self.triples_ids(*encoded)
+
+    def objects(self, s=None, p=None) -> Iterator[Term]:
+        term = self._dict.term
+        if s is not None and p is not None:
+            encoded = self._encode_pattern(s, p, None)
+            if encoded is None:
+                return
+            for _, _, oo in self._spo.scan((encoded[0], encoded[1])):
+                yield term(oo)
+            return
+        seen: Set[int] = set()
+        for _, _, oi in self._pattern_ids(s, p, None):
+            if oi not in seen:
+                seen.add(oi)
+                yield term(oi)
+
+    def predicates(self, s=None, o=None) -> Iterator[Term]:
+        term = self._dict.term
+        if s is not None and o is not None:
+            encoded = self._encode_pattern(s, None, o)
+            if encoded is None:
+                return
+            for _, _, pp in self._osp.scan((encoded[2], encoded[0])):
+                yield term(pp)
+            return
+        seen: Set[int] = set()
+        for _, pi, _ in self._pattern_ids(s, None, o):
+            if pi not in seen:
+                seen.add(pi)
+                yield term(pi)
+
+    def value(self, s=None, p=None, o=None) -> Optional[Term]:
+        unbound = [name for name, t in zip("spo", (s, p, o)) if t is None]
+        if len(unbound) != 1:
+            raise ValueError("value() requires exactly one unbound position")
+        for t in self.triples(s, p, o):
+            return {"s": t.subject, "p": t.predicate, "o": t.object}[unbound[0]]
+        return None
+
+    def nodes(self) -> Iterator[Term]:
+        term = self._dict.term
+        seen: Set[int] = set()
+        for si, _, _ in self._spo.scan(()):
+            if si not in seen:
+                seen.add(si)
+                yield term(si)
+        for oi, _, _ in self._osp.scan(()):
+            if oi not in seen:
+                seen.add(oi)
+                yield term(oi)
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    # -- copies ------------------------------------------------------------
+
+    def copy(self, name: str = "") -> Graph:
+        """A mutable in-memory copy (see :meth:`materialize`)."""
+        return self.materialize(name=name or self.name)
+
+    def cow_copy(self, name: str = "") -> "MappedGraph":
+        """Snapshot publication calls this; a mapped graph is already an
+        immutable snapshot of itself, so it is its own CoW copy."""
+        return self
+
+    def materialize(self, name: Optional[str] = None) -> Graph:
+        """Decode the runs into a mutable :class:`Graph` sharing this
+        graph's dictionary — no term objects are built."""
+        g = Graph(name=self.name if name is None else name, dictionary=self._dict)
+        spo: Dict[int, Dict[int, Set[int]]] = {}
+        for s, p, o in self._spo.scan(()):
+            spo.setdefault(s, {}).setdefault(p, set()).add(o)
+        pos: Dict[int, Dict[int, Set[int]]] = {}
+        for p, o, s in self._pos.scan(()):
+            pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        osp: Dict[int, Dict[int, Set[int]]] = {}
+        for o, s, p in self._osp.scan(()):
+            osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        g._spo = spo
+        g._pos = pos
+        g._osp = osp
+        g._size = self._size
+        return g
+
+
+class MappedStatsCatalog:
+    """Planner statistics over a mapped graph, computed per predicate.
+
+    :class:`~repro.rdf.stats.StatsCatalog` walks ``graph._pos`` — an
+    attribute mapped graphs don't have — and subscribes to change
+    events that never fire. This catalog serves the same interface from
+    one POS-run scan per requested predicate, memoized forever (mapped
+    graphs are immutable). It exposes the freshness counters
+    (``_serial`` / ``refreshes`` / ``_churn``) that
+    :class:`~repro.rdf.stats.CombinedStats` keys its merge cache on.
+    """
+
+    def __init__(self, graph: MappedGraph, top_k: Optional[int] = None):
+        from repro.rdf.stats import DEFAULT_TOP_K, StatsCatalog
+
+        self._serial = next(StatsCatalog._serials)
+        self._graph = graph
+        self.top_k = DEFAULT_TOP_K if top_k is None else top_k
+        self._predicates: Dict[int, object] = {}
+        self.refreshes = 1
+        self._churn = 0
+
+    @property
+    def built(self) -> bool:
+        return True
+
+    def is_stale(self) -> bool:
+        return False
+
+    def ensure_fresh(self, trigger: str = "drift") -> bool:
+        return False
+
+    def close(self) -> None:
+        pass
+
+    def predicate(self, predicate_id: int):
+        if predicate_id in self._predicates:
+            return self._predicates[predicate_id]
+        from repro.rdf.stats import PredicateStats
+
+        count = 0
+        subjects: Dict[int, int] = {}
+        obj_freq: List[Tuple[int, int]] = []
+        current_o: Optional[int] = None
+        current_n = 0
+        for _, o, s in self._graph._pos.scan((predicate_id,)):
+            count += 1
+            subjects[s] = subjects.get(s, 0) + 1
+            if o != current_o:
+                if current_o is not None:
+                    obj_freq.append((current_n, current_o))
+                current_o = o
+                current_n = 1
+            else:
+                current_n += 1
+        if current_o is not None:
+            obj_freq.append((current_n, current_o))
+        if not count:
+            self._predicates[predicate_id] = None
+            return None
+        obj_freq.sort(key=lambda t: (-t[0], t[1]))
+        subj_freq = sorted(
+            ((n, sid) for sid, n in subjects.items()), key=lambda t: (-t[0], t[1])
+        )
+        stats = PredicateStats(
+            predicate_id,
+            count,
+            distinct_subjects=len(subjects),
+            distinct_objects=len(obj_freq),
+            top_subjects=tuple((sid, n) for n, sid in subj_freq[: self.top_k]),
+            top_objects=tuple((oid, n) for n, oid in obj_freq[: self.top_k]),
+        )
+        self._predicates[predicate_id] = stats
+        return stats
+
+    def predicate_count(self) -> int:
+        return self._graph.distinct_predicate_count()
+
+    def snapshot(self) -> Dict[str, object]:
+        term = self._graph.dictionary.term
+        out: Dict[str, object] = {
+            "built_size": len(self._graph),
+            "churn": 0,
+            "refreshes": self.refreshes,
+            "predicates": {},
+        }
+        pids = sorted({row[0] for row in self._graph._pos.scan(())})
+        out["predicates"] = {
+            term(pid).n3(): self.predicate(pid).snapshot() for pid in pids
+        }
+        return out
+
+    def __repr__(self) -> str:
+        return f"<MappedStatsCatalog {self._graph.name!r}>"
+
+
+# ---------------------------------------------------------------------------
+# mapped snapshot
+
+
+class MappedSnapshot:
+    """One open snapshot file: header, TOC, pool, and graph accessors."""
+
+    def __init__(self, path: Path, file, mm, buf, generation: int, toc: Dict):
+        self._path = path
+        self._file = file
+        self._mmap = mm
+        self._buf = buf
+        self.generation = generation
+        self._toc = toc
+        self._dictionary: Optional[MappedTermDictionary] = None
+        self._graphs: Dict[str, MappedGraph] = {}
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "MappedSnapshot":
+        """Map and validate a snapshot file; cheap — nothing decodes."""
+        path = Path(path)
+        faults.fire("snapshot.attach")
+        f = open(path, "rb")
+        try:
+            size = os.fstat(f.fileno()).st_size
+            if size < HEADER_SIZE:
+                raise SnapshotFormatError(
+                    f"{path}: file too small for a snapshot header ({size} bytes)"
+                )
+            mm = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+        except BaseException:
+            f.close()
+            raise
+        buf = None
+        try:
+            buf = memoryview(mm)
+            (
+                magic,
+                version,
+                _flags,
+                generation,
+                toc_offset,
+                toc_length,
+                toc_crc,
+                header_crc,
+            ) = _HEADER.unpack_from(buf, 0)
+            if magic != MAGIC:
+                raise SnapshotFormatError(f"{path}: not a snapshot file (bad magic)")
+            if zlib.crc32(bytes(buf[: HEADER_SIZE - 4])) != header_crc:
+                raise SnapshotFormatError(f"{path}: header checksum mismatch")
+            if version != FORMAT_VERSION:
+                raise SnapshotFormatError(
+                    f"{path}: snapshot format {version} unsupported "
+                    f"(this build reads {FORMAT_VERSION})"
+                )
+            if toc_offset + toc_length > size:
+                raise SnapshotFormatError(f"{path}: truncated file (TOC out of bounds)")
+            toc_bytes = bytes(buf[toc_offset : toc_offset + toc_length])
+            if zlib.crc32(toc_bytes) != toc_crc:
+                raise SnapshotFormatError(f"{path}: TOC checksum mismatch")
+            try:
+                toc = json.loads(toc_bytes)
+            except json.JSONDecodeError as exc:
+                raise SnapshotFormatError(f"{path}: corrupt TOC: {exc}") from None
+            for name, sec in toc["sections"].items():
+                if sec["offset"] + sec["length"] > size:
+                    raise SnapshotFormatError(
+                        f"{path}: truncated file (section {name!r} out of bounds)"
+                    )
+            return cls(path, f, mm, buf, generation, toc)
+        except BaseException:
+            if buf is not None:
+                buf.release()
+            mm.close()
+            f.close()
+            raise
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the mapping. Graphs handed out earlier must not be
+        used afterwards; normally the mapping just lives as long as
+        they do."""
+        self._graphs.clear()
+        self._dictionary = None
+        if self._buf is not None:
+            self._buf.release()
+            self._buf = None
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    # -- accessors ---------------------------------------------------------
+
+    def _section(self, name: str) -> Dict[str, int]:
+        try:
+            return self._toc["sections"][name]
+        except KeyError:
+            raise SnapshotFormatError(
+                f"{self._path}: TOC names no section {name!r}"
+            ) from None
+
+    @property
+    def dictionary(self) -> MappedTermDictionary:
+        if self._dictionary is None:
+            pool = self._section("pool")
+            offsets = self._section("offsets")
+            hashes = self._section("hash")
+            self._dictionary = MappedTermDictionary(
+                MappedStringPool(
+                    self._buf,
+                    pool["offset"],
+                    pool["length"],
+                    offsets["offset"],
+                    offsets["length"],
+                    hashes["offset"],
+                    hashes["length"],
+                )
+            )
+        return self._dictionary
+
+    def graph_entries(self) -> List[Dict[str, object]]:
+        return list(self._toc["graphs"])
+
+    def graph(self, key: str) -> MappedGraph:
+        cached = self._graphs.get(key)
+        if cached is not None:
+            return cached
+        entry = next((g for g in self._toc["graphs"] if g["key"] == key), None)
+        if entry is None:
+            raise SnapshotFormatError(f"{self._path}: no graph {key!r} in snapshot")
+        readers = []
+        for order in ("spo", "pos", "osp"):
+            sec = self._section(f"{key}/{order}")
+            readers.append(
+                RunReader(self._buf, sec["offset"], sec["length"], entry["triples"])
+            )
+        name = (
+            entry["model"]
+            if entry["kind"] == "model"
+            else f"{entry['model']}[{entry['rulebase']}]"
+        )
+        graph = MappedGraph(
+            self,
+            self.dictionary,
+            *readers,
+            size=entry["triples"],
+            distinct=tuple(entry["distinct"]),
+            name=name,
+            frozen=bool(entry["frozen"]),
+        )
+        self._graphs[key] = graph
+        return graph
+
+    def store(self, mutable_models: Optional[Sequence[str]] = None) -> TripleStore:
+        """Build a :class:`TripleStore` over the mapped graphs.
+
+        ``mutable_models``: ``None`` (default) materializes exactly the
+        models that were saved unfrozen — a faithful round-trip; an
+        iterable of names materializes exactly those; ``()`` keeps
+        everything mapped and read-only (the cheap attach used for
+        serving).
+        """
+        store = TripleStore()
+        for entry in self._toc["graphs"]:
+            if entry["kind"] != "model":
+                continue
+            graph = self.graph(entry["key"])
+            materialize = (
+                not entry["frozen"]
+                if mutable_models is None
+                else entry["model"] in mutable_models
+            )
+            store.adopt_model(
+                entry["model"], graph.materialize() if materialize else graph
+            )
+        for entry in self._toc["graphs"]:
+            if entry["kind"] != "index":
+                continue
+            store.attach_index(
+                entry["model"], entry["rulebase"], self.graph(entry["key"])
+            )
+        return store
+
+    # -- inspection --------------------------------------------------------
+
+    def verify(self) -> bool:
+        """Recompute every section CRC; False on the first mismatch."""
+        for name, sec in sorted(self._toc["sections"].items()):
+            data = bytes(self._buf[sec["offset"] : sec["offset"] + sec["length"]])
+            if zlib.crc32(data) != sec["crc32"]:
+                return False
+        return True
+
+    def info(self) -> Dict[str, object]:
+        return {
+            "path": str(self._path),
+            "format_version": FORMAT_VERSION,
+            "generation": self.generation,
+            "file_size": os.path.getsize(self._path),
+            "terms": self._toc["terms"],
+            "graphs": [
+                {
+                    "key": g["key"],
+                    "kind": g["kind"],
+                    "model": g["model"],
+                    "rulebase": g["rulebase"],
+                    "triples": g["triples"],
+                    "frozen": g["frozen"],
+                }
+                for g in self._toc["graphs"]
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<MappedSnapshot {str(self._path)!r} gen={self.generation} "
+            f"graphs={len(self._toc['graphs'])}>"
+        )

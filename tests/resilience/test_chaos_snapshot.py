@@ -1,0 +1,26 @@
+"""Snapshot storage chaos: crash-during-save/attach must be harmless."""
+
+from repro.resilience.chaos import SNAPSHOT_SITES, run_snapshot_chaos
+from repro.resilience.faults import FAULT_POINTS
+
+
+def test_snapshot_sites_are_registered_fault_points():
+    for site in SNAPSHOT_SITES:
+        assert site in FAULT_POINTS
+
+
+def test_snapshot_chaos_converges():
+    report = run_snapshot_chaos(seed=7, iterations=3, documents=2, instances=5)
+    assert len(report.iterations) == 3
+    assert report.crashes == 3  # every iteration arms a firing site
+    assert report.ok, report.summary()
+    for it in report.iterations:
+        assert it.site in SNAPSHOT_SITES
+        assert it.recovery_action in ("retry-save", "retry-attach")
+
+
+def test_snapshot_chaos_is_deterministic_per_seed():
+    a = run_snapshot_chaos(seed=3, iterations=2, documents=2, instances=4)
+    b = run_snapshot_chaos(seed=3, iterations=2, documents=2, instances=4)
+    assert [it.site for it in a.iterations] == [it.site for it in b.iterations]
+    assert a.ok and b.ok

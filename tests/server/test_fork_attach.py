@@ -1,0 +1,80 @@
+"""Fork workers: snapshot-file attach versus CoW inheritance."""
+
+import sys
+
+import pytest
+
+from repro.server import ServiceConfig
+from repro.server.metrics import ServiceMetrics
+
+pytestmark = pytest.mark.skipif(
+    sys.platform.startswith("win"), reason="fork start method required"
+)
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    from repro.synth import LandscapeConfig, generate_landscape
+
+    land = generate_landscape(LandscapeConfig.tiny(seed=2009))
+    land.warehouse.build_entailment_index()
+    return land.warehouse
+
+
+PROBE = "SELECT ?s ?name WHERE { ?s dm:hasName ?name }"
+
+
+def test_config_accepts_snapshot_dir(tmp_path):
+    config = ServiceConfig(snapshot_dir=str(tmp_path))
+    assert config.snapshot_dir == str(tmp_path)
+    assert ServiceConfig().snapshot_dir is None
+
+
+def test_fork_worker_attaches_published_snapshot(warehouse, tmp_path):
+    config = ServiceConfig(
+        max_workers=1, worker_mode="fork", snapshot_dir=str(tmp_path / "snaps")
+    )
+    with warehouse.serve(config) as service:
+        rows = service.query(PROBE)
+        snap = service.metrics_snapshot()
+    assert len(rows) > 0
+    assert snap["fork_workers"].get("attach", 0) >= 1
+    assert snap["fork_workers"].get("cow", 0) == 0
+    published = list((tmp_path / "snaps").glob("snapshot-*.mdws"))
+    assert published, "publication wrote no snapshot file"
+
+
+def test_fork_worker_falls_back_to_cow(warehouse):
+    config = ServiceConfig(max_workers=1, worker_mode="fork")
+    with warehouse.serve(config) as service:
+        rows = service.query(PROBE)
+        snap = service.metrics_snapshot()
+    assert len(rows) > 0
+    assert snap["fork_workers"].get("cow", 0) >= 1
+    assert snap["fork_workers"].get("attach", 0) == 0
+
+
+def test_attach_and_cow_answers_agree(warehouse, tmp_path):
+    def answers(config):
+        with warehouse.serve(config) as service:
+            return sorted(
+                str(b) for b in service.query(PROBE).iter_bindings()
+            )
+
+    thread = answers(ServiceConfig(max_workers=1))
+    attach = answers(
+        ServiceConfig(
+            max_workers=1, worker_mode="fork", snapshot_dir=str(tmp_path / "s")
+        )
+    )
+    cow = answers(ServiceConfig(max_workers=1, worker_mode="fork"))
+    assert thread == attach == cow
+
+
+def test_metrics_record_fork_worker_modes():
+    metrics = ServiceMetrics(name="test-fork")
+    metrics.on_fork_worker("attach")
+    metrics.on_fork_worker("attach")
+    metrics.on_fork_worker("cow")
+    snap = metrics.snapshot()
+    assert snap["fork_workers"] == {"attach": 2, "cow": 1}

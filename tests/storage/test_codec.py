@@ -1,0 +1,99 @@
+"""Varint and sorted-run codec: boundaries, paging, prefix counts."""
+
+import pytest
+
+from repro.storage.codec import (
+    PAGE_TRIPLES,
+    RunReader,
+    SnapshotFormatError,
+    decode_varint,
+    encode_run,
+    encode_varint,
+)
+
+
+def _roundtrip(value: int) -> int:
+    out = bytearray()
+    encode_varint(value, out)
+    decoded, pos = decode_varint(bytes(out), 0)
+    assert pos == len(out)
+    return decoded
+
+
+@pytest.mark.parametrize(
+    "value",
+    [0, 1, 127, 128, 129, 16383, 16384, 2**32, 2**56, 2**63 - 1],
+)
+def test_varint_roundtrip(value):
+    assert _roundtrip(value) == value
+
+
+def test_varint_truncated_raises():
+    out = bytearray()
+    encode_varint(2**32, out)
+    with pytest.raises(SnapshotFormatError):
+        decode_varint(bytes(out[:-1]), 0)
+
+
+def _reader(rows):
+    rows = sorted(rows)
+    buf = encode_run(rows)
+    return rows, RunReader(memoryview(buf), 0, len(buf), len(rows))
+
+
+def test_run_roundtrip_small():
+    rows, reader = _reader([(3, 1, 2), (3, 1, 9), (3, 2, 1), (7, 0, 0)])
+    assert list(reader.scan(())) == rows
+    assert reader.has((3, 2, 1))
+    assert not reader.has((3, 2, 2))
+
+
+def test_run_crosses_page_boundaries():
+    # enough rows for several pages, with runs straddling page edges
+    rows = [(s, p, o) for s in range(40) for p in range(9) for o in range(9)]
+    assert len(rows) > 2 * PAGE_TRIPLES
+    rows, reader = _reader(rows)
+    assert list(reader.scan(())) == rows
+    # per-prefix scans agree with a brute-force filter
+    for s in (0, 13, 39):
+        assert list(reader.scan((s,))) == [r for r in rows if r[0] == s]
+        assert reader.count((s,)) == 81
+        for p in (0, 8):
+            assert list(reader.scan((s, p))) == [
+                r for r in rows if r[:2] == (s, p)
+            ]
+            assert reader.count((s, p)) == 9
+    assert reader.count(()) == len(rows)
+    assert reader.count((40,)) == 0
+    assert list(reader.scan((40,))) == []
+
+
+def test_run_distinct_first_skips_interior_pages():
+    # one giant group spanning pages plus singleton groups around it
+    rows = [(1, 0, o) for o in range(3 * PAGE_TRIPLES)]
+    rows += [(0, 0, 0), (2, 0, 0), (3, 5, 5)]
+    rows, reader = _reader(rows)
+    assert reader.distinct_first() == 4
+
+
+def test_run_point_counts():
+    rows, reader = _reader([(1, 2, 3), (1, 2, 4)])
+    assert reader.count((1, 2, 3)) == 1
+    assert reader.count((1, 2, 5)) == 0
+
+
+def test_empty_run():
+    rows, reader = _reader([])
+    assert list(reader.scan(())) == []
+    assert reader.count(()) == 0
+    assert reader.distinct_first() == 0
+    assert not reader.has((0, 0, 0))
+
+
+def test_run_rejects_corrupt_directory():
+    rows = sorted((i, i, i) for i in range(10))
+    buf = bytearray(encode_run(rows))
+    buf[0] = 0xFF  # wreck the page count
+    reader = RunReader(memoryview(bytes(buf)), 0, len(buf), len(rows))
+    with pytest.raises(SnapshotFormatError):
+        list(reader.scan(()))

@@ -1,0 +1,198 @@
+"""Snapshot files: save/attach round trips, validation, rejection."""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.rdf.graph import Graph, ReadOnlyGraphError
+from repro.rdf.namespace import RDF
+from repro.rdf.terms import IRI, Literal, Triple
+from repro.rdf.store import TripleStore
+from repro.storage import MappedSnapshot, SnapshotFormatError, save_snapshot_store
+from repro.storage.snapshot import FORMAT_VERSION, HEADER_SIZE, MAGIC
+
+NS = "http://example.org/"
+
+
+def _store(triples=60, freeze=False) -> TripleStore:
+    store = TripleStore()
+    graph = store.get_or_create_model("DWH_CURR")
+    for i in range(triples):
+        s = IRI(f"{NS}item_{i}")
+        graph.add(Triple(s, RDF.type, IRI(f"{NS}Class_{i % 5}")))
+        graph.add(Triple(s, IRI(f"{NS}hasName"), Literal(f"name_{i}")))
+    derived = Graph(dictionary=graph.dictionary)
+    for i in range(0, triples, 3):
+        derived.add(
+            Triple(IRI(f"{NS}item_{i}"), RDF.type, IRI(f"{NS}Super"))
+        )
+    store.attach_index("DWH_CURR", "OWLPRIME", derived)
+    if freeze:
+        graph.freeze()
+        derived.freeze()
+    return store
+
+
+def test_roundtrip_content_and_counts(tmp_path):
+    store = _store()
+    path = save_snapshot_store(store, tmp_path / "s.mdws", generation=7)
+    snap = MappedSnapshot.open(path)
+    assert snap.generation == 7
+    attached = snap.store()
+    original = store.model("DWH_CURR")
+    mapped = attached.model("DWH_CURR")
+    assert mapped == original and original == mapped
+    assert len(mapped) == len(original)
+    assert mapped.distinct_subject_count() == original.distinct_subject_count()
+    assert mapped.distinct_predicate_count() == original.distinct_predicate_count()
+    assert mapped.distinct_object_count() == original.distinct_object_count()
+    assert attached.index("DWH_CURR", "OWLPRIME") == store.index(
+        "DWH_CURR", "OWLPRIME"
+    )
+    # every pattern shape answers identically
+    probe = Triple(IRI(f"{NS}item_3"), IRI(f"{NS}hasName"), Literal("name_3"))
+    for pattern in [
+        (None, None, None),
+        (probe.subject, None, None),
+        (None, probe.predicate, None),
+        (None, None, probe.object),
+        (probe.subject, probe.predicate, None),
+        (probe.subject, None, probe.object),
+        (None, probe.predicate, probe.object),
+        (probe.subject, probe.predicate, probe.object),
+    ]:
+        key = lambda t: (t.subject.sort_key(), t.predicate.sort_key(), t.object.sort_key())
+        assert sorted(mapped.triples(*pattern), key=key) == sorted(
+            original.triples(*pattern), key=key
+        )
+        assert mapped.count(*pattern) == original.count(*pattern)
+
+
+def test_save_is_deterministic(tmp_path):
+    store = _store()
+    a = save_snapshot_store(store, tmp_path / "a.mdws", generation=1)
+    b = save_snapshot_store(store, tmp_path / "b.mdws", generation=1)
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_mapped_graphs_share_one_dictionary(tmp_path):
+    path = save_snapshot_store(_store(), tmp_path / "s.mdws")
+    attached = MappedSnapshot.open(path).store(mutable_models=())
+    model = attached.model("DWH_CURR")
+    index = attached.index("DWH_CURR", "OWLPRIME")
+    assert model.dictionary is index.dictionary
+    view = attached.view(["DWH_CURR"], rulebases=["OWLPRIME"])
+    assert view.dictionary is model.dictionary
+
+
+def test_mapped_graph_is_read_only(tmp_path):
+    path = save_snapshot_store(_store(), tmp_path / "s.mdws")
+    mapped = MappedSnapshot.open(path).store(mutable_models=()).model("DWH_CURR")
+    t = Triple(IRI(f"{NS}x"), IRI(f"{NS}y"), IRI(f"{NS}z"))
+    for call in [
+        lambda: mapped.add(t),
+        lambda: mapped.remove(t),
+        lambda: mapped.discard(t),
+        lambda: mapped.add_all([t]),
+        lambda: mapped.clear(),
+    ]:
+        with pytest.raises(ReadOnlyGraphError):
+            call()
+    writable = mapped.materialize()
+    writable.add(t)
+    assert t in writable and t not in mapped
+
+
+def test_empty_graph_snapshot(tmp_path):
+    store = TripleStore()
+    store.get_or_create_model("DWH_CURR")
+    path = save_snapshot_store(store, tmp_path / "empty.mdws")
+    attached = MappedSnapshot.open(path).store(mutable_models=())
+    mapped = attached.model("DWH_CURR")
+    assert len(mapped) == 0
+    assert list(mapped) == []
+    assert mapped.distinct_subject_count() == 0
+    assert not mapped
+
+
+def _valid_bytes(tmp_path):
+    path = save_snapshot_store(_store(triples=20), tmp_path / "v.mdws")
+    return path, bytearray(path.read_bytes())
+
+
+def test_rejects_bad_magic(tmp_path):
+    path, raw = _valid_bytes(tmp_path)
+    raw[0] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    with pytest.raises(SnapshotFormatError, match="magic"):
+        MappedSnapshot.open(path)
+
+
+def test_rejects_header_corruption(tmp_path):
+    path, raw = _valid_bytes(tmp_path)
+    raw[16] ^= 0x01  # inside the generation field, behind the header CRC
+    path.write_bytes(bytes(raw))
+    with pytest.raises(SnapshotFormatError, match="checksum"):
+        MappedSnapshot.open(path)
+
+
+def test_rejects_future_format_version(tmp_path):
+    path, raw = _valid_bytes(tmp_path)
+    header = struct.Struct("<8sIIQQQII")
+    fields = list(header.unpack_from(bytes(raw), 0))
+    assert fields[0] == MAGIC and fields[1] == FORMAT_VERSION
+    fields[1] = FORMAT_VERSION + 1
+    packed = header.pack(*fields)
+    packed = packed[:-4] + struct.pack("<I", zlib.crc32(packed[:-4]))
+    raw[:HEADER_SIZE] = packed
+    path.write_bytes(bytes(raw))
+    with pytest.raises(SnapshotFormatError, match="format 2 unsupported"):
+        MappedSnapshot.open(path)
+
+
+def test_rejects_truncated_file(tmp_path):
+    path, raw = _valid_bytes(tmp_path)
+    for cut in (10, HEADER_SIZE, len(raw) // 2, len(raw) - 5):
+        path.write_bytes(bytes(raw[:cut]))
+        with pytest.raises(SnapshotFormatError):
+            MappedSnapshot.open(path)
+
+
+def test_rejects_section_corruption(tmp_path):
+    path, raw = _valid_bytes(tmp_path)
+    raw[HEADER_SIZE + 3] ^= 0xFF  # inside the first section's payload
+    path.write_bytes(bytes(raw))
+    snap = MappedSnapshot.open(path)  # TOC still valid: open succeeds
+    assert snap.verify() is False
+
+
+def test_frozen_flag_roundtrips(tmp_path):
+    frozen_store = _store(freeze=True)
+    path = save_snapshot_store(frozen_store, tmp_path / "f.mdws")
+    snap = MappedSnapshot.open(path)
+    assert snap.store(mutable_models=()).model("DWH_CURR").frozen
+    # an unfrozen-saved model defaults back to a mutable graph on load
+    path2 = save_snapshot_store(_store(freeze=False), tmp_path / "u.mdws")
+    loaded = MappedSnapshot.open(path2).store()
+    graph = loaded.model("DWH_CURR")
+    assert not graph.frozen
+    graph.add(Triple(IRI(f"{NS}new"), RDF.type, IRI(f"{NS}Class_0")))
+
+
+def test_stats_parity_with_in_memory_catalog(tmp_path):
+    store = _store()
+    original = store.model("DWH_CURR")
+    original.stats().ensure_fresh(trigger="test")
+    path = save_snapshot_store(store, tmp_path / "s.mdws")
+    mapped = MappedSnapshot.open(path).store(mutable_models=()).model("DWH_CURR")
+    for predicate in (RDF.type, IRI(f"{NS}hasName")):
+        pid = original.dictionary.lookup(predicate)
+        expected = original.stats().predicate(pid)
+        mid = mapped.dictionary.lookup(predicate)
+        actual = mapped.stats().predicate(mid)
+        assert (expected is None) == (actual is None)
+        if expected is not None:
+            assert actual.count == expected.count
+            assert actual.distinct_subjects == expected.distinct_subjects
+            assert actual.distinct_objects == expected.distinct_objects

@@ -1,0 +1,80 @@
+"""Term codec and the shared offset-indexed string pool."""
+
+import pytest
+
+from repro.rdf.terms import BNode, IRI, Literal
+from repro.storage.codec import SnapshotFormatError
+from repro.storage.stringpool import (
+    MappedStringPool,
+    build_pool,
+    decode_term,
+    encode_term,
+)
+
+TERMS = [
+    IRI("http://www.credit-suisse.com/dwh/customer_id"),
+    IRI("http://example.org/ünïcödé/žluťoučký"),
+    BNode("b0"),
+    Literal("plain"),
+    Literal(""),
+    Literal("42", datatype=IRI("http://www.w3.org/2001/XMLSchema#integer")),
+    Literal("naïve — déjà vu ✓ 中文", language="fr"),
+    Literal("x" * 100_000),  # long literal: length survives varint framing
+    Literal("tab\tnewline\nquote\"backslash\\"),
+]
+
+
+@pytest.mark.parametrize("term", TERMS, ids=lambda t: type(t).__name__ + str(TERMS.index(t) if t in TERMS else ""))
+def test_term_codec_roundtrip(term):
+    assert decode_term(encode_term(term)) == term
+
+
+def test_typed_and_lang_literals_stay_distinct():
+    plain = Literal("v")
+    typed = Literal("v", datatype=IRI("http://example.org/dt"))
+    lang = Literal("v", language="en")
+    records = {encode_term(t) for t in (plain, typed, lang)}
+    assert len(records) == 3
+    for t in (plain, typed, lang):
+        assert decode_term(encode_term(t)) == t
+
+
+def _mapped(terms):
+    pool, offsets, hashes = build_pool(terms)
+    buf = memoryview(pool + offsets + hashes)
+    return MappedStringPool(
+        buf,
+        0,
+        len(pool),
+        len(pool),
+        len(offsets),
+        len(pool) + len(offsets),
+        len(hashes),
+    )
+
+
+def test_pool_lookup_both_directions():
+    mapped = _mapped(TERMS)
+    for tid, term in enumerate(TERMS):
+        assert mapped.term(tid) == term
+        assert mapped.find(term) == tid
+
+
+def test_pool_find_missing_is_none():
+    mapped = _mapped(TERMS)
+    assert mapped.find(IRI("http://example.org/not-there")) is None
+    assert mapped.find(Literal("plain", language="de")) is None
+
+
+def test_pool_rejects_misaligned_sections():
+    pool, offsets, hashes = build_pool(TERMS)
+    buf = memoryview(pool + offsets + hashes)
+    with pytest.raises(SnapshotFormatError):
+        MappedStringPool(
+            buf, 0, len(pool), len(pool), len(offsets) - 1, 0, len(hashes)
+        )
+
+
+def test_empty_pool():
+    mapped = _mapped([])
+    assert mapped.find(IRI("http://example.org/a")) is None

@@ -303,3 +303,63 @@ class TestChaosIncremental:
         out = capsys.readouterr().out
         assert code == 0
         assert "all converged" in out
+
+
+class TestSnapshotFiles:
+    def test_save_info_attach_cycle(self, store_dir, tmp_path, capsys):
+        snap = tmp_path / "wh.mdws"
+        assert main(["snapshot", "save", str(store_dir), str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "triple(s)" in out and snap.exists()
+
+        assert main(["snapshot", "info", str(snap), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert '"format_version": 1' in out
+        assert '"checksums": "ok"' in out
+
+        assert main(["snapshot", "attach", str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "DWH_CURR" in out
+
+    def test_stats_works_on_snapshot_file(self, store_dir, tmp_path, capsys):
+        snap = tmp_path / "wh.mdws"
+        main(["snapshot", "save", str(store_dir), str(snap)])
+        capsys.readouterr()
+        assert main(["stats", str(snap)]) == 0
+        assert "FACTS" in capsys.readouterr().out
+
+    def test_info_detects_corruption(self, store_dir, tmp_path, capsys):
+        snap = tmp_path / "wh.mdws"
+        main(["snapshot", "save", str(store_dir), str(snap)])
+        raw = bytearray(snap.read_bytes())
+        raw[-1] ^= 0xFF
+        snap.write_bytes(bytes(raw))
+        capsys.readouterr()
+        assert main(["snapshot", "info", str(snap), "--verify"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_migrate_legacy_store(self, store_dir, tmp_path, capsys):
+        snap = tmp_path / "migrated.mdws"
+        assert main(["snapshot", "migrate", str(store_dir), str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "migrated" in out and snap.exists()
+        assert main(["stats", str(snap)]) == 0
+
+    def test_attach_missing_file_errors(self, tmp_path, capsys):
+        assert main(["snapshot", "attach", str(tmp_path / "nope.mdws")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestChaosSnapshot:
+    def test_chaos_snapshot_converges(self, capsys):
+        code = main(
+            ["chaos", "--seed", "1", "--iterations", "1", "--documents", "2",
+             "--instances", "4", "--snapshot"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all converged" in out
+
+    def test_snapshot_and_incremental_are_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--iterations", "1", "--snapshot", "--incremental"])
