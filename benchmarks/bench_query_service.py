@@ -222,6 +222,59 @@ def test_throughput_scaling_fork_mode(warehouse, workload, record):
         )
 
 
+def test_supervision_overhead_fork_mode(warehouse, workload, record, tmp_path_factory):
+    """The self-healing fleet must be invisible on the hot path: a
+    supervised 4-worker fork service stays within 5% of unsupervised
+    throughput on the same mix (the supervisor only ever takes a slot
+    lock the owner thread is not holding, and only between requests)."""
+    reference = _reference_results(warehouse, workload)
+    workers = min(4, max(WORKER_COUNTS))
+    runs: Dict[str, object] = {}
+    for label, supervise in (("unsupervised", False), ("supervised", True)):
+        config = ServiceConfig(
+            max_workers=workers,
+            max_queue=max(64, len(workload)),
+            worker_mode="fork",
+            name=f"bench-{label}",
+            snapshot_dir=str(tmp_path_factory.mktemp(f"snaps-{label}")),
+            supervise=supervise,
+            heartbeat_interval=0.25,
+        )
+        with warehouse.serve(config) as service:
+            elapsed, results = _drive(service, workload, clients=max(4, workers))
+            snap = service.metrics_snapshot()
+        assert results == reference, f"{label} run diverged from the reference"
+        runs[label] = {
+            "seconds": round(elapsed, 6),
+            "throughput_rps": round(len(workload) / elapsed, 2),
+            "worker_restarts": snap["worker_restarts"],
+        }
+    ratio = runs["supervised"]["throughput_rps"] / runs["unsupervised"]["throughput_rps"]
+    _save(
+        "supervised",
+        {
+            "ops": len(workload),
+            "cores": CORES,
+            "workers": workers,
+            "runs": runs,
+            "throughput_ratio": round(ratio, 4),
+        },
+    )
+    record(
+        "S1d",
+        f"Supervision overhead, {workers} fork workers ({SCALE}, {len(workload)} ops)",
+        [
+            ("unsupervised", f"{runs['unsupervised']['throughput_rps']} req/s"),
+            ("supervised", f"{runs['supervised']['throughput_rps']} req/s"),
+            ("ratio", f"{ratio:.3f} (bar: >= 0.95)"),
+        ],
+    )
+    if SCALE != "small" and CORES >= 4:
+        assert ratio >= 0.95, (
+            f"supervision cost {1 - ratio:.1%} of throughput (budget 5%)"
+        )
+
+
 def test_deadline_enforcement_under_load(warehouse, record):
     """A deadline-exceeding query fails typed and fast while the service
     keeps answering concurrent well-behaved requests."""

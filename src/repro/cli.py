@@ -201,6 +201,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--mode", choices=["thread", "fork"], default="thread")
     serve.add_argument("--timeout", type=float, default=None, help="per-statement deadline in seconds")
     serve.add_argument("--queue", type=int, default=64, help="admission queue bound")
+    serve.add_argument(
+        "--supervise", action="store_true",
+        help="self-healing worker fleet (fork mode only): heartbeat, "
+        "reap and respawn dead or hung workers, requeue their requests",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -221,6 +226,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash/recover through the snapshot storage path "
         "(save/attach fault sites)",
     )
+    chaos_path.add_argument(
+        "--supervisor", action="store_true",
+        help="SIGKILL live fork workers under a client workload and "
+        "verify the supervisor loses no request (serving path)",
+    )
 
     workload = sub.add_parser(
         "workload",
@@ -233,6 +243,10 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--mode", choices=["thread", "fork"], default="thread")
     workload.add_argument("--timeout", type=float, default=None, help="per-request deadline in seconds")
     workload.add_argument("--seed", type=int, default=42)
+    workload.add_argument(
+        "--supervise", action="store_true",
+        help="run the workload under the self-healing supervisor (fork mode only)",
+    )
     workload.add_argument(
         "--trace-out", default=None, metavar="FILE",
         help="trace the run and write a Chrome trace JSON here",
@@ -696,11 +710,14 @@ def cmd_serve(args) -> None:
     mdw = _open(args)
     from repro.server import DeadlineExceeded, Overloaded, QueryServiceError, ServiceConfig
 
+    if args.supervise and args.mode != "fork":
+        raise CliError("--supervise requires --mode fork (thread workers share the process)")
     config = ServiceConfig(
         max_workers=args.workers,
         max_queue=args.queue,
         default_timeout=args.timeout,
         worker_mode=args.mode,
+        supervise=args.supervise,
     )
     statements = [
         block.strip()
@@ -723,11 +740,21 @@ def cmd_serve(args) -> None:
             print(f"-- statement {number} ({kind}, {len(rows)} row(s))")
             print(rows.as_table())
         print(service.metrics_report())
+        health = service.health()
+        line = f"health: {health['status']}"
+        supervisor = health.get("supervisor")
+        if supervisor:
+            restarts = sum((supervisor.get("restarts") or {}).values())
+            line += (
+                f" (supervisor: {supervisor['alive_children']} worker(s) live, "
+                f"{restarts} restart(s), {supervisor['hedged']} hedged)"
+            )
+        print(line)
     if failures:
         raise CliError(f"{failures} of {len(statements)} statement(s) failed")
 
 
-def _drive_workload(mdw, *, workers, clients, requests, mode, timeout, seed):
+def _drive_workload(mdw, *, workers, clients, requests, mode, timeout, seed, supervise=False):
     """Run the synthetic client mix; returns (ops, errors, elapsed, report)."""
     import threading
     import time
@@ -740,6 +767,7 @@ def _drive_workload(mdw, *, workers, clients, requests, mode, timeout, seed):
         max_queue=max(64, requests),
         default_timeout=timeout,
         worker_mode=mode,
+        supervise=supervise,
     )
     ops = make_service_workload(mdw, n_ops=requests, seed=seed)
     shards = [ops[i::clients] for i in range(clients)]
@@ -784,6 +812,8 @@ def cmd_workload(args) -> None:
     """Drive a deterministic mixed workload with concurrent clients."""
     from contextlib import ExitStack
 
+    if args.supervise and args.mode != "fork":
+        raise CliError("--supervise requires --mode fork (thread workers share the process)")
     mdw = _open(args)
     tracer = None
     with ExitStack() as stack:
@@ -800,6 +830,7 @@ def cmd_workload(args) -> None:
             mode=args.mode,
             timeout=args.timeout,
             seed=args.seed,
+            supervise=args.supervise,
         )
     print(
         f"{len(ops)} request(s), {args.clients} client(s), "
@@ -873,11 +904,24 @@ def cmd_chaos(args) -> None:
     reference state (model, entailment indexes, probe answers); any
     divergence is a bug in the crash-recovery path and exits 2.
     """
-    from repro.resilience.chaos import run_chaos, run_snapshot_chaos
+    from repro.resilience.chaos import (
+        run_chaos,
+        run_snapshot_chaos,
+        run_supervisor_chaos,
+    )
 
     if args.iterations < 1:
         raise CliError("--iterations must be positive")
-    if args.snapshot:
+    if args.supervisor:
+        report = run_supervisor_chaos(
+            seed=args.seed,
+            iterations=args.iterations,
+            documents=args.documents,
+            instances=args.instances,
+            workdir=args.workdir,
+            log=print,
+        )
+    elif args.snapshot:
         report = run_snapshot_chaos(
             seed=args.seed,
             iterations=args.iterations,

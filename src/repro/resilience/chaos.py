@@ -54,6 +54,11 @@ SNAPSHOT_SITES = [
     "snapshot.attach",
 ]
 
+#: The serving-tier "site" a supervisor chaos iteration kills at. Not a
+#: fault-injection point: the harness SIGKILLs live fork workers from
+#: outside, exactly like the OOM killer would.
+SUPERVISOR_SITE = "worker.kill"
+
 #: The probe query both sides answer after the dust settles (exercises
 #: the plan cache and, via the rulebase, the entailment index).
 PROBE_QUERY = "SELECT ?s ?name WHERE { ?s dm:hasName ?name }"
@@ -344,6 +349,195 @@ def _run_snapshot_iteration(
     else:
         it.converged = True
     return it
+
+
+def _canonical_service_result(kind: str, result) -> object:
+    """An order-insensitive, degraded-flag-blind form of any endpoint's
+    result (mirrors the serving benchmark's canonicalization): bound
+    rows for ``query``/``sql``, (instance, name) pairs for ``search``,
+    (source, target) edges for ``lineage``."""
+    if kind in ("query", "sql"):
+        return sorted(
+            tuple(sorted((k, v.n3()) for k, v in row.asdict().items()))
+            for row in result
+        )
+    if kind == "search":
+        return sorted((hit.instance.n3(), hit.name) for hit in result.hits)
+    if kind == "lineage":
+        return sorted((edge.source.n3(), edge.target.n3()) for edge in result.edges)
+    return repr(result)
+
+
+def _run_supervisor_iteration(
+    i: int,
+    iteration_seed: int,
+    rng: random.Random,
+    documents: int,
+    instances: int,
+    root: Path,
+    n_ops: int,
+    kills: int,
+    clients: int = 3,
+) -> ChaosIteration:
+    """One kill/recover/verify round through the *serving* path.
+
+    A supervised fork-mode service replays a deterministic Listing 1/2
+    request mix from several client threads while a killer thread
+    SIGKILLs random live workers — the closest harness analogue of the
+    OOM killer visiting the productive warehouse. Three assertions:
+
+    * **zero loss** — every request completes; none surfaces an error
+      (orphans requeue, exhausted ones fall back in-process, degraded);
+    * **bit-identical answers** — each op's canonicalized result equals
+      a single-threaded direct run's (the degraded flag is ignored, the
+      rows must match exactly);
+    * **bounded recovery** — the pool is back at full strength within
+      three heartbeat intervals of the workload draining.
+    """
+    import os
+    import signal
+    import threading
+    import time
+
+    from repro.server.service import QueryService, ServiceConfig, dispatch
+    from repro.synth.workload import make_service_workload
+
+    feeds = make_release_feeds(rng, documents=documents, instances=instances)
+    mdw = _build_release_base(feeds)
+    ops = make_service_workload(mdw, n_ops=n_ops, seed=iteration_seed)
+    expected = [
+        _canonical_service_result(op.kind, dispatch(mdw, op.kind, dict(op.payload)))
+        for op in ops
+    ]
+
+    heartbeat_interval = 0.2
+    snapshot_dir = root / f"sup-{i}"
+    snapshot_dir.mkdir(parents=True, exist_ok=True)
+    config = ServiceConfig(
+        name=f"chaos-sup-{i}",
+        max_workers=4,
+        max_queue=n_ops + 32,
+        worker_mode="fork",
+        snapshot_dir=str(snapshot_dir),
+        supervise=True,
+        heartbeat_interval=heartbeat_interval,
+        hang_timeout=2.0,
+        hedge_after=0.8,
+        max_attempts=4,
+        breaker_threshold=10_000,  # the breaker is not under test here
+    )
+    it = ChaosIteration(index=i, seed=iteration_seed, site=SUPERVISOR_SITE, skip=0)
+    results: List[object] = [None] * len(ops)
+    errors: List[str] = []
+    done = threading.Event()
+    killed = 0
+
+    service = QueryService(mdw, config)
+    try:
+        supervisor = service.supervisor
+        deadline = time.monotonic() + 5.0
+        while supervisor.alive_children() < config.max_workers:
+            if time.monotonic() > deadline:
+                it.detail = "pool never reached full size before the workload"
+                return it
+            time.sleep(0.01)
+
+        def client(indices: List[int]) -> None:
+            for index in indices:
+                op = ops[index]
+                try:
+                    results[index] = _canonical_service_result(
+                        op.kind, service.execute(op.kind, **op.payload)
+                    )
+                except Exception as exc:  # noqa: BLE001 - the assertion *is* "no errors"
+                    errors.append(f"op {index} ({op.kind}): {exc!r}")
+
+        def killer() -> None:
+            nonlocal killed
+            while killed < kills and not done.is_set():
+                pids = supervisor.worker_pids()
+                if pids:
+                    try:
+                        os.kill(rng.choice(pids), signal.SIGKILL)
+                        killed += 1
+                    except OSError:
+                        pass  # already reaped; pick again next round
+                time.sleep(rng.uniform(0.01, 0.06))
+
+        shards = [list(range(c, len(ops), clients)) for c in range(clients)]
+        threads = [
+            threading.Thread(target=client, args=(shard,), daemon=True)
+            for shard in shards
+        ]
+        killer_thread = threading.Thread(target=killer, daemon=True)
+        for thread in threads:
+            thread.start()
+        killer_thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        done.set()
+        killer_thread.join(timeout=5)
+
+        it.crashed = killed > 0
+        it.recovery_action = "respawn"
+
+        # bounded recovery: full pool strength within 3 heartbeats
+        recovery_deadline = time.monotonic() + 3 * heartbeat_interval
+        while supervisor.deficit() > 0 and time.monotonic() < recovery_deadline:
+            time.sleep(0.01)
+        recovered = supervisor.deficit() == 0
+
+        if errors:
+            it.detail = f"{len(errors)} failed request(s): {errors[:3]}"
+        elif not recovered:
+            it.detail = (
+                f"pool still {supervisor.deficit()} short after "
+                f"3 heartbeat intervals"
+            )
+        else:
+            mismatched = [
+                index
+                for index in range(len(ops))
+                if results[index] != expected[index]
+            ]
+            if mismatched:
+                it.detail = f"result mismatch at ops {mismatched[:5]}"
+            else:
+                it.converged = True
+        return it
+    finally:
+        service.close()
+
+
+def run_supervisor_chaos(
+    seed: int = 0,
+    iterations: int = 5,
+    documents: int = 3,
+    instances: int = 8,
+    n_ops: int = 36,
+    kills: int = 3,
+    workdir: Optional[Path] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Randomized kill/recover/verify over the supervised serving tier
+    (``repro-mdw chaos --supervisor``): SIGKILL live fork workers under
+    a client workload and assert zero lost requests, bit-identical
+    answers, and pool recovery within three heartbeat intervals."""
+    import tempfile
+
+    report = ChaosReport(seed=seed)
+    say = log if log is not None else (lambda message: None)
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(workdir) if workdir is not None else Path(tmp)
+        for i in range(iterations):
+            iteration_seed = seed * 100_003 + i
+            rng = random.Random(iteration_seed)
+            it = _run_supervisor_iteration(
+                i, iteration_seed, rng, documents, instances, root, n_ops, kills
+            )
+            report.iterations.append(it)
+            say(it.summary())
+    return report
 
 
 def run_snapshot_chaos(

@@ -38,6 +38,9 @@ FAULT_POINTS: Dict[str, str] = {
     "snapshot.save": "mid snapshot-file save, after fsync, before the atomic rename",
     "snapshot.attach": "while opening (mmap + validate) a snapshot file",
     "worker.execute": "inside a query-service worker, before dispatch",
+    "worker.crash": "inside a fork-mode child, before dispatch (hard os._exit)",
+    "worker.hang": "inside a fork-mode child, before dispatch (delay = stuck child)",
+    "supervisor.respawn": "in the supervisor, before reaping/respawning a worker",
     "release.apply": "before applying a release delta to the live model",
     "index.refresh": "while (re)building an entailment index",
     "index.staleness": "override the entailment-index staleness verdict",

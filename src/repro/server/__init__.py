@@ -15,10 +15,12 @@ from repro.server.errors import (
     Overloaded,
     QueryServiceError,
     ServiceClosed,
+    WorkerLost,
 )
 from repro.server.metrics import LatencyHistogram, ServiceMetrics, SlowQuery, SlowQueryLog
 from repro.server.service import QueryService, QueryTicket, ServiceConfig
 from repro.server.snapshot import Snapshot, SnapshotManager
+from repro.server.supervisor import Supervisor, WorkerSlot
 
 __all__ = [
     "Cancelled",
@@ -36,4 +38,7 @@ __all__ = [
     "SlowQueryLog",
     "Snapshot",
     "SnapshotManager",
+    "Supervisor",
+    "WorkerLost",
+    "WorkerSlot",
 ]

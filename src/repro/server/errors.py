@@ -51,6 +51,36 @@ class ServiceClosed(QueryServiceError):
         return (ServiceClosed, (str(self),))
 
 
+class WorkerLost(QueryServiceError):
+    """A fork-mode worker process died while executing a request.
+
+    Before this error existed, a child killed mid-request surfaced as an
+    opaque ``EOFError`` / broken pipe from the response queue. Now the
+    parent maps every symptom of a dead child — the liveness check, a
+    truncated pickle, a closed pipe — to this one typed error carrying
+    the ``request_id`` it was executing (for slow-query-log attribution)
+    and the child's ``exitcode`` (``-9`` for a SIGKILL).
+
+    Under supervision the caller never sees it: the supervisor requeues
+    the request onto a respawned worker (up to the configured attempt
+    budget, then an in-process fallback answers it flagged degraded).
+    Without supervision it travels to the caller as the typed verdict.
+    """
+
+    def __init__(self, request_id: str, exitcode=None, detail: str = ""):
+        suffix = f": {detail}" if detail else ""
+        super().__init__(
+            f"forked worker died executing {request_id} "
+            f"(exit code {exitcode}){suffix}"
+        )
+        self.request_id = request_id
+        self.exitcode = exitcode
+        self.detail = detail
+
+    def __reduce__(self):
+        return (WorkerLost, (self.request_id, self.exitcode, self.detail))
+
+
 class CircuitOpen(QueryServiceError):
     """The endpoint's circuit breaker is open; the request was shed.
 
@@ -78,4 +108,5 @@ __all__ = [
     "Overloaded",
     "QueryServiceError",
     "ServiceClosed",
+    "WorkerLost",
 ]

@@ -123,6 +123,12 @@ class ServiceMetrics:
         # fork-worker spawns by mode ("attach" | "cow"): how children got
         # their warehouse — mapped snapshot file vs CoW-inherited objects
         self._fork_workers: Dict[str, int] = {}
+        # supervision counters: respawns by cause, and the failover
+        # machinery that keeps callers whole when a worker dies
+        self._worker_restarts: Dict[str, int] = {}
+        self._worker_lost = 0
+        self._requeued = 0
+        self._hedged = 0
         registry = registry if registry is not None else get_registry()
         self._registry = registry
         self._events = registry.counter(
@@ -143,6 +149,17 @@ class ServiceMetrics:
         self._queue_hw_gauge = registry.gauge(
             "mdw_queue_high_water",
             "Admission queue high-water mark",
+            labels=("service",),
+        )
+        self._restarts_family = registry.counter(
+            "mdw_worker_restarts_total",
+            "Fork workers reaped and respawned, by cause "
+            "(crash | hang | stale)",
+            labels=("service", "reason"),
+        )
+        self._hedged_family = registry.counter(
+            "mdw_hedged_requests_total",
+            "Requests duplicated onto a second worker after lagging",
             labels=("service",),
         )
 
@@ -221,6 +238,33 @@ class ServiceMetrics:
             self._fork_workers[mode] = self._fork_workers.get(mode, 0) + 1
         self._event(f"fork_worker_{mode}")
 
+    def on_worker_restart(self, reason: str) -> None:
+        """A fork worker was reaped and respawned (``crash`` = found
+        dead, ``hang`` = killed for a stale heartbeat, ``stale`` =
+        retired for lagging the published snapshot generation)."""
+        with self._lock:
+            self._worker_restarts[reason] = self._worker_restarts.get(reason, 0) + 1
+        self._restarts_family.inc(service=self.name, reason=reason)
+
+    def on_worker_lost(self) -> None:
+        """A request's worker died under it (before any requeue verdict)."""
+        with self._lock:
+            self._worker_lost += 1
+        self._event("worker_lost")
+
+    def on_requeue(self) -> None:
+        """A request orphaned by a dead worker went back into the queue."""
+        with self._lock:
+            self._requeued += 1
+        self._event("requeued")
+
+    def on_hedge(self) -> None:
+        """A lagging request was duplicated onto a second worker."""
+        with self._lock:
+            self._hedged += 1
+        self._event("hedged")
+        self._hedged_family.inc(service=self.name)
+
     # -- reporting ---------------------------------------------------------
 
     def snapshot(self, plan_cache=None) -> Dict[str, object]:
@@ -237,6 +281,10 @@ class ServiceMetrics:
                 "breaker_shed": self._breaker_shed,
                 "degraded_responses": self._degraded,
                 "fork_workers": dict(self._fork_workers),
+                "worker_restarts": dict(self._worker_restarts),
+                "worker_lost": self._worker_lost,
+                "requeued": self._requeued,
+                "hedged": self._hedged,
             }
             endpoints = dict(self._latency)
         out["endpoints"] = {kind: h.summary() for kind, h in sorted(endpoints.items())}
@@ -265,6 +313,16 @@ class ServiceMetrics:
                 f"{snap['degraded_responses']} degraded responses"
             ),
         ]
+        restarts = snap["worker_restarts"]
+        if restarts or snap["worker_lost"] or snap["requeued"] or snap["hedged"]:
+            by_reason = ", ".join(
+                f"{n} {reason}" for reason, n in sorted(restarts.items())
+            ) or "none"
+            lines.append(
+                f"  supervision: restarts {by_reason}; "
+                f"{snap['worker_lost']} workers lost mid-request, "
+                f"{snap['requeued']} requeued, {snap['hedged']} hedged"
+            )
         for kind, summary in snap["endpoints"].items():
             lines.append(
                 f"  {kind}: n={summary['count']} mean={summary['mean'] * 1e3:.2f}ms "

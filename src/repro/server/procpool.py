@@ -18,19 +18,33 @@ Children are disposable by design:
 Fork start method only — the whole point is inheriting the in-memory
 graph for free. On platforms without ``fork`` (Windows), use the
 default thread mode.
+
+Every child also maintains a **heartbeat watermark**: a shared double it
+bumps when a request arrives and at every cooperative cancel check
+inside evaluation (each BGP stage and every few thousand rows). The
+process object's liveness answers "is it dead?"; the watermark answers
+"is it stuck?" — a busy child whose watermark stops moving is hung
+outside the cooperative check points, and the supervisor kills it so
+the owner thread sees an ordinary :class:`WorkerLost` death.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import queue as _queue
 import threading
 import time
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.server.errors import Cancelled, DeadlineExceeded, QueryServiceError
+from repro.server.errors import (
+    Cancelled,
+    DeadlineExceeded,
+    QueryServiceError,
+    WorkerLost,
+)
 
 #: How often the parent polls the response queue while also watching the
 #: request's cancel token (seconds).
@@ -82,7 +96,50 @@ def _child_extras(tracer, prof):
     return extras or None
 
 
-def _child_main(warehouse, request_queue, response_queue) -> None:
+class _PulseToken:
+    """A cancel token that bumps the heartbeat watermark on every check.
+
+    The evaluator already calls ``token.check()`` at each join stage and
+    every ``CHECK_STRIDE`` rows — exactly the cadence a progress
+    watermark needs — so piggybacking on the cooperative cancellation
+    hook adds one attribute store per check, nothing on the row loops.
+    Built by composition (not subclassing) because ``CancelToken`` uses
+    ``__slots__`` and the evaluator only ever calls these five members.
+    """
+
+    __slots__ = ("_inner", "_beat")
+
+    def __init__(self, inner, beat):
+        self._inner = inner
+        self._beat = beat
+
+    def check(self) -> None:
+        self._beat()
+        self._inner.check()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._inner.cancelled
+
+    def cancel(self) -> None:
+        self._inner.cancel()
+
+    def elapsed(self) -> float:
+        return self._inner.elapsed()
+
+    def remaining(self):
+        return self._inner.remaining()
+
+    @property
+    def timeout(self):
+        return self._inner.timeout
+
+    @property
+    def expired(self) -> bool:
+        return self._inner.expired
+
+
+def _child_main(warehouse, request_queue, response_queue, heartbeat=None) -> None:
     """The forked child's request loop.
 
     ``warehouse`` is the snapshot facade inherited through fork. The
@@ -95,11 +152,17 @@ def _child_main(warehouse, request_queue, response_queue) -> None:
     profiling flag; the child traces/profiles locally and ships the
     spans and profile snapshot back in the response — the parent's
     tracer adopts them, so span parentage survives the process hop.
+
+    ``heartbeat`` is the shared progress watermark (a raw double): it
+    is bumped when a request arrives, at every cooperative cancel check
+    during evaluation, and when the response ships. A supervisor reads
+    its age to distinguish a busy child from a hung one.
     """
     from contextlib import ExitStack
 
     from repro.obs.profile import QueryProfile, profile_scope
     from repro.obs.trace import Tracer, install_tracer, uninstall_tracer
+    from repro.resilience import faults
     from repro.sparql.cancel import CancelToken, cancel_scope
     from repro.sparql.plancache import PlanCache
     import repro.sparql.expressions as _expressions
@@ -111,12 +174,29 @@ def _child_main(warehouse, request_queue, response_queue) -> None:
     warehouse._search = None  # rebuild lazily with fresh locks
     warehouse._lineage = None
 
+    if heartbeat is not None:
+        def _beat():
+            heartbeat.value = time.monotonic()
+    else:
+        def _beat():
+            pass
+
     while True:
         message = request_queue.get()
         if message is None:
             break
+        _beat()
+        try:
+            # chaos sites for the supervision tests: ``worker.crash``
+            # dies the way a segfault would (no cleanup, no goodbye on
+            # the pipe), ``worker.hang`` (delay mode) stalls the child
+            # outside any cooperative check so the watermark goes stale
+            faults.fire("worker.crash")
+        except BaseException:
+            os._exit(70)
+        faults.fire("worker.hang")
         kind, payload, budget, trace_ctx, profiling = message
-        token = CancelToken(timeout=budget)
+        token = _PulseToken(CancelToken(timeout=budget), _beat)
         tracer = None
         if trace_ctx is not None:
             tracer = Tracer()
@@ -150,6 +230,7 @@ def _child_main(warehouse, request_queue, response_queue) -> None:
         if tracer is not None:
             uninstall_tracer()
         extras = _child_extras(tracer, prof)
+        _beat()
         try:
             response_queue.put((True, result, extras))
         except Exception as exc:
@@ -187,9 +268,12 @@ class ForkWorker:
             target = snapshot.warehouse
         self._request_queue = ctx.Queue()
         self._response_queue = ctx.Queue()
+        # the progress watermark: single writer (the child), readers only
+        # in the parent — a raw shared double, no lock on the hot path
+        self._heartbeat = ctx.Value("d", time.monotonic(), lock=False)
         self._process = ctx.Process(
             target=_child_main,
-            args=(target, self._request_queue, self._response_queue),
+            args=(target, self._request_queue, self._response_queue, self._heartbeat),
             name=f"{name}-forked",
             daemon=True,
         )
@@ -199,26 +283,64 @@ class ForkWorker:
     def alive(self) -> bool:
         return self._process.is_alive()
 
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid
+
+    @property
+    def exitcode(self) -> Optional[int]:
+        return self._process.exitcode
+
+    def heartbeat_age(self) -> float:
+        """Seconds since the child last proved progress.
+
+        Only meaningful while the child is busy: an idle child blocks in
+        its request-queue ``get`` and legitimately stops bumping.
+        """
+        return time.monotonic() - self._heartbeat.value
+
+    def kill_child(self) -> None:
+        """SIGKILL the child without touching the queues.
+
+        The supervisor's hammer for hung children. Queue teardown stays
+        with the owner thread (:meth:`run` / :meth:`stop`): it is the
+        sole user of the pipes, so the kill is safe from any thread.
+        """
+        try:
+            self._process.kill()
+        except (OSError, AttributeError):  # already gone
+            pass
+
     def run(self, request):
         """Execute one request in the child; enforce deadline/cancel.
 
         Cooperative checks inside the child normally raise first; if the
         child blows past the budget anyway (stuck outside a check
         point), the parent kills it and raises the same typed error the
-        cooperative path would have.
+        cooperative path would have. A child that *dies* mid-request —
+        SIGKILLed, crashed, pipe torn mid-pickle — surfaces as a typed
+        :class:`WorkerLost` carrying the request id, never as a raw
+        ``EOFError``/broken pipe.
         """
         from repro.obs.trace import capture
 
         token = request.token
         # capture() here (not request.trace_ctx): run() executes inside
         # the worker's request span, so the child's spans nest under it
-        self._request_queue.put((
-            request.kind,
-            request.payload,
-            token.remaining(),
-            capture(),
-            getattr(request, "profile", None) is not None,
-        ))
+        try:
+            self._request_queue.put((
+                request.kind,
+                request.payload,
+                token.remaining(),
+                capture(),
+                getattr(request, "profile", None) is not None,
+            ))
+        except (OSError, ValueError) as exc:
+            # the feeder pipe is gone (child died and the queue closed)
+            self._kill()
+            raise WorkerLost(
+                request.request_id, self._process.exitcode, detail=repr(exc)
+            ) from None
         while True:
             try:
                 ok, value, extras = self._response_queue.get(timeout=_POLL)
@@ -233,11 +355,18 @@ class ForkWorker:
                     self._kill()
                     raise DeadlineExceeded(token.timeout, token.elapsed())
                 if not self._process.is_alive() and self._response_queue.empty():
+                    exitcode = self._process.exitcode
                     self._kill()
-                    raise QueryServiceError(
-                        f"forked worker died (exit code {self._process.exitcode})"
-                    )
+                    raise WorkerLost(request.request_id, exitcode)
                 continue
+            except (EOFError, BrokenPipeError, OSError, pickle.UnpicklingError) as exc:
+                # the child died mid-put: the pipe carries a truncated
+                # pickle (or nothing); same verdict as a clean death
+                exitcode = self._process.exitcode
+                self._kill()
+                raise WorkerLost(
+                    request.request_id, exitcode, detail=repr(exc)
+                ) from None
             self._absorb(request, extras)
             if ok:
                 return value

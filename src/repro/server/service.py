@@ -50,9 +50,11 @@ from repro.server.errors import (
     Overloaded,
     QueryServiceError,
     ServiceClosed,
+    WorkerLost,
 )
 from repro.server.metrics import ServiceMetrics, SlowQuery
 from repro.server.snapshot import SnapshotManager
+from repro.server.supervisor import Supervisor, WorkerSlot
 from repro.sparql.cancel import CancelToken, cancel_scope
 
 _UNSET = object()
@@ -129,6 +131,18 @@ class ServiceConfig:
     endpoint trip its circuit breaker; further submissions of that kind
     are shed with :class:`~repro.server.errors.CircuitOpen` until a
     half-open probe succeeds ``breaker_cooldown`` seconds later.
+
+    ``supervise=True`` (fork mode only) starts a
+    :class:`~repro.server.supervisor.Supervisor` that heartbeats every
+    worker each ``heartbeat_interval`` seconds, respawns dead or
+    generation-stale children, kills busy children whose progress
+    watermark stays flat past ``hang_timeout``, and (when
+    ``hedge_after`` is set) duplicates requests still running after
+    that many seconds onto a second worker. A request orphaned by a
+    dying worker is requeued transparently up to ``max_attempts``
+    total executions; past the budget it is answered in-process and
+    flagged ``degraded`` — the caller sees added latency, never a
+    lost request.
     """
 
     max_workers: int = 4
@@ -147,6 +161,18 @@ class ServiceConfig:
     #: hits); attached to slow-query log entries. Stage-granularity
     #: hooks keep the cost a few counter bumps per BGP stage.
     profile_queries: bool = True
+    #: Self-healing worker fleet (fork mode): heartbeat, reap, respawn.
+    supervise: bool = False
+    heartbeat_interval: float = 0.25
+    #: Max heartbeat age of a *busy* child before it is declared hung
+    #: and killed (its request requeues onto a healthy worker).
+    hang_timeout: float = 5.0
+    #: Duplicate a request still running after this many seconds onto a
+    #: second worker (first completion wins). None disables hedging.
+    hedge_after: Optional[float] = None
+    #: Total executions one request may consume across worker deaths
+    #: before the in-process fallback answers it (flagged degraded).
+    max_attempts: int = 3
 
     def __post_init__(self):
         if self.max_workers < 1:
@@ -161,6 +187,19 @@ class ServiceConfig:
             raise ValueError("breaker_threshold must be positive")
         if self.breaker_cooldown <= 0:
             raise ValueError("breaker_cooldown must be positive")
+        if self.supervise and self.worker_mode != "fork":
+            raise ValueError(
+                "supervise requires worker_mode='fork': thread workers "
+                "share the process and cannot be reaped or respawned"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.hang_timeout <= self.heartbeat_interval:
+            raise ValueError("hang_timeout must exceed heartbeat_interval")
+        if self.hedge_after is not None and self.hedge_after <= 0:
+            raise ValueError("hedge_after must be positive (or None)")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
 
 
 class QueryRequest:
@@ -170,11 +209,19 @@ class QueryRequest:
     (so the worker's request span nests under the caller's trace even
     across the thread handoff); ``profile`` is populated by the worker
     when per-query profiling is on.
+
+    One request may be *executed* more than once — requeued after its
+    worker died, or hedged onto a second worker while the first lags —
+    but it completes exactly once: every execution races through
+    :meth:`claim` and only the winner touches the future. ``attempts``
+    counts executions started (the failover budget), ``hedges`` the
+    duplicates the supervisor enqueued.
     """
 
     __slots__ = (
         "request_id", "kind", "payload", "token", "future",
         "submitted_at", "trace_ctx", "profile",
+        "attempts", "hedges", "started", "_completed", "_completion_lock",
     )
 
     def __init__(self, request_id, kind, payload, token, future):
@@ -186,6 +233,57 @@ class QueryRequest:
         self.submitted_at = time.monotonic()
         self.trace_ctx = capture()
         self.profile: Optional[QueryProfile] = None
+        self.attempts = 0
+        self.hedges = 0
+        self.started = False
+        self._completed = False
+        self._completion_lock = threading.Lock()
+
+    @property
+    def done(self) -> bool:
+        return self._completed
+
+    def begin(self) -> str:
+        """Open one execution attempt at dequeue time.
+
+        Returns ``"run"`` (execute it — the attempt is counted),
+        ``"skip"`` (a parallel execution already completed it; hedge
+        duplicates and stale requeues land here), or ``"cancelled"``
+        (the caller cancelled it while queued, before any execution).
+        """
+        with self._completion_lock:
+            if self._completed:
+                return "skip"
+            if not self.started:
+                if not self.future.set_running_or_notify_cancel():
+                    self._completed = True
+                    return "cancelled"
+                self.started = True
+            self.attempts += 1
+            return "run"
+
+    def claim(self) -> bool:
+        """Win (or lose) the right to complete the future — exactly one
+        execution ever gets True."""
+        with self._completion_lock:
+            if self._completed:
+                return False
+            self._completed = True
+            return True
+
+    def abort(self, exc: BaseException) -> None:
+        """Complete with ``exc`` unless already completed or cancelled
+        (shutdown path for drained queue entries)."""
+        with self._completion_lock:
+            if self._completed:
+                return
+            if not self.started:
+                if not self.future.set_running_or_notify_cancel():
+                    self._completed = True
+                    return
+                self.started = True
+            self._completed = True
+        self.future.set_exception(exc)
 
 
 class QueryTicket:
@@ -262,21 +360,35 @@ class QueryService:
             )
             for kind in (*KINDS, "update")
         }
+        self._supervisor: Optional[Supervisor] = None
         self._register_gauges()
         self._queue: "queue.Queue" = queue.Queue(maxsize=config.max_queue)
         self._closed = False
         self._close_lock = threading.Lock()
         self._read_seq = itertools.count(1)
         self._write_seq = itertools.count(1)
+        self._slots: List[WorkerSlot] = [
+            WorkerSlot(f"{config.name}-worker-{i}")
+            for i in range(config.max_workers)
+        ]
         self._workers: List[threading.Thread] = []
-        for i in range(config.max_workers):
+        for slot in self._slots:
             worker = threading.Thread(
                 target=self._worker_loop,
-                name=f"{config.name}-worker-{i}",
+                args=(slot,),
+                name=slot.name,
                 daemon=True,
             )
             worker.start()
             self._workers.append(worker)
+        if config.supervise:
+            self._supervisor = Supervisor(
+                self,
+                heartbeat_interval=config.heartbeat_interval,
+                hang_timeout=config.hang_timeout,
+                hedge_after=config.hedge_after,
+            )
+            self._supervisor.start()
 
     def _register_gauges(self) -> None:
         """Expose scrape-time computed gauges through the global registry.
@@ -309,6 +421,18 @@ class QueryService:
             "Read snapshots currently pinned by in-flight requests",
             labels=("service",),
         ).set_function(lambda: self.snapshots.stats()["active_pins"], service=name)
+        registry.gauge(
+            "mdw_worker_heartbeat_age_seconds",
+            "Stalest busy fork worker's progress-watermark age",
+            labels=("service",),
+        ).set_function(
+            lambda: (
+                self._supervisor.max_heartbeat_age()
+                if self._supervisor is not None
+                else 0.0
+            ),
+            service=name,
+        )
         states = {CLOSED: 0.0, HALF_OPEN: 1.0}
         breaker_gauge = registry.gauge(
             "mdw_breaker_state",
@@ -440,28 +564,44 @@ class QueryService:
 
     # -- worker loop -------------------------------------------------------
 
-    def _worker_loop(self) -> None:
-        fork_worker = None
+    def _worker_loop(self, slot: WorkerSlot) -> None:
         try:
             while True:
                 request = self._queue.get()
                 if request is _STOP:
                     break
                 self.metrics.on_dequeue(self._queue.qsize())
-                if not request.future.set_running_or_notify_cancel():
+                verdict = request.begin()
+                if verdict == "cancelled":
                     self._breakers[request.kind].release()
-                    continue  # cancelled while queued
+                    continue  # cancelled while queued, never executed
+                if verdict == "skip":
+                    continue  # hedge twin / stale requeue: already answered
                 if self.config.worker_mode == "fork":
-                    fork_worker = self._ensure_fork_worker(fork_worker)
-                self._handle(request, fork_worker)
+                    # the slot lock makes the (worker, request) pair
+                    # atomic for the supervisor: it inspects under the
+                    # same lock and only swaps workers in *idle* slots
+                    with slot.lock:
+                        slot.fork_worker = self._ensure_fork_worker(slot.fork_worker)
+                        slot.request = request
+                        slot.busy_since = time.monotonic()
+                        fork_worker = slot.fork_worker
+                    try:
+                        self._handle(request, fork_worker)
+                    finally:
+                        with slot.lock:
+                            slot.request = None
+                            slot.busy_since = None
+                else:
+                    self._handle(request, None)
         finally:
-            if fork_worker is not None:
-                fork_worker.stop()
+            with slot.lock:
+                if slot.fork_worker is not None:
+                    slot.fork_worker.stop()
+                    slot.fork_worker = None
 
     def _ensure_fork_worker(self, fork_worker):
         """(Re)spawn this worker thread's child when absent or stale."""
-        from repro.server.procpool import ForkWorker
-
         generation = self.snapshots.generation
         if (
             fork_worker is not None
@@ -470,7 +610,20 @@ class QueryService:
         ):
             return fork_worker
         if fork_worker is not None:
+            reason = "stale" if fork_worker.alive else "crash"
             fork_worker.stop()
+            self.metrics.on_worker_restart(reason)
+        return self._spawn_fork_worker()
+
+    def _spawn_fork_worker(self):
+        """Fork a fresh child pinned to the *current* snapshot.
+
+        Respawns always re-pin at spawn time — a worker restarted
+        across a publish attaches the new generation, never the stale
+        image its predecessor served.
+        """
+        from repro.server.procpool import ForkWorker
+
         with self.snapshots.read() as snap:
             worker = ForkWorker(snap, name=self.config.name)
         self.metrics.on_fork_worker(worker.mode)
@@ -496,6 +649,7 @@ class QueryService:
         breaker = self._breakers[request.kind]
         if self.config.profile_queries:
             request.profile = QueryProfile()
+        degraded = False
         with span(
             "request", "service",
             parent=request.trace_ctx,
@@ -511,20 +665,36 @@ class QueryService:
                     with self.snapshots.read() as snap:
                         with cancel_scope(request.token):
                             result = self._dispatch_profiled(snap, request)
-            except BaseException as exc:  # typed errors travel to the caller
-                elapsed = time.monotonic() - start
-                span_attrs["error"] = type(exc).__name__
-                if isinstance(exc, DeadlineExceeded):
-                    self.metrics.on_timeout()
-                elif isinstance(exc, Cancelled):
-                    self.metrics.on_cancel()
-                if self._breaker_counts(exc):
-                    breaker.on_failure()
+            except WorkerLost as exc:
+                # the child died under the request (SIGKILL, crash,
+                # torn pipe). Attribute it in the slow-query log, then
+                # fail over: requeue within the attempt budget, answer
+                # in-process past it — the caller never loses the
+                # request to a dead worker while supervision is on.
+                span_attrs["error"] = "WorkerLost"
+                self.metrics.on_worker_lost()
+                self._log_worker_lost(request, exc, time.monotonic() - start)
+                if self._supervisor is not None:
+                    outcome = self._failover(request)
+                    if outcome == "requeued":
+                        return  # a healthy worker finishes the job
+                    if outcome == "lost-race":
+                        return  # a hedge twin already answered
+                    result, inline_exc = outcome
+                    if inline_exc is not None:
+                        self._complete_failure(
+                            request, inline_exc, breaker, start, span_attrs
+                        )
+                        return
+                    degraded = True
                 else:
-                    breaker.release()  # outcome says nothing about the endpoint
-                self.metrics.on_failure(request.kind, elapsed)
-                request.future.set_exception(exc)
+                    self._complete_failure(request, exc, breaker, start, span_attrs)
+                    return
+            except BaseException as exc:  # typed errors travel to the caller
+                self._complete_failure(request, exc, breaker, start, span_attrs)
                 return
+            if not request.claim():
+                return  # a hedge twin completed it first; drop this answer
             breaker.on_success()
             elapsed = time.monotonic() - start
             self.metrics.on_complete(request.kind, elapsed)
@@ -532,7 +702,88 @@ class QueryService:
                 self._log_slow(request, elapsed)
             if request.kind in ("search", "lineage"):
                 self._flag_degraded(result)
+            if degraded:
+                self._mark_degraded(result)
             request.future.set_result(result)
+
+    def _complete_failure(
+        self, request: QueryRequest, exc: BaseException, breaker, start, span_attrs
+    ) -> None:
+        """Fail the request's future (once) with full accounting."""
+        if not request.claim():
+            return  # a parallel execution already answered; drop it
+        elapsed = time.monotonic() - start
+        span_attrs["error"] = type(exc).__name__
+        if isinstance(exc, DeadlineExceeded):
+            self.metrics.on_timeout()
+        elif isinstance(exc, Cancelled):
+            self.metrics.on_cancel()
+        if self._breaker_counts(exc):
+            breaker.on_failure()
+        else:
+            breaker.release()  # outcome says nothing about the endpoint
+        self.metrics.on_failure(request.kind, elapsed)
+        request.future.set_exception(exc)
+
+    def _failover(self, request: QueryRequest):
+        """Re-dispatch a request orphaned by a dead worker.
+
+        Returns ``"requeued"`` (a healthy worker will run it),
+        ``"lost-race"`` (a hedge twin already completed it), or a
+        ``(result, exc)`` pair from the in-process fallback — the
+        guaranteed-completion path once the attempt budget is spent or
+        the queue cannot take the request back.
+        """
+        if request.done:
+            return "lost-race"
+        if request.attempts < self.config.max_attempts and not self._closed:
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                pass  # no queue room: fall through to the inline answer
+            else:
+                self.metrics.on_requeue()
+                return "requeued"
+        # attempt budget exhausted (or shutdown/full queue): answer
+        # in this thread against the pinned snapshot. Slower — it
+        # shares the interpreter with every other parent thread — so
+        # the answer is flagged degraded, per the established idiom.
+        try:
+            with self.snapshots.read() as snap:
+                with cancel_scope(request.token):
+                    result = self._dispatch_profiled(snap, request)
+        except BaseException as exc:
+            return (None, exc)
+        return (result, None)
+
+    def _mark_degraded(self, result) -> None:
+        """Best-effort degraded flag for fallback answers."""
+        try:
+            result.degraded = True
+        except AttributeError:
+            return
+        self.metrics.on_degraded()
+
+    def _log_worker_lost(self, request: QueryRequest, exc, elapsed: float) -> None:
+        """Attribute a worker death to the request it was executing.
+
+        Lands in the slow-query log (the operator-facing incident
+        trail) with the request id and child exit code, so "why was
+        this query slow / retried" has a first-class answer.
+        """
+        self.metrics.slow_queries.record(
+            SlowQuery(
+                request_id=request.request_id,
+                kind=request.kind,
+                statement=(
+                    f"[worker lost: exit {exc.exitcode}, "
+                    f"attempt {request.attempts}] "
+                    + _statement_of(request.kind, request.payload)
+                ),
+                elapsed=elapsed,
+                timestamp=time.time(),
+            )
+        )
 
     def _dispatch_profiled(self, snap, request: QueryRequest):
         """Dispatch in this thread, collecting the request's profile."""
@@ -593,6 +844,9 @@ class QueryService:
             if self._closed:
                 return
             self._closed = True
+        if self._supervisor is not None:
+            # stop the healer first, or it respawns workers mid-teardown
+            self._supervisor.stop()
         if not wait:
             drained: List[QueryRequest] = []
             while True:
@@ -604,12 +858,22 @@ class QueryService:
                     drained.append(item)
             for request in drained:
                 request.token.cancel()
-                if request.future.set_running_or_notify_cancel():
-                    request.future.set_exception(ServiceClosed())
+                request.abort(ServiceClosed())
         for _ in self._workers:
             self._queue.put(_STOP)
         for worker in self._workers:
             worker.join(timeout=30)
+        # a failover requeue racing with shutdown may have landed behind
+        # the stop sentinels; nothing will ever run it — fail it typed
+        # instead of leaving the caller waiting forever
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _STOP:
+                item.token.cancel()
+                item.abort(ServiceClosed())
 
     @property
     def closed(self) -> bool:
@@ -637,20 +901,27 @@ class QueryService:
     def health(self) -> Dict[str, object]:
         """One self-describing health document for operators.
 
-        ``status`` is ``"ok"`` when the service accepts work, every
-        breaker is closed and no entailment index is stale;
-        ``"degraded"`` when it still serves but some endpoint is
-        shedding or answers come off stale indexes; ``"closed"`` after
-        shutdown.
+        ``status`` is ``"healthy"`` when the service accepts work,
+        every breaker is closed, no entailment index is stale, and the
+        supervised worker pool (when supervision is on) is at full
+        strength; ``"degraded"`` when it still serves but some endpoint
+        is shedding or answers come off stale indexes; ``"recovering"``
+        while the supervisor is respawning dead workers back to the
+        configured pool size; ``"closed"`` after shutdown.
         """
         breakers = {kind: b.snapshot() for kind, b in sorted(self._breakers.items())}
         stale = self._stale_indexes()
+        supervisor = (
+            self._supervisor.stats() if self._supervisor is not None else None
+        )
         if self._closed:
             status = "closed"
         elif stale or any(b["state"] != CLOSED for b in breakers.values()):
             status = "degraded"
+        elif supervisor is not None and supervisor["deficit"] > 0:
+            status = "recovering"
         else:
-            status = "ok"
+            status = "healthy"
         return {
             "status": status,
             "generation": self.snapshots.generation,
@@ -658,11 +929,26 @@ class QueryService:
             "workers": self.config.max_workers,
             "breakers": breakers,
             "stale_indexes": stale,
+            "supervisor": supervisor,
         }
 
     def breaker(self, kind: str) -> CircuitBreaker:
         """The breaker guarding ``kind`` (operators may ``reset()`` it)."""
         return self._breakers[kind]
+
+    @property
+    def supervisor(self) -> Optional[Supervisor]:
+        """The self-healing layer (None unless ``supervise=True``)."""
+        return self._supervisor
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live fork children (empty in thread mode)."""
+        pids: List[int] = []
+        for slot in self._slots:
+            worker = slot.fork_worker
+            if worker is not None and worker.alive and worker.pid is not None:
+                pids.append(worker.pid)
+        return pids
 
     # -- reporting ---------------------------------------------------------
 
@@ -672,6 +958,8 @@ class QueryService:
         snap["breakers"] = {
             kind: b.snapshot() for kind, b in sorted(self._breakers.items())
         }
+        if self._supervisor is not None:
+            snap["supervisor"] = self._supervisor.stats()
         return snap
 
     def metrics_report(self) -> str:

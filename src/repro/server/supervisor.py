@@ -1,0 +1,246 @@
+"""The self-healing layer over the fork-worker fleet.
+
+A crashed or hung fork worker used to shrink the pool permanently (the
+owner thread only respawned lazily, at its *next* dequeue) and fail the
+in-flight request with an opaque pipe error. The :class:`Supervisor`
+closes that gap: a daemon thread heartbeats every worker slot each
+``heartbeat_interval`` seconds and
+
+* **respawns** idle workers found dead (SIGKILL, segfault, OOM-kill) —
+  cheap because children re-attach the published ``.mdws`` snapshot by
+  ``mmap`` instead of re-faulting a copy-on-write heap;
+* **retires** idle workers pinned to a superseded snapshot generation,
+  so a publish drains stale children proactively instead of on first
+  use (a worker restarted across a publish always re-attaches whatever
+  generation is current *at respawn time* — never a stale pin);
+* **kills** busy workers whose progress watermark went stale past
+  ``hang_timeout`` — the owner thread's poll then observes an ordinary
+  death, maps it to :class:`~repro.server.errors.WorkerLost`, and the
+  service requeues the request onto a healthy worker;
+* **hedges** requests that have been running longer than ``hedge_after``
+  by enqueueing a duplicate — whichever execution finishes first
+  completes the caller's future, the straggler's answer is dropped.
+
+The supervisor never completes futures and never touches a busy slot's
+worker except to kill it; all request-level bookkeeping stays with the
+owner threads, so the heartbeat loop adds nothing to the hot path.
+This is the per-shard supervision substrate the scatter-gather gateway
+(ROADMAP item 3) will attach to each shard process.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.resilience import faults
+
+
+class WorkerSlot:
+    """The supervisor-visible state of one worker thread.
+
+    ``lock`` guards the (fork_worker, request) pair: the owner thread
+    holds it only for the brief spawn-and-mark-busy window at dequeue,
+    the supervisor for each inspection — so the two never race on a
+    worker swap. While a request runs the lock is *free* (the owner is
+    deep in ``run()``); the supervisor may then read the pair and kill
+    the child, but never replace it.
+    """
+
+    __slots__ = ("name", "lock", "fork_worker", "request", "busy_since")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.lock = threading.Lock()
+        self.fork_worker = None          # Optional[ForkWorker]
+        self.request = None              # Optional[QueryRequest]
+        self.busy_since: Optional[float] = None
+
+
+class Supervisor:
+    """Heartbeat, reap, respawn, and hedge over a service's worker slots.
+
+    Ticks every ``heartbeat_interval`` seconds. ``hang_timeout`` is the
+    maximum tolerated heartbeat age of a *busy* child before it is
+    declared stuck and killed; ``hedge_after`` (optional) is the
+    latency past which a still-running request gets a duplicate
+    enqueued. Both detection paths funnel into the same failover
+    machinery: the owner thread sees the death, raises ``WorkerLost``,
+    and the service requeues.
+    """
+
+    def __init__(
+        self,
+        service,
+        heartbeat_interval: float = 0.25,
+        hang_timeout: float = 5.0,
+        hedge_after: Optional[float] = None,
+    ):
+        self._service = service
+        self.heartbeat_interval = heartbeat_interval
+        self.hang_timeout = hang_timeout
+        self.hedge_after = hedge_after
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._restarts: Dict[str, int] = {}
+        self._hedged = 0
+        self._ticks = 0
+        self._thread = threading.Thread(
+            target=self._loop,
+            name=f"{service.config.name}-supervisor",
+            daemon=True,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=timeout)
+
+    @property
+    def running(self) -> bool:
+        return self._thread.is_alive() and not self._stop.is_set()
+
+    def _loop(self) -> None:
+        # first tick immediately: the pool reaches full size without
+        # waiting out an interval after start
+        while not self._stop.is_set():
+            try:
+                self._tick()
+            except Exception:
+                # the supervisor must outlive anything a tick hits
+                # (a slot torn down mid-inspection during close, a
+                # registry swap in tests); next tick sees fresh state
+                pass
+            if self._stop.wait(self.heartbeat_interval):
+                break
+
+    # -- the heartbeat tick ------------------------------------------------
+
+    def _tick(self) -> None:
+        service = self._service
+        if service.closed:
+            return
+        self._ticks += 1
+        generation = service.snapshots.generation
+        for slot in service._slots:
+            if not slot.lock.acquire(blocking=False):
+                continue  # owner mid-swap; next tick
+            try:
+                self._inspect(slot, generation)
+            finally:
+                slot.lock.release()
+
+    def _inspect(self, slot: WorkerSlot, generation: int) -> None:
+        service = self._service
+        worker = slot.fork_worker
+        if slot.request is None:
+            # idle slot: keep the pool at size and at the current
+            # generation. "crash" = found dead; "stale" = alive but
+            # pinned to a superseded snapshot (drain-on-restart).
+            reason = None
+            if worker is not None and not worker.alive:
+                reason = "crash"
+            elif worker is not None and worker.generation != generation:
+                reason = "stale"
+            if worker is None or reason is not None:
+                faults.fire("supervisor.respawn")
+                if worker is not None:
+                    worker.stop(grace=0.1)
+                slot.fork_worker = service._spawn_fork_worker()
+                if reason is not None:
+                    self._count_restart(reason)
+                    service.metrics.on_worker_restart(reason)
+            return
+        # busy slot: the owner thread is inside run(); only ever *kill*
+        # the child here — replacement happens at the owner's next
+        # dequeue (or this supervisor's next idle tick).
+        if worker is None or not worker.alive:
+            return  # owner's poll surfaces the death within _POLL
+        if worker.heartbeat_age() > self.hang_timeout:
+            # stuck outside every cooperative check point: watermark
+            # stale while a request is in flight. SIGKILL converts the
+            # hang into a death the owner already knows how to survive.
+            faults.fire("supervisor.respawn")
+            worker.kill_child()
+            self._count_restart("hang")
+            service.metrics.on_worker_restart("hang")
+            return
+        if (
+            self.hedge_after is not None
+            and slot.busy_since is not None
+            and slot.request.hedges == 0
+            and not slot.request.done
+            and time.monotonic() - slot.busy_since > self.hedge_after
+        ):
+            request = slot.request
+            request.hedges += 1
+            try:
+                service._queue.put_nowait(request)
+            except _queue.Full:
+                request.hedges -= 1  # no room; try again next tick
+            else:
+                with self._lock:
+                    self._hedged += 1
+                service.metrics.on_hedge()
+
+    def _count_restart(self, reason: str) -> None:
+        with self._lock:
+            self._restarts[reason] = self._restarts.get(reason, 0) + 1
+
+    # -- introspection -----------------------------------------------------
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the currently-live children (chaos harness bait)."""
+        pids: List[int] = []
+        for slot in self._service._slots:
+            worker = slot.fork_worker
+            if worker is not None and worker.alive and worker.pid is not None:
+                pids.append(worker.pid)
+        return pids
+
+    def alive_children(self) -> int:
+        return len(self.worker_pids())
+
+    def deficit(self) -> int:
+        """Worker slots currently without a live child."""
+        return max(0, len(self._service._slots) - self.alive_children())
+
+    def max_heartbeat_age(self) -> float:
+        """The stalest busy child's heartbeat age (0.0 when none busy)."""
+        oldest = 0.0
+        for slot in self._service._slots:
+            worker = slot.fork_worker
+            if slot.request is not None and worker is not None and worker.alive:
+                oldest = max(oldest, worker.heartbeat_age())
+        return oldest
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            restarts = dict(self._restarts)
+            hedged = self._hedged
+            ticks = self._ticks
+        return {
+            "running": self.running,
+            "ticks": ticks,
+            "restarts": restarts,
+            "hedged": hedged,
+            "alive_children": self.alive_children(),
+            "deficit": self.deficit(),
+            "heartbeat_interval": self.heartbeat_interval,
+            "hang_timeout": self.hang_timeout,
+            "hedge_after": self.hedge_after,
+        }
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return (
+            f"<Supervisor {state} interval={self.heartbeat_interval}s "
+            f"children={self.alive_children()}/{len(self._service._slots)}>"
+        )

@@ -1,0 +1,37 @@
+"""Supervisor chaos: SIGKILL fork workers under load, lose nothing.
+
+The heavyweight loop (more iterations, more kills) runs in CI via
+``repro-mdw chaos --supervisor``; this is the fast regression slice of
+the same harness — real kills, real respawns, bit-identical answers.
+"""
+
+import sys
+
+import pytest
+
+from repro.resilience.chaos import SUPERVISOR_SITE, run_supervisor_chaos
+
+pytestmark = pytest.mark.skipif(
+    sys.platform.startswith("win"), reason="fork start method required"
+)
+
+
+def test_supervisor_chaos_converges():
+    report = run_supervisor_chaos(seed=7, iterations=2, n_ops=24, kills=2)
+    assert report.ok, report.summary()
+    assert len(report.iterations) == 2
+    # the harness actually killed workers (otherwise it tested nothing)
+    assert report.crashes >= 1
+    for iteration in report.iterations:
+        assert iteration.site == SUPERVISOR_SITE
+        assert iteration.recovery_action == "respawn"
+        assert iteration.converged
+
+
+def test_supervisor_chaos_is_deterministic_per_seed():
+    first = run_supervisor_chaos(seed=11, iterations=1, n_ops=16, kills=1)
+    second = run_supervisor_chaos(seed=11, iterations=1, n_ops=16, kills=1)
+    assert first.ok and second.ok
+    assert [it.seed for it in first.iterations] == [
+        it.seed for it in second.iterations
+    ]

@@ -27,7 +27,7 @@ class TestHealth:
     def test_healthy_service_reports_ok(self, warehouse):
         with service_of(warehouse) as service:
             health = service.health()
-            assert health["status"] == "ok"
+            assert health["status"] == "healthy"
             assert health["stale_indexes"] == []
             assert set(health["breakers"]) == {
                 "query", "sql", "search", "lineage", "update",

@@ -1,0 +1,143 @@
+"""Historizer segment mode: O(delta) version persistence and chain replay.
+
+``segment_dir`` switches a :class:`Historizer` from full-copy
+historization tables to one delta-segment file per version. These
+tests pin the contract: a reopened historizer replays the chain to
+bit-identical version graphs, segment sizes scale with churn rather
+than model size, and a broken chain is rejected loudly.
+"""
+
+import pytest
+
+from repro.core import MetadataWarehouse
+from repro.history import HistorizationError, Historizer
+from repro.rdf.ntriples import serialize_ntriples
+from repro.storage.segments import read_segment
+
+
+def _release(mdw, tag, instances=3):
+    """Grow the live model a little, like one release delta."""
+    cls = mdw.schema.declare_class(f"Thing{tag}")
+    for i in range(instances):
+        mdw.facts.add_instance(f"item_{tag}_{i}", cls)
+
+
+@pytest.fixture
+def mdw():
+    mdw = MetadataWarehouse()
+    _release(mdw, "base", instances=5)
+    return mdw
+
+
+class TestSegmentPublication:
+    def test_one_segment_per_version(self, mdw, tmp_path):
+        hist = Historizer(mdw.store, segment_dir=tmp_path)
+        hist.snapshot("2009.R1")
+        _release(mdw, "r2")
+        hist.snapshot("2009.R2")
+        files = sorted(p.name for p in tmp_path.glob("*.mdwseg"))
+        assert files == ["000001-2009.R1.mdwseg", "000002-2009.R2.mdwseg"]
+
+    def test_chain_links_are_consecutive(self, mdw, tmp_path):
+        hist = Historizer(mdw.store, segment_dir=tmp_path)
+        hist.snapshot("a")
+        _release(mdw, "b")
+        hist.snapshot("b")
+        first, second = sorted(tmp_path.glob("*.mdwseg"))
+        seg1, seg2 = read_segment(first), read_segment(second)
+        assert (seg1.base_generation, seg1.generation) == (0, 1)
+        assert (seg2.base_generation, seg2.generation) == (1, 2)
+
+    def test_segment_size_is_o_delta(self, mdw, tmp_path):
+        """A one-instance release's segment is far smaller than the
+        full-model first segment — the point of segment mode."""
+        _release(mdw, "bulk", instances=40)
+        hist = Historizer(mdw.store, segment_dir=tmp_path)
+        hist.snapshot("big")
+        _release(mdw, "tiny", instances=1)
+        hist.snapshot("small")
+        first, second = sorted(tmp_path.glob("*.mdwseg"))
+        assert second.stat().st_size < first.stat().st_size / 4
+
+    def test_store_stays_lean(self, mdw, tmp_path):
+        """Segment mode keeps HIST_* models out of the backing store."""
+        hist = Historizer(mdw.store, segment_dir=tmp_path)
+        hist.snapshot("2009.R1")
+        assert not mdw.store.has_model("HIST_2009.R1")
+        # the version itself is still fully queryable in memory
+        assert hist.get("2009.R1").graph == mdw.graph
+
+    def test_versions_stay_isolated(self, mdw, tmp_path):
+        hist = Historizer(mdw.store, segment_dir=tmp_path)
+        version = hist.snapshot("r1")
+        before = version.edge_count
+        _release(mdw, "later")
+        assert version.edge_count == before
+        assert len(mdw.graph) > before
+
+    def test_slash_in_name_rejected(self, mdw, tmp_path):
+        hist = Historizer(mdw.store, segment_dir=tmp_path)
+        with pytest.raises(HistorizationError):
+            hist.snapshot("../escape")
+
+
+class TestChainReplay:
+    def test_replay_is_bit_identical(self, mdw, tmp_path):
+        hist = Historizer(mdw.store, segment_dir=tmp_path)
+        expected = {}
+        for tag in ("r1", "r2", "r3"):
+            _release(mdw, tag)
+            version = hist.snapshot(tag)
+            expected[tag] = serialize_ntriples(version.graph)
+
+        reopened = Historizer(MetadataWarehouse().store, model="DWH_CURR",
+                              segment_dir=tmp_path)
+        assert reopened.version_names() == ["r1", "r2", "r3"]
+        for tag, triples in expected.items():
+            assert serialize_ntriples(reopened.get(tag).graph) == triples
+
+    def test_replayed_versions_queryable(self, mdw, tmp_path):
+        hist = Historizer(mdw.store, segment_dir=tmp_path)
+        _release(mdw, "q")
+        hist.snapshot("r1")
+        reopened = Historizer(MetadataWarehouse().store, segment_dir=tmp_path)
+        facade = reopened.as_warehouse("r1")
+        rows = facade.query(
+            "SELECT ?s ?n WHERE { ?s dm:hasName ?n }"
+        )
+        names = {str(row.asdict()["n"].lexical) for row in rows}
+        assert "item_q_0" in names
+
+    def test_replay_continues_the_chain(self, mdw, tmp_path):
+        """New snapshots after a replay extend the same segment chain."""
+        hist = Historizer(mdw.store, segment_dir=tmp_path)
+        hist.snapshot("r1")
+        live = MetadataWarehouse()
+        cont = Historizer(live.store, segment_dir=tmp_path)
+        _release(live, "next")
+        cont.snapshot("r2")
+        files = sorted(p.name for p in tmp_path.glob("*.mdwseg"))
+        assert files == ["000001-r1.mdwseg", "000002-r2.mdwseg"]
+        replayed = Historizer(MetadataWarehouse().store, segment_dir=tmp_path)
+        assert replayed.version_names() == ["r1", "r2"]
+
+    def test_broken_chain_rejected(self, mdw, tmp_path):
+        hist = Historizer(mdw.store, segment_dir=tmp_path)
+        hist.snapshot("r1")
+        _release(mdw, "r2")
+        hist.snapshot("r2")
+        _release(mdw, "r3")
+        hist.snapshot("r3")
+        (tmp_path / "000002-r2.mdwseg").unlink()
+        with pytest.raises(HistorizationError, match="chain broken"):
+            Historizer(MetadataWarehouse().store, segment_dir=tmp_path)
+
+    def test_diffs_work_after_replay(self, mdw, tmp_path):
+        hist = Historizer(mdw.store, segment_dir=tmp_path)
+        hist.snapshot("r1")
+        _release(mdw, "r2", instances=2)
+        hist.snapshot("r2")
+        reopened = Historizer(MetadataWarehouse().store, segment_dir=tmp_path)
+        delta = reopened.diff("r1", "r2")
+        assert len(list(delta.added)) > 0
+        assert len(list(delta.removed)) == 0
