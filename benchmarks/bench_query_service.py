@@ -34,8 +34,18 @@ from typing import Dict, List
 
 import pytest
 
-from repro.server import DeadlineExceeded, ServiceConfig
-from repro.synth import LandscapeConfig, generate_landscape, make_service_workload
+from repro.server import (
+    DeadlineExceeded,
+    ServiceConfig,
+    ShardedConfig,
+    ShardedQueryService,
+)
+from repro.synth import (
+    LandscapeConfig,
+    generate_landscape,
+    make_scatter_workload,
+    make_service_workload,
+)
 
 SCALE = os.environ.get("MDW_BENCH_SCALE", "small").lower()
 _CONFIGS = {
@@ -59,6 +69,9 @@ CORES = (
 
 #: Worker counts swept (1 is the serial baseline).
 WORKER_COUNTS = (1, 2, 4)
+
+#: Shard counts swept by the sharded-gateway benchmark.
+SHARD_COUNTS = (1, 2, 4)
 
 #: The adversarial deadline probe: an unconstrained cross product.
 HOG_QUERY = (
@@ -272,6 +285,73 @@ def test_supervision_overhead_fork_mode(warehouse, workload, record, tmp_path_fa
     if SCALE != "small" and CORES >= 4:
         assert ratio >= 0.95, (
             f"supervision cost {1 - ratio:.1%} of throughput (budget 5%)"
+        )
+
+
+@pytest.fixture(scope="module")
+def scatter_workload(warehouse):
+    return make_scatter_workload(warehouse, n_ops=_N_OPS[SCALE], seed=2009)
+
+
+def test_throughput_scaling_sharded(warehouse, scatter_workload, record, tmp_path_factory):
+    """S1e — sharded scatter-gather: throughput vs shard count.
+
+    One supervised fork worker per shard, so added throughput comes from
+    the *partitioning* (each worker scans 1/N of the fact graph), not
+    from extra workers on the full graph. Bit-identity against the
+    single-node services is asserted at every shard count; the >= 2.5x
+    bar at 4 shards holds under the same gating as the fork-worker sweep
+    (medium+ scale on a >= 4 core machine).
+    """
+    ops = scatter_workload
+    reference = _reference_results(warehouse, ops)
+    out: Dict[str, object] = {}
+    for n_shards in SHARD_COUNTS:
+        config = ShardedConfig(
+            n_shards=n_shards,
+            workers_per_shard=1,
+            worker_mode="fork",
+            supervise=True,
+            max_queue=max(64, len(ops)),
+            name=f"bench-sharded-{n_shards}",
+            snapshot_dir=str(tmp_path_factory.mktemp(f"shards-{n_shards}")),
+        )
+        with ShardedQueryService(warehouse, config) as service:
+            elapsed, results = _drive(service, ops, clients=max(4, n_shards))
+            health = service.health()
+        assert results == reference, (
+            f"{n_shards}-shard gateway diverged from the single-node reference"
+        )
+        assert health["status"] in ("healthy", "recovering"), health["status"]
+        out[str(n_shards)] = {
+            "seconds": round(elapsed, 6),
+            "throughput_rps": round(len(ops) / elapsed, 2),
+        }
+    serial = out[str(SHARD_COUNTS[0])]["throughput_rps"]
+    for n_shards in SHARD_COUNTS:
+        entry = out[str(n_shards)]
+        entry["speedup_vs_1"] = round(entry["throughput_rps"] / serial, 2)
+    _save(
+        "sharded",
+        {
+            "ops": len(ops),
+            "cores": CORES,
+            "workers_per_shard": 1,
+            "shards": out,
+        },
+    )
+    record(
+        "S1e",
+        f"Sharded gateway throughput ({SCALE}, {len(ops)} ops, {CORES} core(s))",
+        [
+            (f"{n_shards} shard(s)", f"{out[str(n_shards)]['throughput_rps']} req/s "
+             f"({out[str(n_shards)]['speedup_vs_1']}x)")
+            for n_shards in SHARD_COUNTS
+        ],
+    )
+    if SCALE != "small" and CORES >= 4:
+        assert out["4"]["speedup_vs_1"] >= 2.5, (
+            f"4 shards only reached {out['4']['speedup_vs_1']}x"
         )
 
 

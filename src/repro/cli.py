@@ -231,6 +231,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="SIGKILL live fork workers under a client workload and "
         "verify the supervisor loses no request (serving path)",
     )
+    chaos_path.add_argument(
+        "--sharded", action="store_true",
+        help="SIGKILL one shard's workers under load, then hard-down and "
+        "replace the shard: zero lost requests, degraded partials while "
+        "its breaker is open, bit-identical recovery (sharded gateway)",
+    )
+    chaos.add_argument(
+        "--shards", type=int, default=3,
+        help="shard count for --sharded (default 3)",
+    )
 
     workload = sub.add_parser(
         "workload",
@@ -906,13 +916,26 @@ def cmd_chaos(args) -> None:
     """
     from repro.resilience.chaos import (
         run_chaos,
+        run_sharded_chaos,
         run_snapshot_chaos,
         run_supervisor_chaos,
     )
 
     if args.iterations < 1:
         raise CliError("--iterations must be positive")
-    if args.supervisor:
+    if args.sharded:
+        if args.shards < 1:
+            raise CliError("--shards must be positive")
+        report = run_sharded_chaos(
+            seed=args.seed,
+            iterations=args.iterations,
+            documents=args.documents,
+            instances=args.instances,
+            n_shards=args.shards,
+            workdir=args.workdir,
+            log=print,
+        )
+    elif args.supervisor:
         report = run_supervisor_chaos(
             seed=args.seed,
             iterations=args.iterations,

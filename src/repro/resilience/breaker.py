@@ -26,7 +26,7 @@ OPEN = "open"
 HALF_OPEN = "half-open"
 
 
-def _note_transition(name: str, to: str) -> None:
+def _note_transition(name: str, to: str, shard: str = "") -> None:
     """Record a state transition in the process-global registry.
 
     Transitions are rare by construction (trips need ``threshold``
@@ -36,8 +36,8 @@ def _note_transition(name: str, to: str) -> None:
     get_registry().counter(
         "mdw_breaker_transitions_total",
         "Circuit-breaker state transitions, by breaker and target state",
-        labels=("name", "to"),
-    ).inc(name=name, to=to)
+        labels=("name", "to", "shard"),
+    ).inc(name=name, to=to, shard=shard)
 
 
 class CircuitBreaker:
@@ -56,6 +56,7 @@ class CircuitBreaker:
         cooldown: float = 30.0,
         half_open_probes: int = 1,
         clock: Callable[[], float] = time.monotonic,
+        shard: str = "",
     ):
         if threshold < 1:
             raise ValueError("threshold must be >= 1")
@@ -64,6 +65,8 @@ class CircuitBreaker:
         if half_open_probes < 1:
             raise ValueError("half_open_probes must be >= 1")
         self.name = name
+        #: metric label: which shard this breaker guards ("" unsharded)
+        self.shard = shard
         self.threshold = threshold
         self.cooldown = cooldown
         self.half_open_probes = half_open_probes
@@ -105,7 +108,7 @@ class CircuitBreaker:
                 return True
         finally:
             if probing:
-                _note_transition(self.name, HALF_OPEN)
+                _note_transition(self.name, HALF_OPEN, self.shard)
 
     def retry_after(self) -> float:
         """Seconds until the next half-open probe window (0 when closed)."""
@@ -125,7 +128,7 @@ class CircuitBreaker:
                 closed = True
             self._consecutive_failures = 0
         if closed:
-            _note_transition(self.name, CLOSED)
+            _note_transition(self.name, CLOSED, self.shard)
 
     def on_failure(self) -> None:
         tripped = False
@@ -143,7 +146,7 @@ class CircuitBreaker:
                     self._trip()
                     tripped = True
         if tripped:
-            _note_transition(self.name, OPEN)
+            _note_transition(self.name, OPEN, self.shard)
 
     def release(self) -> None:
         """Give back an ``allow()`` admission without recording an outcome.

@@ -59,6 +59,10 @@ SNAPSHOT_SITES = [
 #: outside, exactly like the OOM killer would.
 SUPERVISOR_SITE = "worker.kill"
 
+#: The sharded-gateway "site": one shard's workers are SIGKILLed under
+#: load, then the whole shard is hard-downed and replaced.
+SHARD_SITE = "shard.kill"
+
 #: The probe query both sides answer after the dust settles (exercises
 #: the plan cache and, via the rulebase, the entailment index).
 PROBE_QUERY = "SELECT ?s ?name WHERE { ?s dm:hasName ?name }"
@@ -534,6 +538,240 @@ def run_supervisor_chaos(
             rng = random.Random(iteration_seed)
             it = _run_supervisor_iteration(
                 i, iteration_seed, rng, documents, instances, root, n_ops, kills
+            )
+            report.iterations.append(it)
+            say(it.summary())
+    return report
+
+
+def _run_sharded_iteration(
+    i: int,
+    iteration_seed: int,
+    rng: random.Random,
+    documents: int,
+    instances: int,
+    root: Path,
+    n_ops: int,
+    kills: int,
+    n_shards: int = 3,
+    clients: int = 3,
+) -> ChaosIteration:
+    """One shard-loss round through the *sharded* serving path.
+
+    Three phases against one gateway over ``n_shards`` supervised
+    fork-worker shards, replaying a deterministic Listing 1/2 mix whose
+    per-op truth comes from a single-node direct run:
+
+    1. **kill storm** — client threads drive the mix while a killer
+       SIGKILLs the victim shard's workers. The shard's supervisor must
+       hide every death: zero failed requests, bit-identical answers,
+       pool back at strength within three heartbeats.
+    2. **shard loss** — the victim shard is hard-downed (its service
+       closed, as if the host vanished). Requests must keep succeeding
+       as *partial* results flagged ``degraded=True`` — never an error
+       — and the gateway's client breaker for the shard must trip open.
+    3. **replacement** — ``replace_shard`` rebuilds the victim from its
+       retained partition; answers must return to bit-identical and
+       un-degraded.
+    """
+    import os
+    import signal
+    import threading
+    import time
+
+    from repro.server.service import dispatch
+    from repro.server.sharding import ShardedConfig, ShardedQueryService
+    from repro.synth.workload import make_scatter_workload
+
+    feeds = make_release_feeds(rng, documents=documents, instances=instances)
+    mdw = _build_release_base(feeds)
+    ops = make_scatter_workload(mdw, n_ops=n_ops, seed=iteration_seed)
+    expected = [
+        _canonical_service_result(op.kind, dispatch(mdw, op.kind, dict(op.payload)))
+        for op in ops
+    ]
+    victim = rng.randrange(n_shards)
+
+    heartbeat_interval = 0.2
+    shard_dir = root / f"sharded-{i}"
+    config = ShardedConfig(
+        name=f"chaos-sharded-{i}",
+        n_shards=n_shards,
+        workers_per_shard=2,
+        max_queue=n_ops + 32,
+        snapshot_dir=str(shard_dir),
+        supervise=True,
+        heartbeat_interval=heartbeat_interval,
+        hang_timeout=2.0,
+        max_attempts=4,
+        breaker_threshold=10_000,  # per-shard endpoint breakers: not under test
+        shard_breaker_threshold=2,
+        shard_breaker_cooldown=60.0,  # stays open until replace_shard resets it
+    )
+    it = ChaosIteration(index=i, seed=iteration_seed, site=SHARD_SITE, skip=victim)
+    third = max(1, len(ops) // 3)
+    storm_ops = list(range(0, third))
+    downed_ops = list(range(third, 2 * third))
+    recovered_ops = list(range(2 * third, len(ops)))
+    results: List[object] = [None] * len(ops)
+    degraded_flags: List[Optional[bool]] = [None] * len(ops)
+    errors: List[str] = []
+    done = threading.Event()
+    killed = 0
+
+    service = ShardedQueryService(mdw, config)
+    try:
+        shard = service.shard_service(victim)
+        deadline = time.monotonic() + 5.0
+        while shard.supervisor.alive_children() < config.workers_per_shard:
+            if time.monotonic() > deadline:
+                it.detail = "victim shard never reached full size"
+                return it
+            time.sleep(0.01)
+
+        def run_op(index: int) -> None:
+            op = ops[index]
+            try:
+                result = service.execute(op.kind, **op.payload)
+                results[index] = _canonical_service_result(op.kind, result)
+                degraded_flags[index] = bool(getattr(result, "degraded", False))
+            except Exception as exc:  # noqa: BLE001 - the assertion *is* "no errors"
+                errors.append(f"op {index} ({op.kind}): {exc!r}")
+
+        def client(indices: List[int]) -> None:
+            for index in indices:
+                run_op(index)
+
+        def killer() -> None:
+            nonlocal killed
+            while killed < kills and not done.is_set():
+                pids = shard.worker_pids()
+                if pids:
+                    try:
+                        os.kill(rng.choice(pids), signal.SIGKILL)
+                        killed += 1
+                    except OSError:
+                        pass  # already reaped; pick again next round
+                time.sleep(rng.uniform(0.01, 0.06))
+
+        # -- phase 1: kill storm under concurrent load --------------------
+        lanes = [storm_ops[c::clients] for c in range(clients)]
+        threads = [
+            threading.Thread(target=client, args=(lane,), daemon=True)
+            for lane in lanes
+            if lane
+        ]
+        killer_thread = threading.Thread(target=killer, daemon=True)
+        for thread in threads:
+            thread.start()
+        killer_thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        done.set()
+        killer_thread.join(timeout=5)
+        it.crashed = killed > 0
+
+        recovery_deadline = time.monotonic() + 3 * heartbeat_interval
+        while shard.supervisor.deficit() > 0 and time.monotonic() < recovery_deadline:
+            time.sleep(0.01)
+        recovered = shard.supervisor.deficit() == 0
+
+        # -- phase 2: the whole shard goes dark ---------------------------
+        shard.close(wait=False)
+        for index in downed_ops:
+            run_op(index)
+        breaker_open = service.shard_breaker(victim).state != "closed"
+        health_degraded = service.health()["status"] == "degraded"
+        partials_flagged = all(degraded_flags[index] for index in downed_ops)
+
+        # -- phase 3: runbook replacement ---------------------------------
+        it.recovery_action = "replace_shard"
+        replacement = service.replace_shard(victim)
+        deadline = time.monotonic() + 5.0
+        while (
+            replacement.supervisor is not None
+            and replacement.supervisor.alive_children() < config.workers_per_shard
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        for index in recovered_ops:
+            run_op(index)
+        it.reran = True
+
+        if errors:
+            it.detail = f"{len(errors)} failed request(s): {errors[:3]}"
+        elif not recovered:
+            it.detail = (
+                f"victim pool still {shard.supervisor.deficit()} short "
+                f"after 3 heartbeat intervals"
+            )
+        elif not breaker_open:
+            it.detail = "gateway breaker never opened for the dead shard"
+        elif not health_degraded:
+            it.detail = "gateway health never reported degraded"
+        elif not partials_flagged:
+            unflagged = [
+                index for index in downed_ops if not degraded_flags[index]
+            ]
+            it.detail = f"partial results not flagged degraded at ops {unflagged[:5]}"
+        else:
+            mismatched = [
+                index
+                for index in storm_ops + recovered_ops
+                if results[index] != expected[index]
+            ]
+            flagged_after = [
+                index for index in recovered_ops if degraded_flags[index]
+            ]
+            if mismatched:
+                it.detail = f"result mismatch at ops {mismatched[:5]}"
+            elif flagged_after:
+                it.detail = (
+                    f"still degraded after replacement at ops {flagged_after[:5]}"
+                )
+            else:
+                it.converged = True
+        return it
+    finally:
+        service.close(wait=False)
+
+
+def run_sharded_chaos(
+    seed: int = 0,
+    iterations: int = 5,
+    documents: int = 3,
+    instances: int = 8,
+    n_ops: int = 36,
+    kills: int = 3,
+    n_shards: int = 3,
+    workdir: Optional[Path] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Randomized shard-loss rounds over the sharded gateway
+    (``repro-mdw chaos --sharded``): SIGKILL one shard's workers under a
+    mixed Listing 1/2 load, then hard-down and replace the shard —
+    asserting zero lost requests, partial results flagged
+    ``degraded=True`` while the shard's breaker is open, and full
+    bit-identical recovery after the replacement."""
+    import tempfile
+
+    report = ChaosReport(seed=seed)
+    say = log if log is not None else (lambda message: None)
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(workdir) if workdir is not None else Path(tmp)
+        for i in range(iterations):
+            iteration_seed = seed * 100_003 + i
+            rng = random.Random(iteration_seed)
+            it = _run_sharded_iteration(
+                i,
+                iteration_seed,
+                rng,
+                documents,
+                instances,
+                root,
+                n_ops,
+                kills,
+                n_shards=n_shards,
             )
             report.iterations.append(it)
             say(it.summary())

@@ -19,6 +19,7 @@ from repro.server.errors import (
 )
 from repro.server.metrics import LatencyHistogram, ServiceMetrics, SlowQuery, SlowQueryLog
 from repro.server.service import QueryService, QueryTicket, ServiceConfig
+from repro.server.sharding import ShardedConfig, ShardedQueryService
 from repro.server.snapshot import Snapshot, SnapshotManager
 from repro.server.supervisor import Supervisor, WorkerSlot
 
@@ -34,6 +35,8 @@ __all__ = [
     "ServiceClosed",
     "ServiceConfig",
     "ServiceMetrics",
+    "ShardedConfig",
+    "ShardedQueryService",
     "SlowQuery",
     "SlowQueryLog",
     "Snapshot",

@@ -97,7 +97,10 @@ class ServiceMetrics:
     benchmark); ``render()`` a human report for the CLI.
 
     ``name`` labels the mirrored registry samples (``service="mdw"`` by
-    default); ``registry`` defaults to the process-global one.
+    default); ``shard`` adds a ``shard="<i>"`` label so a sharded
+    deployment's per-shard series stay separable in one scrape (empty
+    for unsharded services); ``registry`` defaults to the
+    process-global one.
     """
 
     def __init__(
@@ -105,11 +108,13 @@ class ServiceMetrics:
         slow_query_capacity: int = 50,
         name: str = "mdw",
         registry: Optional[MetricsRegistry] = None,
+        shard: str = "",
     ):
         self._lock = threading.Lock()
         self._latency: Dict[str, LatencyHistogram] = {}
         self.slow_queries = SlowQueryLog(slow_query_capacity)
         self.name = name
+        self.shard = shard
         self._submitted = 0
         self._completed = 0
         self._failed = 0
@@ -134,37 +139,37 @@ class ServiceMetrics:
         self._events = registry.counter(
             "mdw_service_requests_total",
             "Request lifecycle events by service and event",
-            labels=("service", "event"),
+            labels=("service", "event", "shard"),
         )
         self._latency_family = registry.histogram(
             "mdw_request_latency_seconds",
             "End-to-end request latency by endpoint kind",
-            labels=("service", "kind"),
+            labels=("service", "kind", "shard"),
         )
         self._queue_gauge = registry.gauge(
             "mdw_queue_depth",
             "Admission queue depth",
-            labels=("service",),
+            labels=("service", "shard"),
         )
         self._queue_hw_gauge = registry.gauge(
             "mdw_queue_high_water",
             "Admission queue high-water mark",
-            labels=("service",),
+            labels=("service", "shard"),
         )
         self._restarts_family = registry.counter(
             "mdw_worker_restarts_total",
             "Fork workers reaped and respawned, by cause "
             "(crash | hang | stale)",
-            labels=("service", "reason"),
+            labels=("service", "reason", "shard"),
         )
         self._hedged_family = registry.counter(
             "mdw_hedged_requests_total",
             "Requests duplicated onto a second worker after lagging",
-            labels=("service",),
+            labels=("service", "shard"),
         )
 
     def _event(self, event: str) -> None:
-        self._events.inc(service=self.name, event=event)
+        self._events.inc(service=self.name, event=event, shard=self.shard)
 
     # -- recording ---------------------------------------------------------
 
@@ -183,27 +188,27 @@ class ServiceMetrics:
                 self._queue_high_water = queue_depth
             high_water = self._queue_high_water
         self._event("submitted")
-        self._queue_gauge.set(queue_depth, service=self.name)
-        self._queue_hw_gauge.set(high_water, service=self.name)
+        self._queue_gauge.set(queue_depth, service=self.name, shard=self.shard)
+        self._queue_hw_gauge.set(high_water, service=self.name, shard=self.shard)
 
     def on_dequeue(self, queue_depth: int) -> None:
         with self._lock:
             self._queue_depth = queue_depth
-        self._queue_gauge.set(queue_depth, service=self.name)
+        self._queue_gauge.set(queue_depth, service=self.name, shard=self.shard)
 
     def on_complete(self, kind: str, seconds: float) -> None:
         with self._lock:
             self._completed += 1
         self.endpoint(kind).observe(seconds)
         self._event("completed")
-        self._latency_family.observe(seconds, service=self.name, kind=kind)
+        self._latency_family.observe(seconds, service=self.name, kind=kind, shard=self.shard)
 
     def on_failure(self, kind: str, seconds: float) -> None:
         with self._lock:
             self._failed += 1
         self.endpoint(kind).observe(seconds)
         self._event("failed")
-        self._latency_family.observe(seconds, service=self.name, kind=kind)
+        self._latency_family.observe(seconds, service=self.name, kind=kind, shard=self.shard)
 
     def on_reject(self) -> None:
         with self._lock:
@@ -244,7 +249,7 @@ class ServiceMetrics:
         retired for lagging the published snapshot generation)."""
         with self._lock:
             self._worker_restarts[reason] = self._worker_restarts.get(reason, 0) + 1
-        self._restarts_family.inc(service=self.name, reason=reason)
+        self._restarts_family.inc(service=self.name, reason=reason, shard=self.shard)
 
     def on_worker_lost(self) -> None:
         """A request's worker died under it (before any requeue verdict)."""
@@ -263,7 +268,7 @@ class ServiceMetrics:
         with self._lock:
             self._hedged += 1
         self._event("hedged")
-        self._hedged_family.inc(service=self.name)
+        self._hedged_family.inc(service=self.name, shard=self.shard)
 
     # -- reporting ---------------------------------------------------------
 

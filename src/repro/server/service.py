@@ -60,7 +60,10 @@ from repro.sparql.cancel import CancelToken, cancel_scope
 _UNSET = object()
 
 #: Request kinds the service dispatches (update is a separate, write path).
-KINDS = ("query", "sql", "search", "lineage")
+#: ``frontier`` and ``lookup`` are the shard-local sub-requests of the
+#: sharded gateway (:mod:`repro.server.sharding`): one BFS level of
+#: lineage edges, and a point name→term resolution.
+KINDS = ("query", "sql", "search", "lineage", "frontier", "lookup")
 
 
 def dispatch(warehouse, kind: str, payload: Dict[str, object]):
@@ -101,6 +104,17 @@ def dispatch(warehouse, kind: str, payload: Dict[str, object]):
             payload.get("direction", "upstream"),
             max_depth=payload.get("max_depth"),
         )
+    if kind == "frontier":
+        return warehouse.lineage.frontier(
+            payload["items"], payload.get("direction", "upstream")
+        )
+    if kind == "lookup":
+        return sorted(
+            warehouse.graph.subjects(
+                TERMS.has_name, Literal(str(payload["name"]))
+            ),
+            key=lambda t: t.sort_key(),
+        )
     raise QueryServiceError(f"unknown request kind {kind!r}; expected one of {KINDS}")
 
 
@@ -114,6 +128,11 @@ def _statement_of(kind: str, payload: Dict[str, object]) -> str:
         return f"search {payload.get('term', '')!r}"
     if kind == "lineage":
         return f"lineage {payload.get('item', '')!r} {payload.get('direction', 'upstream')}"
+    if kind == "frontier":
+        items = payload.get("items", ())
+        return f"frontier x{len(items)} {payload.get('direction', 'upstream')}"
+    if kind == "lookup":
+        return f"lookup {payload.get('name', '')!r}"
     return repr(payload)
 
 
@@ -173,6 +192,10 @@ class ServiceConfig:
     #: Total executions one request may consume across worker deaths
     #: before the in-process fallback answers it (flagged degraded).
     max_attempts: int = 3
+    #: Shard index this service serves (as a metric label value), or ""
+    #: for an unsharded deployment. Set by the sharded gateway so one
+    #: Prometheus scrape separates the per-shard series.
+    shard: str = ""
 
     def __post_init__(self):
         if self.max_workers < 1:
@@ -351,12 +374,13 @@ class QueryService:
             plan_cache=self.plan_cache,
             snapshot_dir=config.snapshot_dir,
         )
-        self.metrics = ServiceMetrics(name=config.name)
+        self.metrics = ServiceMetrics(name=config.name, shard=config.shard)
         self._breakers: Dict[str, CircuitBreaker] = {
             kind: CircuitBreaker(
                 kind,
                 threshold=config.breaker_threshold,
                 cooldown=config.breaker_cooldown,
+                shard=config.shard,
             )
             for kind in (*KINDS, "update")
         }
@@ -437,13 +461,14 @@ class QueryService:
         breaker_gauge = registry.gauge(
             "mdw_breaker_state",
             "Circuit-breaker state per endpoint (0 closed, 1 half-open, 2 open)",
-            labels=("service", "endpoint"),
+            labels=("service", "endpoint", "shard"),
         )
         for kind, breaker in self._breakers.items():
             breaker_gauge.set_function(
                 lambda b=breaker: states.get(b.snapshot()["state"], 2.0),
                 service=name,
                 endpoint=kind,
+                shard=self.config.shard,
             )
 
     # -- admission ---------------------------------------------------------
@@ -908,15 +933,38 @@ class QueryService:
         is shedding or answers come off stale indexes; ``"recovering"``
         while the supervisor is respawning dead workers back to the
         configured pool size; ``"closed"`` after shutdown.
+
+        The schema is stable regardless of mode: ``endpoints`` maps
+        every request kind to its breaker snapshot, and ``workers``
+        always carries the same keys — ``supervised``, ``deficit``,
+        ``restarts``, and ``hedged`` just stay at their zero values when
+        no supervisor runs. The sharded gateway embeds one such
+        document per shard (under its own ``shards`` key) and
+        aggregates the statuses, so a fleet scrape reads one shape at
+        every level.
         """
-        breakers = {kind: b.snapshot() for kind, b in sorted(self._breakers.items())}
+        endpoints = {
+            kind: {"breaker": b.snapshot()}
+            for kind, b in sorted(self._breakers.items())
+        }
         stale = self._stale_indexes()
         supervisor = (
             self._supervisor.stats() if self._supervisor is not None else None
         )
+        workers: Dict[str, object] = {
+            "configured": self.config.max_workers,
+            "mode": self.config.worker_mode,
+            "supervised": supervisor is not None,
+            "alive_children": len(self.worker_pids()),
+            "deficit": supervisor["deficit"] if supervisor else 0,
+            "restarts": dict(supervisor["restarts"]) if supervisor else {},
+            "hedged": supervisor["hedged"] if supervisor else 0,
+        }
         if self._closed:
             status = "closed"
-        elif stale or any(b["state"] != CLOSED for b in breakers.values()):
+        elif stale or any(
+            doc["breaker"]["state"] != CLOSED for doc in endpoints.values()
+        ):
             status = "degraded"
         elif supervisor is not None and supervisor["deficit"] > 0:
             status = "recovering"
@@ -924,10 +972,11 @@ class QueryService:
             status = "healthy"
         return {
             "status": status,
+            "shard": self.config.shard or None,
             "generation": self.snapshots.generation,
             "queue_depth": self._queue.qsize(),
-            "workers": self.config.max_workers,
-            "breakers": breakers,
+            "workers": workers,
+            "endpoints": endpoints,
             "stale_indexes": stale,
             "supervisor": supervisor,
         }

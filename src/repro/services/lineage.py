@@ -122,6 +122,32 @@ class LineageService:
             return sorted(graph.objects(item, TERMS.is_mapped_to), key=lambda t: t.sort_key())
         return sorted(graph.subjects(TERMS.is_mapped_to, item), key=lambda t: t.sort_key())
 
+    def frontier(
+        self, items: Sequence[Term], direction: str = "upstream"
+    ) -> List[List[LineageEdge]]:
+        """One BFS level: the mapping edges incident to each item.
+
+        ``out[i]`` lists the edges of ``items[i]`` in the same sorted
+        neighbour order :meth:`trace` expands them — the shard-local
+        half of the gateway's iterative frontier exchange
+        (:mod:`repro.server.sharding`). On a hash-partitioned shard the
+        *downstream* edges of an item live entirely on the item's owner
+        shard, while *upstream* edges are keyed by the remote source,
+        so a shard simply reports what its slice of the graph knows.
+        """
+        if direction not in ("upstream", "downstream"):
+            raise ValueError("direction must be 'upstream' or 'downstream'")
+        out: List[List[LineageEdge]] = []
+        for item in items:
+            edges: List[LineageEdge] = []
+            for neighbour in self._neighbours(item, direction):
+                if direction == "downstream":
+                    edges.append(self.edge(item, neighbour))
+                else:
+                    edges.append(self.edge(neighbour, item))
+            out.append(edges)
+        return out
+
     # -- traces ------------------------------------------------------------
 
     def trace(

@@ -21,6 +21,14 @@ from repro.storage.engine import (
     detect_engine,
     get_engine,
 )
+from repro.storage.partition import (
+    ShardPlan,
+    changed_shards,
+    partition_store,
+    shard_filename,
+    shard_of,
+    write_shard_snapshots,
+)
 from repro.storage.segments import (
     SegmentEntry,
     apply_segments,
@@ -43,15 +51,20 @@ __all__ = [
     "MemoryEngine",
     "MmapEngine",
     "SegmentEntry",
+    "ShardPlan",
     "SnapshotFormatError",
     "StorageEngine",
     "StorageError",
     "apply_segments",
+    "changed_shards",
     "detect_engine",
     "diff_stores",
     "get_engine",
+    "partition_store",
     "publish_segment",
     "read_segment",
     "save_snapshot_store",
-    "write_segment",
+    "shard_filename",
+    "shard_of",
+    "write_shard_snapshots",
 ]

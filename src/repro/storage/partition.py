@@ -1,0 +1,232 @@
+"""Deterministic hash partitioner for sharded serving.
+
+The sharded serving topology (:mod:`repro.server.sharding`) splits one
+warehouse model across N shard stores so each shard process scans only
+``1/N`` of the fact graph. The split follows the federation pattern of
+ontology-based warehouse integration: the *small* ontology — class and
+property declarations, the hierarchy, labels, world assignments, and
+the value-level thesaurus — is **replicated** to every shard, while
+instance facts are **routed** by a stable hash of their subject id.
+
+Routing invariants the gateway relies on:
+
+* every triple of an instance (its ``dm:hasName``, filters,
+  ``rdf:type`` memberships, outgoing ``dt:isMappedTo`` edges and the
+  reified mapping nodes hanging off ``dt:hasMapping``) lands on the one
+  shard that owns the instance, so point lookups and *downstream*
+  lineage expansion are single-shard operations;
+* *upstream* edges of an item live on the shard of the **source**
+  instance, which is why upstream frontier exchange scatters to all
+  shards;
+* the hash is a pure function of the term's lexical form
+  (:func:`shard_of`), so every process — gateway, shard worker, test —
+  computes the same placement with no shared state.
+
+Entailment-index graphs are partitioned by the same rule and re-attached
+per shard, so a shard answers entailment-dependent queries exactly as
+the unsharded store would for its slice.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import DM, DT, OWL, RDF, RDFS
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import Term, Triple
+
+__all__ = [
+    "ShardPlan",
+    "changed_shards",
+    "partition_store",
+    "shard_filename",
+    "shard_of",
+    "write_shard_snapshots",
+]
+
+#: rdf:type objects that declare a subject to be ontology, not data.
+_ONTOLOGY_TYPES = (
+    OWL.term("Class"),
+    RDFS.term("Class"),
+    RDF.term("Property"),
+    OWL.term("ObjectProperty"),
+    OWL.term("DatatypeProperty"),
+)
+
+#: Namespace prefixes whose subjects are vocabulary/ontology by
+#: construction (schema classes, transfer vocabulary, W3C terms).
+_ONTOLOGY_PREFIXES = (
+    DM.base,
+    DT.base,
+    RDF.base,
+    RDFS.base,
+    OWL.base,
+    "http://www.credit-suisse.com/dwh/mdm/warehouse#",  # MDW areas/levels
+)
+
+
+def shard_of(term: Term, n_shards: int) -> int:
+    """The owning shard of ``term`` — a pure function of its lexical form.
+
+    CRC-32 of the N3 serialization modulo the shard count: stable across
+    processes, Python versions, and restarts (unlike ``hash()``, which
+    is salted per process for strings).
+    """
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    return zlib.crc32(term.n3().encode("utf-8")) % n_shards
+
+
+def shard_filename(index: int, n_shards: int) -> str:
+    """Canonical snapshot file name of shard ``index``."""
+    return f"shard-{index}-of-{n_shards}.mdws"
+
+
+class _Router:
+    """Classifies each triple as replicated ontology or routed fact."""
+
+    def __init__(self, model_graph: Graph, n_shards: int):
+        self.n_shards = n_shards
+        # Reified mapping nodes belong to the *source* instance: routing
+        # them by their owner keeps ``LineageService.edge`` shard-local.
+        from repro.core.vocabulary import TERMS  # runtime: avoid layering cycle
+
+        self._terms = TERMS
+        self._owner: Dict[Term, Term] = {}
+        for t in model_graph.triples(None, TERMS.has_mapping, None):
+            self._owner[t.object] = t.subject
+        self._ontology: Set[Term] = set()
+        for declared in _ONTOLOGY_TYPES:
+            self._ontology.update(model_graph.subjects(RDF.term("type"), declared))
+        self._replicated_predicates = {
+            TERMS.synonym_of,  # value-level thesaurus: search expands on
+            TERMS.homonym_of,  # every shard with the same synonym set
+        }
+
+    def shard(self, triple: Triple) -> Optional[int]:
+        """The owning shard index, or ``None`` for replicate-everywhere."""
+        if triple.predicate in self._replicated_predicates:
+            return None
+        subject = triple.subject
+        if subject in self._ontology:
+            return None
+        value = getattr(subject, "value", None)
+        if isinstance(value, str) and value.startswith(_ONTOLOGY_PREFIXES):
+            return None
+        return shard_of(self._owner.get(subject, subject), self.n_shards)
+
+
+@dataclass
+class ShardPlan:
+    """The outcome of one deterministic partitioning run."""
+
+    model: str
+    n_shards: int
+    stores: List[TripleStore] = field(default_factory=list)
+    #: triples copied to every shard (the ontology + thesaurus)
+    replicated_triples: int = 0
+    #: triples placed on exactly one shard (instance facts)
+    routed_triples: int = 0
+
+    def store_for(self, index: int) -> TripleStore:
+        return self.stores[index]
+
+    def __len__(self) -> int:
+        return self.n_shards
+
+
+def partition_store(
+    store: TripleStore, n_shards: int, model: str
+) -> ShardPlan:
+    """Split ``model`` (and its entailment indexes) into N shard stores.
+
+    Deterministic: the same logical store content always yields the same
+    per-shard content, so two gateways partitioning the same release
+    agree on placement and :func:`write_shard_snapshots` produces
+    byte-identical files.
+    """
+    source = store.model(model)
+    router = _Router(source, n_shards)
+
+    plan = ShardPlan(model=model, n_shards=n_shards)
+    shard_graphs: List[Graph] = []
+    for index in range(n_shards):
+        shard_store = TripleStore()
+        graph = shard_store.create_model(model)
+        plan.stores.append(shard_store)
+        shard_graphs.append(graph)
+
+    for triple in source.triples():
+        target = router.shard(triple)
+        if target is None:
+            plan.replicated_triples += 1
+            for graph in shard_graphs:
+                graph.add(triple)
+        else:
+            plan.routed_triples += 1
+            shard_graphs[target].add(triple)
+
+    for index_model, rulebase in store.index_names(model):
+        derived = store.index(index_model, rulebase)
+        if derived is None:
+            continue
+        parts = [Graph(name=f"{model}/{rulebase}") for _ in range(n_shards)]
+        for triple in derived.triples():
+            target = router.shard(triple)
+            if target is None:
+                for part in parts:
+                    part.add(triple)
+            else:
+                parts[target].add(triple)
+        for shard_store, part in zip(plan.stores, parts):
+            shard_store.attach_index(model, rulebase, part)
+
+    return plan
+
+
+def write_shard_snapshots(
+    plan: ShardPlan,
+    directory: Union[str, Path],
+    generation: int = 0,
+) -> List[Path]:
+    """Write one ``.mdws`` snapshot per shard into ``directory``.
+
+    File names follow :func:`shard_filename`; each file is the
+    deterministic :func:`~repro.storage.snapshot.save_snapshot_store`
+    format, so shard workers mmap-attach them exactly like unsharded
+    snapshots and a re-partition of identical content produces
+    byte-identical files (the cheap no-op check during rebalance).
+    """
+    from repro.storage.snapshot import save_snapshot_store
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    for index, shard_store in enumerate(plan.stores):
+        path = directory / shard_filename(index, plan.n_shards)
+        save_snapshot_store(shard_store, path, generation=generation)
+        paths.append(path)
+    return paths
+
+
+def changed_shards(old: ShardPlan, new: ShardPlan) -> List[int]:
+    """Shard indexes whose content differs between two plans.
+
+    The rebalance path partitions the post-release store and replaces
+    only these shards — the incremental-release delta touches few
+    subjects, and hash placement is sticky, so most shards are
+    byte-identical and keep serving without a restart.
+    """
+    if old.n_shards != new.n_shards:
+        return list(range(new.n_shards))
+    from repro.storage.segments import diff_stores
+
+    changed: List[int] = []
+    for index in range(new.n_shards):
+        if diff_stores(old.stores[index], new.stores[index]):
+            changed.append(index)
+    return changed

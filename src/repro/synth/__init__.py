@@ -23,6 +23,7 @@ from repro.synth.pipelines import generate_pipeline
 from repro.synth.workload import (
     SearchWorkload,
     ServiceOp,
+    make_scatter_workload,
     make_search_workload,
     make_service_workload,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "ServiceOp",
     "generate_landscape",
     "generate_pipeline",
+    "make_scatter_workload",
     "make_search_workload",
     "make_service_workload",
 ]

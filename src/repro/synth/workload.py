@@ -163,3 +163,45 @@ def make_service_workload(
                 )
             )
     return ops
+
+
+def make_scatter_workload(
+    warehouse,
+    n_ops: int = 100,
+    seed: int = 42,
+) -> List[ServiceOp]:
+    """A deterministic search/lineage mix for the *sharded* gateway.
+
+    The sharded serving tier routes only the paper's two interactive
+    use cases (Listing-1 search scatter-gathers, Listing-2 lineage runs
+    as a frontier exchange); raw SPARQL/SEM_SQL stays on unsharded
+    replicas. This stream mirrors :func:`make_service_workload`'s
+    derivation — terms and item names come from the warehouse's own
+    ``dm:hasName`` values — restricted to the routable kinds, so the
+    sharded benchmark and chaos harness replay a realistic interactive
+    mix. Same inputs, same list, always.
+    """
+    rng = random.Random(seed)
+    names = sorted(
+        o.lexical
+        for _, _, o in warehouse.graph.triples(None, TERMS.has_name, None)
+        if isinstance(o, Literal)
+    )
+    if not names:
+        raise ValueError("warehouse has no dm:hasName values to build a workload from")
+    fragments = sorted({name[: max(3, len(name) // 2)] for name in rng.sample(names, min(20, len(names)))})
+
+    ops: List[ServiceOp] = []
+    for i in range(n_ops):
+        roll = rng.random()
+        if roll < 0.60:
+            ops.append(ServiceOp("search", {"term": rng.choice(fragments)}))
+        else:
+            direction = "upstream" if rng.random() < 0.7 else "downstream"
+            ops.append(
+                ServiceOp(
+                    "lineage",
+                    {"item": rng.choice(names), "direction": direction, "max_depth": 4},
+                )
+            )
+    return ops

@@ -178,11 +178,11 @@ class TestResilienceWiring:
             "obs-test", threshold=2, cooldown=5.0, clock=lambda: clock[0]
         )
         counter = get_registry().counter(
-            "mdw_breaker_transitions_total", labels=("name", "to")
+            "mdw_breaker_transitions_total", labels=("name", "to", "shard")
         )
 
         def count(to):
-            return counter.child(name="obs-test", to=to).value
+            return counter.child(name="obs-test", to=to, shard="").value
 
         breaker.on_failure()
         assert count("open") == 0

@@ -29,11 +29,13 @@ class TestHealth:
             health = service.health()
             assert health["status"] == "healthy"
             assert health["stale_indexes"] == []
-            assert set(health["breakers"]) == {
-                "query", "sql", "search", "lineage", "update",
+            assert set(health["endpoints"]) == {
+                "query", "sql", "search", "lineage", "frontier",
+                "lookup", "update",
             }
             assert all(
-                b["state"] == "closed" for b in health["breakers"].values()
+                doc["breaker"]["state"] == "closed"
+                for doc in health["endpoints"].values()
             )
             assert health["generation"] == service.snapshots.generation
 
@@ -56,7 +58,7 @@ class TestHealth:
             service.breaker("search").on_failure()  # trips at threshold 1
             health = service.health()
             assert health["status"] == "degraded"
-            assert health["breakers"]["search"]["state"] == "open"
+            assert health["endpoints"]["search"]["breaker"]["state"] == "open"
 
 
 class TestDegradedResults:
@@ -117,7 +119,7 @@ class TestCircuitBreaker:
                 else:
                     pytest.fail("breaker never opened")
             assert service.metrics_snapshot()["breaker_shed"] >= 1
-            assert service.health()["breakers"]["search"]["state"] == "open"
+            assert service.health()["endpoints"]["search"]["breaker"]["state"] == "open"
 
     def test_other_endpoints_unaffected_by_one_open_breaker(self, warehouse):
         with service_of(warehouse, breaker_threshold=1) as service:
@@ -143,14 +145,14 @@ class TestCircuitBreaker:
             time.sleep(0.06)
             results = service.search("a", regex=True)
             assert len(results) >= 0
-            assert service.health()["breakers"]["search"]["state"] == "closed"
+            assert service.health()["endpoints"]["search"]["breaker"]["state"] == "closed"
 
     def test_user_errors_do_not_trip_the_breaker(self, warehouse):
         with service_of(warehouse, breaker_threshold=2) as service:
             for _ in range(5):
                 with pytest.raises(Exception):
                     service.lineage("no-such-item-anywhere")
-            assert service.health()["breakers"]["lineage"]["state"] == "closed"
+            assert service.health()["endpoints"]["lineage"]["breaker"]["state"] == "closed"
 
     def test_update_breaker_guards_the_write_path(self, warehouse):
         with service_of(warehouse, breaker_threshold=1) as service:

@@ -1,0 +1,362 @@
+"""The sharded scatter-gather gateway.
+
+Cross-shard lineage frontier exchange (multi-hop chains, cycles that
+span shards, deadline expiry mid-round), bit-identity of search and
+lineage against the single-node services, degraded partial answers when
+a shard dies, and the replace/rebalance operational paths. Unit tests
+run the shards in thread mode (fork-mode behaviour — supervision,
+SIGKILL recovery — is the chaos harness's job).
+"""
+
+import time
+
+import pytest
+
+from repro.core import MetadataWarehouse, TERMS
+from repro.etl import SynonymThesaurus
+from repro.obs import parse_exposition, render_prometheus
+from repro.rdf.terms import Literal
+from repro.server import (
+    DeadlineExceeded,
+    QueryServiceError,
+    ServiceClosed,
+    ShardedConfig,
+    ShardedQueryService,
+)
+from repro.server.service import dispatch
+from repro.storage import shard_of
+from repro.synth import make_scatter_workload
+
+
+def thread_service(mdw, **overrides):
+    base = dict(
+        n_shards=2,
+        workers_per_shard=1,
+        worker_mode="thread",
+        supervise=False,
+    )
+    base.update(overrides)
+    return ShardedQueryService(mdw, ShardedConfig(**base))
+
+
+def mint_instances(mdw, cls, shards_wanted, n_shards):
+    """Instances whose routing hash lands on the requested shards.
+
+    Probes candidate names with the same :func:`shard_of` hash the
+    partitioner uses, so a test can place consecutive chain links on
+    different shards deterministically.
+    """
+    items, names = [], []
+    k = 0
+    for want in shards_wanted:
+        while True:
+            name = f"n{k:03d}"
+            k += 1
+            if shard_of(mdw.facts.namespace.term(name), n_shards) == want:
+                items.append(mdw.facts.add_instance(name, cls))
+                names.append(name)
+                break
+    return items, names
+
+
+@pytest.fixture
+def chain():
+    """a -> b -> c -> d -> e alternating between the two shards."""
+    mdw = MetadataWarehouse()
+    node = mdw.schema.declare_class("Node")
+    items, names = mint_instances(mdw, node, [0, 1, 0, 1, 0], 2)
+    for i, (a, b) in enumerate(zip(items, items[1:])):
+        mdw.facts.add_mapping(a, b, rule=f"rule-{i}", condition=f"cond-{i}")
+    return mdw, items, names
+
+
+def assert_same_trace(got, want):
+    """Bit-identity: same edges in the same order, same depths."""
+    assert got.start == want.start
+    assert got.direction == want.direction
+    assert got.edges == want.edges
+    assert got.depth == want.depth
+
+
+class TestFrontierExchange:
+    def test_chain_actually_crosses_shards(self, chain):
+        _, items, _ = chain
+        placements = [shard_of(t, 2) for t in items]
+        assert placements == [0, 1, 0, 1, 0]
+
+    def test_downstream_bit_identical(self, chain):
+        mdw, items, _ = chain
+        with thread_service(mdw) as svc:
+            got = svc.lineage(items[0], direction="downstream")
+        want = mdw.lineage.trace(items[0], "downstream")
+        assert_same_trace(got, want)
+        assert not got.degraded
+        # rule/condition meta-data crossed the shard boundary intact
+        assert {e.rule for e in got.edges} == {f"rule-{i}" for i in range(4)}
+
+    def test_upstream_bit_identical(self, chain):
+        mdw, items, _ = chain
+        with thread_service(mdw) as svc:
+            got = svc.lineage(items[-1], direction="upstream")
+        assert_same_trace(got, mdw.lineage.trace(items[-1], "upstream"))
+
+    def test_max_depth_cuts_identically(self, chain):
+        mdw, items, _ = chain
+        with thread_service(mdw) as svc:
+            got = svc.lineage(items[0], direction="downstream", max_depth=2)
+        want = mdw.lineage.trace(items[0], "downstream", max_depth=2)
+        assert_same_trace(got, want)
+        assert len(got.edges) == 2
+
+    def test_lineage_by_name_resolves_across_shards(self, chain):
+        mdw, items, names = chain
+        with thread_service(mdw) as svc:
+            got = svc.execute("lineage", item=names[1], direction="downstream")
+        want = dispatch(
+            mdw, "lineage", {"item": names[1], "direction": "downstream"}
+        )
+        assert_same_trace(got, want)
+
+    def test_unknown_name_is_an_error_when_healthy(self, chain):
+        mdw, _, _ = chain
+        with thread_service(mdw) as svc:
+            with pytest.raises(QueryServiceError, match="no item named"):
+                svc.lineage("no_such_item")
+
+    def test_cycle_spanning_shards_terminates(self):
+        mdw = MetadataWarehouse()
+        node = mdw.schema.declare_class("Node")
+        (a, b, c), _ = mint_instances(mdw, node, [0, 1, 0], 2)
+        mdw.facts.add_mapping(a, b, rule="fwd")
+        mdw.facts.add_mapping(b, a, rule="back")  # a <-> b crosses shards
+        mdw.facts.add_mapping(b, c, rule="out")
+        with thread_service(mdw) as svc:
+            for direction in ("downstream", "upstream"):
+                got = svc.lineage(a, direction=direction)
+                assert_same_trace(got, mdw.lineage.trace(a, direction))
+                assert not got.degraded
+
+    def test_deadline_expiry_mid_round_is_typed(self, chain):
+        mdw, items, _ = chain
+        with thread_service(mdw) as svc:
+            # first make sure the slow-shard wrapper is not the only
+            # reason the trace completes
+            baseline = svc.lineage(items[-1], direction="upstream")
+            assert len(baseline.edges) == 4
+            slow = svc.shard_service(0)
+            original = slow.submit
+
+            def delayed_submit(kind, **payload):
+                time.sleep(0.06)
+                return original(kind, **payload)
+
+            slow.submit = delayed_submit
+            try:
+                # upstream scatters to both shards every round; the slow
+                # shard burns ~0.06s per round against a 0.1s budget, so
+                # the deadline expires after the first round — inside
+                # the frontier loop, not at admission
+                with pytest.raises(DeadlineExceeded):
+                    svc.lineage(items[-1], direction="upstream", timeout=0.1)
+            finally:
+                slow.submit = original
+
+    def test_round_bound_cuts_short_and_degrades(self, chain):
+        mdw, items, _ = chain
+        with thread_service(mdw, max_rounds=2) as svc:
+            got = svc.lineage(items[0], direction="downstream")
+        assert got.degraded
+        assert len(got.edges) == 2  # two rounds of a four-hop chain
+
+
+@pytest.fixture
+def landscape():
+    """A richer warehouse: shared name fragments and a thesaurus."""
+    mdw = MetadataWarehouse()
+    column = mdw.schema.declare_class("Column")
+    table = mdw.schema.declare_class("Table")
+    for k in range(8):
+        mdw.facts.add_instance(f"customer_{k}", column)
+        mdw.facts.add_instance(f"client_{k}", column)
+        mdw.facts.add_instance(f"trade_{k}", table)
+    items = [
+        mdw.facts.add_instance(f"link_{k}", column) for k in range(6)
+    ]
+    for a, b in zip(items, items[1:]):
+        mdw.facts.add_mapping(a, b, rule="copy")
+    thesaurus = SynonymThesaurus()
+    thesaurus.add_synonym("customer", "client")
+    thesaurus.materialize(mdw.graph)
+    return mdw
+
+
+def canonical(kind, result):
+    if kind == "search":
+        return [(h.instance, h.name, h.all_classes) for h in result.hits]
+    return [(e.source, e.target, e.rule, e.condition) for e in result.edges]
+
+
+class TestSearchAndLookup:
+    def test_search_merge_bit_identical(self, landscape):
+        want = dispatch(landscape, "search", {"term": "customer"})
+        with thread_service(landscape, n_shards=3) as svc:
+            got = svc.search("customer")
+        assert canonical("search", got) == canonical("search", want)
+        assert got.expanded_terms == want.expanded_terms
+        assert got.homonym_warnings == want.homonym_warnings
+        assert got.groups() == want.groups()
+        assert not got.degraded
+
+    def test_synonym_expansion_merges(self, landscape):
+        want = dispatch(
+            landscape, "search", {"term": "customer", "expand_synonyms": True}
+        )
+        with thread_service(landscape, n_shards=3) as svc:
+            got = svc.search("customer", expand_synonyms=True)
+        assert canonical("search", got) == canonical("search", want)
+        assert got.expanded_terms == ["customer", "client"]
+
+    def test_lookup_routes_to_matches(self, landscape):
+        want = dispatch(landscape, "lookup", {"name": "trade_3"})
+        with thread_service(landscape, n_shards=3) as svc:
+            assert svc.execute("lookup", name="trade_3") == want
+
+    def test_workload_bit_identical_at_every_scale(self, landscape):
+        """The acceptance-criterion identity: 1, 2 and 3 shards answer a
+        mixed search/lineage stream exactly like the single-node
+        services."""
+        ops = make_scatter_workload(landscape, n_ops=20, seed=7)
+        want = [
+            canonical(op.kind, dispatch(landscape, op.kind, dict(op.payload)))
+            for op in ops
+        ]
+        for n in (1, 2, 3):
+            with thread_service(landscape, n_shards=n) as svc:
+                got = [
+                    canonical(op.kind, svc.execute(op.kind, **op.payload))
+                    for op in ops
+                ]
+            assert got == want, f"divergence at n_shards={n}"
+
+    def test_non_gateway_kind_rejected(self, landscape):
+        with thread_service(landscape) as svc:
+            with pytest.raises(QueryServiceError, match="cannot route"):
+                svc.execute("query", text="SELECT ?s WHERE { ?s ?p ?o }")
+
+    def test_closed_gateway_raises(self, landscape):
+        svc = thread_service(landscape)
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.search("customer")
+
+
+class TestDegradedMode:
+    def test_dead_shard_degrades_never_errors(self, landscape):
+        with thread_service(landscape, shard_breaker_threshold=2) as svc:
+            want = dispatch(landscape, "search", {"term": "customer"})
+            svc.shard_service(0).close()
+            first = svc.search("customer")
+            assert first.degraded
+            assert len(first.hits) < len(want.hits)
+            second = svc.search("customer")  # second failure trips it
+            assert second.degraded
+            assert svc.shard_breaker(0).snapshot()["state"] == "open"
+            # breaker open: the shard is skipped outright, still no error
+            third = svc.search("customer")
+            assert third.degraded
+            assert canonical("search", third) == canonical("search", second)
+
+    def test_lineage_to_dead_owner_is_empty_degraded(self, chain):
+        mdw, items, names = chain
+        owner = shard_of(items[0], 2)
+        with thread_service(mdw, shard_breaker_threshold=2) as svc:
+            svc.shard_service(owner).close()
+            got = svc.lineage(names[0], direction="downstream")
+        assert got.degraded
+        assert got.edges == []
+        assert got.start == Literal(names[0])
+
+    def test_health_aggregates_worst_status(self, landscape):
+        with thread_service(landscape, shard_breaker_threshold=1) as svc:
+            assert svc.health()["status"] == "healthy"
+            svc.shard_service(1).close()
+            svc.search("customer")  # one failure opens the breaker
+            health = svc.health()
+        assert health["status"] == "degraded"
+        assert health["n_shards"] == 2
+        assert health["shards"]["1"]["gateway_breaker"]["state"] == "open"
+        assert health["shards"]["0"]["gateway_breaker"]["state"] == "closed"
+
+    def test_health_schema_is_stable(self, landscape):
+        with thread_service(landscape) as svc:
+            doc = svc.health()["shards"]["0"]
+        assert {
+            "status",
+            "shard",
+            "generation",
+            "queue_depth",
+            "workers",
+            "endpoints",
+            "stale_indexes",
+            "supervisor",
+            "gateway_breaker",
+        } <= set(doc)
+        assert doc["shard"] == "0"
+        assert {"configured", "mode", "supervised", "alive_children"} <= set(
+            doc["workers"]
+        )
+        assert "breaker" in doc["endpoints"]["search"]
+
+
+class TestOperations:
+    def test_replace_shard_restores_full_answers(self, landscape):
+        want = dispatch(landscape, "search", {"term": "customer"})
+        with thread_service(landscape, shard_breaker_threshold=1) as svc:
+            svc.shard_service(0).close()
+            svc.search("customer")  # trips the breaker
+            assert svc.shard_breaker(0).snapshot()["state"] == "open"
+            svc.replace_shard(0)
+            assert svc.shard_breaker(0).snapshot()["state"] == "closed"
+            got = svc.search("customer")
+            health = svc.health()
+        assert not got.degraded
+        assert canonical("search", got) == canonical("search", want)
+        assert health["status"] == "healthy"
+
+    def test_rebalance_replaces_only_changed_shards(self, landscape):
+        with thread_service(landscape) as svc:
+            column = landscape.schema.declare_class("Column")
+            fresh = landscape.facts.add_instance("fresh_column", column)
+            outcome = svc.rebalance(landscape.store)
+            assert outcome["changed"] == [shard_of(fresh, 2)]
+            assert len(outcome["changed"]) + len(outcome["unchanged"]) == 2
+            assert svc.execute("lookup", name="fresh_column") == [fresh]
+
+    def test_owner_of_matches_partitioner(self, landscape):
+        with thread_service(landscape, n_shards=3) as svc:
+            term = landscape.facts.namespace.term("trade_0")
+            assert svc.owner_of(term) == shard_of(term, 3)
+
+
+class TestShardMetricLabels:
+    def test_shard_labels_round_trip_through_exposition(self, landscape):
+        with thread_service(landscape, name="shard-label-test") as svc:
+            svc.search("customer")
+            svc.lineage("link_0", direction="downstream")
+            families = parse_exposition(render_prometheus())
+        requests = [
+            labels
+            for _, labels, value in families["mdw_service_requests_total"]["samples"]
+            if labels["service"].startswith("shard-label-test") and value > 0
+        ]
+        assert requests
+        assert {labels["shard"] for labels in requests} == {"0", "1"}
+        for labels in requests:
+            assert labels["service"] == f"shard-label-test-shard{labels['shard']}"
+        breaker_labels = [
+            labels
+            for _, labels, _ in families["mdw_breaker_state"]["samples"]
+            if labels["service"].startswith("shard-label-test")
+        ]
+        assert breaker_labels
+        assert {labels["shard"] for labels in breaker_labels} == {"0", "1"}

@@ -1,0 +1,164 @@
+"""Partitioner invariants the sharded gateway relies on.
+
+Ontology and thesaurus replicate to every shard; instance facts land on
+exactly one shard; reified mapping nodes co-locate with their source;
+the whole split is a deterministic pure function of the store content.
+"""
+
+import pytest
+
+from repro.core import MetadataWarehouse, TERMS
+from repro.etl import SynonymThesaurus
+from repro.rdf.namespace import RDF
+from repro.storage import (
+    changed_shards,
+    partition_store,
+    shard_filename,
+    shard_of,
+    write_shard_snapshots,
+)
+
+N = 3
+
+
+def build_warehouse(extra_instances=()):
+    """A small landscape: a mapping chain, a thesaurus, one class."""
+    mdw = MetadataWarehouse()
+    node = mdw.schema.declare_class("Node")
+    items = [mdw.facts.add_instance(f"item{k}", node) for k in range(12)]
+    for i, (a, b) in enumerate(zip(items, items[1:])):
+        mdw.facts.add_mapping(a, b, rule=f"rule-{i}", condition="country = 'CH'")
+    thesaurus = SynonymThesaurus()
+    thesaurus.add_synonym("item", "element")
+    thesaurus.materialize(mdw.graph)
+    for name in extra_instances:
+        mdw.facts.add_instance(name, node)
+    return mdw, items, node
+
+
+@pytest.fixture
+def warehouse():
+    return build_warehouse()
+
+
+class TestShardOf:
+    def test_deterministic_and_in_range(self, warehouse):
+        mdw, items, _ = warehouse
+        for term in items:
+            assert 0 <= shard_of(term, N) < N
+            assert shard_of(term, N) == shard_of(term, N)
+
+    def test_spreads_across_shards(self, warehouse):
+        """CRC placement of a dozen items is not degenerate."""
+        _, items, _ = warehouse
+        assert len({shard_of(t, N) for t in items}) > 1
+
+    def test_rejects_non_positive(self, warehouse):
+        _, items, _ = warehouse
+        with pytest.raises(ValueError):
+            shard_of(items[0], 0)
+
+    def test_filename(self):
+        assert shard_filename(1, 4) == "shard-1-of-4.mdws"
+
+
+class TestPartitioning:
+    def test_counts_cover_the_source(self, warehouse):
+        mdw, _, _ = warehouse
+        plan = partition_store(mdw.store, N, mdw.model_name)
+        total = len(list(mdw.graph.triples()))
+        assert plan.replicated_triples + plan.routed_triples == total
+        assert plan.routed_triples > 0 and plan.replicated_triples > 0
+
+    def test_union_equals_source(self, warehouse):
+        mdw, _, _ = warehouse
+        plan = partition_store(mdw.store, N, mdw.model_name)
+        union = set()
+        for store in plan.stores:
+            union.update(store.model(mdw.model_name).triples())
+        assert union == set(mdw.graph.triples())
+
+    def test_ontology_and_thesaurus_replicated(self, warehouse):
+        mdw, _, node = warehouse
+        plan = partition_store(mdw.store, N, mdw.model_name)
+        declaration = list(mdw.graph.triples(node, RDF.term("type"), None))
+        synonyms = [
+            t for t in mdw.graph.triples(None, TERMS.synonym_of, None)
+        ]
+        assert declaration and synonyms
+        for store in plan.stores:
+            graph = store.model(mdw.model_name)
+            for triple in declaration + synonyms:
+                assert triple in set(graph.triples())
+
+    def test_instance_triples_on_exactly_one_shard(self, warehouse):
+        mdw, items, _ = warehouse
+        plan = partition_store(mdw.store, N, mdw.model_name)
+        for item in items:
+            owner = shard_of(item, N)
+            for index, store in enumerate(plan.stores):
+                graph = store.model(mdw.model_name)
+                count = len(list(graph.triples(item, TERMS.has_name, None)))
+                assert count == (1 if index == owner else 0)
+
+    def test_mapping_nodes_colocated_with_source(self, warehouse):
+        """Reified mapping meta-data follows the *source* instance, so
+        downstream expansion (and ``LineageService.edge``) stays on one
+        shard."""
+        mdw, _, _ = warehouse
+        plan = partition_store(mdw.store, N, mdw.model_name)
+        edges = list(mdw.graph.triples(None, TERMS.is_mapped_to, None))
+        assert edges
+        for edge in edges:
+            owner = shard_of(edge.subject, N)
+            graph = plan.stores[owner].model(mdw.model_name)
+            assert edge in set(graph.triples())
+            for mapping in mdw.graph.objects(edge.subject, TERMS.has_mapping):
+                mapping_triples = list(mdw.graph.triples(mapping, None, None))
+                assert mapping_triples
+                shard_triples = set(graph.triples(mapping, None, None))
+                assert shard_triples == set(mapping_triples)
+
+    def test_entailment_index_partitioned_and_attached(self, warehouse):
+        mdw, _, _ = warehouse
+        mdw.build_entailment_index("OWLPRIME")
+        derived = mdw.store.index(mdw.model_name, "OWLPRIME")
+        plan = partition_store(mdw.store, N, mdw.model_name)
+        union = set()
+        for store in plan.stores:
+            part = store.index(mdw.model_name, "OWLPRIME")
+            assert part is not None
+            union.update(part.triples())
+        assert union == set(derived.triples())
+
+
+class TestDeterminism:
+    def test_snapshots_byte_identical_across_runs(self, warehouse, tmp_path):
+        mdw, _, _ = warehouse
+        dirs = (tmp_path / "a", tmp_path / "b")
+        for directory in dirs:
+            plan = partition_store(mdw.store, N, mdw.model_name)
+            write_shard_snapshots(plan, directory)
+        for index in range(N):
+            name = shard_filename(index, N)
+            assert (dirs[0] / name).read_bytes() == (dirs[1] / name).read_bytes()
+
+    def test_identical_content_changes_nothing(self, warehouse):
+        mdw, _, _ = warehouse
+        old = partition_store(mdw.store, N, mdw.model_name)
+        new = partition_store(mdw.store, N, mdw.model_name)
+        assert changed_shards(old, new) == []
+
+    def test_delta_touches_only_owner_shard(self):
+        mdw_old, _, _ = build_warehouse()
+        mdw_new, _, _ = build_warehouse(extra_instances=("fresh_column",))
+        old = partition_store(mdw_old.store, N, mdw_old.model_name)
+        new = partition_store(mdw_new.store, N, mdw_new.model_name)
+        fresh = mdw_new.facts.namespace.term("fresh_column")
+        assert changed_shards(old, new) == [shard_of(fresh, N)]
+
+    def test_shard_count_change_replaces_everything(self, warehouse):
+        mdw, _, _ = warehouse
+        old = partition_store(mdw.store, N, mdw.model_name)
+        new = partition_store(mdw.store, N + 1, mdw.model_name)
+        assert changed_shards(old, new) == list(range(N + 1))
