@@ -168,6 +168,90 @@ def test_observability_overhead(warehouse, record):
     assert medians["traced"] <= medians["disabled"] * 3.0 + EPSILON_SECONDS
 
 
+def test_sharded_gateway_overhead(warehouse, record):
+    """The sharded gateway honors the same contract as the evaluator:
+    leaving a tracer installed but sampling at 0 must cost ≤ 5 % on the
+    scatter mix, even though every gateway request now threads the
+    request/frontier span hooks and the SLO-feeding metrics."""
+    from repro.server.sharding import ShardedConfig, ShardedQueryService
+    from repro.synth import make_scatter_workload
+
+    config = ShardedConfig(
+        n_shards=3,
+        workers_per_shard=1,
+        worker_mode="thread",
+        supervise=False,
+        max_queue=256,
+    )
+    ops = make_scatter_workload(warehouse, n_ops=12, seed=7)
+    reps = max(5, _REPS[SCALE] // 2)
+
+    with ShardedQueryService(warehouse, config) as service:
+
+        def run_workload():
+            for op in ops:
+                service.execute(op.kind, **op.payload)
+
+        def run_unsampled():
+            with trace_scope(Tracer(sample_rate=0.0)):
+                run_workload()
+
+        def run_traced():
+            with trace_scope(Tracer(sample_rate=1.0, capacity=500_000)):
+                run_workload()
+
+        modes = {
+            "disabled": run_workload,
+            "unsampled": run_unsampled,
+            "traced": run_traced,
+        }
+        for run in modes.values():  # warm shard plan caches on every path
+            run()
+        medians = _measure(modes, reps)
+
+    overhead = {
+        name: medians[name] / medians["disabled"] - 1.0
+        for name in ("unsampled", "traced")
+    }
+    # the workload is a whole scatter mix, so scale the jitter epsilon
+    # by the op count rather than reusing the single-query constant
+    budget = OVERHEAD_BUDGET + EPSILON_SECONDS * len(ops) / medians["disabled"]
+
+    results = json.loads(RESULTS_PATH.read_text()) if RESULTS_PATH.exists() else {}
+    results["sharded"] = {
+        "n_shards": config.n_shards,
+        "ops_per_rep": len(ops),
+        "reps": reps,
+        "median_seconds": medians,
+        "overhead_vs_disabled": overhead,
+        "budget_unsampled": budget,
+    }
+    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    record(
+        "O3",
+        "sharded gateway overhead (3-shard scatter mix medians)",
+        [
+            ("disabled", f"{medians['disabled'] * 1e3:.2f} ms"),
+            (
+                "tracer installed, unsampled",
+                f"{medians['unsampled'] * 1e3:.2f} ms ({overhead['unsampled']:+.1%})",
+            ),
+            (
+                "traced (sample=1.0)",
+                f"{medians['traced'] * 1e3:.2f} ms ({overhead['traced']:+.1%})",
+            ),
+            ("budget (disabled tracing)", f"≤ {budget:.1%}"),
+        ],
+    )
+
+    assert overhead["unsampled"] <= budget, (
+        f"unsampled gateway tracing costs {overhead['unsampled']:.1%}, "
+        f"budget {budget:.1%} (medians: {medians})"
+    )
+    assert medians["traced"] <= medians["disabled"] * 3.0 + EPSILON_SECONDS * len(ops)
+
+
 def test_sampled_serve_trace_round_trips_chrome(warehouse, record):
     """A traced ``serve()`` workload exports Chrome JSON whose spans
     nest request ⊃ plan ⊃ operator (and parse as valid trace events)."""

@@ -24,6 +24,14 @@ from repro.obs.exporter import (
     render_prometheus,
     snapshot_json,
 )
+from repro.obs.fleet import (
+    DEFAULT_SLOS,
+    Event,
+    EventJournal,
+    SloEngine,
+    SLOTarget,
+    get_journal,
+)
 from repro.obs.profile import (
     OperatorStats,
     QueryProfile,
@@ -42,6 +50,7 @@ from repro.obs.trace import (
     Span,
     TraceContext,
     Tracer,
+    TraceValidationError,
     active_tracer,
     capture,
     install_tracer,
@@ -49,6 +58,7 @@ from repro.obs.trace import (
     trace_scope,
     tracing,
     uninstall_tracer,
+    validate_chrome_trace,
 )
 
 __all__ = [
@@ -56,6 +66,12 @@ __all__ = [
     "parse_exposition",
     "render_prometheus",
     "snapshot_json",
+    "DEFAULT_SLOS",
+    "Event",
+    "EventJournal",
+    "SloEngine",
+    "SLOTarget",
+    "get_journal",
     "OperatorStats",
     "QueryProfile",
     "count_rows",
@@ -69,6 +85,7 @@ __all__ = [
     "Span",
     "TraceContext",
     "Tracer",
+    "TraceValidationError",
     "active_tracer",
     "capture",
     "install_tracer",
@@ -76,4 +93,5 @@ __all__ = [
     "trace_scope",
     "tracing",
     "uninstall_tracer",
+    "validate_chrome_trace",
 ]

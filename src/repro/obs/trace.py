@@ -41,6 +41,11 @@ from typing import Dict, Iterable, List, Optional
 
 _CLOCK = time.monotonic
 
+#: Process-global span-id sequence. Shared by every Tracer in the
+#: process so that short-lived tracers (fork children build one per
+#: pool message) cannot restart the counter and reissue an id.
+_IDS = itertools.count(1)
+
 
 class Span:
     """One completed (or in-flight) span. Picklable, so fork-mode
@@ -147,12 +152,14 @@ class Tracer:
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self._spans: List[Span] = []
-        self._ids = itertools.count(1)
         self.dropped = 0
 
     def _next_id(self) -> str:
-        # pid-qualified so ids from fork children never collide with ours
-        return f"{os.getpid():x}-{next(self._ids):x}"
+        # pid-qualified so ids from fork children never collide with ours;
+        # the sequence is process-global, not per-tracer, so fresh Tracer
+        # instances in the same process (e.g. one per pool message) never
+        # reissue an id
+        return f"{os.getpid():x}-{next(_IDS):x}"
 
     def _record(self, span: Span) -> None:
         with self._lock:
@@ -269,6 +276,65 @@ class Tracer:
                 f"<Tracer sample_rate={self.sample_rate} "
                 f"spans={len(self._spans)} dropped={self.dropped}>"
             )
+
+
+class TraceValidationError(ValueError):
+    """The exported Chrome trace violates a structural invariant."""
+
+
+def validate_chrome_trace(data: Dict[str, object], slack: float = 1e-6) -> Dict[str, object]:
+    """Structurally validate a Chrome trace document (the CI/test gate).
+
+    Checks, in order: the ``traceEvents`` envelope exists and is
+    non-empty; every event carries a unique ``args.span_id``; every
+    ``args.parent_id`` resolves to an event in the same document (no
+    orphans); and every child is temporally contained in its parent
+    within ``slack`` seconds (fork-child spans share the parent's
+    monotonic timeline on Linux, but clock granularity earns a small
+    tolerance). Returns summary statistics on success; raises
+    :class:`TraceValidationError` on the first violation.
+    """
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise TraceValidationError("trace has no traceEvents")
+    by_id: Dict[str, Dict[str, object]] = {}
+    for event in events:
+        args = event.get("args") or {}
+        span_id = args.get("span_id")
+        if not span_id:
+            raise TraceValidationError(f"event {event.get('name')!r} lacks a span_id")
+        if span_id in by_id:
+            raise TraceValidationError(f"duplicate span_id {span_id!r}")
+        by_id[span_id] = event
+    slack_us = slack * 1e6
+    roots = 0
+    pids = set()
+    for event in events:
+        pids.add(event.get("pid"))
+        args = event["args"]
+        parent_id = args.get("parent_id")
+        if parent_id is None:
+            roots += 1
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            raise TraceValidationError(
+                f"span {args['span_id']!r} ({event['name']!r}) has "
+                f"unknown parent {parent_id!r}"
+            )
+        if event["ts"] < parent["ts"] - slack_us or (
+            event["ts"] + event["dur"] > parent["ts"] + parent["dur"] + slack_us
+        ):
+            raise TraceValidationError(
+                f"span {args['span_id']!r} ({event['name']!r}) is not "
+                f"temporally contained in its parent {parent_id!r}"
+            )
+    return {
+        "events": len(events),
+        "roots": roots,
+        "pids": len(pids),
+        "names": sorted({e["name"] for e in events}),
+    }
 
 
 class _NoopSpan:

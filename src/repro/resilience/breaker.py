@@ -27,7 +27,8 @@ HALF_OPEN = "half-open"
 
 
 def _note_transition(name: str, to: str, shard: str = "") -> None:
-    """Record a state transition in the process-global registry.
+    """Record a state transition in the process-global registry and
+    the operational event journal.
 
     Transitions are rare by construction (trips need ``threshold``
     consecutive failures; recoveries need a cooldown), so this never
@@ -38,6 +39,15 @@ def _note_transition(name: str, to: str, shard: str = "") -> None:
         "Circuit-breaker state transitions, by breaker and target state",
         labels=("name", "to", "shard"),
     ).inc(name=name, to=to, shard=shard)
+    from repro.obs.fleet import get_journal
+
+    get_journal().record(
+        "breaker",
+        severity="warning" if to == OPEN else "info",
+        shard=shard,
+        breaker=name,
+        to=to,
+    )
 
 
 class CircuitBreaker:

@@ -30,6 +30,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.obs.fleet import get_journal
 from repro.obs.registry import (
     LATENCY_BUCKETS,
     LatencyHistogram,
@@ -167,6 +168,13 @@ class ServiceMetrics:
             "Requests duplicated onto a second worker after lagging",
             labels=("service", "shard"),
         )
+        self._degraded_family = registry.counter(
+            "mdw_service_degraded_total",
+            "Responses returned with degraded=True, by endpoint kind "
+            "(stale-index answers, in-process fallback after WorkerLost, "
+            "breaker-shed shard partials)",
+            labels=("service", "kind", "shard"),
+        )
 
     def _event(self, event: str) -> None:
         self._events.inc(service=self.name, event=event, shard=self.shard)
@@ -230,10 +238,19 @@ class ServiceMetrics:
             self._breaker_shed += 1
         self._event("breaker_shed")
 
-    def on_degraded(self) -> None:
+    def on_degraded(self, kind: str = "", shard: Optional[str] = None) -> None:
+        """A response went out flagged ``degraded=True``. ``kind`` is the
+        endpoint; ``shard`` overrides this instance's shard label (the
+        gateway attributes a breaker-shed partial to the *failed* shard,
+        not to itself)."""
         with self._lock:
             self._degraded += 1
         self._event("degraded")
+        self._degraded_family.inc(
+            service=self.name,
+            kind=kind,
+            shard=self.shard if shard is None else shard,
+        )
 
     def on_fork_worker(self, mode: str) -> None:
         """A fork-mode child was spawned; ``mode`` says how it got its
@@ -250,6 +267,13 @@ class ServiceMetrics:
         with self._lock:
             self._worker_restarts[reason] = self._worker_restarts.get(reason, 0) + 1
         self._restarts_family.inc(service=self.name, reason=reason, shard=self.shard)
+        get_journal().record(
+            "worker-restart",
+            severity="warning",
+            service=self.name,
+            shard=self.shard,
+            reason=reason,
+        )
 
     def on_worker_lost(self) -> None:
         """A request's worker died under it (before any requeue verdict)."""

@@ -311,7 +311,7 @@ class ForkWorker:
         except (OSError, AttributeError):  # already gone
             pass
 
-    def run(self, request):
+    def run(self, request, extras_sink=None):
         """Execute one request in the child; enforce deadline/cancel.
 
         Cooperative checks inside the child normally raise first; if the
@@ -321,6 +321,13 @@ class ForkWorker:
         SIGKILLed, crashed, pipe torn mid-pickle — surfaces as a typed
         :class:`WorkerLost` carrying the request id, never as a raw
         ``EOFError``/broken pipe.
+
+        ``extras_sink``, when given, receives the child's observability
+        payload (spans, profile) instead of it being absorbed into the
+        process immediately. Hedged and requeued dispatch uses this to
+        graft only the *winning* attempt's spans: the caller absorbs the
+        sink after the exactly-once claim succeeds, and a losing
+        attempt's payload is simply dropped with its sink.
         """
         from repro.obs.trace import capture
 
@@ -367,7 +374,11 @@ class ForkWorker:
                 raise WorkerLost(
                     request.request_id, exitcode, detail=repr(exc)
                 ) from None
-            self._absorb(request, extras)
+            if extras_sink is not None:
+                if extras:
+                    extras_sink.append(extras)
+            else:
+                self._absorb(request, extras)
             if ok:
                 return value
             raise value

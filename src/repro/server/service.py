@@ -168,6 +168,12 @@ class ServiceConfig:
     max_queue: int = 64
     default_timeout: Optional[float] = None
     slow_query_threshold: float = 0.25
+    #: Record threshold-crossing requests in this service's slow-query
+    #: log. The sharded gateway turns this off on its shards and logs
+    #: one unified entry per slow request at the gateway instead (with
+    #: the per-shard timing breakdown); worker-lost attribution entries
+    #: are not affected by this switch.
+    log_slow_queries: bool = True
     worker_mode: str = "thread"  # "thread" | "fork"
     name: str = "mdw"
     #: When set, every snapshot publication also writes a binary
@@ -675,17 +681,23 @@ class QueryService:
         if self.config.profile_queries:
             request.profile = QueryProfile()
         degraded = False
+        # the child's spans/profile land here and are absorbed only
+        # after the exactly-once claim is won, so a losing hedge twin
+        # (or a requeue superseded mid-flight) never grafts its spans
+        # into the request's trace
+        extras_sink: List[dict] = []
         with span(
             "request", "service",
             parent=request.trace_ctx,
             kind=request.kind,
             request_id=request.request_id,
+            shard=self.config.shard,
         ) as span_attrs:
             try:
                 request.token.check()  # deadline spent while queued
                 faults.fire("worker.execute")
                 if fork_worker is not None:
-                    result = fork_worker.run(request)
+                    result = fork_worker.run(request, extras_sink)
                 else:
                     with self.snapshots.read() as snap:
                         with cancel_scope(request.token):
@@ -708,35 +720,59 @@ class QueryService:
                     result, inline_exc = outcome
                     if inline_exc is not None:
                         self._complete_failure(
-                            request, inline_exc, breaker, start, span_attrs
+                            request, inline_exc, breaker, start, span_attrs,
+                            extras_sink,
                         )
                         return
                     degraded = True
                 else:
-                    self._complete_failure(request, exc, breaker, start, span_attrs)
+                    self._complete_failure(
+                        request, exc, breaker, start, span_attrs, extras_sink
+                    )
                     return
             except BaseException as exc:  # typed errors travel to the caller
-                self._complete_failure(request, exc, breaker, start, span_attrs)
+                self._complete_failure(
+                    request, exc, breaker, start, span_attrs, extras_sink
+                )
                 return
             if not request.claim():
-                return  # a hedge twin completed it first; drop this answer
+                # a hedge twin completed it first; drop this answer and
+                # its child spans — only the winner's attempt grafts
+                span_attrs["outcome"] = "hedge-lost"
+                return
+            self._absorb_extras(request, extras_sink)
             breaker.on_success()
             elapsed = time.monotonic() - start
             self.metrics.on_complete(request.kind, elapsed)
-            if elapsed >= self.config.slow_query_threshold:
+            if elapsed >= self.config.slow_query_threshold and self.config.log_slow_queries:
                 self._log_slow(request, elapsed)
             if request.kind in ("search", "lineage"):
-                self._flag_degraded(result)
+                self._flag_degraded(result, request.kind)
             if degraded:
-                self._mark_degraded(result)
+                self._mark_degraded(result, request.kind)
             request.future.set_result(result)
 
+    @staticmethod
+    def _absorb_extras(request: QueryRequest, extras_sink) -> None:
+        """Graft fork-child observability payloads (spans, profile)
+        collected during this execution — called only after the
+        exactly-once claim is won."""
+        if not extras_sink:
+            return
+        from repro.server.procpool import ForkWorker
+
+        for extras in extras_sink:
+            ForkWorker._absorb(request, extras)
+
     def _complete_failure(
-        self, request: QueryRequest, exc: BaseException, breaker, start, span_attrs
+        self, request: QueryRequest, exc: BaseException, breaker, start, span_attrs,
+        extras_sink=None,
     ) -> None:
         """Fail the request's future (once) with full accounting."""
         if not request.claim():
+            span_attrs["outcome"] = "hedge-lost"
             return  # a parallel execution already answered; drop it
+        self._absorb_extras(request, extras_sink)
         elapsed = time.monotonic() - start
         span_attrs["error"] = type(exc).__name__
         if isinstance(exc, DeadlineExceeded):
@@ -781,13 +817,13 @@ class QueryService:
             return (None, exc)
         return (result, None)
 
-    def _mark_degraded(self, result) -> None:
+    def _mark_degraded(self, result, kind: str = "") -> None:
         """Best-effort degraded flag for fallback answers."""
         try:
             result.degraded = True
         except AttributeError:
             return
-        self.metrics.on_degraded()
+        self.metrics.on_degraded(kind)
 
     def _log_worker_lost(self, request: QueryRequest, exc, elapsed: float) -> None:
         """Attribute a worker death to the request it was executing.
@@ -817,7 +853,7 @@ class QueryService:
         with profile_scope(request.profile):
             return dispatch(snap.warehouse, request.kind, request.payload)
 
-    def _flag_degraded(self, result) -> None:
+    def _flag_degraded(self, result, kind: str = "") -> None:
         """Mark a search/lineage answer served off stale entailment
         indexes: the asserted triples answered, the derived ones may
         lag — correct but possibly incomplete (degraded mode)."""
@@ -827,7 +863,7 @@ class QueryService:
             result.degraded = True
         except AttributeError:
             return  # fork-mode results of older shape: best effort
-        self.metrics.on_degraded()
+        self.metrics.on_degraded(kind)
 
     def _log_slow(self, request: QueryRequest, elapsed: float) -> None:
         plan = None

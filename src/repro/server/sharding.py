@@ -36,13 +36,16 @@ delta touched) restore full answers.
 
 from __future__ import annotations
 
+import itertools
 import tempfile
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.obs.fleet import SloEngine, get_journal
+from repro.obs.trace import span
 from repro.rdf.terms import Literal, Term
 
 from repro.resilience.breaker import CLOSED, CircuitBreaker
@@ -54,7 +57,14 @@ from repro.server.errors import (
     QueryServiceError,
     ServiceClosed,
 )
-from repro.server.service import QueryService, QueryTicket, ServiceConfig, _UNSET
+from repro.server.metrics import ServiceMetrics, SlowQuery
+from repro.server.service import (
+    QueryService,
+    QueryTicket,
+    ServiceConfig,
+    _UNSET,
+    _statement_of,
+)
 from repro.services.lineage import LineageEdge, LineageTrace
 from repro.services.search import SearchResults
 from repro.storage.partition import (
@@ -111,6 +121,13 @@ class ShardedConfig:
     shard_breaker_cooldown: float = 5.0
     #: lineage frontier-exchange round bound
     max_rounds: int = 64
+    #: gateway slow-request threshold (seconds). A slow sharded request
+    #: is logged ONCE here, with its per-shard timing breakdown —
+    #: shard-local slow logs are disabled so it does not also show up
+    #: N times as shard entries.
+    slow_query_threshold: float = 0.25
+    #: rolling window (seconds) of the gateway's SLO engine
+    slo_window: float = 300.0
 
     def __post_init__(self):
         if self.n_shards < 1:
@@ -125,6 +142,26 @@ class ShardedConfig:
             raise ValueError("shard_breaker_threshold must be positive")
         if self.shard_breaker_cooldown <= 0:
             raise ValueError("shard_breaker_cooldown must be positive")
+        if self.slow_query_threshold <= 0:
+            raise ValueError("slow_query_threshold must be positive")
+        if self.slo_window <= 0:
+            raise ValueError("slo_window must be positive")
+
+
+class _GatewayCall:
+    """Per-request accumulator the gateway threads through its fan-out.
+
+    ``timings`` collects wall-clock seconds per shard (summed across
+    lineage rounds); ``failed`` the distinct shards that could not
+    answer. Both feed the unified slow-query entry and the per-shard
+    ``mdw_service_degraded_total`` attribution.
+    """
+
+    __slots__ = ("timings", "failed")
+
+    def __init__(self):
+        self.timings: Dict[int, float] = {}
+        self.failed: Set[int] = set()
 
 
 class ShardedQueryService:
@@ -172,6 +209,15 @@ class ShardedQueryService:
         self._shards: List[QueryService] = [
             self._build_shard(i) for i in range(config.n_shards)
         ]
+        # Gateway-level observability: its own metrics identity (shard
+        # label "gateway" keeps it distinct from the per-shard series),
+        # a request-id sequence for trace/slow-log attribution, and the
+        # fleet SLO engine reading every service under this name.
+        self.metrics = ServiceMetrics(name=config.name, shard="gateway")
+        self.slo = SloEngine(
+            window=config.slo_window, service_prefix=config.name
+        )
+        self._gateway_seq = itertools.count(1)
 
     # -- topology ----------------------------------------------------------
 
@@ -200,6 +246,8 @@ class ShardedQueryService:
             hedge_after=config.hedge_after,
             max_attempts=config.max_attempts,
             shard=str(index),
+            # one unified slow entry at the gateway, not N shard-local ones
+            log_slow_queries=False,
         )
         return QueryService(mdw, service_config)
 
@@ -271,6 +319,7 @@ class ShardedQueryService:
         payloads: Dict[int, Dict[str, object]],
         deadline: Optional[float],
         timeout: Optional[float],
+        call: Optional[_GatewayCall] = None,
     ) -> Tuple[Dict[int, object], List[int]]:
         """Submit one sub-request per shard; gather what the healthy ones say.
 
@@ -278,8 +327,11 @@ class ShardedQueryService:
         client breaker is open is skipped outright (that *is* the
         degraded mode); a shard that fails here feeds its breaker.
         Deadline overruns and cancellations are the caller's problem and
-        re-raise typed — they say nothing about shard health.
+        re-raise typed — they say nothing about shard health. When a
+        :class:`_GatewayCall` is passed, per-shard wall time and failed
+        shard ids accumulate into it across rounds.
         """
+        started = time.monotonic()
         tickets: Dict[int, QueryTicket] = {}
         failed: List[int] = []
         for index in shard_ids:
@@ -320,6 +372,13 @@ class ShardedQueryService:
                 failed.append(index)
             else:
                 breaker.on_success()
+            if call is not None:
+                # submit→gather wall time attributed to this shard,
+                # summed across lineage rounds
+                elapsed = time.monotonic() - started
+                call.timings[index] = call.timings.get(index, 0.0) + elapsed
+        if call is not None:
+            call.failed.update(failed)
         return results, failed
 
     # -- public API --------------------------------------------------------
@@ -342,12 +401,54 @@ class ShardedQueryService:
         if timeout is _UNSET:
             timeout = self.config.default_timeout
         deadline = self._deadline(timeout)
-        if kind == "search":
-            return self._search(payload, deadline, timeout)
-        if kind == "lookup":
-            matches, _ = self._lookup(str(payload["name"]), deadline, timeout)
-            return matches
-        return self._lineage(payload, deadline, timeout)
+        call = _GatewayCall()
+        request_id = f"g-{next(self._gateway_seq)}"
+        start = time.monotonic()
+        self.metrics.on_submit(0)
+        # The gateway root span: every shard sub-request captures it (or
+        # the per-round frontier span below it) as its parent, so one
+        # Chrome trace nests gateway ⊃ frontier rounds ⊃ shard requests
+        # ⊃ operators across process boundaries.
+        with span(
+            "request", "gateway", kind=kind, request_id=request_id
+        ) as span_attrs:
+            try:
+                if kind == "search":
+                    result = self._search(payload, deadline, timeout, call)
+                elif kind == "lookup":
+                    matches, _ = self._lookup(
+                        str(payload["name"]), deadline, timeout, call
+                    )
+                    result = matches
+                else:
+                    result = self._lineage(payload, deadline, timeout, call)
+            except BaseException as exc:
+                span_attrs["outcome"] = "error"
+                span_attrs["error"] = type(exc).__name__
+                self.metrics.on_failure(kind, time.monotonic() - start)
+                if isinstance(exc, DeadlineExceeded):
+                    self.metrics.on_timeout()
+                raise
+            degraded = bool(call.failed) or bool(
+                getattr(result, "degraded", False)
+            )
+            span_attrs["shards"] = self.config.n_shards
+            if degraded:
+                span_attrs["degraded"] = True
+        elapsed = time.monotonic() - start
+        self.metrics.on_complete(kind, elapsed)
+        if degraded:
+            if call.failed:
+                # attribute breaker-shed / dead-shard partials to the
+                # shard that could not answer
+                for index in sorted(call.failed):
+                    self.metrics.on_degraded(kind, shard=str(index))
+            else:
+                # round-bound cut-offs and shard-flagged partials
+                self.metrics.on_degraded(kind)
+        if elapsed >= self.config.slow_query_threshold:
+            self._log_slow(request_id, kind, payload, elapsed, call)
+        return result
 
     def search(self, term: str, *, timeout=_UNSET, **options):
         return self.execute("search", timeout=timeout, term=term, **options)
@@ -355,9 +456,36 @@ class ShardedQueryService:
     def lineage(self, item, *, timeout=_UNSET, **options):
         return self.execute("lineage", timeout=timeout, item=item, **options)
 
+    def _log_slow(self, request_id, kind, payload, elapsed, call) -> None:
+        """One unified slow-query entry at the gateway.
+
+        Shard-local slow logs are off (``log_slow_queries=False``), so a
+        slow sharded request shows up exactly once — here — with the
+        per-shard timing breakdown and any failed shard ids appended to
+        the statement.
+        """
+        breakdown = ", ".join(
+            f"shard{i}={call.timings[i] * 1e3:.1f}ms"
+            for i in sorted(call.timings)
+        )
+        statement = "{} [{}{}]".format(
+            _statement_of(kind, payload),
+            breakdown or "no shard calls",
+            f"; failed shards: {sorted(call.failed)}" if call.failed else "",
+        )
+        self.metrics.slow_queries.record(
+            SlowQuery(
+                request_id=request_id,
+                kind=kind,
+                statement=statement,
+                elapsed=elapsed,
+                timestamp=time.time(),
+            )
+        )
+
     # -- search: scatter + order-preserving merge ---------------------------
 
-    def _search(self, payload, deadline, timeout) -> SearchResults:
+    def _search(self, payload, deadline, timeout, call=None) -> SearchResults:
         all_shards = range(self.config.n_shards)
         results, failed = self._scatter(
             all_shards,
@@ -365,6 +493,7 @@ class ShardedQueryService:
             {i: payload for i in all_shards},
             deadline,
             timeout,
+            call,
         )
         term = str(payload.get("term", ""))
         if not results:
@@ -396,7 +525,7 @@ class ShardedQueryService:
 
     # -- point lookup -------------------------------------------------------
 
-    def _lookup(self, name, deadline, timeout) -> Tuple[List[Term], bool]:
+    def _lookup(self, name, deadline, timeout, call=None) -> Tuple[List[Term], bool]:
         all_shards = range(self.config.n_shards)
         results, failed = self._scatter(
             all_shards,
@@ -404,6 +533,7 @@ class ShardedQueryService:
             {i: {"name": name} for i in all_shards},
             deadline,
             timeout,
+            call,
         )
         matches = sorted(
             (term for part in results.values() for term in part),
@@ -413,7 +543,7 @@ class ShardedQueryService:
 
     # -- lineage: iterative frontier exchange --------------------------------
 
-    def _lineage(self, payload, deadline, timeout) -> LineageTrace:
+    def _lineage(self, payload, deadline, timeout, call=None) -> LineageTrace:
         direction = payload.get("direction", "upstream")
         if direction not in ("upstream", "downstream"):
             raise ValueError("direction must be 'upstream' or 'downstream'")
@@ -421,7 +551,9 @@ class ShardedQueryService:
         item = payload["item"]
         degraded = False
         if not isinstance(item, Term):
-            matches, lookup_failed = self._lookup(str(item), deadline, timeout)
+            matches, lookup_failed = self._lookup(
+                str(item), deadline, timeout, call
+            )
             if not matches:
                 if lookup_failed:
                     # the owner shard may be the one that is down: an
@@ -469,16 +601,27 @@ class ShardedQueryService:
                 # upstream edges are keyed by the (unknown) remote
                 # source: every shard reports what its slice knows
                 sent = {i: list(active) for i in range(n)}
-            results, failed = self._scatter(
-                list(sent),
+            # one span per BFS round; sub-requests are submitted inside
+            # it, so every shard's frontier handling nests underneath
+            with span(
                 "frontier",
-                {
-                    i: {"items": items, "direction": direction}
-                    for i, items in sent.items()
-                },
-                deadline,
-                timeout,
-            )
+                "gateway",
+                round=rounds,
+                fan_out=len(sent),
+                frontier=len(active),
+                direction=direction,
+            ):
+                results, failed = self._scatter(
+                    list(sent),
+                    "frontier",
+                    {
+                        i: {"items": items, "direction": direction}
+                        for i, items in sent.items()
+                    },
+                    deadline,
+                    timeout,
+                    call,
+                )
             degraded = degraded or bool(failed)
             edges_of: Dict[Term, List[LineageEdge]] = {c: [] for c in active}
             for index, level in results.items():
@@ -540,6 +683,7 @@ class ShardedQueryService:
             "status": overall,
             "n_shards": self.config.n_shards,
             "shards": shards,
+            "slo": self.slo.report(),
         }
 
     def replace_shard(self, index: int) -> QueryService:
@@ -558,6 +702,12 @@ class ShardedQueryService:
         replacement = self._build_shard(index)
         self._shards[index] = replacement
         self._shard_breakers[index].reset()
+        get_journal().record(
+            "shard-replace",
+            severity="warning",
+            service=self.config.name,
+            shard=str(index),
+        )
         return replacement
 
     def rebalance(self, store) -> Dict[str, object]:
@@ -574,6 +724,12 @@ class ShardedQueryService:
         self.shard_paths = write_shard_snapshots(self._plan, self._root)
         for index in changed:
             self.replace_shard(index)
+        get_journal().record(
+            "shard-rebalance",
+            service=self.config.name,
+            changed=sorted(changed),
+            n_shards=self.config.n_shards,
+        )
         return {
             "changed": changed,
             "unchanged": [
@@ -586,6 +742,7 @@ class ShardedQueryService:
     def metrics_snapshot(self) -> Dict[str, object]:
         return {
             "n_shards": self.config.n_shards,
+            "gateway": self.metrics.snapshot(),
             "gateway_breakers": {
                 str(i): breaker.snapshot()
                 for i, breaker in enumerate(self._shard_breakers)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.obs.trace import span
 from repro.rdf.terms import IRI, Literal, Term
 
 from repro.core.vocabulary import TERMS
@@ -138,14 +139,19 @@ class LineageService:
         if direction not in ("upstream", "downstream"):
             raise ValueError("direction must be 'upstream' or 'downstream'")
         out: List[List[LineageEdge]] = []
-        for item in items:
-            edges: List[LineageEdge] = []
-            for neighbour in self._neighbours(item, direction):
-                if direction == "downstream":
-                    edges.append(self.edge(item, neighbour))
-                else:
-                    edges.append(self.edge(neighbour, item))
-            out.append(edges)
+        with span(
+            "operator", "lineage", op="frontier", direction=direction,
+            items=len(items),
+        ) as attrs:
+            for item in items:
+                edges: List[LineageEdge] = []
+                for neighbour in self._neighbours(item, direction):
+                    if direction == "downstream":
+                        edges.append(self.edge(item, neighbour))
+                    else:
+                        edges.append(self.edge(neighbour, item))
+                out.append(edges)
+            attrs["edges"] = sum(len(e) for e in out)
         return out
 
     # -- traces ------------------------------------------------------------

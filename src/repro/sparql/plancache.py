@@ -242,6 +242,13 @@ class PlanCache:
             # run callbacks of their own and must not nest under us
             try:
                 _replans_counter().inc(reason="estimate-error")
+                from repro.obs.fleet import get_journal
+
+                get_journal().record(
+                    "planner-replan",
+                    reason="estimate-error",
+                    round=replaced.replan_round,
+                )
             except Exception:
                 pass
             prof = current_profile()

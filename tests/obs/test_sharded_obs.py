@@ -1,0 +1,419 @@
+"""Fleet-wide observability through the sharded gateway.
+
+Cross-shard trace propagation (gateway request ⊃ per-round frontier
+spans ⊃ per-shard request spans ⊃ operator spans), span grafting under
+failure (hedged losers, WorkerLost requeues), the unified gateway
+slow-query log, per-shard degraded attribution, and the SLO report
+riding the fleet health document.
+"""
+
+import sys
+
+import pytest
+
+from repro.core import MetadataWarehouse
+from repro.obs import get_journal, trace_scope, validate_chrome_trace
+from repro.obs.registry import get_registry
+from repro.server import ServiceConfig, ShardedConfig, ShardedQueryService
+from repro.storage import shard_of
+
+
+def thread_service(mdw, **overrides):
+    base = dict(
+        n_shards=2,
+        workers_per_shard=1,
+        worker_mode="thread",
+        supervise=False,
+    )
+    base.update(overrides)
+    return ShardedQueryService(mdw, ShardedConfig(**base))
+
+
+def mint_instances(mdw, cls, shards_wanted, n_shards):
+    """Instances whose routing hash lands on the requested shards."""
+    items, names = [], []
+    k = 0
+    for want in shards_wanted:
+        while True:
+            name = f"n{k:03d}"
+            k += 1
+            if shard_of(mdw.facts.namespace.term(name), n_shards) == want:
+                items.append(mdw.facts.add_instance(name, cls))
+                names.append(name)
+                break
+    return items, names
+
+
+def three_shard_chain():
+    """a -> b -> c -> d -> e spread over all three shards."""
+    mdw = MetadataWarehouse()
+    node = mdw.schema.declare_class("Node")
+    items, names = mint_instances(mdw, node, [0, 1, 2, 0, 1], 3)
+    for i, (a, b) in enumerate(zip(items, items[1:])):
+        mdw.facts.add_mapping(a, b, rule=f"rule-{i}")
+    return mdw, items, names
+
+
+def spans_by_name(tracer):
+    out = {}
+    for s in tracer.spans():
+        out.setdefault(s.name, []).append(s)
+    return out
+
+
+def children_of(spans, parent):
+    return [s for s in spans if s.parent_id == parent.span_id]
+
+
+class TestCrossShardTracePropagation:
+    def test_lineage_nests_gateway_frontier_shard_operator(self):
+        """The acceptance shape: one sampled Listing-2 lineage against a
+        3-shard fleet yields a single trace tree, gateway request ⊃
+        per-round frontier spans ⊃ per-shard request spans ⊃ operator
+        spans — and it round-trips the structural validator."""
+        mdw, items, _names = three_shard_chain()
+        with trace_scope() as tracer:
+            with thread_service(mdw, n_shards=3) as svc:
+                got = svc.lineage(items[0], direction="downstream")
+        assert len(got.edges) == 4 and not got.degraded
+        spans = tracer.spans()
+        named = spans_by_name(tracer)
+        (gateway,) = [
+            s for s in named["request"] if s.attrs.get("kind") == "lineage"
+        ]
+        assert gateway.parent_id is None
+        assert gateway.attrs["request_id"].startswith("g-")
+        frontiers = sorted(named["frontier"], key=lambda s: s.attrs["round"])
+        # 5 BFS levels: 4 edge-bearing rounds + the terminal empty one
+        assert [f.attrs["round"] for f in frontiers] == [1, 2, 3, 4, 5]
+        shard_requests = []
+        for frontier in frontiers:
+            assert frontier.parent_id == gateway.span_id
+            assert frontier.attrs["direction"] == "downstream"
+            level = [
+                s
+                for s in children_of(spans, frontier)
+                if s.name == "request"
+            ]
+            # downstream rounds point-route: one owner shard per round
+            assert len(level) == frontier.attrs["fan_out"] == 1
+            shard_requests.extend(level)
+        for request in shard_requests:
+            assert request.attrs["kind"] == "frontier"
+            operators = [
+                s
+                for s in children_of(spans, request)
+                if s.name == "operator" and s.attrs.get("op") == "frontier"
+            ]
+            assert len(operators) == 1
+        summary = validate_chrome_trace(tracer.to_chrome())
+        assert {"request", "frontier", "operator"} <= set(summary["names"])
+
+    def test_upstream_rounds_fan_out_to_every_shard(self):
+        mdw, items, _names = three_shard_chain()
+        with trace_scope() as tracer:
+            with thread_service(mdw, n_shards=3) as svc:
+                svc.lineage(items[-1], direction="upstream")
+        named = spans_by_name(tracer)
+        spans = tracer.spans()
+        for frontier in named["frontier"]:
+            level = [
+                s for s in children_of(spans, frontier) if s.name == "request"
+            ]
+            assert len(level) == 3  # upstream scatters to all shards
+        validate_chrome_trace(tracer.to_chrome())
+
+    def test_search_scatter_nests_under_gateway_request(self):
+        mdw, _items, _names = three_shard_chain()
+        with trace_scope() as tracer:
+            with thread_service(mdw, n_shards=3) as svc:
+                svc.search("n0", regex=True)
+        spans = tracer.spans()
+        named = spans_by_name(tracer)
+        (gateway,) = [
+            s
+            for s in named["request"]
+            if s.attrs.get("kind") == "search"
+            and s.attrs.get("request_id", "").startswith("g-")
+        ]
+        shard_level = [
+            s for s in children_of(spans, gateway) if s.name == "request"
+        ]
+        assert len(shard_level) == 3
+        assert {s.attrs["shard"] for s in shard_level} == {"0", "1", "2"}
+        validate_chrome_trace(tracer.to_chrome())
+
+    def test_unsampled_gateway_emits_nothing(self):
+        from repro.obs import Tracer
+
+        mdw, items, _names = three_shard_chain()
+        tracer = Tracer(sample_rate=0.0)
+        with trace_scope(tracer):
+            with thread_service(mdw, n_shards=3) as svc:
+                svc.lineage(items[0], direction="downstream")
+        assert tracer.spans() == []
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="fork workers are POSIX-only")
+class TestForkShardPropagation:
+    def test_shard_spans_cross_the_process_boundary(self, tmp_path):
+        mdw, items, _names = three_shard_chain()
+        with trace_scope() as tracer:
+            with thread_service(
+                mdw,
+                n_shards=3,
+                worker_mode="fork",
+                supervise=False,
+                snapshot_dir=str(tmp_path / "shards"),
+            ) as svc:
+                got = svc.lineage(items[0], direction="downstream")
+        assert len(got.edges) == 4
+        summary = validate_chrome_trace(tracer.to_chrome())
+        assert summary["pids"] >= 2  # child-process spans grafted in
+        named = spans_by_name(tracer)
+        spans = tracer.spans()
+        (gateway,) = [
+            s for s in named["request"] if s.attrs.get("kind") == "lineage"
+        ]
+        for dispatch in named["fork-dispatch"]:
+            assert dispatch.pid != gateway.pid
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="fork workers are POSIX-only")
+class TestGraftingUnderFailure:
+    def test_hedged_loser_never_grafts(self, warehouse, tmp_path):
+        """The losing twin of a hedged request completes late: its
+        request span is marked hedge-lost and its child spans are
+        dropped — only the winning attempt's children graft, and the
+        exported trace stays orphan-free."""
+        from repro.resilience.faults import FaultInjector, fault_scope
+
+        injector = FaultInjector(seed=3)
+        injector.arm("worker.hang", "delay", delay=0.8, times=1)
+        config = ServiceConfig(
+            max_workers=2,
+            worker_mode="fork",
+            snapshot_dir=str(tmp_path / "snaps"),
+            supervise=True,
+            heartbeat_interval=0.05,
+            hang_timeout=10.0,
+            hedge_after=0.15,
+        )
+        with fault_scope(injector):
+            with trace_scope() as tracer:
+                with warehouse.serve(config) as service:
+                    import time
+
+                    deadline = time.monotonic() + 5.0
+                    while (
+                        service.supervisor.alive_children()
+                        < config.max_workers
+                    ):
+                        assert time.monotonic() < deadline
+                        time.sleep(0.01)
+                    rows = service.query(
+                        "SELECT ?s ?n WHERE { ?s dm:hasName ?n }", timeout=60
+                    )
+                    assert len(rows) > 0
+                    snap = service.metrics_snapshot()
+        assert snap["hedged"] >= 1
+        spans = tracer.spans()
+        named = spans_by_name(tracer)
+        attempts = named["request"]
+        winners = [
+            s for s in attempts if s.attrs.get("outcome") != "hedge-lost"
+        ]
+        losers = [
+            s for s in attempts if s.attrs.get("outcome") == "hedge-lost"
+        ]
+        assert len(winners) == 1 and len(losers) >= 1
+        # exactly one dispatch, grafted under the winner; losers childless
+        (dispatch,) = named["fork-dispatch"]
+        assert dispatch.parent_id == winners[0].span_id
+        for loser in losers:
+            assert children_of(spans, loser) == []
+        validate_chrome_trace(tracer.to_chrome())
+
+    def test_worker_lost_requeue_leaves_no_orphans(self, warehouse, tmp_path):
+        """Every attempt lands on a worker that dies mid-request: the
+        dead children never ship spans, the in-process fallback's spans
+        graft under the winning attempt, and the trace validates."""
+        from repro.resilience.faults import FaultInjector, fault_scope
+
+        injector = FaultInjector(seed=1)
+        injector.arm("worker.crash", "raise", times=1)
+        config = ServiceConfig(
+            max_workers=1,
+            worker_mode="fork",
+            snapshot_dir=str(tmp_path / "snaps"),
+            supervise=True,
+            heartbeat_interval=0.1,
+            max_attempts=3,
+        )
+        with fault_scope(injector):
+            with trace_scope() as tracer:
+                with warehouse.serve(config) as service:
+                    rows = service.query(
+                        "SELECT ?s ?n WHERE { ?s dm:hasName ?n }", timeout=60
+                    )
+                    assert len(rows) > 0
+                    assert getattr(rows, "degraded", False) is True
+                    snap = service.metrics_snapshot()
+        assert snap["worker_lost"] == 3 and snap["requeued"] == 2
+        spans = tracer.spans()
+        named = spans_by_name(tracer)
+        # crashed children died before shipping extras: nothing grafted
+        assert "fork-dispatch" not in named
+        # only the winning (fallback) attempt has child spans
+        with_children = [
+            s for s in named["request"] if children_of(spans, s)
+        ]
+        assert len(with_children) == 1
+        validate_chrome_trace(tracer.to_chrome())
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    from repro.synth import LandscapeConfig, generate_landscape
+
+    land = generate_landscape(LandscapeConfig.tiny(seed=11))
+    return land.warehouse
+
+
+class TestUnifiedSlowQueryLog:
+    def test_slow_sharded_request_logged_once_at_gateway(self):
+        mdw, items, _names = three_shard_chain()
+        with thread_service(
+            mdw, n_shards=3, slow_query_threshold=1e-9
+        ) as svc:
+            svc.lineage(items[0], direction="downstream")
+            gateway_entries = svc.metrics.slow_queries.entries()
+            shard_entries = [
+                e
+                for i in range(3)
+                for e in svc.shard_service(i).metrics.slow_queries.entries()
+            ]
+        (entry,) = gateway_entries
+        assert entry.kind == "lineage"
+        assert entry.request_id.startswith("g-")
+        assert "shard0=" in entry.statement  # per-shard timing breakdown
+        # shard-local slow logs are off: one entry fleet-wide, not N
+        assert shard_entries == []
+
+    def test_failed_shards_named_in_the_entry(self):
+        mdw, items, _names = three_shard_chain()
+        owner = shard_of(items[0], 3)
+        with thread_service(
+            mdw,
+            n_shards=3,
+            slow_query_threshold=1e-9,
+            shard_breaker_threshold=1,
+        ) as svc:
+            svc.shard_service(owner).close()
+            svc.lineage(items[0], direction="downstream")
+            (entry,) = svc.metrics.slow_queries.entries()
+        assert f"failed shards: [{owner}]" in entry.statement
+
+    def test_fast_requests_not_logged(self):
+        mdw, items, _names = three_shard_chain()
+        with thread_service(mdw, n_shards=3, slow_query_threshold=60.0) as svc:
+            svc.lineage(items[0], direction="downstream")
+            assert svc.metrics.slow_queries.entries() == []
+
+    def test_worker_lost_attribution_still_logged_on_shards(self):
+        """log_slow_queries=False silences only the latency log; the
+        WorkerLost casualty entries keep their shard-local attribution
+        (they carry evidence the gateway never sees)."""
+        from repro.server.service import QueryService
+
+        mdw, _items, _names = three_shard_chain()
+        with thread_service(mdw, n_shards=2) as svc:
+            shard = svc.shard_service(0)
+            assert isinstance(shard, QueryService)
+            assert shard.config.log_slow_queries is False
+            assert shard.config.slow_query_threshold > 0
+
+
+class TestDegradedAttribution:
+    def test_degraded_counter_names_the_failed_shard(self):
+        mdw, _items, _names = three_shard_chain()
+        with thread_service(
+            mdw,
+            n_shards=3,
+            name="degraded-attr-test",
+            shard_breaker_threshold=1,
+        ) as svc:
+            svc.shard_service(1).close()
+            got = svc.search("n0", regex=True)
+        assert got.degraded
+        counter = get_registry().counter(
+            "mdw_service_degraded_total", labels=("service", "kind", "shard")
+        )
+        assert (
+            counter.child(
+                service="degraded-attr-test", kind="search", shard="1"
+            ).value
+            >= 1
+        )
+        # healthy shards are not blamed
+        assert (
+            counter.child(
+                service="degraded-attr-test", kind="search", shard="0"
+            ).value
+            == 0
+        )
+
+
+class TestFleetSloAndJournal:
+    def test_health_carries_per_shard_slis(self):
+        mdw, items, _names = three_shard_chain()
+        with thread_service(mdw, n_shards=3, name="slo-health-test") as svc:
+            for _ in range(3):
+                svc.lineage(items[0], direction="downstream")
+            health = svc.health()
+        report = health["slo"]
+        services = report["services"]
+        assert "slo-health-test" in services  # the gateway itself
+        for i in range(3):
+            row = services[f"slo-health-test-shard{i}"]
+            assert row["shard"] == str(i)
+            assert row["attempted"] > 0
+            assert row["availability"] == 1.0
+        assert any(
+            row["slo"] == "availability" and row["budget_remaining"] == 1.0
+            for row in report["slos"]
+        )
+
+    def test_shard_replace_and_breaker_reach_the_journal(self):
+        mdw, _items, _names = three_shard_chain()
+        journal = get_journal()
+        before = len(journal.events(kind="shard-replace"))
+        with thread_service(
+            mdw,
+            n_shards=2,
+            name="journal-test",
+            shard_breaker_threshold=1,
+        ) as svc:
+            svc.shard_service(0).close()
+            svc.search("n0", regex=True)  # opens the client breaker
+            svc.replace_shard(0)
+        replaces = journal.events(kind="shard-replace", service="journal-test")
+        assert len(journal.events(kind="shard-replace")) > before
+        assert replaces and replaces[-1].shard == "0"
+        breaker_events = [
+            e
+            for e in journal.events(kind="breaker")
+            if e.attrs.get("breaker") == "shard-0" and e.attrs.get("to") == "open"
+        ]
+        assert breaker_events and breaker_events[-1].severity == "warning"
+
+    def test_rebalance_reaches_the_journal(self):
+        mdw, _items, _names = three_shard_chain()
+        with thread_service(mdw, n_shards=2, name="rebalance-journal") as svc:
+            node = mdw.schema.declare_class("Extra")
+            mdw.facts.add_instance("rebalance_extra", node)
+            outcome = svc.rebalance(mdw.store)
+        events = get_journal().events(
+            kind="shard-rebalance", service="rebalance-journal"
+        )
+        assert events and events[-1].attrs["changed"] == outcome["changed"]

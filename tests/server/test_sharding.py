@@ -350,9 +350,15 @@ class TestShardMetricLabels:
             if labels["service"].startswith("shard-label-test") and value > 0
         ]
         assert requests
-        assert {labels["shard"] for labels in requests} == {"0", "1"}
+        assert {labels["shard"] for labels in requests} == {"0", "1", "gateway"}
         for labels in requests:
-            assert labels["service"] == f"shard-label-test-shard{labels['shard']}"
+            if labels["shard"] == "gateway":
+                assert labels["service"] == "shard-label-test"
+            else:
+                assert (
+                    labels["service"]
+                    == f"shard-label-test-shard{labels['shard']}"
+                )
         breaker_labels = [
             labels
             for _, labels, _ in families["mdw_breaker_state"]["samples"]
